@@ -1,0 +1,44 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment from EXPERIMENTS.md (the paper
+itself publishes no tables/figures — see DESIGN.md).  Conventions:
+
+* heavy end-to-end experiments run exactly once via
+  :func:`run_once` (pytest-benchmark pedantic mode) — the *measurement* is
+  the experiment output, not the wall-clock;
+* every benchmark prints its result table (visible with ``-s``) and files
+  the rows into ``benchmark.extra_info`` so they survive in the JSON;
+* each asserts the qualitative *shape* of the result (who wins, direction
+  of the trend), never absolute numbers.
+"""
+
+from typing import Any, Callable, Dict, Iterable, List, Sequence
+
+
+def run_once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [list(r) for r in rows]
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def record_rows(benchmark, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    benchmark.extra_info["headers"] = list(headers)
+    benchmark.extra_info["rows"] = [[_fmt(v) for v in row] for row in rows]

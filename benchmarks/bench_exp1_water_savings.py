@@ -1,0 +1,69 @@
+"""E1 — Smart irrigation optimizes water use and reduces energy (paper §I).
+
+Claim: "In an attempt to avoid loss of productivity by under-irrigation,
+farmers feed more water than is needed and as a result not only
+productivity is challenged but also water and energy is wasted" — SWAMP's
+IoT loop is supposed to fix this.
+
+Workload: one MATOPIBA-style dry-season soybean season (same field, same
+weather seed) under three controllers:
+
+* ``fixed``    — calendar over-irrigation practice (every 3 days, 18 mm);
+* ``uniform``  — sensor feedback, worst-zone depth applied everywhere;
+* ``vri``      — sensor feedback with per-zone VRI prescriptions.
+
+Expected shape: water(fixed) > water(uniform) > water(vri) with yield held
+(relative yield within a few percent of each other), and energy ordered
+with water.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.core.pilots import build_matopiba_pilot
+
+ARMS = (
+    ("fixed", dict(scheduler_kind="fixed")),
+    ("uniform", dict(scheduler_kind="smart", uniform_pivot=True)),
+    ("vri", dict(scheduler_kind="smart", uniform_pivot=False)),
+)
+
+
+def _run_experiment():
+    results = {}
+    for label, overrides in ARMS:
+        runner = build_matopiba_pilot(
+            seed=101, rows=4, cols=4, probe_interval_s=3600.0, spatial_cv=0.25,
+            **overrides,
+        )
+        report = runner.run_season()
+        results[label] = report
+    return results
+
+
+def test_exp1_water_savings(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["controller", "water m3", "mm/ha", "energy kWh", "rel yield", "yield t"]
+    rows = [
+        (
+            label,
+            round(report.irrigation_m3, 1),
+            round(report.irrigation_mm_per_ha, 1),
+            round(report.total_energy_kwh, 1),
+            report.relative_yield,
+            round(report.yield_t, 2),
+        )
+        for label, report in results.items()
+    ]
+    print_table("E1: seasonal water/energy/yield by controller", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    fixed, uniform, vri = results["fixed"], results["uniform"], results["vri"]
+    # Who wins: the smart arms use less water and energy than the calendar.
+    assert vri.irrigation_m3 < uniform.irrigation_m3 < fixed.irrigation_m3
+    assert vri.total_energy_kwh < fixed.total_energy_kwh
+    # Roughly what factor: smart saves a double-digit percentage.
+    assert vri.irrigation_m3 < 0.9 * fixed.irrigation_m3
+    # Productivity is held, not sacrificed.
+    assert vri.relative_yield > 0.9
+    assert uniform.relative_yield > 0.9
+    assert vri.relative_yield > fixed.relative_yield - 0.1

@@ -1,0 +1,68 @@
+"""E2 — VRI pays off with spatial variability (the MATOPIBA pilot goal).
+
+Claim (paper §I): the MATOPIBA pilot's purpose is "to implement and
+evaluate a smart irrigation system based on Variable Rate Irrigation (VRI)
+for center pivots in soybean production and save energy used in
+irrigation".
+
+Workload: sweep the field's soil-capacity coefficient of variation
+(CV ∈ {0, 0.15, 0.30}); at each point run the same season with a
+uniform-rate pivot and a VRI pivot (sensor feedback in both — the
+difference is purely per-zone vs worst-zone application).
+
+Expected shape: VRI's water saving over uniform is ≈0 on a homogeneous
+field and grows monotonically with CV.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.core.pilots import build_matopiba_pilot
+
+CVS = (0.0, 0.15, 0.30)
+
+
+def _run_experiment():
+    results = []
+    for cv in CVS:
+        water = {}
+        energy = {}
+        yields = {}
+        for label, uniform in (("uniform", True), ("vri", False)):
+            runner = build_matopiba_pilot(
+                seed=202, rows=4, cols=4, probe_interval_s=3600.0,
+                spatial_cv=cv, uniform_pivot=uniform, season_days=90,
+            )
+            report = runner.run_season()
+            water[label] = report.irrigation_m3
+            energy[label] = report.total_energy_kwh
+            yields[label] = report.relative_yield
+        saving = 1.0 - water["vri"] / water["uniform"] if water["uniform"] else 0.0
+        results.append((cv, water, energy, yields, saving))
+    return results
+
+
+def test_exp2_vri_vs_variability(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["spatial CV", "uniform m3", "vri m3", "water saving",
+               "yield uniform", "yield vri"]
+    rows = [
+        (cv, round(water["uniform"], 0), round(water["vri"], 0), saving,
+         yields["uniform"], yields["vri"])
+        for cv, water, energy, yields, saving in results
+    ]
+    print_table("E2: VRI water saving vs field variability", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    savings = [saving for *_rest, saving in results]
+    # Homogeneous field: VRI ≈ uniform, up to the worst-case-sizing noise
+    # amplification (uniform applies the max of noisy per-zone needs).
+    assert abs(savings[0]) < 0.05
+    # Saving grows monotonically with variability and the *variability-
+    # attributable* part is material at CV=0.3.
+    assert savings[0] < savings[1] < savings[2]
+    assert savings[-1] - savings[0] > 0.03
+    assert savings[-1] > 0.06
+    # Yield held in every arm.
+    for _cv, _water, _energy, yields, _saving in results:
+        assert yields["vri"] > 0.9
+        assert yields["uniform"] > 0.9

@@ -1,0 +1,139 @@
+"""E4 — DoS affects availability; SDN defence restores it (paper §III).
+
+Claim: "A DoS (Denial of Service) attack in the sensors, irrigation
+actuators or in the distribution system may affect the availability of the
+system" and "SDN ... allows administrators to have a centralized view of
+the IoT system and to implement security services".
+
+Workload: a farm whose probes share one narrow gateway uplink with the
+broker (the rural topology).  Sweep the attack rate {0, 60, 240 msg/s}
+from compromised nodes behind the same gateway; for the strongest flood,
+also run with the SDN flood-defence app quarantining top talkers.
+Metrics: legitimate telemetry delivery ratio and mean delivery latency
+over a 30-minute window.
+
+Expected shape: delivery ratio falls and latency rises with flood rate;
+with SDN defence on, the flood is quarantined and delivery recovers to
+near the clean baseline.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.devices import DeviceConfig, SoilMoistureProbe, decode_payload
+from repro.mqtt import MqttBroker, MqttClient
+from repro.network import Network, NetworkNode, RadioModel
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.security.attacks import DosFlood
+from repro.security.sdn import FloodDefenseApp, SdnController
+from repro.simkernel import Simulator
+
+FAST = RadioModel("fast", latency_s=0.01, bandwidth_bps=10e6, loss_rate=0.0)
+UPLINK = RadioModel("uplink", latency_s=0.03, bandwidth_bps=96_000.0, loss_rate=0.0)
+WINDOW_S = 1800.0
+PROBES = 6
+REPORT_INTERVAL_S = 30.0
+
+
+def _run_scenario(flood_rate: float, with_sdn: bool, seed: int = 404):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    broker = MqttBroker(sim, "broker")
+    net.add_node(broker)
+    net.add_node(NetworkNode("gw"))
+    net.connect("gw", "broker", UPLINK)
+    for link in net.links_between("gw", "broker"):
+        link.max_backlog_s = 0.5
+
+    controller = None
+    defense = None
+    if with_sdn:
+        controller = SdnController(sim, net, window_s=10.0)
+        defense = FloodDefenseApp(controller, threshold_pkts_per_s=8.0, check_interval_s=10.0)
+
+    field = Field("f", 2, 3, LOAM, SOYBEAN, sim.rng.stream("field"))
+    probes = []
+    for i, zone in enumerate(field):
+        probe = SoilMoistureProbe(
+            sim, net,
+            DeviceConfig(f"p{i}", "farm", "SoilProbe", report_interval_s=REPORT_INTERVAL_S),
+            "broker", zone=zone,
+        )
+        net.connect(probe.client.address, "gw", FAST)
+        probe.start()
+        probes.append(probe)
+    if defense is not None:
+        defense.allowlist.update(p.client.address for p in probes)
+        defense.allowlist.update({"gw", "broker"})
+
+    received = []
+    observer = MqttClient(sim, "obs", "broker")
+    net.add_node(observer)
+    net.connect("obs", "broker", FAST)
+    observer.connect()
+    observer.subscribe(
+        "swamp/farm/attrs/+",
+        handler=lambda t, p, q, r: received.append((sim.now, decode_payload(p))),
+    )
+
+    flood = None
+    if flood_rate > 0:
+        flood = DosFlood(
+            sim, net, "broker", FAST, bot_count=3,
+            rate_msgs_per_s=flood_rate, payload_bytes=700,
+        )
+        # Bots are compromised field nodes behind the same gateway.
+        for bot in flood.bots:
+            net.remove_node(bot.address)
+        flood.bots.clear()
+        for i in range(3):
+            bot = MqttClient(sim, f"bot{i}", "broker", client_id=f"bot-{i}", keepalive_s=0)
+            net.add_node(bot)
+            net.connect(bot.address, "gw", FAST)
+            flood.bots.append(bot)
+        flood.start()
+
+    sim.run(until=WINDOW_S)
+
+    sent = sum(p.sent_reports for p in probes)
+    delivered = [(t, m) for t, m in received if m and "soilMoisture" in m]
+    latencies = [t - m["ts"] for t, m in delivered if "ts" in m]
+    return {
+        "delivery_ratio": len(delivered) / sent if sent else 0.0,
+        "mean_latency_s": sum(latencies) / len(latencies) if latencies else float("inf"),
+        "flood_sent": flood.messages_sent if flood else 0,
+        "quarantined": len(controller.quarantined) if controller else 0,
+    }
+
+
+def _run_experiment():
+    rows = []
+    for rate, with_sdn in ((0.0, False), (60.0, False), (240.0, False), (240.0, True)):
+        result = _run_scenario(rate, with_sdn)
+        rows.append((rate, "yes" if with_sdn else "no", result))
+    return rows
+
+
+def test_exp4_dos_availability(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["flood msg/s", "sdn", "delivery ratio", "mean latency s",
+               "flood sent", "quarantined"]
+    rows = [
+        (rate, sdn, round(r["delivery_ratio"], 3), round(r["mean_latency_s"], 3),
+         r["flood_sent"], r["quarantined"])
+        for rate, sdn, r in results
+    ]
+    print_table("E4: telemetry availability under DoS flood", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    clean = results[0][2]
+    mid = results[1][2]
+    heavy = results[2][2]
+    defended = results[3][2]
+    # Availability degrades with flood intensity.
+    assert clean["delivery_ratio"] > 0.95
+    assert heavy["delivery_ratio"] < mid["delivery_ratio"] <= clean["delivery_ratio"] + 1e-9
+    assert heavy["delivery_ratio"] < 0.8 * clean["delivery_ratio"]
+    assert heavy["mean_latency_s"] > clean["mean_latency_s"]
+    # The SDN defence quarantines the bots and restores delivery.
+    assert defended["quarantined"] >= 3
+    assert defended["delivery_ratio"] > 0.9 * clean["delivery_ratio"]

@@ -1,0 +1,124 @@
+"""E5 — Sensor tampering causes wrong irrigation; detection contains it.
+
+Claim (paper §III): "Changes in the values of some sensors are also a
+threat that may cause systems or decision makers to take wrong actions and
+compromise months of efforts and production goals."
+
+Workload: a 30-day valve-irrigated dry-season farm.  On day 10 an attacker
+biases one third of the soil probes.  Sweep the bias:
+
+* ``+0.12`` (reads *wet*) — the scheduler under-irrigates → crop stress;
+* ``-0.12`` (reads *dry*) — the scheduler over-irrigates → water waste.
+
+Each bias runs with detection off and on (quarantine wired to the agent).
+
+Expected shape: positive bias cuts the tampered zones' water and yield;
+negative bias inflates total water; with detection on, the tampered
+probes are quarantined within hours and the damage shrinks toward the
+clean baseline.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.core import DeploymentKind, PilotConfig, PilotRunner, SecurityConfig
+from repro.physics import LOAM, SOYBEAN
+from repro.physics.weather import BARREIRAS_MATOPIBA
+from repro.security.attacks import SensorTamper, TamperMode
+from repro.simkernel.clock import DAY
+
+SEASON_DAYS = 30
+ATTACK_DAY = 10
+
+
+def _build(detection: bool, seed: int = 505) -> PilotRunner:
+    return PilotRunner(PilotConfig(
+        name="e5",
+        farm="e5farm",
+        climate=BARREIRAS_MATOPIBA,
+        crop=SOYBEAN,
+        soil=LOAM,
+        rows=3, cols=3,
+        season_days=SEASON_DAYS,
+        start_day_of_year=150,
+        initial_theta=0.22,
+        deployment=DeploymentKind.FOG,
+        irrigation_kind="valves",
+        scheduler_kind="smart",
+        probe_interval_s=1800.0,
+        security=SecurityConfig(detection=detection, detection_training_s=8 * DAY),
+        seed=seed,
+    ))
+
+
+def _run_scenario(bias: float, detection: bool):
+    runner = _build(detection)
+    tampered_zone_ids = []
+    if bias != 0.0:
+        zones = list(runner.field)[:3]  # one third of the 9 zones
+        for zone in zones:
+            probe = runner.probes[zone.zone_id]
+            tamper = SensorTamper(runner.sim, probe, "soilMoisture",
+                                  TamperMode.BIAS, magnitude=bias)
+            runner.sim.schedule_at(ATTACK_DAY * DAY, tamper.start)
+            tampered_zone_ids.append(zone.zone_id)
+    report = runner.run_season()
+    tampered_water = sum(
+        runner.field.zone_by_id(z).water_balance.cum_irrigation_mm
+        for z in tampered_zone_ids
+    ) if tampered_zone_ids else 0.0
+    tampered_yield = (
+        sum(runner.field.zone_by_id(z).yield_tracker.relative_yield
+            for z in tampered_zone_ids) / len(tampered_zone_ids)
+        if tampered_zone_ids else None
+    )
+    return {
+        "total_water_m3": report.irrigation_m3,
+        "tampered_zones_water_mm": tampered_water,
+        "tampered_zones_yield": tampered_yield,
+        "overall_yield": report.relative_yield,
+        "quarantined": report.quarantined_devices,
+    }
+
+
+def _run_experiment():
+    rows = []
+    rows.append(("clean", "n/a", _run_scenario(0.0, detection=False)))
+    for bias in (0.12, -0.12):
+        for detection in (False, True):
+            rows.append((f"{bias:+.2f}", "on" if detection else "off",
+                         _run_scenario(bias, detection)))
+    return rows
+
+
+def test_exp5_sensor_tamper(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["bias", "detection", "total water m3", "tampered-zone water mm",
+               "tampered-zone yield", "overall yield", "quarantined"]
+    rows = [
+        (bias, det, round(r["total_water_m3"], 1),
+         round(r["tampered_zones_water_mm"], 1),
+         "-" if r["tampered_zones_yield"] is None else round(r["tampered_zones_yield"], 3),
+         r["overall_yield"], r["quarantined"])
+        for bias, det, r in results
+    ]
+    print_table("E5: sensor-bias attack, 30-day window", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    by_key = {(bias, det): r for bias, det, r in results}
+    clean = by_key[("clean", "n/a")]
+    wet_off = by_key[("+0.12", "off")]
+    wet_on = by_key[("+0.12", "on")]
+    dry_off = by_key[("-0.12", "off")]
+    dry_on = by_key[("-0.12", "on")]
+
+    # Reads-wet bias starves the tampered zones.
+    assert wet_off["tampered_zones_yield"] < 0.97
+    assert wet_off["overall_yield"] < clean["overall_yield"]
+    # Reads-dry bias wastes water.
+    assert dry_off["total_water_m3"] > 1.1 * clean["total_water_m3"]
+    # Detection quarantines the tampered probes...
+    assert wet_on["quarantined"] >= 3
+    assert dry_on["quarantined"] >= 3
+    # ...and contains the waste relative to undefended.
+    assert dry_on["total_water_m3"] < dry_off["total_water_m3"]
+    assert wet_off["quarantined"] == 0

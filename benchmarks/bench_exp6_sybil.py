@@ -1,0 +1,163 @@
+"""E6 — Sybil/fake drone data corrupts NDVI; layered defences and limits.
+
+Claim (paper §III): "A drone or sensor node performing the Sybil attack
+could send fake images and false measurements, leading to the incorrect
+interpretation of the actual soil conditions, incorrect calculation of the
+NDVI, and the like."
+
+Two scenarios, each sweeping the Sybil swarm size against two honest
+drones that always paint the truth:
+
+* **mid-season** (day 60, full canopy, rows 0-1 genuinely stressed): the
+  fake "0.85 healthy everywhere" is *plausible per zone*, so only
+  provisioning (identity control) and the spatial majority vote can help —
+  and the vote provably fails once the swarm outnumbers honest sources;
+* **early-season** (day 12, bare field): 0.85 is physically impossible,
+  so the crop-model band screen rejects every fake frame regardless of
+  swarm size, even with stolen provisioning keys.
+
+Expected shape: map error grows with swarm size undefended; provisioning
+is flat-clean; spatial vote cleans a minority swarm and breaks at 3+;
+band screening is flat-clean early season.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.analytics import NdviMapService
+from repro.context import ContextBroker
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.physics.ndvi import NdviTracker
+from repro.security.detection import SpatialConsistencyDetector
+from repro.simkernel import Simulator
+
+ROWS, COLS = 4, 4
+FAKE_NDVI = 0.85
+STRESS_THRESHOLD = 0.70  # healthy full canopy ≈ 0.88, stressed ≈ 0.58
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    return ordered[mid] if len(ordered) % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def _make_field(sim, season_day):
+    field = Field("f", ROWS, COLS, LOAM, SOYBEAN, sim.rng.stream("field"))
+    trackers = {}
+    for zone in field:
+        zone.season_day = season_day
+        tracker = NdviTracker(zone)
+        stressed = zone.row < 2
+        for _ in range(40):
+            tracker.record_day(0.05 if stressed else 1.0)
+        trackers[zone.zone_id] = tracker
+    return field, trackers
+
+
+def _run_scenario(season_day: int, sybil_count: int, defence: str, seed: int = 606):
+    sim = Simulator(seed=seed)
+    field, trackers = _make_field(sim, season_day)
+    context = ContextBroker(sim)
+    service = NdviMapService(context, field)
+    if defence == "band":
+        service.enable_band_screening(SOYBEAN)
+        service.set_season_day(season_day)
+    spatial = SpatialConsistencyDetector(ROWS, COLS, tolerance=0.08)
+    noise = sim.rng.stream("drone-noise")
+
+    honest = ["drone-a", "drone-b"]
+    sybils = [f"sybil-{i}" for i in range(sybil_count)]
+    # Provisioning drops unknown identities before they reach the context.
+    sources = honest + ([] if defence == "provisioning" else sybils)
+    for name in honest + sybils:
+        context.ensure_entity(f"urn:Drone:{name}", "Drone", {"deviceId": name})
+
+    for name in sources:
+        fake = name.startswith("sybil")
+        for zone in field:
+            value = (
+                noise.bounded_gauss(FAKE_NDVI, 0.01, 0.0, 1.0)
+                if fake
+                else max(0.0, min(1.0, trackers[zone.zone_id].ndvi()
+                                  + noise.gauss(0.0, 0.01)))
+            )
+            context.update_attributes(
+                f"urn:Drone:{name}",
+                {"ndvi": round(value, 4), "zone": zone.zone_id,
+                 "row": zone.row, "col": zone.col},
+            )
+            spatial.observe(zone.row, zone.col, name, value)
+
+    flagged = spatial.suspicious_sources(alert_threshold=1.0)
+    heavily_flagged = {s for s, zones in flagged.items() if zones >= 3}
+    if defence in ("median-vote", "provisioning", "band"):
+        # Robust per-zone median across sources.
+        consensus = service.consensus_map()
+    else:
+        # Naive trusting aggregator: per-zone mean.
+        consensus = {
+            zone_id: sum(by_source.values()) / len(by_source)
+            for zone_id, by_source in service.observations.items()
+            if by_source
+        }
+
+    truth = service.truth_map(trackers)
+    truth_stressed = {z for z, v in truth.items() if v < STRESS_THRESHOLD}
+    found_stressed = {z for z, v in consensus.items() if v < STRESS_THRESHOLD}
+    errors = [abs(v - truth[z]) for z, v in consensus.items()]
+    return {
+        "map_error": sum(errors) / len(errors) if errors else 1.0,
+        "stress_missed": len(truth_stressed - found_stressed),
+        "stress_total": len(truth_stressed),
+        "rejected_band": service.rejected_out_of_band,
+        "sybils_flagged": sum(1 for s in sybils if s in heavily_flagged),
+    }
+
+
+def _run_experiment():
+    results = []
+    for count in (0, 1, 3, 5):
+        for defence in ("none", "median-vote", "provisioning"):
+            results.append(("mid", count, defence, _run_scenario(60, count, defence)))
+    for count in (1, 5):
+        for defence in ("none", "band"):
+            results.append(("early", count, defence, _run_scenario(12, count, defence)))
+    return results
+
+
+def test_exp6_sybil_ndvi(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["season", "sybils", "defence", "map error", "stress missed",
+               "rejected(band)", "sybils flagged"]
+    rows = [
+        (season, count, defence, round(r["map_error"], 4),
+         f"{r['stress_missed']}/{r['stress_total']}",
+         r["rejected_band"], r["sybils_flagged"])
+        for season, count, defence, r in results
+    ]
+    print_table("E6: Sybil swarm vs NDVI interpretation", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    by_key = {(s, c, d): r for s, c, d, r in results}
+    # Naive mean aggregation: error grows with swarm size; a majority swarm
+    # erases the stressed strip from the map.
+    assert by_key[("mid", 0, "none")]["map_error"] < 0.05
+    assert (by_key[("mid", 5, "none")]["map_error"]
+            > by_key[("mid", 1, "none")]["map_error"]
+            > by_key[("mid", 0, "none")]["map_error"])
+    assert by_key[("mid", 3, "none")]["stress_missed"] == \
+        by_key[("mid", 3, "none")]["stress_total"] > 0
+    # Provisioning: flat clean at any swarm size.
+    assert by_key[("mid", 5, "provisioning")]["map_error"] < 0.05
+    assert by_key[("mid", 5, "provisioning")]["stress_missed"] == 0
+    # Median vote: cleans a minority swarm, breaks under a majority —
+    # the honest-majority assumption made visible.
+    assert by_key[("mid", 1, "median-vote")]["map_error"] < 0.05
+    assert by_key[("mid", 1, "median-vote")]["sybils_flagged"] == 1
+    assert by_key[("mid", 5, "median-vote")]["stress_missed"] > 0
+    # Early season: the physical band rejects every fake frame, keeping
+    # the map clean where the naive aggregate is catastrophically wrong.
+    assert by_key[("early", 5, "none")]["map_error"] > 0.3
+    assert by_key[("early", 5, "band")]["rejected_band"] >= 5 * ROWS * COLS
+    assert by_key[("early", 5, "band")]["map_error"] < 0.05
+    assert by_key[("early", 5, "band")]["stress_missed"] == 0

@@ -1,0 +1,139 @@
+"""E7 — Eavesdropping leaks yield data; encryption closes the channel.
+
+Claim (paper §III): "Using eavesdropping, intruders may have access to
+private data about the farm and crop yield information and even manipulate
+the commodity markets."
+
+Workload: a probe fleet plus a weekly yield-forecast service publish over
+field radio for 5 simulated days; an attacker taps every device uplink.
+Arms: plaintext MQTT vs per-device AEAD secure channels.
+
+Metrics: frames observed, readable (plaintext) records harvested, the
+attacker's reconstruction of (a) mean soil moisture and (b) the farm's
+yield forecast, and the market-advantage proxy.
+
+Expected shape: plaintext leaks essentially everything (leakage ratio ≈ 1,
+yield estimate within a few percent, material market advantage);
+encryption reduces readable records to zero and the advantage to zero,
+while the legitimate pipeline keeps working identically.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.devices import DeviceConfig, SoilMoistureProbe, encode_payload
+from repro.mqtt import MqttBroker, MqttClient
+from repro.network import Network, RadioModel
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.security.attacks import Eavesdropper
+from repro.security.attacks.eavesdrop import market_advantage_eur
+from repro.security.crypto import SecureChannelPair
+from repro.simkernel import Simulator
+from repro.simkernel.clock import DAY
+
+RADIO = RadioModel("lora-ish", latency_s=0.1, bandwidth_bps=20_000.0, loss_rate=0.01)
+TRUE_YIELD_T = 310.0
+DAYS = 5.0
+
+
+def _run_scenario(encrypted: bool, seed: int = 707):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    broker = MqttBroker(sim, "broker")
+    net.add_node(broker)
+    field = Field("f", 3, 3, LOAM, SOYBEAN, sim.rng.stream("field"))
+
+    taps = []
+    devices = []
+    for i, zone in enumerate(field):
+        probe = SoilMoistureProbe(
+            sim, net, DeviceConfig(f"p{i}", "farm", "SoilProbe", report_interval_s=900),
+            "broker", zone=zone,
+        )
+        net.connect(probe.client.address, "broker", RADIO)
+        if encrypted:
+            pair = SecureChannelPair(
+                sim.rng.stream(f"d{i}"), sim.rng.stream(f"s{i}"),
+                context=f"p{i}".encode(),
+            )
+            probe.client.payload_encoder = pair.endpoint_a.mqtt_encoder
+        probe.start()
+        devices.append(probe)
+        taps.append((probe.client.address, "broker"))
+
+    # A farm service publishing the sensitive weekly yield forecast.
+    forecaster = MqttClient(sim, "forecaster", "broker")
+    net.add_node(forecaster)
+    net.connect("forecaster", "broker", RADIO)
+    if encrypted:
+        pair = SecureChannelPair(sim.rng.stream("fc-a"), sim.rng.stream("fc-b"),
+                                 context=b"forecaster")
+        forecaster.payload_encoder = pair.endpoint_a.mqtt_encoder
+    forecaster.connect()
+    taps.append(("forecaster", "broker"))
+
+    spy = Eavesdropper(sim, net, taps)
+    spy.start()
+
+    def forecast_loop():
+        noise = sim.rng.stream("forecast-noise")
+        while True:
+            yield DAY
+            payload = encode_payload(
+                {"yieldForecastT": round(TRUE_YIELD_T * noise.uniform(0.98, 1.02), 1)}
+            )
+            forecaster.publish("swamp/farm/analytics/yield", payload)
+
+    sim.spawn(forecast_loop(), "forecaster")
+    sim.run(until=DAYS * DAY)
+
+    stolen_yield = spy.estimate_mean("yieldForecastT")
+    true_theta = sum(z.theta for z in field) / len(field)
+    stolen_theta = spy.estimate_mean("soilMoisture")
+    yield_error = (
+        abs(stolen_yield - TRUE_YIELD_T) / TRUE_YIELD_T if stolen_yield else 1.0
+    )
+    return {
+        "frames": spy.frames_observed,
+        "readable_records": len(spy.plaintext_records),
+        "leakage_ratio": spy.leakage_ratio(),
+        "theta_estimate_error": (
+            abs(stolen_theta - true_theta) if stolen_theta is not None else None
+        ),
+        "yield_estimate_error": yield_error,
+        "market_advantage_eur": market_advantage_eur(yield_error, TRUE_YIELD_T),
+        "legit_messages": broker.stats.publishes_in,
+    }
+
+
+def _run_experiment():
+    return {
+        "plaintext": _run_scenario(encrypted=False),
+        "encrypted": _run_scenario(encrypted=True),
+    }
+
+
+def test_exp7_eavesdropping(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["channel", "frames seen", "readable", "leakage", "yield est err",
+               "market adv EUR", "legit msgs"]
+    rows = [
+        (label, r["frames"], r["readable_records"], round(r["leakage_ratio"], 3),
+         round(r["yield_estimate_error"], 3), round(r["market_advantage_eur"], 0),
+         r["legit_messages"])
+        for label, r in results.items()
+    ]
+    print_table("E7: wire leakage, plaintext vs AEAD channel", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    plain, enc = results["plaintext"], results["encrypted"]
+    # Plaintext: near-total leakage and an accurate stolen yield estimate.
+    assert plain["leakage_ratio"] > 0.95
+    assert plain["yield_estimate_error"] < 0.05
+    assert plain["theta_estimate_error"] < 0.05
+    assert plain["market_advantage_eur"] > 0.5 * market_advantage_eur(0.0, TRUE_YIELD_T)
+    # Encrypted: the attacker reads nothing; advantage collapses to zero.
+    assert enc["readable_records"] == 0
+    assert enc["leakage_ratio"] == 0.0
+    assert enc["market_advantage_eur"] == 0.0
+    # The legitimate pipeline is unaffected by encryption.
+    assert enc["legit_messages"] > 0.9 * plain["legit_messages"]

@@ -1,0 +1,97 @@
+"""E9 — Fog keeps the platform available through Internet disconnections.
+
+Claim (paper §III): "The availability of the platform must be provided
+even in case of Internet disconnections using local components (fog
+computing) to keep the platform running properly."
+
+Workload: the same 18-day dry-season farm under cloud-only and fog
+deployments, sweeping the WAN outage duration {0, 3, 7 days} (outage
+starts day 5).  Metrics: decisions skipped for missing/stale data,
+irrigation commands delivered, relative yield, and — for fog — context
+data loss after resync.
+
+Expected shape: cloud-only degrades with outage duration (skipped
+decisions grow, commands and yield drop); fog is flat across the sweep
+(local loop independent of the WAN) and back-fills the cloud with zero or
+bounded loss after the link heals.
+"""
+
+from _harness import print_table, record_rows, run_once
+
+from repro.core import DeploymentKind, PilotConfig, PilotRunner
+from repro.physics import LOAM, SOYBEAN
+from repro.physics.weather import BARREIRAS_MATOPIBA
+from repro.simkernel.clock import DAY
+
+SEASON_DAYS = 18
+OUTAGE_START_DAY = 5
+
+
+def _run_scenario(deployment: DeploymentKind, outage_days: float, seed: int = 909):
+    runner = PilotRunner(PilotConfig(
+        name="e9",
+        farm="e9farm",
+        climate=BARREIRAS_MATOPIBA,
+        crop=SOYBEAN,
+        soil=LOAM,
+        rows=2, cols=2,
+        season_days=SEASON_DAYS,
+        start_day_of_year=150,
+        initial_theta=0.22,
+        deployment=deployment,
+        irrigation_kind="valves",
+        scheduler_kind="smart",
+        seed=seed,
+    ))
+    if outage_days > 0:
+        runner.schedule_wan_partition(OUTAGE_START_DAY * DAY, outage_days * DAY)
+    report = runner.run_season()
+    cloud_entities = runner.cloud.context.entity_count()
+    return {
+        "skipped": report.skipped_no_data + report.skipped_stale,
+        "commands": report.commands_sent,
+        "water_m3": report.irrigation_m3,
+        "yield": report.relative_yield,
+        "cloud_entities": cloud_entities,
+        "sync_dropped": report.replicator_dropped,
+    }
+
+
+def _run_experiment():
+    results = []
+    for outage in (0.0, 3.0, 7.0):
+        for deployment in (DeploymentKind.CLOUD_ONLY, DeploymentKind.FOG):
+            results.append((outage, deployment.value, _run_scenario(deployment, outage)))
+    return results
+
+
+def test_exp9_fog_availability(benchmark):
+    results = run_once(benchmark, _run_experiment)
+    headers = ["outage d", "deployment", "skipped decisions", "commands",
+               "water m3", "rel yield", "cloud entities", "sync dropped"]
+    rows = [
+        (outage, deployment, r["skipped"], r["commands"], round(r["water_m3"], 1),
+         r["yield"], r["cloud_entities"], r["sync_dropped"])
+        for outage, deployment, r in results
+    ]
+    print_table("E9: availability under WAN outage, cloud vs fog", headers, rows)
+    record_rows(benchmark, headers, rows)
+
+    by_key = {(o, d): r for o, d, r in results}
+    cloud0 = by_key[(0.0, "cloud-only")]
+    cloud3 = by_key[(3.0, "cloud-only")]
+    cloud7 = by_key[(7.0, "cloud-only")]
+    # Cloud-only: degradation grows with outage length.
+    assert cloud0["skipped"] == 0
+    assert cloud7["skipped"] > cloud3["skipped"] > 0
+    assert cloud7["yield"] <= cloud3["yield"] <= cloud0["yield"] + 1e-9
+    assert cloud7["yield"] < cloud0["yield"]
+    # Fog: flat — the local loop never starves, whatever the outage.
+    for outage in (0.0, 3.0, 7.0):
+        fog = by_key[(outage, "fog")]
+        assert fog["skipped"] == 0
+        assert fog["yield"] > 0.99
+    # After healing, the fog back-filled the cloud with no overflow loss.
+    fog7 = by_key[(7.0, "fog")]
+    assert fog7["cloud_entities"] >= 4  # the AgriParcel entities made it
+    assert fog7["sync_dropped"] == 0

@@ -1,0 +1,48 @@
+"""The business case: what deploying SWAMP is worth in euros.
+
+Prices a full MATOPIBA season under the fixed-calendar practice and under
+the smart VRI scheduler using representative tariffs, then prints the
+margin delta — the number that decides whether a farm adopts the platform.
+
+Run:  python examples/business_case.py              (~1-2 min)
+
+(Or equivalently: python -m repro.cli compare matopiba)
+"""
+
+from repro.analytics import Tariffs, deployment_benefit_eur, price_season
+from repro.core import build_matopiba_pilot
+
+TARIFFS = Tariffs(water_eur_m3=0.10, energy_eur_kwh=0.16, crop_price_eur_t=390.0)
+
+
+def run(scheduler_kind: str):
+    runner = build_matopiba_pilot(
+        seed=31, rows=4, cols=4, probe_interval_s=3600.0, scheduler_kind=scheduler_kind
+    )
+    report = runner.run_season()
+    return report, price_season(report, TARIFFS)
+
+
+def main() -> None:
+    print("=== MATOPIBA season economics (90 ha soybean pivot) ===\n")
+    fixed_report, fixed = run("fixed")
+    smart_report, smart = run("smart")
+
+    def show(label, report, economics):
+        print(f"--- {label} ---")
+        print(f"water    : {report.irrigation_m3:10.0f} m3   EUR {economics.water_cost_eur:10,.0f}")
+        print(f"energy   : {report.total_energy_kwh:10.0f} kWh  EUR {economics.energy_cost_eur:10,.0f}")
+        print(f"yield    : {report.yield_t:10.1f} t    EUR {economics.revenue_eur:10,.0f}")
+        print(f"margin   : EUR {economics.gross_margin_eur:,.0f}\n")
+
+    show("fixed calendar (current practice)", fixed_report, fixed)
+    show("SWAMP smart VRI", smart_report, smart)
+
+    benefit = deployment_benefit_eur(smart, fixed)
+    print("=== season benefit of deploying SWAMP ===")
+    print(f"EUR {benefit:,.0f} per season "
+          f"({benefit / 90.0:,.0f} EUR/ha) before platform costs")
+
+
+if __name__ == "__main__":
+    main()

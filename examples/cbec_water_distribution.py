@@ -1,0 +1,55 @@
+"""CBEC pilot: optimizing water distribution through a canal network.
+
+Models the Consorzio di Bonifica Emilia Centrale scenario: a reservoir
+feeds a canal tree with seepage losses; member farms file daily demands;
+the allocator serves them by priority with proportional rationing under
+scarcity.  The demo sweeps reservoir stock from plenty to drought and
+prints each farm's satisfaction.
+
+Run:  python examples/cbec_water_distribution.py    (fast)
+"""
+
+from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
+
+
+def build(stock_m3: float) -> DistributionNetwork:
+    network = DistributionNetwork(Reservoir("po-offtake", 100_000.0, initial_m3=stock_m3))
+    network.add_canal(Canal("primary", None, capacity_m3_day=40_000.0, loss_fraction=0.08))
+    network.add_canal(Canal("east", "primary", capacity_m3_day=15_000.0, loss_fraction=0.05))
+    network.add_canal(Canal("west", "primary", capacity_m3_day=15_000.0, loss_fraction=0.05))
+    network.add_farm(FarmOfftake("tomatoes-a", "east", priority=1))   # food crop first
+    network.add_farm(FarmOfftake("tomatoes-b", "east", priority=1))
+    network.add_farm(FarmOfftake("orchard", "west", priority=2))
+    network.add_farm(FarmOfftake("pasture", "west", priority=3))
+    return network
+
+DEMANDS = {"tomatoes-a": 4000.0, "tomatoes-b": 6000.0, "orchard": 5000.0, "pasture": 8000.0}
+
+
+def main() -> None:
+    print("=== CBEC canal allocation under increasing scarcity ===")
+    header = f"{'stock m3':>10} | " + " | ".join(f"{farm:>11}" for farm in DEMANDS)
+    print(header)
+    print("-" * len(header))
+    for stock in (40_000.0, 20_000.0, 12_000.0, 6_000.0, 2_000.0):
+        network = build(stock)
+        for farm, demand in DEMANDS.items():
+            network.set_demand(farm, demand)
+        allocations = network.allocate()
+        row = f"{stock:10.0f} | " + " | ".join(
+            f"{allocations[farm]:7.0f} m3 " for farm in DEMANDS
+        )
+        print(row)
+    print("\n(priority 1 = tomato farms, 2 = orchard, 3 = pasture;")
+    print(" equal-priority farms ration proportionally; seepage losses ~13%)")
+
+    network = build(40_000.0)
+    for farm, demand in DEMANDS.items():
+        network.set_demand(farm, demand)
+    network.allocate()
+    print(f"\ndistribution efficiency at full stock: {network.efficiency():.1%}"
+          f"  (losses {network.total_losses_m3:.0f} m3)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""IoT agents: the MQTT ↔ NGSI bridge (FIWARE IoT-Agent equivalent)."""
+
+from repro.agents.iot_agent import DeviceProvision, IoTAgent
+
+__all__ = ["DeviceProvision", "IoTAgent"]

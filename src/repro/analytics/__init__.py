@@ -1,0 +1,26 @@
+"""Analytics services running on the context data.
+
+* :class:`~repro.analytics.ndvi_map.NdviMapService` — assembles per-zone
+  NDVI maps from drone observations in the context broker, classifies
+  stress zones, computes map error against ground truth and screens
+  observations against the crop's physically expected NDVI band (the
+  cross-modality check that catches Sybil data the paper worries about);
+* :class:`~repro.analytics.profiles.SeasonProfileBuilder` — per-attribute
+  daily trajectory profiles ("the expected sequence of events and behavior
+  of agriculture applications"), consumed as detection baselines and for
+  partial-observability confidence.
+"""
+
+from repro.analytics.economics import SeasonEconomics, Tariffs, deployment_benefit_eur, price_season
+from repro.analytics.ndvi_map import NdviMapService, expected_ndvi_band
+from repro.analytics.profiles import SeasonProfileBuilder
+
+__all__ = [
+    "NdviMapService",
+    "SeasonEconomics",
+    "SeasonProfileBuilder",
+    "Tariffs",
+    "deployment_benefit_eur",
+    "expected_ndvi_band",
+    "price_season",
+]

@@ -1,0 +1,78 @@
+"""Season economics: turning platform reports into money.
+
+The paper motivates SWAMP economically (water scarcity, energy cost, crop
+quality and the commodity market).  This module prices a season:
+
+* water by source (well/canal/desalination tariffs — the Intercrop cost
+  structure) or a flat tariff;
+* pumping/pivot energy at an electricity tariff;
+* revenue from yield at a crop price;
+
+and produces the number the farmer actually compares: profit, and the
+profit delta between two platform configurations (e.g. smart vs fixed
+calendar — the business case for deploying SWAMP at all).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.pilot import PilotReport
+
+
+@dataclass(frozen=True)
+class Tariffs:
+    """Per-pilot prices.  Defaults are representative EU-farm magnitudes."""
+
+    water_eur_m3: float = 0.12
+    energy_eur_kwh: float = 0.18
+    crop_price_eur_t: float = 380.0
+
+    def __post_init__(self) -> None:
+        if min(self.water_eur_m3, self.energy_eur_kwh, self.crop_price_eur_t) < 0:
+            raise ValueError("tariffs must be non-negative")
+
+
+@dataclass
+class SeasonEconomics:
+    name: str
+    water_cost_eur: float
+    energy_cost_eur: float
+    revenue_eur: float
+
+    @property
+    def input_cost_eur(self) -> float:
+        return self.water_cost_eur + self.energy_cost_eur
+
+    @property
+    def gross_margin_eur(self) -> float:
+        return self.revenue_eur - self.input_cost_eur
+
+
+def price_season(report: PilotReport, tariffs: Optional[Tariffs] = None,
+                 water_cost_override_eur: Optional[float] = None) -> SeasonEconomics:
+    """Price one season report.
+
+    ``water_cost_override_eur`` lets source-mix pilots pass their exact
+    cumulative source cost (from
+    :class:`~repro.irrigation.sources.SourceMixOptimizer`) instead of the
+    flat tariff.
+    """
+    tariffs = tariffs or Tariffs()
+    water_cost = (
+        water_cost_override_eur
+        if water_cost_override_eur is not None
+        else report.irrigation_m3 * tariffs.water_eur_m3
+    )
+    return SeasonEconomics(
+        name=report.name,
+        water_cost_eur=water_cost,
+        energy_cost_eur=report.total_energy_kwh * tariffs.energy_eur_kwh,
+        revenue_eur=report.yield_t * tariffs.crop_price_eur_t,
+    )
+
+
+def deployment_benefit_eur(
+    smart: SeasonEconomics, baseline: SeasonEconomics
+) -> float:
+    """The season-level business case: smart margin minus baseline margin."""
+    return smart.gross_margin_eur - baseline.gross_margin_eur

@@ -1,0 +1,150 @@
+"""NDVI map assembly and fake-data screening.
+
+Drone observations arrive at the context broker as updates to the drone's
+entity (attributes ``ndvi``, ``zone``, ``row``, ``col``).  The service
+subscribes to those updates and maintains, per epoch, the latest value each
+*source* reported for each *zone*.  On top of the raw map:
+
+* ``consensus_map`` — per-zone median across sources (robust to a minority
+  of fake sources);
+* ``stress_zones`` — zones whose consensus NDVI sits below a threshold;
+* ``map_error`` — mean absolute error against ground truth (E6's metric);
+* ``screen_with_band`` — drops observations outside the crop's physically
+  possible NDVI band for the current season day, the cross-modality check
+  that catches "healthy canopy" claims before the canopy exists.
+"""
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.context.broker import ContextBroker
+from repro.context.entities import ContextEntity
+from repro.context.subscriptions import Notification, Subscription
+from repro.physics.crop import Crop
+from repro.physics.field import Field
+from repro.physics.ndvi import ndvi_for_zone
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def expected_ndvi_band(crop: Crop, season_day: int, slack: float = 0.05) -> Tuple[float, float]:
+    """Physically possible NDVI range on ``season_day``.
+
+    Lower bound: fully stressed canopy; upper: unstressed; ± slack for
+    sensor noise.  Anything outside is not a plausible measurement of this
+    crop at this stage, whatever the attacker claims.
+    """
+    kc_span = max(s.kc for s in crop.stages) - min(s.kc for s in crop.stages)
+    kc_min = min(s.kc for s in crop.stages)
+    kc = crop.kc_at(max(0, season_day))
+    canopy = (kc - kc_min) / kc_span if kc_span > 0 else 1.0
+    low = crop.ndvi_min + (crop.ndvi_max - crop.ndvi_min) * canopy * 0.55
+    high = crop.ndvi_min + (crop.ndvi_max - crop.ndvi_min) * canopy * 1.0
+    return (max(0.0, low - slack), min(1.0, high + slack))
+
+
+class NdviMapService:
+    def __init__(
+        self,
+        context: ContextBroker,
+        field: Field,
+        entity_id_pattern: str = r"^urn:Drone:",
+    ) -> None:
+        self.context = context
+        self.field = field
+        # zone_id -> {source: ndvi}
+        self.observations: Dict[str, Dict[str, float]] = defaultdict(dict)
+        self.rejected_out_of_band = 0
+        self.screening_crop: Optional[Crop] = None
+        self.season_day = 0
+        context.subscribe(
+            Subscription(
+                self._on_notification,
+                id_pattern=entity_id_pattern,
+                condition_attrs=["ndvi"],
+                description="ndvi-map",
+            )
+        )
+
+    # -- ingestion -----------------------------------------------------------
+
+    def enable_band_screening(self, crop: Crop) -> None:
+        self.screening_crop = crop
+
+    def set_season_day(self, day: int) -> None:
+        self.season_day = day
+
+    def _on_notification(self, notification: Notification) -> None:
+        entity = notification.entity
+        ndvi = entity.get("ndvi")
+        zone_id = entity.get("zone")
+        if not isinstance(ndvi, (int, float)) or not isinstance(zone_id, str):
+            return
+        source = entity.get("deviceId") or entity.entity_id
+        if self.screening_crop is not None:
+            low, high = expected_ndvi_band(self.screening_crop, self.season_day)
+            if not low <= float(ndvi) <= high:
+                self.rejected_out_of_band += 1
+                return
+        self.observations[zone_id][source] = float(ndvi)
+
+    def reset_epoch(self) -> None:
+        self.observations.clear()
+        self.rejected_out_of_band = 0
+
+    # -- analysis -----------------------------------------------------------
+
+    def consensus_map(self) -> Dict[str, float]:
+        """Per-zone median across sources."""
+        return {
+            zone_id: _median(list(by_source.values()))
+            for zone_id, by_source in sorted(self.observations.items())
+            if by_source
+        }
+
+    def coverage(self) -> float:
+        """Fraction of field zones with at least one observation."""
+        return len(self.observations) / len(self.field) if len(self.field) else 0.0
+
+    def stress_zones(self, threshold: float = 0.55) -> List[str]:
+        return sorted(
+            zone_id for zone_id, value in self.consensus_map().items() if value < threshold
+        )
+
+    def truth_map(self, trackers: Optional[Dict[str, object]] = None) -> Dict[str, float]:
+        """Ground-truth NDVI per zone (from trackers when supplied)."""
+        truth: Dict[str, float] = {}
+        for zone in self.field:
+            tracker = (trackers or {}).get(zone.zone_id)
+            truth[zone.zone_id] = tracker.ndvi() if tracker is not None else ndvi_for_zone(zone)
+        return truth
+
+    def map_error(self, trackers: Optional[Dict[str, object]] = None) -> Optional[float]:
+        """Mean absolute NDVI error of the consensus vs. ground truth."""
+        consensus = self.consensus_map()
+        if not consensus:
+            return None
+        truth = self.truth_map(trackers)
+        errors = [abs(value - truth[zone_id]) for zone_id, value in consensus.items()
+                  if zone_id in truth]
+        return sum(errors) / len(errors) if errors else None
+
+    def misclassified_stress_zones(
+        self, threshold: float = 0.55, trackers: Optional[Dict[str, object]] = None
+    ) -> int:
+        """Zones whose stress classification flips vs. ground truth."""
+        consensus = self.consensus_map()
+        truth = self.truth_map(trackers)
+        flips = 0
+        for zone_id, value in consensus.items():
+            if zone_id not in truth:
+                continue
+            if (value < threshold) != (truth[zone_id] < threshold):
+                flips += 1
+        return flips

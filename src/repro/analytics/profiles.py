@@ -1,0 +1,92 @@
+"""Seasonal behaviour profiles.
+
+The paper argues security needs a baseline of "the expected sequence of
+events and behavior of agriculture applications", while warning that with
+partial observability "applications may create a partial profile of the
+crop ... which does not necessarily correspond to that crop".
+
+:class:`SeasonProfileBuilder` turns short-term-history series into a
+day-indexed profile (mean ± std per season day across sources/years) and
+exposes a *confidence* figure driven by sample support, so consumers can
+weight profile-based judgements exactly as the paper prescribes.
+"""
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.context.history import ShortTermHistory
+
+DAY_S = 86400.0
+
+
+class DayProfile:
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+
+class SeasonProfileBuilder:
+    def __init__(self, history: ShortTermHistory, season_start_s: float = 0.0) -> None:
+        self.history = history
+        self.season_start_s = season_start_s
+        self._days: Dict[Tuple[str, int], DayProfile] = defaultdict(DayProfile)
+        self._attributes: set = set()
+
+    def ingest(self, entity_id: str, attribute: str) -> int:
+        """Fold one entity's series into the profile; returns samples used."""
+        samples = self.history.series(entity_id, attribute)
+        for t, value in samples:
+            day = int((t - self.season_start_s) // DAY_S)
+            if day < 0:
+                continue
+            self._days[(attribute, day)].add(value)
+            self._attributes.add(attribute)
+        return len(samples)
+
+    def expected(self, attribute: str, day: int) -> Optional[Tuple[float, float]]:
+        """(mean, std) of the profile on ``day``, or None if unseen."""
+        profile = self._days.get((attribute, day))
+        if profile is None or profile.count == 0:
+            return None
+        return (profile.mean, profile.std)
+
+    def confidence(self, attribute: str, day: int, full_support: int = 20) -> float:
+        """Profile confidence in [0,1] from sample support on that day."""
+        profile = self._days.get((attribute, day))
+        if profile is None:
+            return 0.0
+        return min(1.0, profile.count / full_support)
+
+    def deviation_score(self, attribute: str, day: int, value: float,
+                        min_std: float = 1e-6) -> Optional[float]:
+        """|z| of ``value`` against the profile, scaled by confidence.
+
+        Low-confidence days yield proportionally lower scores — the
+        partial-profile caveat made operational: a thin profile cannot
+        condemn a reading by itself.
+        """
+        expected = self.expected(attribute, day)
+        if expected is None:
+            return None
+        mean, std = expected
+        z = abs(value - mean) / max(std, min_std)
+        return z * self.confidence(attribute, day)
+
+    def days_covered(self, attribute: str) -> int:
+        return sum(1 for (attr, _day) in self._days if attr == attribute)

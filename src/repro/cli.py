@@ -1,0 +1,161 @@
+"""Command-line interface: run pilots and inspect reports without code.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run matopiba --seed 3 --days 30
+    python -m repro.cli run guaspari --security auth,encryption
+    python -m repro.cli compare matopiba --seed 3        # smart vs fixed
+
+``run`` executes a pilot (optionally truncated to ``--days``) and prints
+the season report; ``compare`` runs the smart scheduler against the
+fixed-calendar baseline on the same field and weather and prints the
+business case (water, energy, money).
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytics.economics import Tariffs, deployment_benefit_eur, price_season
+from repro.core.pilot import PilotReport
+from repro.core.pilots import (
+    build_cbec_pilot,
+    build_guaspari_pilot,
+    build_intercrop_pilot,
+    build_matopiba_pilot,
+)
+from repro.core.security_profile import SecurityConfig
+
+PILOTS = {
+    "cbec": lambda seed, security: build_cbec_pilot(seed=seed, security=security)[0],
+    "intercrop": lambda seed, security: build_intercrop_pilot(seed=seed, security=security)[0],
+    "guaspari": lambda seed, security: build_guaspari_pilot(seed=seed, security=security),
+    "matopiba": lambda seed, security: build_matopiba_pilot(seed=seed, security=security),
+}
+
+SECURITY_FLAGS = ("auth", "encryption", "detection", "ledger", "command_rhythm")
+
+
+def _parse_security(spec: Optional[str]) -> SecurityConfig:
+    config = SecurityConfig()
+    if not spec:
+        return config
+    for flag in spec.split(","):
+        flag = flag.strip()
+        if not flag:
+            continue
+        if flag not in SECURITY_FLAGS:
+            raise SystemExit(
+                f"unknown security flag {flag!r}; choose from {', '.join(SECURITY_FLAGS)}"
+            )
+        setattr(config, flag, True)
+    return config
+
+
+def _print_report(report: PilotReport, out) -> None:
+    rows = [
+        ("season days", report.season_days),
+        ("irrigation", f"{report.irrigation_m3:.1f} m3 ({report.irrigation_mm_per_ha:.1f} mm/ha)"),
+        ("rain", f"{report.rain_mm:.1f} mm"),
+        ("energy", f"{report.total_energy_kwh:.1f} kWh"),
+        ("relative yield", f"{report.relative_yield:.3f}"),
+        ("yield", f"{report.yield_t:.1f} t"),
+        ("telemetry processed", report.measures_processed),
+        ("decisions / commands", f"{report.decisions} / {report.commands_sent}"),
+        ("skipped (no-data/stale)", f"{report.skipped_no_data} / {report.skipped_stale}"),
+        ("devices dead", report.devices_dead),
+        ("alerts / quarantined", f"{report.alerts} / {report.quarantined_devices}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    print(f"--- {report.name} ---", file=out)
+    for label, value in rows:
+        print(f"{label.ljust(width)} : {value}", file=out)
+
+
+def cmd_list(args, out) -> int:
+    print("available pilots:", file=out)
+    descriptions = {
+        "cbec": "Emilia-Romagna tomato, canal distribution, cloud deployment",
+        "intercrop": "Cartagena lettuce, desalination source mix, cloud deployment",
+        "guaspari": "Pinhal wine grape, regulated deficit, fog deployment",
+        "matopiba": "Barreiras soybean, VRI center pivot, mobile-fog deployment",
+    }
+    for name in sorted(PILOTS):
+        print(f"  {name.ljust(10)} {descriptions[name]}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    security = _parse_security(args.security)
+    runner = PILOTS[args.pilot](args.seed, security)
+    if args.days is not None:
+        runner.run_days(args.days)
+        report = runner.report()
+    else:
+        report = runner.run_season()
+    _print_report(report, out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    if args.pilot != "matopiba":
+        raise SystemExit("compare currently supports the matopiba pilot")
+    smart = build_matopiba_pilot(
+        seed=args.seed, rows=4, cols=4, probe_interval_s=3600.0, scheduler_kind="smart"
+    ).run_season()
+    fixed = build_matopiba_pilot(
+        seed=args.seed, rows=4, cols=4, probe_interval_s=3600.0, scheduler_kind="fixed"
+    ).run_season()
+    for report in (fixed, smart):
+        _print_report(report, out)
+        print(file=out)
+    tariffs = Tariffs()
+    smart_economics = price_season(smart, tariffs)
+    fixed_economics = price_season(fixed, tariffs)
+    benefit = deployment_benefit_eur(smart_economics, fixed_economics)
+    water_saving = 1.0 - smart.irrigation_m3 / fixed.irrigation_m3
+    print("--- business case: smart vs fixed calendar ---", file=out)
+    print(f"water saved            : {water_saving:.1%}", file=out)
+    print(f"input cost fixed       : EUR {fixed_economics.input_cost_eur:,.0f}", file=out)
+    print(f"input cost smart       : EUR {smart_economics.input_cost_eur:,.0f}", file=out)
+    print(f"season benefit (margin): EUR {benefit:,.0f}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="SWAMP platform pilot runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available pilots")
+
+    run_parser = sub.add_parser("run", help="run one pilot season")
+    run_parser.add_argument("pilot", choices=sorted(PILOTS))
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--days", type=float, default=None,
+                            help="truncate the season to N days")
+    run_parser.add_argument("--security", default="",
+                            help=f"comma list of {','.join(SECURITY_FLAGS)}")
+
+    compare_parser = sub.add_parser("compare", help="smart vs fixed-calendar business case")
+    compare_parser.add_argument("pilot", choices=["matopiba"])
+    compare_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args, out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "compare":
+        return cmd_compare(args, out)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

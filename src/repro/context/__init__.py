@@ -1,0 +1,32 @@
+"""Context management: NGSIv2-style entities, broker, subscriptions, history.
+
+The paper adopts FIWARE; its context stack is the Orion Context Broker
+(entity CRUD + queries + subscriptions) with STH-Comet for short-term
+history.  This package reproduces that API surface in-process:
+
+* :class:`~repro.context.entities.ContextEntity` — id/type plus typed
+  attributes with metadata;
+* :class:`~repro.context.broker.ContextBroker` — CRUD, filtered queries,
+  subscriptions with attribute conditions and throttling;
+* :class:`~repro.context.history.ShortTermHistory` — per-attribute time
+  series with range queries and aggregation, fed by a broker subscription.
+
+Fog and cloud tiers each host a broker instance; :mod:`repro.fog`
+replicates between them.
+"""
+
+from repro.context.broker import ContextBroker, ContextError, NotFoundError
+from repro.context.entities import Attribute, ContextEntity
+from repro.context.history import ShortTermHistory
+from repro.context.subscriptions import Notification, Subscription
+
+__all__ = [
+    "Attribute",
+    "ContextBroker",
+    "ContextEntity",
+    "ContextError",
+    "NotFoundError",
+    "Notification",
+    "ShortTermHistory",
+    "Subscription",
+]

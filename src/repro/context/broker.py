@@ -1,0 +1,238 @@
+"""The context broker (Orion-equivalent).
+
+Entity CRUD, filtered queries (type / id-pattern / attribute predicates),
+and subscription dispatch.  One instance per deployment tier; the fog
+package replicates entities between tiers.
+
+Query filters use the small predicate language of NGSIv2's ``q`` parameter:
+``attr==value``, ``attr!=value``, ``attr<value`` (and ``<=``, ``>``, ``>=``)
+— enough for every query the SWAMP services issue.
+"""
+
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.context.entities import Attribute, ContextEntity
+from repro.context.subscriptions import Notification, Subscription
+from repro.simkernel.simulator import Simulator
+
+
+class ContextError(Exception):
+    """Base error for context operations."""
+
+
+class NotFoundError(ContextError):
+    """Entity does not exist."""
+
+
+class AlreadyExistsError(ContextError):
+    """Entity id already registered."""
+
+
+_OPS = ("<=", ">=", "==", "!=", "<", ">")
+
+
+def _parse_filter(expression: str):
+    for op in _OPS:
+        if op in expression:
+            attr, raw = expression.split(op, 1)
+            attr, raw = attr.strip(), raw.strip()
+            try:
+                value: Any = float(raw)
+            except ValueError:
+                value = raw
+            return attr, op, value
+    raise ContextError(f"cannot parse filter expression {expression!r}")
+
+
+def _apply_op(actual: Any, op: str, expected: Any) -> bool:
+    if actual is None:
+        return False
+    if isinstance(expected, float) and isinstance(actual, bool):
+        return False
+    try:
+        if op == "==":
+            if isinstance(expected, float):
+                return float(actual) == expected
+            return str(actual) == expected
+        if op == "!=":
+            if isinstance(expected, float):
+                return float(actual) != expected
+            return str(actual) != expected
+        numeric_actual = float(actual)
+        numeric_expected = float(expected)
+    except (TypeError, ValueError):
+        return False
+    if op == "<":
+        return numeric_actual < numeric_expected
+    if op == "<=":
+        return numeric_actual <= numeric_expected
+    if op == ">":
+        return numeric_actual > numeric_expected
+    if op == ">=":
+        return numeric_actual >= numeric_expected
+    return False
+
+
+class BrokerMetrics:
+    __slots__ = ("creates", "updates", "queries", "deletes", "notifications")
+
+    def __init__(self) -> None:
+        self.creates = 0
+        self.updates = 0
+        self.queries = 0
+        self.deletes = 0
+        self.notifications = 0
+
+
+class ContextBroker:
+    def __init__(self, sim: Simulator, name: str = "orion") -> None:
+        self.sim = sim
+        self.name = name
+        self.entities: Dict[str, ContextEntity] = {}
+        self.subscriptions: Dict[str, Subscription] = {}
+        self.metrics = BrokerMetrics()
+        # Hook called on every applied update: (entity, changed_attrs).
+        # The replicator and audit layers attach here.
+        self.update_hooks: List[Callable[[ContextEntity, List[str]], None]] = []
+
+    # -- entity CRUD -----------------------------------------------------------
+
+    def create_entity(
+        self, entity_id: str, entity_type: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> ContextEntity:
+        if entity_id in self.entities:
+            raise AlreadyExistsError(f"entity {entity_id!r} already exists")
+        entity = ContextEntity(entity_id, entity_type)
+        self.entities[entity_id] = entity
+        self.metrics.creates += 1
+        if attrs:
+            self.update_attributes(entity_id, attrs)
+        return entity
+
+    def ensure_entity(
+        self, entity_id: str, entity_type: str, attrs: Optional[Dict[str, Any]] = None
+    ) -> ContextEntity:
+        """Create-if-absent (the NGSI ``append`` upsert)."""
+        entity = self.entities.get(entity_id)
+        if entity is None:
+            return self.create_entity(entity_id, entity_type, attrs)
+        if attrs:
+            self.update_attributes(entity_id, attrs)
+        return entity
+
+    def get_entity(self, entity_id: str) -> ContextEntity:
+        entity = self.entities.get(entity_id)
+        if entity is None:
+            raise NotFoundError(f"entity {entity_id!r} not found")
+        return entity
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self.entities
+
+    def delete_entity(self, entity_id: str) -> None:
+        if entity_id not in self.entities:
+            raise NotFoundError(f"entity {entity_id!r} not found")
+        del self.entities[entity_id]
+        self.metrics.deletes += 1
+
+    def update_attributes(
+        self,
+        entity_id: str,
+        attrs: Dict[str, Any],
+        attr_types: Optional[Dict[str, str]] = None,
+        metadata: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> List[str]:
+        """Set attribute values; returns the list of changed attribute names.
+
+        ``attrs`` maps name -> value.  Types default to a guess from the
+        Python value; metadata is per-attribute.
+        """
+        entity = self.get_entity(entity_id)
+        changed: List[str] = []
+        for name, value in attrs.items():
+            attr_type = (attr_types or {}).get(name) or _guess_type(value)
+            entity.set_attribute(
+                name,
+                value,
+                attr_type,
+                (metadata or {}).get(name),
+                timestamp=self.sim.now,
+            )
+            changed.append(name)
+        if changed:
+            self.metrics.updates += 1
+            for hook in self.update_hooks:
+                hook(entity, changed)
+            self._dispatch(entity, changed)
+        return changed
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        entity_type: Optional[str] = None,
+        id_pattern: Optional[str] = None,
+        filters: Optional[List[str]] = None,
+        limit: Optional[int] = None,
+    ) -> List[ContextEntity]:
+        """Filtered entity listing, deterministic order (by id)."""
+        self.metrics.queries += 1
+        regex = re.compile(id_pattern) if id_pattern else None
+        parsed = [_parse_filter(f) for f in (filters or [])]
+        results: List[ContextEntity] = []
+        for entity_id in sorted(self.entities):
+            entity = self.entities[entity_id]
+            if entity_type is not None and entity.entity_type != entity_type:
+                continue
+            if regex is not None and not regex.search(entity_id):
+                continue
+            if not all(_apply_op(entity.get(attr), op, value) for attr, op, value in parsed):
+                continue
+            results.append(entity)
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def entity_count(self) -> int:
+        return len(self.entities)
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(self, subscription: Subscription) -> str:
+        self.subscriptions[subscription.subscription_id] = subscription
+        return subscription.subscription_id
+
+    def unsubscribe(self, subscription_id: str) -> None:
+        self.subscriptions.pop(subscription_id, None)
+
+    def _dispatch(self, entity: ContextEntity, changed: List[str]) -> None:
+        now = self.sim.now
+        for subscription in sorted(self.subscriptions.values(), key=lambda s: s.subscription_id):
+            if not subscription.active:
+                continue
+            if not subscription.matches_entity(entity):
+                continue
+            if not subscription.triggered_by(changed):
+                continue
+            if now - subscription.last_notification_time < subscription.throttling_s:
+                subscription.notifications_throttled += 1
+                continue
+            subscription.last_notification_time = now
+            subscription.notifications_sent += 1
+            self.metrics.notifications += 1
+            subscription.callback(subscription.build_notification(entity, changed, now))
+
+
+def _guess_type(value: Any) -> str:
+    if isinstance(value, bool):
+        return "Boolean"
+    if isinstance(value, (int, float)):
+        return "Number"
+    if isinstance(value, str):
+        return "Text"
+    if isinstance(value, dict):
+        return "StructuredValue"
+    if isinstance(value, (list, tuple)):
+        return "StructuredValue"
+    return "None" if value is None else "Text"

@@ -1,0 +1,89 @@
+"""NGSIv2 context entities and attributes."""
+
+import re
+from typing import Any, Dict, Optional
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9_\-:.]+$")
+
+
+class Attribute:
+    """One attribute of an entity: value + NGSI type + metadata."""
+
+    __slots__ = ("name", "value", "attr_type", "metadata", "timestamp")
+
+    def __init__(
+        self,
+        name: str,
+        value: Any,
+        attr_type: str = "Number",
+        metadata: Optional[Dict[str, Any]] = None,
+        timestamp: float = 0.0,
+    ) -> None:
+        if not name or not _ID_PATTERN.match(name):
+            raise ValueError(f"invalid attribute name {name!r}")
+        self.name = name
+        self.value = value
+        self.attr_type = attr_type
+        self.metadata = metadata or {}
+        self.timestamp = timestamp
+
+    def copy(self) -> "Attribute":
+        return Attribute(self.name, self.value, self.attr_type, dict(self.metadata), self.timestamp)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "value": self.value,
+            "type": self.attr_type,
+            "metadata": dict(self.metadata),
+            "timestamp": self.timestamp,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Attribute({self.name}={self.value!r}:{self.attr_type})"
+
+
+class ContextEntity:
+    """An NGSI entity: unique (id, type) with a set of attributes."""
+
+    def __init__(self, entity_id: str, entity_type: str) -> None:
+        if not entity_id or not _ID_PATTERN.match(entity_id):
+            raise ValueError(f"invalid entity id {entity_id!r}")
+        if not entity_type or not _ID_PATTERN.match(entity_type):
+            raise ValueError(f"invalid entity type {entity_type!r}")
+        self.entity_id = entity_id
+        self.entity_type = entity_type
+        self.attributes: Dict[str, Attribute] = {}
+
+    def set_attribute(
+        self,
+        name: str,
+        value: Any,
+        attr_type: str = "Number",
+        metadata: Optional[Dict[str, Any]] = None,
+        timestamp: float = 0.0,
+    ) -> Attribute:
+        attribute = Attribute(name, value, attr_type, metadata, timestamp)
+        self.attributes[name] = attribute
+        return attribute
+
+    def get(self, name: str, default: Any = None) -> Any:
+        attribute = self.attributes.get(name)
+        return attribute.value if attribute is not None else default
+
+    def attribute(self, name: str) -> Optional[Attribute]:
+        return self.attributes.get(name)
+
+    def copy(self) -> "ContextEntity":
+        clone = ContextEntity(self.entity_id, self.entity_type)
+        clone.attributes = {name: attr.copy() for name, attr in self.attributes.items()}
+        return clone
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.entity_id,
+            "type": self.entity_type,
+            "attributes": {name: attr.to_dict() for name, attr in self.attributes.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ContextEntity({self.entity_id}:{self.entity_type}, {len(self.attributes)} attrs)"

@@ -1,0 +1,78 @@
+"""Short-term history (STH-Comet equivalent).
+
+Attaches to a :class:`~repro.context.broker.ContextBroker` via an update
+hook and records every numeric attribute change as a (time, value) sample.
+Offers the raw and aggregated query shapes STH exposes: last-N, time-range,
+and min/max/mean/sum/count over a range.
+
+Series are bounded per (entity, attribute) to keep multi-season runs in
+memory; eviction drops the oldest samples.
+"""
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.context.broker import ContextBroker
+from repro.context.entities import ContextEntity
+
+Sample = Tuple[float, float]
+
+
+class ShortTermHistory:
+    def __init__(self, broker: ContextBroker, max_samples_per_series: int = 50_000) -> None:
+        self.broker = broker
+        self.max_samples_per_series = max_samples_per_series
+        self._series: Dict[Tuple[str, str], Deque[Sample]] = {}
+        broker.update_hooks.append(self._on_update)
+
+    def _on_update(self, entity: ContextEntity, changed: List[str]) -> None:
+        for name in changed:
+            attribute = entity.attribute(name)
+            if attribute is None or not isinstance(attribute.value, (int, float)):
+                continue
+            if isinstance(attribute.value, bool):
+                continue
+            key = (entity.entity_id, name)
+            series = self._series.get(key)
+            if series is None:
+                series = deque(maxlen=self.max_samples_per_series)
+                self._series[key] = series
+            series.append((attribute.timestamp, float(attribute.value)))
+
+    # -- queries -----------------------------------------------------------
+
+    def series(self, entity_id: str, attr: str) -> List[Sample]:
+        return list(self._series.get((entity_id, attr), ()))
+
+    def last_n(self, entity_id: str, attr: str, n: int) -> List[Sample]:
+        series = self._series.get((entity_id, attr))
+        if not series:
+            return []
+        return list(series)[-n:]
+
+    def range(
+        self, entity_id: str, attr: str, since: float = float("-inf"), until: float = float("inf")
+    ) -> List[Sample]:
+        return [s for s in self._series.get((entity_id, attr), ()) if since <= s[0] <= until]
+
+    def aggregate(
+        self,
+        entity_id: str,
+        attr: str,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Optional[Dict[str, float]]:
+        samples = self.range(entity_id, attr, since, until)
+        if not samples:
+            return None
+        values = [v for _t, v in samples]
+        return {
+            "count": float(len(values)),
+            "min": min(values),
+            "max": max(values),
+            "sum": sum(values),
+            "mean": sum(values) / len(values),
+        }
+
+    def tracked_series(self) -> List[Tuple[str, str]]:
+        return sorted(self._series)

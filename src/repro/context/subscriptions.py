@@ -1,0 +1,91 @@
+"""Subscriptions and notifications (NGSIv2 semantics).
+
+A subscription selects entities (exact id, id regex, and/or type), watches
+a set of *condition attributes* (any update to one fires the subscription;
+empty = any attribute) and delivers a :class:`Notification` carrying copies
+of the requested attributes.  Throttling suppresses notifications closer
+together than ``throttling_s``, exactly like Orion's ``throttling`` field.
+"""
+
+import itertools
+import re
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.context.entities import ContextEntity
+
+_sub_ids = itertools.count(1)
+
+
+class Notification:
+    """What a subscriber receives."""
+
+    __slots__ = ("subscription_id", "entity", "changed_attrs", "time")
+
+    def __init__(
+        self, subscription_id: str, entity: ContextEntity, changed_attrs: List[str], time: float
+    ) -> None:
+        self.subscription_id = subscription_id
+        self.entity = entity
+        self.changed_attrs = changed_attrs
+        self.time = time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Notification({self.subscription_id}, {self.entity.entity_id}, "
+            f"changed={self.changed_attrs})"
+        )
+
+
+class Subscription:
+    def __init__(
+        self,
+        callback: Callable[[Notification], None],
+        entity_id: Optional[str] = None,
+        id_pattern: Optional[str] = None,
+        entity_type: Optional[str] = None,
+        condition_attrs: Optional[List[str]] = None,
+        notify_attrs: Optional[List[str]] = None,
+        throttling_s: float = 0.0,
+        description: str = "",
+    ) -> None:
+        if entity_id is None and id_pattern is None and entity_type is None:
+            raise ValueError("subscription must constrain id, idPattern or type")
+        self.subscription_id = f"sub-{next(_sub_ids)}"
+        self.callback = callback
+        self.entity_id = entity_id
+        self.id_regex = re.compile(id_pattern) if id_pattern else None
+        self.entity_type = entity_type
+        self.condition_attrs = set(condition_attrs or [])
+        self.notify_attrs = list(notify_attrs) if notify_attrs else None
+        self.throttling_s = throttling_s
+        self.description = description
+        self.active = True
+        self.last_notification_time = float("-inf")
+        self.notifications_sent = 0
+        self.notifications_throttled = 0
+
+    def matches_entity(self, entity: ContextEntity) -> bool:
+        if self.entity_id is not None and entity.entity_id != self.entity_id:
+            return False
+        if self.id_regex is not None and not self.id_regex.search(entity.entity_id):
+            return False
+        if self.entity_type is not None and entity.entity_type != self.entity_type:
+            return False
+        return True
+
+    def triggered_by(self, changed_attrs: List[str]) -> bool:
+        if not self.condition_attrs:
+            return bool(changed_attrs)
+        return any(attr in self.condition_attrs for attr in changed_attrs)
+
+    def build_notification(
+        self, entity: ContextEntity, changed_attrs: List[str], now: float
+    ) -> Notification:
+        snapshot = entity.copy()
+        if self.notify_attrs is not None:
+            snapshot.attributes = {
+                name: attr
+                for name, attr in snapshot.attributes.items()
+                if name in self.notify_attrs
+            }
+        return Notification(self.subscription_id, snapshot, list(changed_attrs), now)

@@ -1,0 +1,34 @@
+"""Deployment configurations.
+
+The paper: "The SWAMP architecture may be implemented in a range of
+deployment configurations involving the use of smart algorithms and
+analytics in the cloud, fog-based smart decisions located on the farm
+premises and possibly mobile fog nodes acting in the field."
+
+=============  =================================================================
+CLOUD_ONLY     Devices reach the *cloud* MQTT broker through the farm gateway
+               and the rural WAN; context broker, IoT agent and scheduler all
+               run in the cloud.  An Internet partition severs the whole loop.
+FOG            A farm fog node hosts broker, context and scheduler locally;
+               devices stay on farm radio.  The replicator store-and-forwards
+               context to the cloud; a partition costs only cloud visibility.
+MOBILE_FOG     FOG plus mobile nodes in the field (survey drone with local
+               NDVI analytics) — the drone keeps collecting during partitions.
+=============  =================================================================
+"""
+
+import enum
+
+
+class DeploymentKind(enum.Enum):
+    CLOUD_ONLY = "cloud-only"
+    FOG = "fog"
+    MOBILE_FOG = "mobile-fog"
+
+    @property
+    def has_fog(self) -> bool:
+        return self in (DeploymentKind.FOG, DeploymentKind.MOBILE_FOG)
+
+    @property
+    def has_drone(self) -> bool:
+        return self is DeploymentKind.MOBILE_FOG

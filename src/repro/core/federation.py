@@ -1,0 +1,176 @@
+"""Multi-tenant cloud federation.
+
+The paper's governance requirements only bite when several farms share the
+cloud tier: "it is important to keep data apart from farms in our pilots",
+"each owner controls their data and decides the access control", and
+anonymization exists so data *can* still be shared regionally.  This
+module provides that shared tier:
+
+* :class:`FederatedCloud` — one cloud context broker receiving each farm's
+  replica stream (the same store-and-forward protocol the fog tier uses),
+  with a per-principal, PEP-guarded query API;
+* :class:`GuardedContextApi` — token-in, entities-out; every read is an
+  authorization decision on the *entity's* farm (entity ids embed their
+  farm: ``urn:<Type>:<farm>:...``), so cross-farm reads fail closed and
+  are audited;
+* :class:`RegionalReleaseService` — the sanctioned sharing path: builds a
+  k-anonymized regional dataset from the cloud's view, so water
+  authorities and researchers get statistics, not farms.
+"""
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.context.broker import ContextBroker
+from repro.fog.replication import CloudSyncTarget
+from repro.network.topology import Network
+from repro.security.anonymization import Anonymizer
+from repro.security.auth.identity import IdentityManager
+from repro.security.auth.oauth import OAuthServer
+from repro.security.auth.pdp import Policy, PolicyDecisionPoint
+from repro.security.auth.pep import PepProxy
+from repro.simkernel.simulator import Simulator
+
+_FARM_IN_URN = re.compile(r"^urn:[A-Za-z0-9_\-]+:([A-Za-z0-9_\-]+)")
+
+
+def farm_of_entity(entity_id: str) -> Optional[str]:
+    """Extract the owning farm from a platform entity id, if present."""
+    match = _FARM_IN_URN.match(entity_id)
+    return match.group(1) if match else None
+
+
+class GuardedContextApi:
+    """PEP-guarded read access to a context broker."""
+
+    def __init__(self, context: ContextBroker, pep: PepProxy) -> None:
+        self.context = context
+        self.pep = pep
+        self.reads_allowed = 0
+        self.reads_denied = 0
+
+    def get_entity(self, access_token: str, entity_id: str):
+        """The entity, or None when unauthorized (denial audited)."""
+        if not self.pep.check(access_token, "read", entity_id):
+            self.reads_denied += 1
+            return None
+        self.reads_allowed += 1
+        if not self.context.has_entity(entity_id):
+            return None
+        return self.context.get_entity(entity_id)
+
+    def query(
+        self,
+        access_token: str,
+        entity_type: Optional[str] = None,
+        id_pattern: Optional[str] = None,
+        filters: Optional[List[str]] = None,
+    ):
+        """Filtered listing, post-filtered by per-entity authorization.
+
+        Unauthorized entities are silently omitted (and audited), so a
+        tenant cannot even learn of other farms' entity ids.
+        """
+        results = []
+        for entity in self.context.query(entity_type, id_pattern, filters):
+            if self.pep.check(access_token, "read", entity.entity_id):
+                self.reads_allowed += 1
+                results.append(entity)
+            else:
+                self.reads_denied += 1
+        return results
+
+
+class FederatedCloud:
+    """Shared cloud tier for many farms."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str = "cloud") -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.context = ContextBroker(sim, name=f"{name}:context")
+        self.identity = IdentityManager(sim.rng.stream(f"{name}:idm"))
+        self.oauth = OAuthServer(sim, self.identity, sim.rng.stream(f"{name}:oauth"),
+                                 access_token_ttl_s=14 * 86400.0)
+        self.pdp = PolicyDecisionPoint()
+        # Tenants read only entities of their own farm; regional analysts
+        # hold the 'regional-analyst' role and go through the release
+        # service, not raw reads.
+        self.pdp.add_policy(
+            Policy("tenant-own-farm", "permit", {"read"},
+                   r"^urn:[A-Za-z0-9_\-]+:", same_farm=True)
+        )
+        self.pdp.add_policy(
+            Policy("platform-admin", "permit", {"read", "admin"}, r".*",
+                   roles={"platform-admin"})
+        )
+        self.pep = PepProxy(sim, self.oauth, self.pdp)
+        self.api = GuardedContextApi(self.context, self.pep)
+        self.sync_targets: Dict[str, CloudSyncTarget] = {}
+
+    # -- tenancy -----------------------------------------------------------
+
+    def register_farm(self, farm: str) -> CloudSyncTarget:
+        """Open a replication endpoint for one farm's fog tier."""
+        if farm in self.sync_targets:
+            raise ValueError(f"farm {farm!r} already registered")
+        target = CloudSyncTarget(
+            self.sim, self.network, f"{self.name}:sync:{farm}", self.context
+        )
+        self.sync_targets[farm] = target
+        return target
+
+    def register_user(self, user: str, password: str, farm: str,
+                      roles=("farmer",)) -> str:
+        """Register a tenant user; returns a bearer token."""
+        self.identity.register(user, password, farm=farm, roles=set(roles))
+        return self.oauth.password_grant(user, password).access_token
+
+    def register_analyst(self, user: str, password: str) -> str:
+        self.identity.register(user, password, farm=None, roles={"regional-analyst"})
+        return self.oauth.password_grant(user, password).access_token
+
+
+class RegionalReleaseService:
+    """k-anonymized regional statistics from the federated cloud."""
+
+    def __init__(
+        self,
+        cloud: FederatedCloud,
+        secret_salt: bytes,
+        k: int = 2,
+        quasi_identifiers=("lat", "lon", "area_ha", "crop"),
+    ) -> None:
+        self.cloud = cloud
+        self.k = k
+        self.quasi_identifiers = list(quasi_identifiers)
+        self.anonymizer = Anonymizer(
+            secret_salt=secret_salt,
+            quasi_identifiers=self.quasi_identifiers,
+        )
+        self.releases = 0
+
+    def _collect_records(self, entity_type: str, value_attrs: List[str]) -> List[Dict[str, Any]]:
+        records = []
+        for entity in self.cloud.context.query(entity_type=entity_type):
+            farm = farm_of_entity(entity.entity_id)
+            record: Dict[str, Any] = {"farm": farm or entity.entity_id}
+            for name in self.quasi_identifiers + value_attrs:
+                value = entity.get(name)
+                if value is not None:
+                    record[name] = value
+            records.append(record)
+        return records
+
+    def release(self, access_token: str, entity_type: str,
+                value_attrs: List[str]) -> Optional[List[Dict[str, Any]]]:
+        """An anonymized release, or None when the caller lacks the role."""
+        token = self.cloud.oauth.introspect(access_token)
+        if token is None:
+            return None
+        principal = self.cloud.identity.get(token.principal_id)
+        if principal is None or "regional-analyst" not in principal.roles:
+            return None
+        self.releases += 1
+        records = self._collect_records(entity_type, value_attrs)
+        return self.anonymizer.anonymize(records, k=self.k)

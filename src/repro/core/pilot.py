@@ -1,0 +1,500 @@
+"""PilotRunner: one configured farm running a full season end-to-end.
+
+This is the integration point of the whole reproduction: physics, devices,
+radio, MQTT, IoT agent, context broker, fog/cloud tiers, scheduler and the
+security stack are assembled per :class:`PilotConfig` and driven through a
+growing season.  All experiments (benchmarks/) run through this class so
+that every number reported comes from the full pipeline, not from a
+shortcut around it.
+"""
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Dict, List, Optional
+
+from repro.agents.iot_agent import DeviceProvision, IoTAgent
+from repro.core.deployment import DeploymentKind
+from repro.core.security_profile import SecurityConfig, SecurityStack
+from repro.devices.actuators import CenterPivot, Pump, Valve
+from repro.devices.base import DeviceConfig
+from repro.devices.drone import Drone
+from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
+from repro.fog.node import CloudNode, FogNode
+from repro.fog.replication import CloudSyncTarget, Replicator
+from repro.irrigation.policy import SoilMoisturePolicy
+from repro.irrigation.scheduler import PlatformScheduler
+from repro.network.radio import ETHERNET_LAN, LORA_FIELD, WAN_BACKHAUL, WIFI_FARM
+from repro.network.topology import Network
+from repro.physics.crop import Crop
+from repro.physics.field import Field
+from repro.physics.ndvi import NdviTracker
+from repro.physics.soil import LOAM, SoilProperties
+from repro.physics.weather import ClimateProfile, WeatherGenerator
+from repro.simkernel.clock import DAY, HOUR
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass
+class PilotConfig:
+    name: str
+    farm: str
+    climate: ClimateProfile
+    crop: Crop
+    soil: SoilProperties = LOAM
+    rows: int = 4
+    cols: int = 4
+    zone_area_ha: float = 1.0
+    spatial_cv: float = 0.2
+    season_days: Optional[int] = None  # defaults to the crop season
+    start_day_of_year: int = 1
+    deployment: DeploymentKind = DeploymentKind.FOG
+    irrigation_kind: str = "valves"  # "valves" | "pivot" | "none"
+    scheduler_kind: str = "smart"  # "smart" | "fixed" | "none"
+    policy: Optional[SoilMoisturePolicy] = None
+    fixed_interval_days: int = 3
+    fixed_depth_mm: float = 25.0
+    probe_coverage: float = 1.0
+    probe_interval_s: float = 1800.0
+    valve_rate_mm_h: float = 8.0
+    pivot_rate_mm_h: float = 10.0
+    pump_head_m: float = 45.0
+    initial_theta: Optional[float] = None
+    drone_survey_interval_days: int = 7
+    forecast_quality: float = 1.0  # 1 = perfect rain forecast, 0 = none
+    uniform_pivot: bool = False  # True = no VRI: worst-zone depth everywhere
+    security: SecurityConfig = dataclass_field(default_factory=SecurityConfig)
+    supply_gate: Optional[Callable[[float], float]] = None
+    seed: int = 0
+
+    @property
+    def effective_season_days(self) -> int:
+        return self.season_days if self.season_days is not None else self.crop.season_days
+
+
+@dataclass
+class PilotReport:
+    name: str
+    season_days: int
+    irrigation_m3: float
+    irrigation_mm_per_ha: float
+    rain_mm: float
+    pump_kwh: float
+    pivot_move_kwh: float
+    relative_yield: float
+    yield_t: float
+    decision_cycles: int
+    decisions: int
+    commands_sent: int
+    skipped_no_data: int
+    skipped_stale: int
+    measures_processed: int
+    measures_dropped_unprovisioned: int
+    broker_publishes_in: int
+    broker_denied: int
+    devices_dead: int
+    replicator_synced: int
+    replicator_dropped: int
+    alerts: int
+    quarantined_devices: int
+
+    @property
+    def total_energy_kwh(self) -> float:
+        return self.pump_kwh + self.pivot_move_kwh
+
+
+class PilotRunner:
+    def __init__(self, config: PilotConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.net = Network(self.sim, name=config.name)
+        self.security = SecurityStack(self.sim, config.farm, config.security)
+        self._build_tiers()
+        self._build_field_and_weather()
+        self._build_devices()
+        self._provision_devices()
+        self._build_scheduler()
+        self.security.wire_detection(self.context, self.agent)
+        self.security.wire_command_tap(self.net, self.broker_address)
+        self.season_day = 0
+        self._daily_process = None
+        self._report_cache: Optional[PilotReport] = None
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_tiers(self) -> None:
+        config = self.config
+        hooks = self.security.broker_hooks()
+        self.cloud = CloudNode(
+            self.sim, self.net, "cloud",
+            with_mqtt=not config.deployment.has_fog,
+            authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
+        )
+        self.fog: Optional[FogNode] = None
+        self.replicator: Optional[Replicator] = None
+        if config.deployment.has_fog:
+            self.fog = FogNode(
+                self.sim, self.net, "fog", config.farm,
+                authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
+            )
+            self.broker_address = self.fog.mqtt_address
+            self.context = self.fog.context
+            self.history = self.fog.history
+            self.agent = self.fog.agent
+            self.net.connect("fog:iota", self.fog.mqtt_address, ETHERNET_LAN)
+            # Store-and-forward sync to the cloud over the rural WAN.
+            CloudSyncTarget(self.sim, self.net, "cloud:sync", self.cloud.context)
+            self.replicator = Replicator(
+                self.sim, self.net, "fog:sync", self.fog.context, "cloud:sync",
+                sync_interval_s=60.0,
+            )
+            self.net.connect("fog:sync", "cloud:sync", WAN_BACKHAUL)
+            self._wan_pair = ("fog:sync", "cloud:sync")
+            self._device_uplink = self.broker_address
+            self._device_radio = LORA_FIELD
+        else:
+            self.broker_address = self.cloud.mqtt_address
+            self.context = self.cloud.context
+            self.history = self.cloud.history
+            self.agent = IoTAgent(
+                self.sim, self.net, "cloud:iota", self.broker_address,
+                self.cloud.context, config.farm,
+            )
+            self.net.connect("cloud:iota", self.broker_address, ETHERNET_LAN)
+            # Farm gateway: field radio on one side, rural WAN on the other.
+            from repro.network.node import NetworkNode
+
+            self.gateway = self.net.add_node(NetworkNode(f"{config.farm}:gw"))
+            self.net.connect(f"{config.farm}:gw", self.broker_address, WAN_BACKHAUL)
+            self._wan_pair = (f"{config.farm}:gw", self.broker_address)
+            self._device_uplink = f"{config.farm}:gw"
+            self._device_radio = LORA_FIELD
+        self.security.wire_agent(self.agent)
+        self.agent.start()
+
+    def _build_field_and_weather(self) -> None:
+        config = self.config
+        self.field = Field(
+            config.farm, config.rows, config.cols, config.soil, config.crop,
+            self.sim.rng.stream("field"),
+            zone_area_ha=config.zone_area_ha,
+            spatial_cv=config.spatial_cv,
+            initial_theta=config.initial_theta,
+        )
+        generator = WeatherGenerator(
+            config.climate, self.sim.rng.stream("weather"),
+            start_day_of_year=config.start_day_of_year,
+        )
+        self.weather = generator.generate(config.effective_season_days + 1)
+        self.ndvi_trackers: Dict[str, NdviTracker] = {
+            zone.zone_id: NdviTracker(zone) for zone in self.field
+        }
+        self._forecast_rng = self.sim.rng.stream("forecast")
+
+    def _attach_device(self, device) -> None:
+        """Connect a device's radio and register its credentials."""
+        self.net.connect(device.client.address, self._device_uplink, self._device_radio)
+        self.security.enroll_device(device, device_key=f"key-{device.config.device_id}")
+        device.start()
+
+    def _build_devices(self) -> None:
+        config = self.config
+        farm = config.farm
+        self.probes: Dict[str, SoilMoistureProbe] = {}
+        self.valves: Dict[str, Valve] = {}
+        self.pivot: Optional[CenterPivot] = None
+        self.drone: Optional[Drone] = None
+
+        # Shared irrigation plant.
+        self.pump = Pump(
+            self.sim, self.net, DeviceConfig(f"{farm}-pump", farm, "Pump", report_interval_s=3600),
+            self.broker_address, head_m=config.pump_head_m,
+        )
+        self._attach_device(self.pump)
+        self.flow_meter = WaterFlowMeter(
+            self.sim, self.net,
+            DeviceConfig(f"{farm}-flow", farm, "FlowMeter", report_interval_s=3600),
+            self.broker_address,
+        )
+        self._attach_device(self.flow_meter)
+
+        self.weather_station = WeatherStation(
+            self.sim, self.net,
+            DeviceConfig(f"{farm}-ws", farm, "WeatherStation", report_interval_s=3600),
+            self.broker_address,
+        )
+        self._attach_device(self.weather_station)
+
+        # Probes on the first `coverage` fraction of zones (deterministic).
+        zones = list(self.field)
+        probe_count = max(1, round(config.probe_coverage * len(zones)))
+        for zone in zones[:probe_count]:
+            device_id = f"{farm}-probe-{zone.row}-{zone.col}"
+            probe = SoilMoistureProbe(
+                self.sim, self.net,
+                DeviceConfig(device_id, farm, "SoilProbe",
+                             report_interval_s=config.probe_interval_s),
+                self.broker_address, zone=zone,
+            )
+            self._attach_device(probe)
+            self.probes[zone.zone_id] = probe
+
+        if config.irrigation_kind == "valves":
+            for zone in zones:
+                device_id = f"{farm}-valve-{zone.row}-{zone.col}"
+                valve = Valve(
+                    self.sim, self.net,
+                    DeviceConfig(device_id, farm, "Valve", report_interval_s=7200),
+                    self.broker_address, zone=zone,
+                    rate_mm_h=config.valve_rate_mm_h,
+                    pump=self.pump, flow_meter=self.flow_meter,
+                )
+                self._attach_device(valve)
+                self.valves[zone.zone_id] = valve
+        elif config.irrigation_kind == "pivot":
+            self.pivot = CenterPivot(
+                self.sim, self.net,
+                DeviceConfig(f"{farm}-pivot", farm, "CenterPivot", report_interval_s=7200),
+                self.broker_address, zones=zones,
+                max_application_rate_mm_h=config.pivot_rate_mm_h, pump=self.pump,
+            )
+            self._attach_device(self.pivot)
+
+        if config.deployment.has_drone:
+            self.drone = Drone(
+                self.sim, self.net,
+                DeviceConfig(f"{farm}-drone", farm, "Drone", report_interval_s=7200,
+                             battery_capacity_j=500_000.0),
+                self.broker_address, field=self.field, trackers=self.ndvi_trackers,
+            )
+            self._attach_device(self.drone)
+
+    def _provision_devices(self) -> None:
+        farm = self.config.farm
+        for zone_id, probe in self.probes.items():
+            zone = self.field.zone_by_id(zone_id)
+            self.agent.provision(
+                DeviceProvision(
+                    probe.config.device_id, "", self.zone_entity_id(zone), "AgriParcel"
+                )
+            )
+        for zone_id, valve in self.valves.items():
+            self.agent.provision(
+                DeviceProvision(
+                    valve.config.device_id, "",
+                    f"urn:Valve:{valve.config.device_id}", "Valve",
+                    commands=("open", "close"),
+                )
+            )
+        if self.pivot is not None:
+            self.agent.provision(
+                DeviceProvision(
+                    self.pivot.config.device_id, "",
+                    f"urn:CenterPivot:{self.pivot.config.device_id}", "CenterPivot",
+                    commands=("start_pass", "stop"),
+                )
+            )
+        self.agent.provision(
+            DeviceProvision(self.pump.config.device_id, "",
+                            f"urn:Pump:{farm}", "Pump", commands=("start", "stop"))
+        )
+        self.agent.provision(
+            DeviceProvision(self.flow_meter.config.device_id, "",
+                            f"urn:FlowMeter:{farm}", "FlowMeter")
+        )
+        self.agent.provision(
+            DeviceProvision(self.weather_station.config.device_id, "",
+                            f"urn:WeatherObserved:{farm}", "WeatherObserved")
+        )
+        if self.drone is not None:
+            self.agent.provision(
+                DeviceProvision(self.drone.config.device_id, "",
+                                f"urn:Drone:{farm}", "Drone", commands=("survey",))
+            )
+
+    def zone_entity_id(self, zone) -> str:
+        return f"urn:AgriParcel:{self.config.farm}:{zone.row}-{zone.col}"
+
+    def _build_scheduler(self) -> None:
+        config = self.config
+        self.scheduler: Optional[PlatformScheduler] = None
+        if config.scheduler_kind == "none" or config.irrigation_kind == "none":
+            return
+        if config.scheduler_kind == "fixed":
+            self.sim.spawn(self._fixed_schedule_loop(), "fixed-scheduler")
+            return
+        self.scheduler = PlatformScheduler(
+            self.sim, self.context, self.agent,
+            policy=config.policy or SoilMoisturePolicy(),
+            forecast_provider=self._forecast_rain,
+            supply_gate=config.supply_gate,
+            uniform_pivot=config.uniform_pivot,
+        )
+        if config.irrigation_kind == "valves":
+            for zone_id, probe in self.probes.items():
+                zone = self.field.zone_by_id(zone_id)
+                valve = self.valves.get(zone_id)
+                if valve is None:
+                    continue
+                self.scheduler.bind_valve(
+                    self.zone_entity_id(zone), valve.config.device_id,
+                    theta_fc=zone.water_balance.soil.theta_fc,
+                    theta_wp=zone.water_balance.soil.theta_wp,
+                    root_depth_m=zone.crop.root_depth_at(0),
+                    depletion_fraction_p=zone.crop.stages[0].depletion_fraction_p,
+                    area_ha=zone.area_ha,
+                )
+        elif config.irrigation_kind == "pivot":
+            zone_bindings = []
+            for zone_id, probe in self.probes.items():
+                zone = self.field.zone_by_id(zone_id)
+                zone_bindings.append(
+                    {
+                        "entity_id": self.zone_entity_id(zone),
+                        "zone_id": zone.zone_id,
+                        "theta_fc": zone.water_balance.soil.theta_fc,
+                        "theta_wp": zone.water_balance.soil.theta_wp,
+                        "root_depth_m": zone.crop.root_depth_at(0),
+                        "p": zone.crop.stages[0].depletion_fraction_p,
+                        "area_ha": zone.area_ha,
+                    }
+                )
+            self.scheduler.bind_pivot(self.pivot.config.device_id, zone_bindings)
+        self.scheduler.start()
+
+    # -- forecast -----------------------------------------------------------
+
+    def _forecast_rain(self) -> float:
+        """Forecast of today's rain (applied at the coming midnight)."""
+        if self.season_day >= len(self.weather):
+            return 0.0
+        actual = self.weather[self.season_day].rain_mm
+        quality = self.config.forecast_quality
+        if quality >= 1.0:
+            return actual
+        noise = self._forecast_rng.bounded_gauss(1.0, 1.0 - quality, 0.0, 2.0)
+        return actual * quality * noise
+
+    # -- fixed-calendar baseline ----------------------------------------------------
+
+    def _fixed_schedule_loop(self):
+        config = self.config
+        yield 6 * HOUR
+        while True:
+            if self.season_day % config.fixed_interval_days == 0:
+                if config.irrigation_kind == "valves":
+                    for valve in self.valves.values():
+                        self.agent.send_command(
+                            valve.config.device_id,
+                            {"cmd": "open", "depth_mm": config.fixed_depth_mm},
+                        )
+                elif self.pivot is not None:
+                    self.agent.send_command(
+                        self.pivot.config.device_id,
+                        {"cmd": "start_pass", "depth_mm": config.fixed_depth_mm},
+                    )
+            yield DAY
+
+    # -- season driver -----------------------------------------------------------
+
+    def _daily_loop(self):
+        config = self.config
+        survey_every = config.drone_survey_interval_days
+        while self.season_day < config.effective_season_days:
+            today = self.weather[self.season_day]
+            self.weather_station.today = today
+            # Update scheduler bindings with the crop's current root zone.
+            self._refresh_bindings()
+            if (
+                self.drone is not None
+                and survey_every > 0
+                and self.season_day % survey_every == 0
+            ):
+                self.sim.schedule(10 * HOUR, self.drone.start_survey, label="survey")
+            yield DAY
+            # Midnight: apply the day's weather to the soil/crop.
+            self.field.advance_day(today.et0_mm, today.rain_mm)
+            for zone in self.field:
+                self.ndvi_trackers[zone.zone_id].record_day(
+                    zone.water_balance.stress_coefficient_ks
+                )
+            self.season_day += 1
+
+    def _refresh_bindings(self) -> None:
+        if self.scheduler is None:
+            return
+        day = self.season_day
+        crop = self.config.crop
+        root = crop.root_depth_at(day)
+        p = crop.stage_at(min(day, crop.season_days - 1)).depletion_fraction_p
+        for binding in self.scheduler._valve_bindings:
+            binding["root_depth_m"] = root
+            binding["p"] = p
+        for pivot_binding in self.scheduler._pivot_bindings:
+            for binding in pivot_binding["zones"]:
+                binding["root_depth_m"] = root
+                binding["p"] = p
+
+    # -- fault injection -----------------------------------------------------------
+
+    def schedule_wan_partition(self, start_s: float, duration_s: float) -> None:
+        """Cut the farm↔cloud WAN for ``duration_s`` (E9's fault)."""
+        a, b = self._wan_pair
+        self.sim.schedule_at(start_s, lambda: self.net.partition(a, b), label="partition")
+        self.sim.schedule_at(start_s + duration_s, lambda: self.net.heal(a, b), label="heal")
+
+    # -- run & report -----------------------------------------------------------
+
+    def run_season(self) -> PilotReport:
+        self._daily_process = self.sim.spawn(self._daily_loop(), "season")
+        self.sim.run(until=self.config.effective_season_days * DAY + HOUR)
+        return self.report()
+
+    def run_days(self, days: float) -> None:
+        if self._daily_process is None:
+            self._daily_process = self.sim.spawn(self._daily_loop(), "season")
+        self.sim.run(until=self.sim.now + days * DAY)
+
+    def report(self) -> PilotReport:
+        config = self.config
+        scheduler_stats = self.scheduler.stats if self.scheduler else None
+        broker = self.fog.mqtt if self.fog is not None else self.cloud.mqtt
+        devices = [
+            self.pump, self.flow_meter, self.weather_station,
+            *self.probes.values(), *self.valves.values(),
+        ]
+        if self.pivot is not None:
+            devices.append(self.pivot)
+        if self.drone is not None:
+            devices.append(self.drone)
+        quarantined = len(self.security.alert_manager.quarantined) \
+            if self.security.alert_manager else 0
+        alerts = len(self.security.alert_manager.alerts) \
+            if self.security.alert_manager else 0
+        return PilotReport(
+            name=config.name,
+            season_days=self.season_day,
+            irrigation_m3=self.field.total_irrigation_m3(),
+            irrigation_mm_per_ha=(
+                self.field.total_irrigation_m3() / (self.field.area_ha * 10.0)
+                if self.field.area_ha else 0.0
+            ),
+            rain_mm=sum(d.rain_mm for d in self.weather[: self.season_day]),
+            pump_kwh=self.pump.total_kwh,
+            pivot_move_kwh=self.pivot.move_energy_kwh if self.pivot else 0.0,
+            relative_yield=self.field.mean_relative_yield(),
+            yield_t=self.field.total_yield_t(),
+            decision_cycles=scheduler_stats.cycles if scheduler_stats else 0,
+            decisions=scheduler_stats.decisions if scheduler_stats else 0,
+            commands_sent=scheduler_stats.commands_sent if scheduler_stats else 0,
+            skipped_no_data=scheduler_stats.skipped_no_data if scheduler_stats else 0,
+            skipped_stale=scheduler_stats.skipped_stale if scheduler_stats else 0,
+            measures_processed=self.agent.stats.measures_processed,
+            measures_dropped_unprovisioned=self.agent.stats.measures_dropped_unprovisioned,
+            broker_publishes_in=broker.stats.publishes_in if broker else 0,
+            broker_denied=(broker.stats.denied_publish + broker.stats.denied_subscribe)
+            if broker else 0,
+            devices_dead=sum(1 for d in devices if d.dead),
+            replicator_synced=self.replicator.updates_synced if self.replicator else 0,
+            replicator_dropped=self.replicator.updates_dropped_overflow if self.replicator else 0,
+            alerts=alerts,
+            quarantined_devices=quarantined,
+        )

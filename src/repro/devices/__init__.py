@@ -1,0 +1,33 @@
+"""IoT device models.
+
+Devices are the leaves of the SWAMP pipeline: they sample the agro-physics
+substrate (or accept actuation commands that feed back into it) and speak
+MQTT over constrained field radio.  Each device owns
+
+* a firmware loop (simulation process) with a sampling/reporting interval,
+* a battery and per-operation energy accounting (radio TX dominates, which
+  is why the paper insists security mechanisms be energy-efficient — E13),
+* failure and tamper hooks used by the dependability and attack layers.
+"""
+
+from repro.devices.base import Device, DeviceConfig
+from repro.devices.battery import Battery
+from repro.devices.codec import decode_payload, encode_payload
+from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
+from repro.devices.actuators import CenterPivot, Pump, Valve
+from repro.devices.drone import Drone
+
+__all__ = [
+    "Battery",
+    "CenterPivot",
+    "Device",
+    "DeviceConfig",
+    "Drone",
+    "Pump",
+    "SoilMoistureProbe",
+    "Valve",
+    "WaterFlowMeter",
+    "WeatherStation",
+    "decode_payload",
+    "encode_payload",
+]

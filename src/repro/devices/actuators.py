@@ -1,0 +1,273 @@
+"""Actuator device models: valves, pumps and VRI-capable center pivots.
+
+Actuation closes the loop: commands arrive over MQTT (from the irrigation
+scheduler, via the IoT agent) and water lands on
+:class:`~repro.physics.field.FieldZone` objects, changing what the soil
+probes will read next.  The rogue-actuator attack (paper §III) reuses these
+same command paths, which is exactly why the platform authenticates them.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.devices.base import Device, DeviceConfig
+from repro.devices.sensors import WaterFlowMeter
+from repro.network.topology import Network
+from repro.physics.field import FieldZone
+from repro.simkernel.clock import HOUR
+from repro.simkernel.simulator import Simulator
+
+# Specific pumping energy: kWh per m3 per metre of head at unit efficiency.
+_KWH_PER_M3_PER_M_HEAD = 0.002725
+
+
+class Pump(Device):
+    """Irrigation pump: meters energy for every m³ it moves."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        head_m: float = 45.0,
+        efficiency: float = 0.75,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        if not 0.0 < efficiency <= 1.0:
+            raise ValueError("pump efficiency must be in (0, 1]")
+        self.head_m = head_m
+        self.efficiency = efficiency
+        self.total_m3 = 0.0
+        self.total_kwh = 0.0
+        self.running = False
+
+    def pump_volume(self, volume_m3: float) -> float:
+        """Account for pumping ``volume_m3``; returns the energy used (kWh)."""
+        if volume_m3 < 0:
+            raise ValueError("volume must be non-negative")
+        energy = volume_m3 * _KWH_PER_M3_PER_M_HEAD * self.head_m / self.efficiency
+        self.total_m3 += volume_m3
+        self.total_kwh += energy
+        return energy
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        return {
+            "totalVolume": round(self.total_m3, 3),
+            "totalEnergy": round(self.total_kwh, 4),
+            "running": self.running,
+        }
+
+    def on_command(self, command: Dict[str, Any]) -> str:
+        action = command.get("cmd")
+        if action == "start":
+            self.running = True
+            return "ok"
+        if action == "stop":
+            self.running = False
+            return "ok"
+        return "unknown-command"
+
+
+class Valve(Device):
+    """Solenoid valve irrigating one zone at a fixed application rate.
+
+    Commands::
+
+        {"cmd": "open", "duration_s": 3600}   # or "depth_mm": 12.5
+        {"cmd": "close"}
+
+    While open, water is applied to the zone in 5-minute slices so soil
+    probes observe a gradual wet-up rather than a step.
+    """
+
+    APPLY_SLICE_S = 300.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        zone: FieldZone,
+        rate_mm_h: float = 8.0,
+        pump: Optional[Pump] = None,
+        flow_meter: Optional[WaterFlowMeter] = None,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        if rate_mm_h <= 0:
+            raise ValueError("application rate must be positive")
+        self.zone = zone
+        self.rate_mm_h = rate_mm_h
+        self.pump = pump
+        self.flow_meter = flow_meter
+        self.is_open = False
+        self._close_at = 0.0
+        self._apply_process = None
+        self.total_applied_mm = 0.0
+        self.open_count = 0
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        return {
+            "valveState": "open" if self.is_open else "closed",
+            "appliedDepth": round(self.total_applied_mm, 3),
+        }
+
+    def on_command(self, command: Dict[str, Any]) -> str:
+        action = command.get("cmd")
+        if action == "open":
+            duration = command.get("duration_s")
+            depth = command.get("depth_mm")
+            if duration is None and depth is not None:
+                duration = float(depth) / self.rate_mm_h * HOUR
+            if duration is None or duration <= 0:
+                return "bad-arguments"
+            self.open_for(float(duration))
+            return "ok"
+        if action == "close":
+            self.close()
+            return "ok"
+        return "unknown-command"
+
+    def open_for(self, duration_s: float) -> None:
+        self._close_at = self.sim.now + duration_s
+        if not self.is_open:
+            self.is_open = True
+            self.open_count += 1
+            self._apply_process = self.sim.spawn(
+                self._apply_loop(), f"valve:{self.config.device_id}"
+            )
+
+    def close(self) -> None:
+        self.is_open = False
+        self._close_at = self.sim.now
+
+    def _apply_loop(self):
+        while self.is_open and self.sim.now < self._close_at:
+            slice_s = min(self.APPLY_SLICE_S, self._close_at - self.sim.now)
+            yield slice_s
+            if not self.is_open:
+                break
+            depth_mm = self.rate_mm_h * slice_s / HOUR
+            self._apply(depth_mm)
+        self.is_open = False
+
+    def _apply(self, depth_mm: float) -> None:
+        self.zone.irrigate(depth_mm)
+        self.total_applied_mm += depth_mm
+        volume_m3 = depth_mm * self.zone.area_ha * 10.0
+        if self.pump is not None:
+            self.pump.pump_volume(volume_m3)
+        if self.flow_meter is not None:
+            self.flow_meter.add_flow(volume_m3)
+
+
+class CenterPivot(Device):
+    """Center-pivot irrigation machine with Variable Rate Irrigation.
+
+    The pivot sweeps its zones in order, one sector per pass step.  A
+    *prescription map* gives per-zone depths (mm); a uniform pass applies
+    the same depth everywhere.  Sector dwell time scales with prescribed
+    depth (speed control), so a revolution's duration depends on the map.
+
+    Commands::
+
+        {"cmd": "start_pass", "depth_mm": 12}                  # uniform
+        {"cmd": "start_pass", "prescription": {"f/z0-0": 10}}  # VRI
+        {"cmd": "stop"}
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        zones: List[FieldZone],
+        max_application_rate_mm_h: float = 10.0,
+        pump: Optional[Pump] = None,
+        move_energy_kwh_per_sector: float = 0.6,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        if not zones:
+            raise ValueError("pivot needs at least one zone")
+        self.zones = list(zones)
+        self.max_application_rate_mm_h = max_application_rate_mm_h
+        self.pump = pump
+        self.move_energy_kwh_per_sector = move_energy_kwh_per_sector
+        self.move_energy_kwh = 0.0
+        self.running = False
+        self.current_sector = 0
+        self.passes_completed = 0
+        self.total_applied_mm = 0.0
+        self._pass_process = None
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        return {
+            "pivotState": "running" if self.running else "idle",
+            "sector": self.current_sector,
+            "passes": self.passes_completed,
+            "appliedDepth": round(self.total_applied_mm, 3),
+        }
+
+    def on_command(self, command: Dict[str, Any]) -> str:
+        action = command.get("cmd")
+        if action == "start_pass":
+            if self.running:
+                return "busy"
+            prescription = command.get("prescription")
+            depth = command.get("depth_mm")
+            if prescription is None and depth is None:
+                return "bad-arguments"
+            if prescription is None:
+                prescription = {z.zone_id: float(depth) for z in self.zones}
+            self.start_pass(prescription)
+            return "ok"
+        if action == "stop":
+            self.stop_pass()
+            return "ok"
+        return "unknown-command"
+
+    def start_pass(self, prescription: Dict[str, float]) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._pass_process = self.sim.spawn(
+            self._pass_loop(prescription), f"pivot:{self.config.device_id}"
+        )
+
+    def stop_pass(self) -> None:
+        self.running = False
+
+    def pass_duration_s(self, prescription: Dict[str, float]) -> float:
+        """How long a pass with this map takes (dwell scales with depth)."""
+        total = 0.0
+        for zone in self.zones:
+            depth = max(0.0, prescription.get(zone.zone_id, 0.0))
+            dwell_h = depth / self.max_application_rate_mm_h if depth > 0 else 0.05
+            total += dwell_h * HOUR
+        return total
+
+    def _pass_loop(self, prescription: Dict[str, float]):
+        for index, zone in enumerate(self.zones):
+            if not self.running:
+                break
+            self.current_sector = index
+            depth = max(0.0, prescription.get(zone.zone_id, 0.0))
+            dwell_h = depth / self.max_application_rate_mm_h if depth > 0 else 0.05
+            yield dwell_h * HOUR
+            if not self.running:
+                break
+            if depth > 0:
+                zone.irrigate(depth)
+                self.total_applied_mm += depth
+                volume_m3 = depth * zone.area_ha * 10.0
+                if self.pump is not None:
+                    self.pump.pump_volume(volume_m3)
+            self.move_energy_kwh += self.move_energy_kwh_per_sector
+        if self.running:
+            self.passes_completed += 1
+        self.running = False
+
+    def total_energy_kwh(self) -> float:
+        pumping = self.pump.total_kwh if self.pump is not None else 0.0
+        return pumping + self.move_energy_kwh

@@ -1,0 +1,199 @@
+"""Device base class: firmware loop, energy, failure and tamper hooks."""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.devices.battery import Battery
+from repro.devices.codec import decode_payload, encode_payload
+from repro.mqtt.client import MqttClient
+from repro.network.topology import Network
+from repro.simkernel.simulator import Simulator
+
+# Energy costs per operation, representative of a class-1 constrained node.
+SENSE_ENERGY_J = 0.010
+CPU_ENERGY_J_PER_BYTE = 0.0000015  # baseline processing per payload byte
+
+
+@dataclass
+class DeviceConfig:
+    device_id: str
+    farm: str
+    device_type: str
+    report_interval_s: float = 900.0  # 15 min default sampling
+    qos: int = 0
+    battery_capacity_j: float = 25_000.0
+    # Mean time between transient failures (0 disables failure injection).
+    mtbf_s: float = 0.0
+    repair_time_s: float = 3600.0
+    api_key: str = ""  # provisioning credential checked by the IoT agent
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Device:
+    """Base class for sensors/actuators.
+
+    Subclasses implement :meth:`read_measures` (returning the attribute
+    dict to report) and may override :meth:`on_command`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        gateway_model=None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.battery = Battery(config.battery_capacity_j)
+        self.failed = False
+        self.dead = False  # battery exhausted: permanent
+        self.sent_reports = 0
+        self.commands_handled = 0
+        # Attack hook: functions mutating the measure dict before encoding
+        # (sensor tampering, E5).  Kept as a list so attacks stack.
+        self.tamper_hooks: list = []
+        # Security hook: per-message extra CPU cost (crypto, E13).
+        self.security_energy_j_per_msg = 0.0
+
+        address = f"dev:{config.device_id}"
+        self.client = MqttClient(
+            sim,
+            address,
+            broker_address,
+            client_id=config.device_id,
+            username=config.farm,
+            password=config.api_key,
+            keepalive_s=max(60.0, config.report_interval_s * 2),
+            will=(self.status_topic, b"offline", 0, False),
+        )
+        network.add_node(self.client)
+        self._rng = sim.rng.stream(f"device:{config.device_id}")
+        self.client.add_handler(self.command_topic, self._handle_command)
+        self._process = None
+
+    # -- topics (FIWARE IoT-Agent south-port convention) ---------------------
+
+    @property
+    def attrs_topic(self) -> str:
+        return f"swamp/{self.config.farm}/attrs/{self.config.device_id}"
+
+    @property
+    def command_topic(self) -> str:
+        return f"swamp/{self.config.farm}/cmd/{self.config.device_id}"
+
+    @property
+    def command_ack_topic(self) -> str:
+        return f"swamp/{self.config.farm}/cmdexe/{self.config.device_id}"
+
+    @property
+    def status_topic(self) -> str:
+        return f"swamp/{self.config.farm}/status/{self.config.device_id}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Connect and start the firmware loop."""
+        self.client.connect()
+        self.client.subscribe(self.command_topic, qos=1)
+        self._process = self.sim.spawn(self._firmware_loop(), f"fw:{self.config.device_id}")
+        if self.config.mtbf_s > 0:
+            self.sim.spawn(self._failure_loop(), f"fail:{self.config.device_id}")
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.kill("stopped")
+        self.client.disconnect()
+
+    def _firmware_loop(self):
+        # Desynchronize device start-up (real fleets never sample in phase).
+        yield self._rng.uniform(0.0, self.config.report_interval_s)
+        while True:
+            if self.dead:
+                return
+            if not self.failed:
+                self.report_once()
+            yield self.config.report_interval_s
+
+    def _failure_loop(self):
+        while True:
+            yield self._rng.expovariate(1.0 / self.config.mtbf_s)
+            self.failed = True
+            self.sim.trace.emit(
+                self.sim.now, "device", "transient failure", device=self.config.device_id
+            )
+            yield self.config.repair_time_s
+            self.failed = False
+            self.sim.trace.emit(
+                self.sim.now, "device", "repaired", device=self.config.device_id
+            )
+
+    # -- telemetry -----------------------------------------------------------
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        """Subclass hook: return the attribute dict to report, or None."""
+        raise NotImplementedError
+
+    def report_once(self) -> bool:
+        """Take one sample and publish it; returns True when sent."""
+        if self.dead or self.failed:
+            return False
+        if not self.battery.draw(SENSE_ENERGY_J, "sensing"):
+            self._die()
+            return False
+        measures = self.read_measures()
+        if measures is None:
+            return False
+        for hook in self.tamper_hooks:
+            measures = hook(measures)
+            if measures is None:
+                return False
+        measures = dict(measures)
+        measures["ts"] = round(self.sim.now, 3)
+        payload = encode_payload(measures)
+        energy = (
+            len(payload) * CPU_ENERGY_J_PER_BYTE
+            + self.security_energy_j_per_msg
+            + self._radio_energy(len(payload))
+        )
+        if not self.battery.draw(energy, "radio+cpu"):
+            self._die()
+            return False
+        if self.security_energy_j_per_msg:
+            self.battery.draw(0.0, "crypto")  # category registration only
+        sent = self.client.publish(self.attrs_topic, payload, qos=self.config.qos)
+        if sent:
+            self.sent_reports += 1
+        return sent
+
+    def _radio_energy(self, payload_bytes: int) -> float:
+        # LoRa-class per-byte TX cost plus a fixed wakeup cost.
+        return 0.05 + payload_bytes * 0.0012
+
+    def _die(self) -> None:
+        if not self.dead:
+            self.dead = True
+            self.sim.trace.emit(
+                self.sim.now, "device", "battery exhausted", device=self.config.device_id
+            )
+
+    # -- commands -----------------------------------------------------------
+
+    def _handle_command(self, topic: str, payload: bytes, qos: int, retain: bool) -> None:
+        if self.dead or self.failed:
+            return
+        command = decode_payload(payload)
+        if command is None:
+            return
+        self.commands_handled += 1
+        result = self.on_command(command)
+        ack = {"cmd": command.get("cmd", "?"), "result": result, "ts": round(self.sim.now, 3)}
+        self.client.publish(self.command_ack_topic, encode_payload(ack), qos=1)
+
+    def on_command(self, command: Dict[str, Any]) -> str:
+        """Subclass hook; return a result string for the ack."""
+        return "ignored"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.config.device_id!r})"

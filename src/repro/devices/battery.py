@@ -1,0 +1,45 @@
+"""Battery and energy accounting.
+
+Tracks joules drawn by category (radio, sensing, CPU, crypto) so experiment
+E13 can attribute the cost of security mechanisms.  A 2×AA lithium pack is
+roughly 25 kJ usable; field nodes are expected to last a season on it.
+"""
+
+from typing import Dict
+
+
+class Battery:
+    def __init__(self, capacity_j: float = 25_000.0) -> None:
+        if capacity_j <= 0:
+            raise ValueError("battery capacity must be positive")
+        self.capacity_j = capacity_j
+        self.remaining_j = capacity_j
+        self.drawn_by_category: Dict[str, float] = {}
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining_j <= 0.0
+
+    @property
+    def fraction_remaining(self) -> float:
+        return max(0.0, self.remaining_j / self.capacity_j)
+
+    def draw(self, joules: float, category: str = "other") -> bool:
+        """Draw energy; returns False (and clamps) when the battery dies."""
+        if joules < 0:
+            raise ValueError("cannot draw negative energy")
+        self.drawn_by_category[category] = self.drawn_by_category.get(category, 0.0) + joules
+        self.remaining_j -= joules
+        if self.remaining_j < 0:
+            self.remaining_j = 0.0
+            return False
+        return True
+
+    def drawn(self, category: str) -> float:
+        return self.drawn_by_category.get(category, 0.0)
+
+    def total_drawn(self) -> float:
+        return sum(self.drawn_by_category.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Battery({self.fraction_remaining:.1%} of {self.capacity_j:.0f} J)"

@@ -1,0 +1,28 @@
+"""Telemetry payload codec.
+
+Device measures and commands travel as compact JSON (UTF-8 bytes) — the
+same wire shape a FIWARE IoT Agent's MQTT south port expects.  Compact
+separators keep the simulated byte counts honest.
+"""
+
+import json
+from typing import Any, Dict, Optional
+
+
+def encode_payload(data: Dict[str, Any]) -> bytes:
+    return json.dumps(data, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_payload(raw: bytes) -> Optional[Dict[str, Any]]:
+    """Decode a telemetry payload; None for garbage (never raises).
+
+    Garbage arrives in practice: ciphertext read by the wrong party,
+    fuzzing attackers, truncated frames.  Callers count decode failures.
+    """
+    try:
+        value = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(value, dict):
+        return None
+    return value

@@ -1,0 +1,106 @@
+"""Survey drone: flies the field and publishes an NDVI map.
+
+Drones are the mobile fog nodes the paper mentions and the vehicle for the
+Sybil/fake-data threat (E6): a legitimate drone measures
+:func:`~repro.physics.ndvi.ndvi_for_zone` per zone with small sensor noise;
+a Sybil identity fabricates values with no grounding in the field state.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.devices.base import Device, DeviceConfig
+from repro.devices.codec import encode_payload
+from repro.network.topology import Network
+from repro.physics.field import Field
+from repro.physics.ndvi import NdviTracker
+from repro.simkernel.simulator import Simulator
+
+
+class Drone(Device):
+    """NDVI survey drone.
+
+    Commands::
+
+        {"cmd": "survey"}   # start a survey pass now
+
+    The drone visits zones in scan order, one every ``seconds_per_zone``,
+    and publishes one NDVI observation per zone on
+    ``swamp/<farm>/attrs/<drone_id>`` (tagged with the zone id), then a
+    summary.  The surrounding pilot keeps the per-zone
+    :class:`NdviTracker` objects updated with daily stress.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        field: Field,
+        trackers: Optional[Dict[str, NdviTracker]] = None,
+        seconds_per_zone: float = 20.0,
+        noise_sigma: float = 0.015,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        self.field = field
+        self.trackers = trackers or {}
+        self.seconds_per_zone = seconds_per_zone
+        self.noise_sigma = noise_sigma
+        self.surveys_completed = 0
+        self.surveying = False
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        return {"droneState": "surveying" if self.surveying else "idle",
+                "surveys": self.surveys_completed}
+
+    def on_command(self, command: Dict[str, Any]) -> str:
+        if command.get("cmd") == "survey":
+            if self.surveying:
+                return "busy"
+            self.start_survey()
+            return "ok"
+        return "unknown-command"
+
+    def start_survey(self) -> None:
+        if self.surveying or self.dead:
+            return
+        self.surveying = True
+        self.sim.spawn(self._survey_loop(), f"survey:{self.config.device_id}")
+
+    def measure_zone(self, zone) -> float:
+        tracker = self.trackers.get(zone.zone_id)
+        if tracker is not None:
+            true_ndvi = tracker.ndvi()
+        else:
+            from repro.physics.ndvi import ndvi_for_zone
+
+            true_ndvi = ndvi_for_zone(zone)
+        noisy = true_ndvi + self._rng.gauss(0.0, self.noise_sigma)
+        return max(0.0, min(1.0, noisy))
+
+    def _survey_loop(self):
+        observations = 0
+        for zone in self.field:
+            if self.dead:
+                break
+            yield self.seconds_per_zone
+            ndvi = self.measure_zone(zone)
+            payload = encode_payload(
+                {
+                    "ndvi": round(ndvi, 4),
+                    "zone": zone.zone_id,
+                    "row": zone.row,
+                    "col": zone.col,
+                    "ts": round(self.sim.now, 3),
+                }
+            )
+            if self.client.publish(self.attrs_topic, payload, qos=0):
+                observations += 1
+            self.battery.draw(0.3, "flight")  # flight energy dwarfs radio
+        self.surveying = False
+        if observations:
+            self.surveys_completed += 1
+            summary = encode_payload(
+                {"surveyDone": True, "observations": observations, "ts": round(self.sim.now, 3)}
+            )
+            self.client.publish(self.attrs_topic, summary, qos=1)

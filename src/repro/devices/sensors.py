@@ -1,0 +1,109 @@
+"""Sensor device models: soil probes, weather stations, flow meters."""
+
+from typing import Any, Dict, Optional
+
+from repro.devices.base import Device, DeviceConfig
+from repro.network.topology import Network
+from repro.physics.field import FieldZone
+from repro.physics.weather import DailyWeather
+from repro.simkernel.simulator import Simulator
+
+
+class SoilMoistureProbe(Device):
+    """Capacitive soil-moisture probe attached to one field zone.
+
+    Reads the zone's volumetric water content with multiplicative gain
+    error (per-unit calibration, fixed at install time) and additive
+    Gaussian noise.  Tamper hooks (E5) mutate the reported dict after this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+        zone: FieldZone,
+        noise_sigma: float = 0.008,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        self.zone = zone
+        self.noise_sigma = noise_sigma
+        self.gain = self._rng.bounded_gauss(1.0, 0.02, 0.9, 1.1)
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        theta = self.zone.theta * self.gain + self._rng.gauss(0.0, self.noise_sigma)
+        return {
+            "soilMoisture": round(max(0.0, min(1.0, theta)), 4),
+            "zone": self.zone.zone_id,
+        }
+
+
+class WeatherStation(Device):
+    """Farm weather station reporting the current day's observations.
+
+    The surrounding pilot runner updates :attr:`today` every simulated
+    morning; the station publishes it (with small instrument noise) on its
+    report interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        self.today: Optional[DailyWeather] = None
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        if self.today is None:
+            return None
+        day = self.today
+        return {
+            "tMin": round(day.tmin_c + self._rng.gauss(0, 0.2), 2),
+            "tMax": round(day.tmax_c + self._rng.gauss(0, 0.2), 2),
+            "rh": round(day.rh_mean_pct + self._rng.gauss(0, 1.0), 1),
+            "wind": round(max(0.0, day.wind_ms + self._rng.gauss(0, 0.1)), 2),
+            "solar": round(max(0.0, day.solar_mj_m2 + self._rng.gauss(0, 0.3)), 2),
+            "rain": round(day.rain_mm, 2),
+            "et0": round(day.et0_mm, 3),
+        }
+
+
+class WaterFlowMeter(Device):
+    """Totalizing flow meter on a pipe or canal offtake.
+
+    Other components (valves, pumps, the distribution network) call
+    :meth:`add_flow` as water moves; the meter reports the cumulative
+    total plus the rate since the previous report.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        config: DeviceConfig,
+        broker_address: str,
+    ) -> None:
+        super().__init__(sim, network, config, broker_address)
+        self.total_m3 = 0.0
+        self._last_reported_m3 = 0.0
+        self._last_report_time = sim.now
+
+    def add_flow(self, volume_m3: float) -> None:
+        if volume_m3 < 0:
+            raise ValueError("flow volume must be non-negative")
+        self.total_m3 += volume_m3
+
+    def read_measures(self) -> Optional[Dict[str, Any]]:
+        elapsed = max(1e-9, self.sim.now - self._last_report_time)
+        delta = self.total_m3 - self._last_reported_m3
+        rate_m3_h = delta / (elapsed / 3600.0)
+        self._last_reported_m3 = self.total_m3
+        self._last_report_time = self.sim.now
+        return {
+            "totalFlow": round(self.total_m3, 3),
+            "flowRate": round(rate_m3_h, 3),
+        }

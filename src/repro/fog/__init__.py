@@ -1,0 +1,22 @@
+"""Fog computing tier.
+
+The paper requires that "the availability of the platform must be provided
+even in case of Internet disconnections using local components (fog
+computing) to keep the platform running properly".  This package implements
+that architecture:
+
+* :class:`~repro.fog.node.FogNode` — a farm-side host running its own MQTT
+  broker, context broker and IoT agent, so the sense→decide→actuate loop
+  closes locally;
+* :class:`~repro.fog.node.CloudNode` — the cloud tier: context broker,
+  history store, analytics;
+* :class:`~repro.fog.replication.Replicator` — store-and-forward
+  replication of context updates fog→cloud with sequence numbers, acks,
+  retransmission and a bounded backlog, so a healed partition converges
+  and data loss is measurable (experiment E9).
+"""
+
+from repro.fog.node import CloudNode, FogNode
+from repro.fog.replication import Replicator, SyncBatch
+
+__all__ = ["CloudNode", "FogNode", "Replicator", "SyncBatch"]

@@ -1,0 +1,74 @@
+"""Fog and cloud hosts.
+
+Both are *compositions* of the substrate services; the deployment
+configurations in :mod:`repro.core.deployment` choose which tier hosts
+which service, mirroring the paper's "range of deployment configurations
+involving smart algorithms in the cloud [or] fog-based smart decisions on
+the farm premises".
+"""
+
+from typing import Optional
+
+from repro.agents.iot_agent import IoTAgent
+from repro.context.broker import ContextBroker
+from repro.context.history import ShortTermHistory
+from repro.mqtt.broker import MqttBroker
+from repro.network.topology import Network
+from repro.simkernel.simulator import Simulator
+
+
+class FogNode:
+    """Farm-premises host: local MQTT broker + context broker + IoT agent."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        farm: str,
+        authenticator=None,
+        authorizer=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.farm = farm
+        self.mqtt_address = f"{name}:mqtt"
+        self.mqtt = MqttBroker(
+            sim, self.mqtt_address, authenticator=authenticator, authorizer=authorizer
+        )
+        network.add_node(self.mqtt)
+        self.context = ContextBroker(sim, name=f"{name}:context")
+        self.history = ShortTermHistory(self.context)
+        self.agent = IoTAgent(
+            sim, network, f"{name}:iota", self.mqtt_address, self.context, farm
+        )
+
+    def start(self) -> None:
+        self.agent.start()
+
+
+class CloudNode:
+    """Cloud tier: context broker + history (+ optionally its own MQTT)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str = "cloud",
+        with_mqtt: bool = False,
+        authenticator=None,
+        authorizer=None,
+    ) -> None:
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.context = ContextBroker(sim, name=f"{name}:context")
+        self.history = ShortTermHistory(self.context)
+        self.mqtt: Optional[MqttBroker] = None
+        self.mqtt_address = f"{name}:mqtt"
+        if with_mqtt:
+            self.mqtt = MqttBroker(
+                sim, self.mqtt_address, authenticator=authenticator, authorizer=authorizer
+            )
+            network.add_node(self.mqtt)

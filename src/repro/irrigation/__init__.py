@@ -1,0 +1,39 @@
+"""Irrigation intelligence: the "smart algorithms" of the SWAMP platform.
+
+* :mod:`~repro.irrigation.policy` — pure decision functions (soil-moisture
+  feedback with rain-forecast skip, deficit targets);
+* :mod:`~repro.irrigation.baselines` — the practices the paper's intro
+  criticises: fixed-calendar over-irrigation, and rain-blind scheduling;
+* :mod:`~repro.irrigation.vri` — Variable Rate Irrigation prescription maps
+  for center pivots (the MATOPIBA pilot's goal);
+* :mod:`~repro.irrigation.scheduler` — the platform-integrated controller:
+  reads zone state from the context broker, decides, and actuates through
+  the IoT agent;
+* :mod:`~repro.irrigation.distribution` — canal water-distribution
+  allocation (the CBEC pilot's goal);
+* :mod:`~repro.irrigation.sources` — source-mix optimization with a
+  desalination plant (the Intercrop pilot's constraint).
+"""
+
+from repro.irrigation.baselines import FixedCalendarPolicy
+from repro.irrigation.distribution import Canal, DistributionNetwork, FarmOfftake, Reservoir
+from repro.irrigation.policy import IrrigationDecision, SoilMoisturePolicy
+from repro.irrigation.scheduler import PlatformScheduler
+from repro.irrigation.sources import DesalinationPlant, SourceMixOptimizer, WaterSource
+from repro.irrigation.vri import build_prescription, uniform_prescription
+
+__all__ = [
+    "Canal",
+    "DesalinationPlant",
+    "DistributionNetwork",
+    "FarmOfftake",
+    "FixedCalendarPolicy",
+    "IrrigationDecision",
+    "PlatformScheduler",
+    "Reservoir",
+    "SoilMoisturePolicy",
+    "SourceMixOptimizer",
+    "WaterSource",
+    "build_prescription",
+    "uniform_prescription",
+]

@@ -1,0 +1,47 @@
+"""Baseline irrigation practices.
+
+The paper's introduction motivates SWAMP with the prevailing practice: "in
+an attempt to avoid loss of productivity by under-irrigation, farmers feed
+more water than is needed".  :class:`FixedCalendarPolicy` models exactly
+that — irrigate every N days by a fixed depth sized for the worst-case hot
+spell, rain or shine — and serves as the comparison arm of experiments E1
+and E2.
+"""
+
+from repro.irrigation.policy import IrrigationDecision
+
+
+class FixedCalendarPolicy:
+    """Irrigate ``depth_mm`` every ``interval_days``, ignoring all sensing."""
+
+    def __init__(self, interval_days: int = 3, depth_mm: float = 25.0) -> None:
+        if interval_days < 1:
+            raise ValueError("interval must be at least 1 day")
+        if depth_mm <= 0:
+            raise ValueError("depth must be positive")
+        self.interval_days = interval_days
+        self.depth_mm = depth_mm
+
+    def decide(self, season_day: int) -> IrrigationDecision:
+        if season_day % self.interval_days == 0:
+            return IrrigationDecision(self.depth_mm, "calendar")
+        return IrrigationDecision(0.0, "not-today")
+
+
+class RainBlindEtPolicy:
+    """Replace yesterday's ET every day, ignoring rain and soil state.
+
+    A half-smart baseline: better than the calendar, still wasteful in wet
+    spells.  Used in E1's middle column.
+    """
+
+    def __init__(self, kc_default: float = 1.0, max_application_mm: float = 30.0) -> None:
+        self.kc_default = kc_default
+        self.max_application_mm = max_application_mm
+
+    def decide(self, et0_yesterday_mm: float, kc: float = None) -> IrrigationDecision:
+        depth = min(et0_yesterday_mm * (kc if kc is not None else self.kc_default),
+                    self.max_application_mm)
+        if depth <= 0.5:
+            return IrrigationDecision(0.0, "no-demand")
+        return IrrigationDecision(depth, "et-replacement")

@@ -1,0 +1,187 @@
+"""Canal water distribution (the CBEC pilot).
+
+Consorzio di Bonifica Emilia Centrale distributes reservoir water through a
+canal tree to member farms; the pilot's goal is "optimizing water
+distribution to the farms".  Model:
+
+* a :class:`Reservoir` with finite stock and inflow;
+* :class:`Canal` edges with capacity (m³/day) and fractional seepage loss;
+* :class:`FarmOfftake` leaves with daily demands;
+* :class:`DistributionNetwork.allocate` — one allocation round: checks
+  feasibility against canal capacities and reservoir stock, then fills
+  demands by priority with proportional rationing inside a priority class
+  when supply is short.
+
+The allocation is deliberately a clean, testable algorithm: the DoS
+experiment (E4) attacks the *telemetry feeding the demands*, and the
+distribution result degrades because demands default conservatively when
+data is missing.
+"""
+
+from typing import Dict, List, Optional
+
+
+class Reservoir:
+    def __init__(self, name: str, capacity_m3: float, initial_m3: Optional[float] = None) -> None:
+        if capacity_m3 <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity_m3 = capacity_m3
+        self.stock_m3 = capacity_m3 if initial_m3 is None else min(initial_m3, capacity_m3)
+
+    def inflow(self, volume_m3: float) -> None:
+        if volume_m3 < 0:
+            raise ValueError("inflow must be non-negative")
+        self.stock_m3 = min(self.capacity_m3, self.stock_m3 + volume_m3)
+
+    def withdraw(self, volume_m3: float) -> float:
+        """Withdraw up to ``volume_m3``; returns the amount actually taken."""
+        taken = min(self.stock_m3, max(0.0, volume_m3))
+        self.stock_m3 -= taken
+        return taken
+
+
+class Canal:
+    """A directed canal segment."""
+
+    def __init__(
+        self, name: str, parent: Optional[str], capacity_m3_day: float, loss_fraction: float = 0.05
+    ) -> None:
+        if capacity_m3_day <= 0:
+            raise ValueError("canal capacity must be positive")
+        if not 0.0 <= loss_fraction < 1.0:
+            raise ValueError("loss fraction must be in [0, 1)")
+        self.name = name
+        self.parent = parent  # None = fed directly by the reservoir
+        self.capacity_m3_day = capacity_m3_day
+        self.loss_fraction = loss_fraction
+        self.delivered_today_m3 = 0.0
+
+
+class FarmOfftake:
+    def __init__(self, name: str, canal: str, priority: int = 1) -> None:
+        self.name = name
+        self.canal = canal
+        self.priority = priority  # lower number = served first
+        self.requested_m3 = 0.0
+        self.allocated_m3 = 0.0
+        self.cum_requested_m3 = 0.0
+        self.cum_allocated_m3 = 0.0
+
+    @property
+    def satisfaction(self) -> float:
+        if self.cum_requested_m3 <= 0:
+            return 1.0
+        return self.cum_allocated_m3 / self.cum_requested_m3
+
+
+class DistributionNetwork:
+    def __init__(self, reservoir: Reservoir) -> None:
+        self.reservoir = reservoir
+        self.canals: Dict[str, Canal] = {}
+        self.farms: Dict[str, FarmOfftake] = {}
+        self.total_losses_m3 = 0.0
+        self.total_delivered_m3 = 0.0
+
+    def add_canal(self, canal: Canal) -> Canal:
+        if canal.parent is not None and canal.parent not in self.canals:
+            raise KeyError(f"parent canal {canal.parent!r} unknown")
+        self.canals[canal.name] = canal
+        return canal
+
+    def add_farm(self, farm: FarmOfftake) -> FarmOfftake:
+        if farm.canal not in self.canals:
+            raise KeyError(f"canal {farm.canal!r} unknown")
+        self.farms[farm.name] = farm
+        return farm
+
+    def set_demand(self, farm_name: str, volume_m3: float) -> None:
+        if volume_m3 < 0:
+            raise ValueError("demand must be non-negative")
+        self.farms[farm_name].requested_m3 = volume_m3
+
+    def _canal_path(self, canal_name: str) -> List[Canal]:
+        """Path from the reservoir down to ``canal_name`` (inclusive)."""
+        path: List[Canal] = []
+        current: Optional[str] = canal_name
+        while current is not None:
+            canal = self.canals[current]
+            path.append(canal)
+            current = canal.parent
+        path.reverse()
+        return path
+
+    def _gross_needed(self, canal_name: str, net_m3: float) -> float:
+        """Volume to withdraw so ``net_m3`` arrives past seepage losses."""
+        gross = net_m3
+        for canal in reversed(self._canal_path(canal_name)):
+            gross = gross / (1.0 - canal.loss_fraction)
+        return gross
+
+    def _path_headroom(self, canal_name: str) -> float:
+        """Max additional *net* delivery the path can still carry today."""
+        headroom = float("inf")
+        net_factor = 1.0
+        for canal in self._canal_path(canal_name):
+            net_factor *= 1.0 - canal.loss_fraction
+            remaining_gross = canal.capacity_m3_day - canal.delivered_today_m3
+            # Net water that this segment's remaining capacity can yield
+            # after downstream losses (approximation: compute at the end).
+            headroom = min(headroom, max(0.0, remaining_gross))
+        # Convert conservative gross headroom into net.
+        return headroom * net_factor
+
+    def allocate(self) -> Dict[str, float]:
+        """One daily allocation round.
+
+        Serves farms in ascending priority; within a priority class, if the
+        reservoir or canal capacity cannot cover all requests, every farm
+        in the class receives the same fraction of its request
+        (proportional rationing).  Returns farm -> allocated m³ and resets
+        daily canal counters afterwards.
+        """
+        for canal in self.canals.values():
+            canal.delivered_today_m3 = 0.0
+        allocations: Dict[str, float] = {farm: 0.0 for farm in self.farms}
+
+        by_priority: Dict[int, List[FarmOfftake]] = {}
+        for farm in self.farms.values():
+            by_priority.setdefault(farm.priority, []).append(farm)
+
+        for priority in sorted(by_priority):
+            group = sorted(by_priority[priority], key=lambda f: f.name)
+            requests = {f.name: f.requested_m3 for f in group}
+            total_request = sum(requests.values())
+            if total_request <= 0:
+                continue
+            # Feasible fraction from the reservoir side (gross).
+            gross_needed = sum(
+                self._gross_needed(f.canal, requests[f.name]) for f in group
+            )
+            fraction = 1.0
+            if gross_needed > self.reservoir.stock_m3:
+                fraction = self.reservoir.stock_m3 / gross_needed if gross_needed > 0 else 0.0
+            for farm in group:
+                target_net = requests[farm.name] * fraction
+                capped_net = min(target_net, self._path_headroom(farm.canal))
+                gross = self._gross_needed(farm.canal, capped_net)
+                taken = self.reservoir.withdraw(gross)
+                if taken < gross:  # rounding-level shortfall
+                    capped_net = capped_net * (taken / gross if gross > 0 else 0.0)
+                delivered = capped_net
+                loss = taken - delivered
+                self.total_losses_m3 += max(0.0, loss)
+                self.total_delivered_m3 += delivered
+                for canal in self._canal_path(farm.canal):
+                    canal.delivered_today_m3 += taken  # gross through every segment
+                allocations[farm.name] = delivered
+                farm.allocated_m3 = delivered
+                farm.cum_requested_m3 += farm.requested_m3
+                farm.cum_allocated_m3 += delivered
+                farm.requested_m3 = 0.0
+        return allocations
+
+    def efficiency(self) -> float:
+        """Delivered / (delivered + losses) over the run so far."""
+        total = self.total_delivered_m3 + self.total_losses_m3
+        return self.total_delivered_m3 / total if total > 0 else 1.0

@@ -1,0 +1,64 @@
+"""Variable Rate Irrigation prescription maps.
+
+The MATOPIBA pilot's goal: per-sector depths for a center pivot, derived
+from per-zone depletion, instead of one uniform depth.  The uniform
+baseline must not under-irrigate anywhere, so it is sized by the *driest*
+zone (that is what a risk-averse operator does), which is exactly why it
+over-waters everywhere else on a variable field.
+"""
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.irrigation.policy import SoilMoisturePolicy
+from repro.physics.field import FieldZone
+
+
+def build_prescription(
+    zones: Iterable[FieldZone],
+    policy: Optional[SoilMoisturePolicy] = None,
+    forecast_rain_mm: float = 0.0,
+    depletion_reader: Optional[Callable[[FieldZone], float]] = None,
+) -> Dict[str, float]:
+    """Per-zone depths from each zone's own depletion.
+
+    ``depletion_reader`` lets the platform path feed *sensed* depletion
+    (possibly tampered — experiment E5) instead of ground truth.
+    """
+    policy = policy or SoilMoisturePolicy()
+    prescription: Dict[str, float] = {}
+    for zone in zones:
+        depletion = (
+            depletion_reader(zone)
+            if depletion_reader is not None
+            else zone.water_balance.depletion_mm
+        )
+        decision = policy.decide(
+            depletion, zone.water_balance.readily_available_water_mm, forecast_rain_mm
+        )
+        prescription[zone.zone_id] = decision.depth_mm
+    return prescription
+
+
+def uniform_prescription(
+    zones: Iterable[FieldZone],
+    policy: Optional[SoilMoisturePolicy] = None,
+    forecast_rain_mm: float = 0.0,
+) -> Dict[str, float]:
+    """One depth everywhere, sized by the neediest zone (worst-case sizing)."""
+    policy = policy or SoilMoisturePolicy()
+    zones = list(zones)
+    worst = 0.0
+    for zone in zones:
+        decision = policy.decide(
+            zone.water_balance.depletion_mm,
+            zone.water_balance.readily_available_water_mm,
+            forecast_rain_mm,
+        )
+        worst = max(worst, decision.depth_mm)
+    return {zone.zone_id: worst for zone in zones}
+
+
+def prescription_volume_m3(prescription: Dict[str, float], zones: Iterable[FieldZone]) -> float:
+    """Total water a prescription applies (mm · ha → m³)."""
+    by_id = {z.zone_id: z for z in zones}
+    return sum(depth * by_id[zid].area_ha * 10.0 for zid, depth in prescription.items() if zid in by_id)

@@ -1,0 +1,60 @@
+"""In-simulation MQTT implementation (3.1.1-style semantics).
+
+The SWAMP pipeline the paper describes is *device → MQTT → IoT agent →
+context broker*.  This package implements the transport leg with real
+protocol semantics rather than a toy pub/sub, because several security
+experiments depend on them:
+
+* QoS 1/2 retransmission interacts with DoS-induced loss (E4);
+* retained messages and wills matter for fog failover (E9);
+* broker-side authentication/authorization hooks carry the OAuth tokens
+  and per-farm ACLs (E10).
+
+Clients and broker exchange MQTT control packets as payloads on the
+:mod:`repro.network` substrate.
+"""
+
+from repro.mqtt.broker import MqttBroker
+from repro.mqtt.client import MqttClient
+from repro.mqtt.packets import (
+    ConnAck,
+    Connect,
+    ConnectReturnCode,
+    Disconnect,
+    PingReq,
+    PingResp,
+    PubAck,
+    PubComp,
+    Publish,
+    PubRec,
+    PubRel,
+    SubAck,
+    Subscribe,
+    UnsubAck,
+    Unsubscribe,
+)
+from repro.mqtt.topics import TopicError, topic_matches, validate_filter, validate_topic
+
+__all__ = [
+    "ConnAck",
+    "Connect",
+    "ConnectReturnCode",
+    "Disconnect",
+    "MqttBroker",
+    "MqttClient",
+    "PingReq",
+    "PingResp",
+    "PubAck",
+    "PubComp",
+    "PubRec",
+    "PubRel",
+    "Publish",
+    "SubAck",
+    "Subscribe",
+    "TopicError",
+    "UnsubAck",
+    "Unsubscribe",
+    "topic_matches",
+    "validate_filter",
+    "validate_topic",
+]

@@ -1,0 +1,381 @@
+"""The MQTT broker.
+
+One broker instance serves one deployment tier: the paper's cloud
+configuration runs a single cloud broker; the fog configuration adds a local
+broker on the farm that keeps operating during Internet disconnection (E9).
+
+Security hooks:
+
+* ``authenticator(connect) -> ConnectReturnCode`` — wired to the OAuth2
+  identity manager in :mod:`repro.security.auth` (E10);
+* ``authorizer(session, action, topic) -> bool`` — per-farm topic ACLs;
+* every authorization failure is counted and traced, feeding the audit log.
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mqtt.packets import (
+    ConnAck,
+    Connect,
+    ConnectReturnCode,
+    Disconnect,
+    MqttPacket,
+    PingReq,
+    PingResp,
+    PubAck,
+    PubComp,
+    Publish,
+    PubRec,
+    PubRel,
+    SubAck,
+    Subscribe,
+    UnsubAck,
+    Unsubscribe,
+)
+from repro.mqtt.qos import Inbox, Outbox
+from repro.mqtt.topics import TopicError, topic_matches, validate_filter, validate_topic
+from repro.network.node import NetworkNode
+from repro.network.packet import Packet
+from repro.simkernel.simulator import Simulator
+
+SUBACK_FAILURE = 0x80
+
+
+class BrokerSession:
+    """Server-side state for one client."""
+
+    def __init__(self, broker: "MqttBroker", client_id: str, address: str, connect: Connect) -> None:
+        self.client_id = client_id
+        self.address = address
+        self.clean_session = connect.clean_session
+        self.username = connect.username
+        self.keepalive_s = connect.keepalive_s
+        self.connected = True
+        self.last_seen = broker.sim.now
+        self.subscriptions: Dict[str, int] = {}
+        self.will: Optional[Tuple[str, bytes, int, bool]] = None
+        if connect.will_topic:
+            self.will = (connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain)
+        self.outbox = Outbox(broker.sim, lambda pkt: broker._send_to(self, pkt))
+        self.inbox = Inbox(lambda pkt: broker._send_to(self, pkt))
+        # Messages queued while a persistent session is offline.
+        self.offline_queue: List[Publish] = []
+
+    def granted_qos(self, topic: str) -> Optional[int]:
+        """Highest subscription QoS matching ``topic``, or None."""
+        best: Optional[int] = None
+        for topic_filter, qos in self.subscriptions.items():
+            if topic_matches(topic_filter, topic):
+                if best is None or qos > best:
+                    best = qos
+        return best
+
+
+class BrokerStats:
+    __slots__ = (
+        "connects",
+        "rejected_connects",
+        "publishes_in",
+        "publishes_out",
+        "denied_publish",
+        "denied_subscribe",
+        "dropped_overload",
+        "session_expirations",
+        "wills_published",
+    )
+
+    def __init__(self) -> None:
+        self.connects = 0
+        self.rejected_connects = 0
+        self.publishes_in = 0
+        self.publishes_out = 0
+        self.denied_publish = 0
+        self.denied_subscribe = 0
+        self.dropped_overload = 0
+        self.session_expirations = 0
+        self.wills_published = 0
+
+
+class MqttBroker(NetworkNode):
+    """MQTT 3.1.1-style broker running on a network node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: str,
+        authenticator: Optional[Callable[[Connect], ConnectReturnCode]] = None,
+        authorizer: Optional[Callable[[BrokerSession, str, str], bool]] = None,
+        max_offline_queue: int = 1000,
+        sweep_interval_s: float = 10.0,
+        max_inflight_per_session: int = 64,
+    ) -> None:
+        super().__init__(address)
+        self.sim = sim
+        self.authenticator = authenticator
+        self.authorizer = authorizer
+        self.max_offline_queue = max_offline_queue
+        self.max_inflight_per_session = max_inflight_per_session
+        self.sessions: Dict[str, BrokerSession] = {}
+        self._address_index: Dict[str, str] = {}  # network address -> client_id
+        self.retained: Dict[str, Publish] = {}
+        self.stats = BrokerStats()
+        self._sweep_interval_s = sweep_interval_s
+        self._sweeping = False
+        self._start_sweeper()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _start_sweeper(self) -> None:
+        if self._sweeping:
+            return
+        self._sweeping = True
+        self.sim.schedule(self._sweep_interval_s, self._sweep, label=f"{self.address}:sweep")
+
+    def _sweep(self) -> None:
+        """Expire sessions whose keepalive lapsed (publishes their will)."""
+        now = self.sim.now
+        for session in list(self.sessions.values()):
+            if not session.connected:
+                continue
+            if session.keepalive_s and now - session.last_seen > 1.5 * session.keepalive_s:
+                self._expire_session(session)
+        self.sim.schedule(self._sweep_interval_s, self._sweep, label=f"{self.address}:sweep")
+
+    def _expire_session(self, session: BrokerSession) -> None:
+        self.stats.session_expirations += 1
+        self.sim.trace.emit(
+            self.sim.now, "mqtt", "session expired", broker=self.address, client=session.client_id
+        )
+        self._publish_will(session)
+        self._disconnect_session(session, drop_will=True)
+
+    def _publish_will(self, session: BrokerSession) -> None:
+        if session.will is None:
+            return
+        topic, payload, qos, retain = session.will
+        self.stats.wills_published += 1
+        self._route_publish(Publish(topic=topic, payload=payload, qos=qos, retain=retain), origin=None)
+
+    def _disconnect_session(self, session: BrokerSession, drop_will: bool) -> None:
+        session.connected = False
+        if drop_will:
+            session.will = None
+        session.outbox.clear()
+        self._address_index.pop(session.address, None)
+        if session.clean_session:
+            self.sessions.pop(session.client_id, None)
+
+    def _send_to(self, session: BrokerSession, packet: MqttPacket) -> None:
+        self.send(session.address, packet, packet.wire_size(), flow="mqtt")
+
+    # -- packet dispatch -----------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        mqtt_packet = packet.payload
+        if isinstance(mqtt_packet, Connect):
+            self._on_connect(packet.src, mqtt_packet)
+            return
+        client_id = self._address_index.get(packet.src)
+        session = self.sessions.get(client_id) if client_id else None
+        if session is None or not session.connected:
+            # Unknown peer: per spec we must close the connection; in the
+            # simulation we just ignore (counted for DoS experiments).
+            self.stats.dropped_overload += 1
+            return
+        session.last_seen = self.sim.now
+        if isinstance(mqtt_packet, Publish):
+            self._on_publish(session, mqtt_packet)
+        elif isinstance(mqtt_packet, Subscribe):
+            self._on_subscribe(session, mqtt_packet)
+        elif isinstance(mqtt_packet, Unsubscribe):
+            self._on_unsubscribe(session, mqtt_packet)
+        elif isinstance(mqtt_packet, PubAck):
+            session.outbox.on_puback(mqtt_packet)
+        elif isinstance(mqtt_packet, PubRec):
+            session.outbox.on_pubrec(mqtt_packet)
+        elif isinstance(mqtt_packet, PubRel):
+            session.inbox.on_pubrel(mqtt_packet)
+            release = getattr(session, "_qos2_release", {}).pop(mqtt_packet.packet_id, None)
+            if release is not None:
+                self._route_publish(release, origin=session)
+        elif isinstance(mqtt_packet, PubComp):
+            session.outbox.on_pubcomp(mqtt_packet)
+        elif isinstance(mqtt_packet, PingReq):
+            self._send_to(session, PingResp())
+        elif isinstance(mqtt_packet, Disconnect):
+            self._disconnect_session(session, drop_will=True)
+
+    # -- CONNECT -----------------------------------------------------------
+
+    def _on_connect(self, src_address: str, connect: Connect) -> None:
+        code = ConnectReturnCode.ACCEPTED
+        if not connect.client_id:
+            code = ConnectReturnCode.IDENTIFIER_REJECTED
+        elif self.authenticator is not None:
+            code = self.authenticator(connect)
+        if code is not ConnectReturnCode.ACCEPTED:
+            self.stats.rejected_connects += 1
+            self.sim.trace.emit(
+                self.sim.now, "mqtt", "connect rejected",
+                broker=self.address, client=connect.client_id, code=int(code),
+            )
+            self.send(src_address, ConnAck(return_code=code), ConnAck().wire_size(), flow="mqtt")
+            return
+
+        existing = self.sessions.get(connect.client_id)
+        session_present = False
+        if existing is not None and existing.connected:
+            # Session takeover: the old connection is dropped.
+            self._disconnect_session(existing, drop_will=False)
+            existing = self.sessions.get(connect.client_id)
+
+        if connect.clean_session or existing is None:
+            session = BrokerSession(self, connect.client_id, src_address, connect)
+            self.sessions[connect.client_id] = session
+        else:
+            session = existing
+            session_present = True
+            session.address = src_address
+            session.connected = True
+            session.keepalive_s = connect.keepalive_s
+            session.last_seen = self.sim.now
+            session.username = connect.username
+            if connect.will_topic:
+                session.will = (
+                    connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain
+                )
+        self._address_index[src_address] = connect.client_id
+        self.stats.connects += 1
+        self.send(
+            src_address,
+            ConnAck(return_code=code, session_present=session_present),
+            ConnAck().wire_size(),
+            flow="mqtt",
+        )
+        if session_present:
+            self._flush_offline_queue(session)
+
+    def _flush_offline_queue(self, session: BrokerSession) -> None:
+        queued, session.offline_queue = session.offline_queue, []
+        for publish in queued:
+            self._deliver_to(session, publish, publish.qos)
+
+    # -- PUBLISH in -----------------------------------------------------------
+
+    def _on_publish(self, session: BrokerSession, publish: Publish) -> None:
+        try:
+            validate_topic(publish.topic)
+        except TopicError:
+            return
+        if self.authorizer is not None and not self.authorizer(session, "publish", publish.topic):
+            self.stats.denied_publish += 1
+            self.sim.trace.emit(
+                self.sim.now, "mqtt", "publish denied",
+                broker=self.address, client=session.client_id, topic=publish.topic,
+            )
+            # 3.1.1 has no puback error; broker silently drops (but still
+            # completes QoS handshakes so the client doesn't retransmit).
+            if publish.qos == 1:
+                self._send_to(session, PubAck(packet_id=publish.packet_id))
+            elif publish.qos == 2:
+                session.inbox.on_publish_qos2(publish)
+            return
+        self.stats.publishes_in += 1
+        if publish.qos == 0:
+            self._route_publish(publish, origin=session)
+        elif publish.qos == 1:
+            self._send_to(session, PubAck(packet_id=publish.packet_id))
+            self._route_publish(publish, origin=session)
+        else:  # QoS 2: route on PUBREL (exactly once)
+            first = session.inbox.on_publish_qos2(publish)
+            if first:
+                if not hasattr(session, "_qos2_release"):
+                    session._qos2_release = {}
+                session._qos2_release[publish.packet_id] = publish
+
+    # -- routing -----------------------------------------------------------
+
+    def _route_publish(self, publish: Publish, origin: Optional[BrokerSession]) -> None:
+        if publish.retain:
+            if publish.payload:
+                self.retained[publish.topic] = Publish(
+                    topic=publish.topic, payload=publish.payload, qos=publish.qos, retain=True
+                )
+            else:
+                # Zero-byte retained payload clears the retained message.
+                self.retained.pop(publish.topic, None)
+        for session in sorted(self.sessions.values(), key=lambda s: s.client_id):
+            qos = session.granted_qos(publish.topic)
+            if qos is None:
+                continue
+            effective_qos = min(qos, publish.qos)
+            if not session.connected:
+                if not session.clean_session and effective_qos > 0:
+                    if len(session.offline_queue) < self.max_offline_queue:
+                        session.offline_queue.append(
+                            Publish(topic=publish.topic, payload=publish.payload, qos=effective_qos)
+                        )
+                    else:
+                        self.stats.dropped_overload += 1
+                continue
+            self._deliver_to(session, publish, effective_qos)
+
+    def _deliver_to(self, session: BrokerSession, publish: Publish, qos: int) -> None:
+        outbound = Publish(topic=publish.topic, payload=publish.payload, qos=qos, retain=False)
+        self.stats.publishes_out += 1
+        if qos == 0:
+            self._send_to(session, outbound)
+        else:
+            if session.outbox.send_publish(outbound) is None:
+                self.stats.dropped_overload += 1
+
+    # -- SUBSCRIBE / UNSUBSCRIBE --------------------------------------------------
+
+    def _on_subscribe(self, session: BrokerSession, subscribe: Subscribe) -> None:
+        return_codes = []
+        granted = []
+        for topic_filter, qos in subscribe.subscriptions:
+            try:
+                validate_filter(topic_filter)
+            except TopicError:
+                return_codes.append(SUBACK_FAILURE)
+                continue
+            if self.authorizer is not None and not self.authorizer(session, "subscribe", topic_filter):
+                self.stats.denied_subscribe += 1
+                self.sim.trace.emit(
+                    self.sim.now, "mqtt", "subscribe denied",
+                    broker=self.address, client=session.client_id, filter=topic_filter,
+                )
+                return_codes.append(SUBACK_FAILURE)
+                continue
+            qos = min(qos, 2)
+            session.subscriptions[topic_filter] = qos
+            return_codes.append(qos)
+            granted.append((topic_filter, qos))
+        self._send_to(session, SubAck(packet_id=subscribe.packet_id, return_codes=tuple(return_codes)))
+        # Retained message delivery for each newly granted filter.
+        for topic_filter, qos in granted:
+            for topic in sorted(self.retained):
+                if topic_matches(topic_filter, topic):
+                    retained = self.retained[topic]
+                    outbound = Publish(
+                        topic=retained.topic,
+                        payload=retained.payload,
+                        qos=min(qos, retained.qos),
+                        retain=True,
+                    )
+                    self.stats.publishes_out += 1
+                    if outbound.qos == 0:
+                        self._send_to(session, outbound)
+                    else:
+                        session.outbox.send_publish(outbound)
+
+    def _on_unsubscribe(self, session: BrokerSession, unsubscribe: Unsubscribe) -> None:
+        for topic_filter in unsubscribe.filters:
+            session.subscriptions.pop(topic_filter, None)
+        self._send_to(session, UnsubAck(packet_id=unsubscribe.packet_id))
+
+    # -- inspection -----------------------------------------------------------
+
+    def connected_clients(self) -> List[str]:
+        return sorted(cid for cid, s in self.sessions.items() if s.connected)

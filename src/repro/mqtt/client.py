@@ -1,0 +1,334 @@
+"""MQTT client.
+
+Devices, IoT agents, fog services and attackers all speak MQTT through this
+class.  The client owns:
+
+* the connection state machine (CONNECT/CONNACK, keepalive pings, reconnect
+  with exponential backoff);
+* sender- and receiver-side QoS flows via :mod:`repro.mqtt.qos`;
+* an optional secure-channel wrapper installed by
+  :mod:`repro.security.crypto` (payload encryption, so wire taps see
+  ciphertext only).
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mqtt.packets import (
+    ConnAck,
+    Connect,
+    ConnectReturnCode,
+    Disconnect,
+    MqttPacket,
+    PingReq,
+    PingResp,
+    PubAck,
+    PubComp,
+    Publish,
+    PubRec,
+    PubRel,
+    SubAck,
+    Subscribe,
+    UnsubAck,
+    Unsubscribe,
+)
+from repro.mqtt.qos import Inbox, Outbox
+from repro.mqtt.topics import validate_filter, validate_topic
+from repro.network.node import NetworkNode
+from repro.network.packet import Packet
+from repro.simkernel.simulator import Simulator
+
+MessageHandler = Callable[[str, bytes, int, bool], None]
+
+
+class ClientStats:
+    __slots__ = ("published", "received", "connects", "connect_failures", "pings")
+
+    def __init__(self) -> None:
+        self.published = 0
+        self.received = 0
+        self.connects = 0
+        self.connect_failures = 0
+        self.pings = 0
+
+
+class MqttClient(NetworkNode):
+    def __init__(
+        self,
+        sim: Simulator,
+        address: str,
+        broker_address: str,
+        client_id: Optional[str] = None,
+        username: Optional[str] = None,
+        password: Optional[str] = None,
+        clean_session: bool = True,
+        keepalive_s: float = 60.0,
+        will: Optional[Tuple[str, bytes, int, bool]] = None,
+        auto_reconnect: bool = True,
+    ) -> None:
+        super().__init__(address)
+        self.sim = sim
+        self.broker_address = broker_address
+        self.client_id = client_id or address
+        self.username = username
+        self.password = password
+        self.clean_session = clean_session
+        self.keepalive_s = keepalive_s
+        self.will = will
+        self.auto_reconnect = auto_reconnect
+        self.connected = False
+        self.connecting = False
+        self.stats = ClientStats()
+        self.outbox = Outbox(sim, self._send_packet)
+        self.inbox = Inbox(self._send_packet)
+        self._handlers: List[Tuple[str, MessageHandler]] = []
+        self._next_sub_id = 1
+        self._pending_subscribes: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+        self._subscribe_timers: Dict[int, object] = {}
+        self.subscribe_retry_s = 5.0
+        self.granted: Dict[str, int] = {}
+        self._ping_timer = None
+        self._connack_timer = None
+        self._reconnect_backoff_s = 1.0
+        # Liveness: consecutive PINGREQs without a PINGRESP.  Two misses
+        # mean the connection is dead (the TCP-break signal a real client
+        # gets for free); tear down and let auto-reconnect take over.
+        self._unanswered_pings = 0
+        self.max_unanswered_pings = 2
+        self.on_connect: Optional[Callable[[bool], None]] = None
+        self.on_disconnect: Optional[Callable[[], None]] = None
+        # Payload transform hooks installed by the secure channel layer:
+        # encode(topic, payload) -> (wire_payload, wire_bytes_or_None)
+        self.payload_encoder: Optional[Callable[[str, bytes], Tuple[bytes, Optional[bytes]]]] = None
+        self.payload_decoder: Optional[Callable[[str, bytes], Optional[bytes]]] = None
+
+    # -- wire -----------------------------------------------------------
+
+    def _send_packet(self, packet: MqttPacket, wire_bytes: Optional[bytes] = None) -> None:
+        self.send(self.broker_address, packet, packet.wire_size(), flow="mqtt", wire_bytes=wire_bytes)
+
+    # -- connection -----------------------------------------------------------
+
+    def connect(self) -> None:
+        """Initiate the CONNECT handshake (idempotent while in progress)."""
+        if self.connected or self.connecting:
+            return
+        self.connecting = True
+        connect = Connect(
+            client_id=self.client_id,
+            clean_session=self.clean_session,
+            keepalive_s=self.keepalive_s,
+            username=self.username,
+            password=self.password,
+        )
+        if self.will is not None:
+            connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain = self.will
+        self._send_packet(connect)
+        self._connack_timer = self.sim.schedule(
+            10.0, self._on_connect_timeout, label=f"{self.client_id}:connack-timeout"
+        )
+
+    def _on_connect_timeout(self) -> None:
+        self._connack_timer = None
+        if self.connected:
+            return
+        self.connecting = False
+        self.stats.connect_failures += 1
+        if self.auto_reconnect:
+            self._schedule_reconnect()
+
+    def _schedule_reconnect(self) -> None:
+        self.sim.schedule(
+            self._reconnect_backoff_s, self.connect, label=f"{self.client_id}:reconnect"
+        )
+        self._reconnect_backoff_s = min(self._reconnect_backoff_s * 2.0, 60.0)
+
+    def disconnect(self) -> None:
+        if not self.connected:
+            return
+        self._send_packet(Disconnect())
+        self._teardown(notify=False)
+
+    def _teardown(self, notify: bool) -> None:
+        self.connected = False
+        self.connecting = False
+        if self._ping_timer is not None:
+            self._ping_timer.cancel()
+            self._ping_timer = None
+        for timer in self._subscribe_timers.values():
+            timer.cancel()
+        self._subscribe_timers.clear()
+        self.outbox.clear()
+        if notify and self.on_disconnect is not None:
+            self.on_disconnect()
+
+    # -- keepalive -----------------------------------------------------------
+
+    def _arm_ping(self) -> None:
+        if self.keepalive_s <= 0:
+            return
+        self._ping_timer = self.sim.schedule(
+            self.keepalive_s * 0.8, self._ping, label=f"{self.client_id}:ping"
+        )
+
+    def _ping(self) -> None:
+        self._ping_timer = None
+        if not self.connected:
+            return
+        if self._unanswered_pings >= self.max_unanswered_pings:
+            # Connection is dead: tear down and reconnect.
+            self._teardown(notify=True)
+            if self.auto_reconnect:
+                self._schedule_reconnect()
+            return
+        self._unanswered_pings += 1
+        self.stats.pings += 1
+        self._send_packet(PingReq())
+        self._arm_ping()
+
+    # -- pub/sub API -----------------------------------------------------------
+
+    def publish(self, topic: str, payload: bytes, qos: int = 0, retain: bool = False) -> bool:
+        """Publish; returns False when not connected or window is full."""
+        validate_topic(topic)
+        if not self.connected:
+            return False
+        wire_bytes: Optional[bytes] = None
+        if self.payload_encoder is not None:
+            payload, wire_bytes = self.payload_encoder(topic, payload)
+        publish = Publish(topic=topic, payload=payload, qos=qos, retain=retain)
+        self.stats.published += 1
+        if qos == 0:
+            self._send_packet(publish, wire_bytes=wire_bytes)
+            return True
+        # The retransmission path re-sends through _send_packet without the
+        # wire_bytes tag; acceptable because retransmissions carry the same
+        # ciphertext in the real system.
+        return self.outbox.send_publish(publish) is not None
+
+    def subscribe(self, topic_filter: str, qos: int = 0, handler: Optional[MessageHandler] = None) -> None:
+        validate_filter(topic_filter)
+        if handler is not None:
+            self._handlers.append((topic_filter, handler))
+        pid = self._next_sub_id
+        self._next_sub_id += 1
+        subs = ((topic_filter, qos),)
+        self._pending_subscribes[pid] = subs
+        if self.connected:
+            self._send_subscribe(pid)
+
+    def _send_subscribe(self, pid: int) -> None:
+        """(Re)send a pending SUBSCRIBE until its SUBACK arrives."""
+        subs = self._pending_subscribes.get(pid)
+        if subs is None or not self.connected:
+            return
+        self._send_packet(Subscribe(packet_id=pid, subscriptions=subs))
+        self._subscribe_timers[pid] = self.sim.schedule(
+            self.subscribe_retry_s, self._send_subscribe, (pid,), label=f"{self.client_id}:sub-retry"
+        )
+
+    def add_handler(self, topic_filter: str, handler: MessageHandler) -> None:
+        """Attach a handler without (re)subscribing on the wire."""
+        self._handlers.append((topic_filter, handler))
+
+    def unsubscribe(self, topic_filter: str) -> None:
+        self.granted.pop(topic_filter, None)
+        self._handlers = [(f, h) for f, h in self._handlers if f != topic_filter]
+        if self.connected:
+            pid = self._next_sub_id
+            self._next_sub_id += 1
+            self._send_packet(Unsubscribe(packet_id=pid, filters=(topic_filter,)))
+
+    # -- inbound -----------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        mqtt_packet = packet.payload
+        if isinstance(mqtt_packet, ConnAck):
+            self._on_connack(mqtt_packet)
+        elif isinstance(mqtt_packet, Publish):
+            self._on_publish(mqtt_packet)
+        elif isinstance(mqtt_packet, PubAck):
+            self.outbox.on_puback(mqtt_packet)
+        elif isinstance(mqtt_packet, PubRec):
+            self.outbox.on_pubrec(mqtt_packet)
+        elif isinstance(mqtt_packet, PubRel):
+            self.inbox.on_pubrel(mqtt_packet)
+            pending = getattr(self, "_qos2_pending", {}).pop(mqtt_packet.packet_id, None)
+            if pending is not None:
+                self._dispatch(pending)
+        elif isinstance(mqtt_packet, PubComp):
+            self.outbox.on_pubcomp(mqtt_packet)
+        elif isinstance(mqtt_packet, SubAck):
+            self._on_suback(mqtt_packet)
+        elif isinstance(mqtt_packet, PingResp):
+            self._unanswered_pings = 0
+
+    def _on_connack(self, connack: ConnAck) -> None:
+        if self._connack_timer is not None:
+            self._connack_timer.cancel()
+            self._connack_timer = None
+        self.connecting = False
+        if connack.return_code is not ConnectReturnCode.ACCEPTED:
+            self.stats.connect_failures += 1
+            if self.on_connect is not None:
+                self.on_connect(False)
+            return
+        self.connected = True
+        self.stats.connects += 1
+        self._reconnect_backoff_s = 1.0
+        self._unanswered_pings = 0
+        self._arm_ping()
+        # A fresh (non-resumed) session has no server-side subscription
+        # state: every previously granted filter must be re-subscribed.
+        if not connack.session_present:
+            for topic_filter, qos in sorted(self.granted.items()):
+                if not any(
+                    topic_filter in {f for f, _q in subs}
+                    for subs in self._pending_subscribes.values()
+                ):
+                    pid = self._next_sub_id
+                    self._next_sub_id += 1
+                    self._pending_subscribes[pid] = ((topic_filter, qos),)
+            self.granted = {}
+        # (Re-)establish subscriptions not yet acknowledged.
+        for pid in sorted(self._pending_subscribes):
+            self._send_subscribe(pid)
+        if self.on_connect is not None:
+            self.on_connect(True)
+
+    def _on_suback(self, suback: SubAck) -> None:
+        subs = self._pending_subscribes.pop(suback.packet_id, None)
+        timer = self._subscribe_timers.pop(suback.packet_id, None)
+        if timer is not None:
+            timer.cancel()
+        if subs is None:
+            return
+        for (topic_filter, _requested), code in zip(subs, suback.return_codes):
+            if code <= 2:
+                self.granted[topic_filter] = code
+
+    def _on_publish(self, publish: Publish) -> None:
+        if publish.qos == 1:
+            self._send_packet(PubAck(packet_id=publish.packet_id))
+            self._dispatch(publish)
+        elif publish.qos == 2:
+            first = self.inbox.on_publish_qos2(publish)
+            if first:
+                if not hasattr(self, "_qos2_pending"):
+                    self._qos2_pending = {}
+                self._qos2_pending[publish.packet_id] = publish
+        else:
+            self._dispatch(publish)
+
+    def _dispatch(self, publish: Publish) -> None:
+        payload = publish.payload
+        if self.payload_decoder is not None:
+            decoded = self.payload_decoder(publish.topic, payload)
+            if decoded is None:
+                return  # authentication failure: drop silently, but counted upstream
+            payload = decoded
+        self.stats.received += 1
+        from repro.mqtt.topics import topic_matches
+
+        for topic_filter, handler in list(self._handlers):
+            if topic_matches(topic_filter, publish.topic):
+                handler(publish.topic, payload, publish.qos, publish.retain)

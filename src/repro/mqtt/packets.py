@@ -1,0 +1,167 @@
+"""MQTT control packets.
+
+Packets travel as structured objects on the simulated network; ``wire_size``
+approximates the MQTT 3.1.1 encoding so that bandwidth, energy and DoS
+backlog computations are realistic without bit-level serialization.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class ConnectReturnCode(enum.IntEnum):
+    ACCEPTED = 0
+    UNACCEPTABLE_PROTOCOL = 1
+    IDENTIFIER_REJECTED = 2
+    SERVER_UNAVAILABLE = 3
+    BAD_CREDENTIALS = 4
+    NOT_AUTHORIZED = 5
+
+
+_FIXED_HEADER = 2
+_PACKET_ID_BYTES = 2
+
+
+def _string_size(s: Optional[str]) -> int:
+    return 2 + len(s.encode("utf-8")) if s else 0
+
+
+@dataclass
+class MqttPacket:
+    """Base class; subclasses define their variable-header/payload size."""
+
+    def wire_size(self) -> int:
+        return _FIXED_HEADER + self._body_size()
+
+    def _body_size(self) -> int:
+        return 0
+
+
+@dataclass
+class Connect(MqttPacket):
+    client_id: str
+    clean_session: bool = True
+    keepalive_s: float = 60.0
+    username: Optional[str] = None
+    password: Optional[str] = None
+    will_topic: Optional[str] = None
+    will_payload: bytes = b""
+    will_qos: int = 0
+    will_retain: bool = False
+
+    def _body_size(self) -> int:
+        size = 10 + _string_size(self.client_id)
+        size += _string_size(self.username) + _string_size(self.password)
+        if self.will_topic:
+            size += _string_size(self.will_topic) + 2 + len(self.will_payload)
+        return size
+
+
+@dataclass
+class ConnAck(MqttPacket):
+    return_code: ConnectReturnCode = ConnectReturnCode.ACCEPTED
+    session_present: bool = False
+
+    def _body_size(self) -> int:
+        return 2
+
+
+@dataclass
+class Publish(MqttPacket):
+    topic: str
+    payload: bytes = b""
+    qos: int = 0
+    retain: bool = False
+    dup: bool = False
+    packet_id: Optional[int] = None
+
+    def _body_size(self) -> int:
+        size = _string_size(self.topic) + len(self.payload)
+        if self.qos > 0:
+            size += _PACKET_ID_BYTES
+        return size
+
+
+@dataclass
+class PubAck(MqttPacket):
+    packet_id: int = 0
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES
+
+
+@dataclass
+class PubRec(MqttPacket):
+    packet_id: int = 0
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES
+
+
+@dataclass
+class PubRel(MqttPacket):
+    packet_id: int = 0
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES
+
+
+@dataclass
+class PubComp(MqttPacket):
+    packet_id: int = 0
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES
+
+
+@dataclass
+class Subscribe(MqttPacket):
+    packet_id: int = 0
+    # (filter, qos) pairs
+    subscriptions: Tuple[Tuple[str, int], ...] = field(default_factory=tuple)
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES + sum(_string_size(f) + 1 for f, _q in self.subscriptions)
+
+
+@dataclass
+class SubAck(MqttPacket):
+    packet_id: int = 0
+    # granted QoS per filter; 0x80 = failure
+    return_codes: Tuple[int, ...] = field(default_factory=tuple)
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES + len(self.return_codes)
+
+
+@dataclass
+class Unsubscribe(MqttPacket):
+    packet_id: int = 0
+    filters: Tuple[str, ...] = field(default_factory=tuple)
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES + sum(_string_size(f) for f in self.filters)
+
+
+@dataclass
+class UnsubAck(MqttPacket):
+    packet_id: int = 0
+
+    def _body_size(self) -> int:
+        return _PACKET_ID_BYTES
+
+
+@dataclass
+class PingReq(MqttPacket):
+    pass
+
+
+@dataclass
+class PingResp(MqttPacket):
+    pass
+
+
+@dataclass
+class Disconnect(MqttPacket):
+    pass

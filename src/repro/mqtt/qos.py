@@ -1,0 +1,164 @@
+"""QoS 1/2 delivery state machines, shared by client and broker.
+
+An :class:`Outbox` owns the sender half: it assigns packet ids, remembers
+in-flight messages and retransmits (with the DUP flag) until the peer
+acknowledges.  An :class:`Inbox` owns the receiver half of QoS 2:
+deduplicating PUBLISHes by packet id until the PUBREL releases them.
+
+QoS 0 never touches these classes.
+"""
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.mqtt.packets import PubAck, PubComp, Publish, PubRec, PubRel
+from repro.simkernel.simulator import Simulator
+
+
+class _InFlight:
+    __slots__ = ("publish", "state", "retries", "timer")
+
+    def __init__(self, publish: Publish) -> None:
+        self.publish = publish
+        # qos1: 'await_puback'; qos2: 'await_pubrec' then 'await_pubcomp'
+        self.state = "await_puback" if publish.qos == 1 else "await_pubrec"
+        self.retries = 0
+        self.timer = None
+
+
+class Outbox:
+    """Sender-side QoS 1/2 flows for one peer connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        send: Callable[[object], None],
+        retry_interval_s: float = 5.0,
+        max_retries: int = 5,
+        max_in_flight: int = 64,
+    ) -> None:
+        self.sim = sim
+        self._send = send
+        self.retry_interval_s = retry_interval_s
+        self.max_retries = max_retries
+        self.max_in_flight = max_in_flight
+        self._next_id = 1
+        self._in_flight: Dict[int, _InFlight] = {}
+        self.expired = 0  # messages abandoned after max_retries
+        self.completed = 0
+
+    def _alloc_id(self) -> int:
+        # Packet ids are 16-bit and must not collide with in-flight ids.
+        for _ in range(65535):
+            pid = self._next_id
+            self._next_id = self._next_id % 65535 + 1
+            if pid not in self._in_flight:
+                return pid
+        raise RuntimeError("no free MQTT packet ids")
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    def send_publish(self, publish: Publish) -> Optional[int]:
+        """Send a QoS>0 publish; returns its packet id or None when the
+        in-flight window is full (caller drops or defers)."""
+        if len(self._in_flight) >= self.max_in_flight:
+            return None
+        pid = self._alloc_id()
+        publish.packet_id = pid
+        flight = _InFlight(publish)
+        self._in_flight[pid] = flight
+        self._send(publish)
+        self._arm_timer(flight)
+        return pid
+
+    def _arm_timer(self, flight: _InFlight) -> None:
+        flight.timer = self.sim.schedule(
+            self.retry_interval_s, self._retry, (flight,), label="mqtt:retry"
+        )
+
+    def _retry(self, flight: _InFlight) -> None:
+        pid = flight.publish.packet_id
+        if pid not in self._in_flight or self._in_flight[pid] is not flight:
+            return
+        if flight.retries >= self.max_retries:
+            del self._in_flight[pid]
+            self.expired += 1
+            return
+        flight.retries += 1
+        if flight.state in ("await_puback", "await_pubrec"):
+            flight.publish.dup = True
+            self._send(flight.publish)
+        else:  # await_pubcomp: re-send PUBREL
+            self._send(PubRel(packet_id=pid))
+        self._arm_timer(flight)
+
+    def _cancel_timer(self, flight: _InFlight) -> None:
+        if flight.timer is not None:
+            flight.timer.cancel()
+            flight.timer = None
+
+    def on_puback(self, packet: PubAck) -> bool:
+        flight = self._in_flight.get(packet.packet_id)
+        if flight is None or flight.state != "await_puback":
+            return False
+        self._cancel_timer(flight)
+        del self._in_flight[packet.packet_id]
+        self.completed += 1
+        return True
+
+    def on_pubrec(self, packet: PubRec) -> bool:
+        flight = self._in_flight.get(packet.packet_id)
+        if flight is None or flight.state != "await_pubrec":
+            return False
+        flight.state = "await_pubcomp"
+        self._cancel_timer(flight)
+        self._send(PubRel(packet_id=packet.packet_id))
+        self._arm_timer(flight)
+        return True
+
+    def on_pubcomp(self, packet: PubComp) -> bool:
+        flight = self._in_flight.get(packet.packet_id)
+        if flight is None or flight.state != "await_pubcomp":
+            return False
+        self._cancel_timer(flight)
+        del self._in_flight[packet.packet_id]
+        self.completed += 1
+        return True
+
+    def clear(self) -> None:
+        for flight in self._in_flight.values():
+            self._cancel_timer(flight)
+        self._in_flight.clear()
+
+
+class Inbox:
+    """Receiver-side QoS 2 exactly-once dedup for one peer connection."""
+
+    def __init__(self, send: Callable[[object], None]) -> None:
+        self._send = send
+        self._pending_release: Set[int] = set()
+        self.duplicates_suppressed = 0
+
+    def on_publish_qos2(self, publish: Publish) -> bool:
+        """Handle an inbound QoS 2 PUBLISH.
+
+        Returns True when the message should be delivered to the
+        application (first arrival); False for a duplicate.
+        Always answers with PUBREC.
+        """
+        pid = publish.packet_id
+        first = pid not in self._pending_release
+        if first:
+            self._pending_release.add(pid)
+        else:
+            self.duplicates_suppressed += 1
+        self._send(PubRec(packet_id=pid))
+        return first
+
+    def on_pubrel(self, packet: PubRel) -> None:
+        self._pending_release.discard(packet.packet_id)
+        self._send(PubComp(packet_id=packet.packet_id))
+
+    def clear(self) -> None:
+        self._pending_release.clear()

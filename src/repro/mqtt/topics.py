@@ -1,0 +1,74 @@
+"""MQTT topic names and filters.
+
+Implements the MQTT 3.1.1 matching rules:
+
+* ``+`` matches exactly one level, ``#`` matches the remainder and must be
+  the last level;
+* filters starting with ``$`` semantics: topics beginning with ``$`` are not
+  matched by filters starting with wildcards (``$SYS`` protection);
+* empty levels are legal (``a//b`` has three levels).
+"""
+
+from typing import List
+
+
+class TopicError(ValueError):
+    """Invalid topic name or filter."""
+
+
+MAX_TOPIC_BYTES = 65535
+
+
+def _check_common(value: str, what: str) -> List[str]:
+    if not value:
+        raise TopicError(f"{what} must not be empty")
+    if len(value.encode("utf-8")) > MAX_TOPIC_BYTES:
+        raise TopicError(f"{what} too long")
+    if "\x00" in value:
+        raise TopicError(f"{what} must not contain NUL")
+    return value.split("/")
+
+
+def validate_topic(topic: str) -> str:
+    """Validate a concrete topic name (no wildcards allowed)."""
+    _check_common(topic, "topic")
+    if "+" in topic or "#" in topic:
+        raise TopicError(f"topic name {topic!r} must not contain wildcards")
+    return topic
+
+
+def validate_filter(topic_filter: str) -> str:
+    """Validate a subscription filter (wildcards allowed per the spec)."""
+    levels = _check_common(topic_filter, "filter")
+    for i, level in enumerate(levels):
+        if level == "#":
+            if i != len(levels) - 1:
+                raise TopicError(f"'#' must be the last level in {topic_filter!r}")
+        elif "#" in level:
+            raise TopicError(f"'#' must occupy a whole level in {topic_filter!r}")
+        elif level != "+" and "+" in level:
+            raise TopicError(f"'+' must occupy a whole level in {topic_filter!r}")
+    return topic_filter
+
+
+def topic_matches(topic_filter: str, topic: str) -> bool:
+    """True when ``topic`` matches subscription ``topic_filter``."""
+    filter_levels = topic_filter.split("/")
+    topic_levels = topic.split("/")
+    # Wildcard-leading filters must not match $-topics.
+    if topic_levels[0].startswith("$") and filter_levels[0] in ("+", "#"):
+        return False
+    i = 0
+    for i, flevel in enumerate(filter_levels):
+        if flevel == "#":
+            return True
+        if i >= len(topic_levels):
+            return False
+        if flevel == "+":
+            continue
+        if flevel != topic_levels[i]:
+            return False
+    # 'sport/#' also matches 'sport' (spec: # includes the parent level),
+    # handled above.  Here the filter is exhausted; match only if the topic
+    # is too.
+    return len(topic_levels) == len(filter_levels)

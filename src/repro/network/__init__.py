@@ -1,0 +1,31 @@
+"""Network substrate: nodes, links, radio models, partitions.
+
+Models the connectivity the SWAMP pilots run over: constrained field radio
+(LoRa-class links from sensor nodes to a farm gateway), farm LAN between
+gateway/fog components, and a WAN backhaul from the farm to the cloud that
+can be partitioned (the paper's "Internet disconnection" availability
+scenario) or flooded (DoS).
+
+The substrate is intentionally message-level, not bit-level: a packet is a
+payload with size metadata; links apply latency, bandwidth serialization,
+loss and optional taps (eavesdroppers, SDN flow accounting).
+"""
+
+from repro.network.packet import Packet
+from repro.network.node import NetworkNode
+from repro.network.link import Link, LinkState
+from repro.network.radio import RadioModel, LORA_FIELD, WIFI_FARM, ETHERNET_LAN, WAN_BACKHAUL
+from repro.network.topology import Network
+
+__all__ = [
+    "ETHERNET_LAN",
+    "LORA_FIELD",
+    "Link",
+    "LinkState",
+    "Network",
+    "NetworkNode",
+    "Packet",
+    "RadioModel",
+    "WAN_BACKHAUL",
+    "WIFI_FARM",
+]

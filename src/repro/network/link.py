@@ -1,0 +1,159 @@
+"""Point-to-point links with latency, bandwidth, loss, queueing and taps.
+
+A link is directional (A→B); :class:`~repro.network.topology.Network` creates
+one per direction.  The queueing model is a single FIFO transmit queue with a
+bounded backlog: each packet occupies the wire for its serialization delay,
+and packets arriving when the backlog already exceeds ``max_backlog_s``
+seconds of queued transmission time are tail-dropped.  This is what makes
+DoS floods (experiment E4) actually degrade service instead of being
+absorbed by an infinitely elastic simulator.
+
+Taps observe every packet that traverses the link — the hook used both by
+eavesdropping attackers and by the SDN flow-statistics collector.
+"""
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.network.packet import Packet
+from repro.network.radio import RadioModel
+from repro.simkernel.events import PRIORITY_NETWORK
+from repro.simkernel.rng import SeededStream
+from repro.simkernel.simulator import Simulator
+
+
+class LinkState(enum.Enum):
+    UP = "up"
+    DOWN = "down"  # partition / disconnection
+    JAMMED = "jammed"  # radio jamming attack
+
+
+class LinkStats:
+    """Counters a link keeps for experiments and the SDN collector."""
+
+    __slots__ = ("sent", "delivered", "dropped_loss", "dropped_queue",
+                 "dropped_down", "dropped_duty", "bytes_delivered")
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.delivered = 0
+        self.dropped_loss = 0
+        self.dropped_queue = 0
+        self.dropped_down = 0
+        self.dropped_duty = 0
+        self.bytes_delivered = 0
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.sent if self.sent else 1.0
+
+
+class Link:
+    """One direction of a connection between two nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: str,
+        dst: str,
+        model: RadioModel,
+        rng: SeededStream,
+        deliver: Callable[[Packet], None],
+        max_backlog_s: float = 2.0,
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.model = model
+        self.rng = rng
+        self._deliver = deliver
+        self.max_backlog_s = max_backlog_s
+        self.state = LinkState.UP
+        self.stats = LinkStats()
+        self.taps: List[Callable[[Packet], None]] = []
+        # Absolute sim time until which the transmitter is busy.
+        self._busy_until = 0.0
+        # Extra loss imposed by jamming (fraction of packets corrupted).
+        self.jam_loss = 0.0
+        # Regulatory duty-cycle accounting (rolling 1-hour windows).
+        self.duty_window_s = 3600.0
+        self._duty_window_start = 0.0
+        self._airtime_used_s = 0.0
+
+    # -- control -----------------------------------------------------------
+
+    def set_state(self, state: LinkState) -> None:
+        self.state = state
+
+    def add_tap(self, tap: Callable[[Packet], None]) -> None:
+        self.taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[Packet], None]) -> None:
+        try:
+            self.taps.remove(tap)
+        except ValueError:
+            pass
+
+    # -- data path -----------------------------------------------------------
+
+    def transmit(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission.
+
+        Returns ``True`` if the packet entered the wire (it may still be
+        lost in flight), ``False`` if it was dropped at the queue or the
+        link is down.
+        """
+        self.stats.sent += 1
+        if self.state is LinkState.DOWN:
+            self.stats.dropped_down += 1
+            return False
+        now = self.sim.now
+        backlog = max(0.0, self._busy_until - now)
+        if backlog > self.max_backlog_s:
+            self.stats.dropped_queue += 1
+            return False
+        serialization = self.model.serialization_delay(packet.size_bytes)
+        if self.model.duty_cycle < 1.0:
+            if now - self._duty_window_start >= self.duty_window_s:
+                self._duty_window_start = now
+                self._airtime_used_s = 0.0
+            budget = self.model.duty_cycle * self.duty_window_s
+            if self._airtime_used_s + serialization > budget:
+                self.stats.dropped_duty += 1
+                return False
+            self._airtime_used_s += serialization
+        start = max(now, self._busy_until)
+        self._busy_until = start + serialization
+        jitter = self.rng.uniform(0.0, self.model.jitter_s) if self.model.jitter_s else 0.0
+        arrival_delay = (start - now) + serialization + self.model.latency_s + jitter
+        self.sim.schedule(
+            arrival_delay,
+            self._arrive,
+            (packet,),
+            priority=PRIORITY_NETWORK,
+            label=f"link:{self.src}->{self.dst}",
+        )
+        return True
+
+    def _arrive(self, packet: Packet) -> None:
+        # Taps see the wire even for packets that are then lost; a radio
+        # eavesdropper hears corrupted frames too, but we only expose frames
+        # that would decode, which is the conservative choice for leakage
+        # measurement.
+        if self.state is LinkState.DOWN:
+            self.stats.dropped_down += 1
+            return
+        loss = self.model.loss_rate
+        if self.state is LinkState.JAMMED:
+            loss = min(0.999, loss + self.jam_loss)
+        if loss and self.rng.bernoulli(loss):
+            self.stats.dropped_loss += 1
+            return
+        for tap in self.taps:
+            tap(packet)
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += packet.size_bytes
+        self._deliver(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.src}->{self.dst}, {self.model.name}, {self.state.value})"

@@ -1,0 +1,62 @@
+"""Network node base class.
+
+Anything with a network address derives from :class:`NetworkNode`: devices,
+gateways, fog nodes, cloud hosts, attackers.  A node receives packets via
+:meth:`on_packet` and sends through the :class:`~repro.network.topology.Network`.
+"""
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.packet import Packet
+    from repro.network.topology import Network
+
+
+class NetworkNode:
+    """A named endpoint attached to the network."""
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.network: Optional["Network"] = None
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    def attach(self, network: "Network") -> None:
+        self.network = network
+
+    def send(
+        self,
+        dst: str,
+        payload: Any,
+        size_bytes: int,
+        flow: str = "",
+        wire_bytes: Optional[bytes] = None,
+    ) -> Optional["Packet"]:
+        """Send a packet; returns it, or ``None`` if the node is detached
+        or no route exists (callers treat that as a silent drop, like a
+        host with no default route)."""
+        if self.network is None:
+            return None
+        packet = self.network.make_packet(
+            self.address, dst, payload, size_bytes, flow=flow, wire_bytes=wire_bytes
+        )
+        sent = self.network.transmit(packet)
+        if sent:
+            self.tx_packets += 1
+            self.tx_bytes += size_bytes
+            return packet
+        return None
+
+    def deliver(self, packet: "Packet") -> None:
+        """Called by the network when a packet arrives."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.size_bytes
+        self.on_packet(packet)
+
+    def on_packet(self, packet: "Packet") -> None:
+        """Override in subclasses to handle traffic."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.address!r})"

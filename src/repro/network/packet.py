@@ -1,0 +1,66 @@
+"""Network packets.
+
+A packet carries an application payload (any Python object — usually an MQTT
+packet or an NGSI sync message) plus the metadata links and security
+components need: source/destination, size, and an optional wire
+representation.  When a payload has been encrypted, ``wire_bytes`` holds the
+ciphertext and eavesdroppers see only that; otherwise taps see the payload
+itself (the paper's plaintext-eavesdropping threat).
+"""
+
+import itertools
+from typing import Any, Dict, Optional
+
+_packet_ids = itertools.count(1)
+
+
+class Packet:
+    __slots__ = (
+        "packet_id",
+        "src",
+        "dst",
+        "payload",
+        "size_bytes",
+        "wire_bytes",
+        "created_at",
+        "flow",
+        "headers",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size_bytes: int,
+        created_at: float,
+        wire_bytes: Optional[bytes] = None,
+        flow: str = "",
+        headers: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.wire_bytes = wire_bytes
+        self.created_at = created_at
+        # Flow label, e.g. "mqtt", "ngsi-sync", "attack:flood"; the SDN layer
+        # keys its flow table on (src, dst, flow).
+        self.flow = flow
+        self.headers = headers or {}
+
+    @property
+    def encrypted(self) -> bool:
+        return self.wire_bytes is not None
+
+    def observable(self) -> Any:
+        """What a passive tap on the wire can read."""
+        return self.wire_bytes if self.encrypted else self.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        enc = " enc" if self.encrypted else ""
+        return (
+            f"Packet(#{self.packet_id} {self.src}->{self.dst} "
+            f"{self.size_bytes}B flow={self.flow!r}{enc})"
+        )

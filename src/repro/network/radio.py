@@ -1,0 +1,96 @@
+"""Link technology profiles.
+
+Each profile bundles the latency/bandwidth/loss characteristics and the
+per-byte transmit energy of one link class found in the SWAMP pilots.
+Numbers are representative of the technology class (LoRa SF7-ish field
+radio, farm Wi-Fi, wired LAN, rural WAN backhaul), not of any specific
+hardware; experiments only rely on their relative ordering.
+"""
+
+from typing import Optional
+
+
+class RadioModel:
+    """Static characteristics of a link technology."""
+
+    def __init__(
+        self,
+        name: str,
+        latency_s: float,
+        bandwidth_bps: float,
+        loss_rate: float,
+        jitter_s: float = 0.0,
+        tx_energy_j_per_byte: float = 0.0,
+        mtu_bytes: Optional[int] = None,
+        duty_cycle: float = 1.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0,1), got {loss_rate}")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(f"duty_cycle must be in (0,1], got {duty_cycle}")
+        self.name = name
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        self.jitter_s = jitter_s
+        self.tx_energy_j_per_byte = tx_energy_j_per_byte
+        self.mtu_bytes = mtu_bytes
+        # Regulatory airtime budget (ETSI-style: 1% for the EU 868 MHz
+        # band LoRa uses).  Enforced per transmitter by the link: frames
+        # beyond the budget in the current window are dropped at the
+        # radio, which self-limits DoS floods launched *from* field nodes.
+        self.duty_cycle = duty_cycle
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire."""
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def tx_energy(self, size_bytes: int) -> float:
+        """Joules spent transmitting ``size_bytes``."""
+        return size_bytes * self.tx_energy_j_per_byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RadioModel({self.name!r})"
+
+
+# LoRa-class field radio: long latency, ~5.5 kbps, lossy, costly per byte,
+# 1 % regulatory duty cycle (EU 868 MHz).
+LORA_FIELD = RadioModel(
+    name="lora-field",
+    latency_s=0.15,
+    bandwidth_bps=5_500.0,
+    loss_rate=0.02,
+    jitter_s=0.05,
+    tx_energy_j_per_byte=0.0012,
+    mtu_bytes=222,
+    duty_cycle=0.01,
+)
+
+# Farm Wi-Fi between gateway, fog node and pivot controllers.
+WIFI_FARM = RadioModel(
+    name="wifi-farm",
+    latency_s=0.004,
+    bandwidth_bps=20_000_000.0,
+    loss_rate=0.003,
+    jitter_s=0.002,
+    tx_energy_j_per_byte=0.00002,
+)
+
+# Wired LAN inside the fog/cloud rack.
+ETHERNET_LAN = RadioModel(
+    name="ethernet-lan",
+    latency_s=0.0005,
+    bandwidth_bps=1_000_000_000.0,
+    loss_rate=0.0,
+)
+
+# Rural WAN backhaul farm -> cloud (ADSL/4G-class).
+WAN_BACKHAUL = RadioModel(
+    name="wan-backhaul",
+    latency_s=0.045,
+    bandwidth_bps=8_000_000.0,
+    loss_rate=0.005,
+    jitter_s=0.01,
+)

@@ -1,0 +1,216 @@
+"""The network: node registry, links, routing and fault injection.
+
+Routing is static shortest-path over the link graph, recomputed lazily when
+topology changes.  SWAMP topologies are small (tens of nodes per farm), so
+a BFS per (src, dst) pair with caching is plenty.
+
+Fault injection lives here because both dependability experiments (fog
+availability under partition, E9) and attacks (jamming) manipulate links.
+"""
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.link import Link, LinkState
+from repro.network.node import NetworkNode
+from repro.network.packet import Packet
+from repro.network.radio import RadioModel
+from repro.simkernel.simulator import Simulator
+
+
+class Network:
+    """Registry of nodes and directional links, with static routing."""
+
+    def __init__(self, sim: Simulator, name: str = "net") -> None:
+        self.sim = sim
+        self.name = name
+        self.nodes: Dict[str, NetworkNode] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._routes: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        self._firewall: List[Callable[[Packet, str, str], bool]] = []
+        # Observers notified whenever a link is created (SDN taps etc.).
+        self.on_link_added: List[Callable[[Link], None]] = []
+
+    # -- topology construction ------------------------------------------------
+
+    def add_node(self, node: NetworkNode) -> NetworkNode:
+        if node.address in self.nodes:
+            raise ValueError(f"duplicate node address {node.address!r}")
+        self.nodes[node.address] = node
+        node.attach(self)
+        self._routes.clear()
+        return node
+
+    def remove_node(self, address: str) -> None:
+        self.nodes.pop(address, None)
+        for key in [k for k in self.links if address in k]:
+            del self.links[key]
+        self._routes.clear()
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        model: RadioModel,
+        bidirectional: bool = True,
+        max_backlog_s: float = 2.0,
+    ) -> Link:
+        """Create link(s) between existing nodes; returns the a→b link."""
+        for addr in (a, b):
+            if addr not in self.nodes:
+                raise KeyError(f"unknown node {addr!r}")
+        link = self._make_link(a, b, model, max_backlog_s)
+        if bidirectional:
+            self._make_link(b, a, model, max_backlog_s)
+        self._routes.clear()
+        return link
+
+    def _make_link(self, src: str, dst: str, model: RadioModel, max_backlog_s: float) -> Link:
+        rng = self.sim.rng.stream(f"net:{self.name}:link:{src}->{dst}")
+        link = Link(
+            self.sim,
+            src,
+            dst,
+            model,
+            rng,
+            deliver=lambda packet, _dst=dst: self._hop_arrived(packet, _dst),
+            max_backlog_s=max_backlog_s,
+        )
+        self.links[(src, dst)] = link
+        for observer in self.on_link_added:
+            observer(link)
+        return link
+
+    def link(self, src: str, dst: str) -> Link:
+        return self.links[(src, dst)]
+
+    def links_between(self, a: str, b: str) -> List[Link]:
+        return [self.links[k] for k in ((a, b), (b, a)) if k in self.links]
+
+    # -- fault / attack injection -------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut both directions between ``a`` and ``b``."""
+        for link in self.links_between(a, b):
+            link.set_state(LinkState.DOWN)
+        self._routes.clear()
+
+    def heal(self, a: str, b: str) -> None:
+        for link in self.links_between(a, b):
+            link.set_state(LinkState.UP)
+        self._routes.clear()
+
+    def jam(self, a: str, b: str, loss: float = 0.9) -> None:
+        for link in self.links_between(a, b):
+            link.set_state(LinkState.JAMMED)
+            link.jam_loss = loss
+
+    def unjam(self, a: str, b: str) -> None:
+        for link in self.links_between(a, b):
+            link.set_state(LinkState.UP)
+            link.jam_loss = 0.0
+
+    def add_firewall(self, rule: Callable[[Packet, str, str], bool]) -> None:
+        """Install a hop filter: ``rule(packet, hop_src, hop_dst) -> allow``.
+
+        The SDN quarantine app uses this to drop flows network-wide.
+        """
+        self._firewall.append(rule)
+
+    def remove_firewall(self, rule: Callable[[Packet, str, str], bool]) -> None:
+        try:
+            self._firewall.remove(rule)
+        except ValueError:
+            pass
+
+    # -- routing / forwarding ------------------------------------------------------
+
+    def make_packet(
+        self,
+        src: str,
+        dst: str,
+        payload,
+        size_bytes: int,
+        flow: str = "",
+        wire_bytes: Optional[bytes] = None,
+    ) -> Packet:
+        return Packet(
+            src, dst, payload, size_bytes, created_at=self.sim.now, flow=flow, wire_bytes=wire_bytes
+        )
+
+    def transmit(self, packet: Packet) -> bool:
+        """Inject ``packet`` at its source; returns False when unroutable."""
+        return self._forward(packet, packet.src)
+
+    def _forward(self, packet: Packet, at: str) -> bool:
+        route = self._route(at, packet.dst)
+        if not route or len(route) < 2:
+            return False
+        next_hop = route[1]
+        for rule in self._firewall:
+            if not rule(packet, at, next_hop):
+                return False
+        link = self.links.get((at, next_hop))
+        if link is None:
+            return False
+        return link.transmit(packet)
+
+    def _hop_arrived(self, packet: Packet, at: str) -> None:
+        if at == packet.dst:
+            node = self.nodes.get(at)
+            if node is not None:
+                node.deliver(packet)
+            return
+        self._forward(packet, at)
+
+    def _route(self, src: str, dst: str) -> Optional[List[str]]:
+        key = (src, dst)
+        if key in self._routes:
+            return self._routes[key]
+        route = self._bfs(src, dst)
+        self._routes[key] = route
+        return route
+
+    def _bfs(self, src: str, dst: str) -> Optional[List[str]]:
+        if src == dst:
+            return [src]
+        # Adjacency over UP/JAMMED links only; DOWN links are unroutable so
+        # traffic re-routes around a partition if a path exists.
+        adjacency: Dict[str, List[str]] = {}
+        for (a, b), link in self.links.items():
+            if link.state is not LinkState.DOWN:
+                adjacency.setdefault(a, []).append(b)
+        for neighbors in adjacency.values():
+            neighbors.sort()  # determinism
+        frontier = deque([src])
+        parents: Dict[str, str] = {src: src}
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in adjacency.get(current, ()):
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = current
+                if neighbor == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                frontier.append(neighbor)
+        return None
+
+    # -- inspection ------------------------------------------------------
+
+    def route_of(self, src: str, dst: str) -> Optional[List[str]]:
+        """Current route, for tests and the SDN view."""
+        return self._route(src, dst)
+
+    def total_stats(self) -> Dict[str, int]:
+        totals = {"sent": 0, "delivered": 0, "dropped_loss": 0, "dropped_queue": 0, "dropped_down": 0}
+        for link in self.links.values():
+            totals["sent"] += link.stats.sent
+            totals["delivered"] += link.stats.delivered
+            totals["dropped_loss"] += link.stats.dropped_loss
+            totals["dropped_queue"] += link.stats.dropped_queue
+            totals["dropped_down"] += link.stats.dropped_down
+        return totals

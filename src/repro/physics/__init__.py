@@ -1,0 +1,66 @@
+"""Agro-physics substrate.
+
+The real SWAMP pilots run on actual farms; this package is the simulated
+replacement (see DESIGN.md, substitution table).  It provides:
+
+* :mod:`~repro.physics.weather` — synthetic daily weather for the four pilot
+  climates (temperate Po valley, semi-arid Cartagena, subtropical Pinhal,
+  tropical-savanna MATOPIBA);
+* :mod:`~repro.physics.et0` — FAO-56 reference evapotranspiration
+  (Penman-Monteith, plus the Hargreaves fallback used when a pilot lacks a
+  full weather station);
+* :mod:`~repro.physics.soil` — per-zone soil water balance (FAO-56 chapter 8
+  root-zone depletion bookkeeping in volumetric form);
+* :mod:`~repro.physics.crop` — crop phenology, Kc curves and the FAO-33
+  yield-response-to-water (Ky) model;
+* :mod:`~repro.physics.field` — a spatial grid of zones with correlated soil
+  variability (what makes VRI worthwhile, experiment E2);
+* :mod:`~repro.physics.ndvi` — canopy NDVI model for the drone/Sybil
+  experiments (E6).
+
+Everything here is deterministic given the RNG streams passed in; nothing
+imports the simulator.
+"""
+
+from repro.physics.crop import Crop, CropStage, GUASPARI_GRAPE, MAIZE, SOYBEAN, TOMATO_PROCESSING, LETTUCE
+from repro.physics.et0 import et0_hargreaves, et0_penman_monteith
+from repro.physics.field import Field, FieldZone
+from repro.physics.ndvi import ndvi_for_zone
+from repro.physics.soil import SoilProperties, SoilWaterBalance, CLAY, LOAM, SANDY_LOAM, SILTY_CLAY
+from repro.physics.weather import (
+    BARREIRAS_MATOPIBA,
+    CARTAGENA,
+    ClimateProfile,
+    DailyWeather,
+    EMILIA_ROMAGNA,
+    PINHAL,
+    WeatherGenerator,
+)
+
+__all__ = [
+    "BARREIRAS_MATOPIBA",
+    "CARTAGENA",
+    "CLAY",
+    "ClimateProfile",
+    "Crop",
+    "CropStage",
+    "DailyWeather",
+    "EMILIA_ROMAGNA",
+    "Field",
+    "FieldZone",
+    "GUASPARI_GRAPE",
+    "LETTUCE",
+    "LOAM",
+    "MAIZE",
+    "PINHAL",
+    "SANDY_LOAM",
+    "SILTY_CLAY",
+    "SOYBEAN",
+    "SoilProperties",
+    "SoilWaterBalance",
+    "TOMATO_PROCESSING",
+    "WeatherGenerator",
+    "et0_hargreaves",
+    "et0_penman_monteith",
+    "ndvi_for_zone",
+]

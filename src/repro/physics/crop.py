@@ -1,0 +1,188 @@
+"""Crop phenology, Kc curves and yield response to water.
+
+The model follows FAO-56 (crop coefficients per growth stage, interpolated
+through the development and late stages) and FAO-33 (yield response factor
+Ky per stage):
+
+    1 - Ya/Ym = Ky · (1 - ETa/ETm)
+
+Seasonal yield is the product of per-stage relative yields — the standard
+multiplicative composition, which captures that stress at flowering hurts
+far more than the same stress during ripening.
+
+Crops are defined for the four pilots: soybean (MATOPIBA), wine grape
+(Guaspari), processing tomato (CBEC, a dominant Emilia-Romagna crop) and
+lettuce (Intercrop's leafy vegetables), plus maize as a common baseline.
+"""
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class CropStage:
+    name: str
+    duration_days: int
+    kc: float  # crop coefficient at the *end* of the stage
+    ky: float  # yield response factor for stress during this stage
+    root_depth_m: float  # rooting depth at the end of the stage
+    depletion_fraction_p: float  # management-allowed depletion
+
+
+@dataclass(frozen=True)
+class Crop:
+    """A crop calendar as a sequence of stages."""
+
+    name: str
+    stages: Tuple[CropStage, ...]
+    max_yield_t_ha: float
+    ndvi_max: float = 0.88
+    ndvi_min: float = 0.18
+
+    @property
+    def season_days(self) -> int:
+        return sum(s.duration_days for s in self.stages)
+
+    def stage_at(self, day: int) -> CropStage:
+        """Stage on season day ``day`` (0-based); clamps past the season."""
+        if day < 0:
+            raise ValueError("day must be >= 0")
+        elapsed = 0
+        for stage in self.stages:
+            elapsed += stage.duration_days
+            if day < elapsed:
+                return stage
+        return self.stages[-1]
+
+    def stage_index_at(self, day: int) -> int:
+        elapsed = 0
+        for i, stage in enumerate(self.stages):
+            elapsed += stage.duration_days
+            if day < elapsed:
+                return i
+        return len(self.stages) - 1
+
+    def kc_at(self, day: int) -> float:
+        """Kc interpolated linearly within each stage from the previous
+        stage's endpoint (FAO-56 figure 25 construction)."""
+        if day >= self.season_days:
+            return self.stages[-1].kc
+        elapsed = 0
+        prev_kc = self.stages[0].kc
+        for i, stage in enumerate(self.stages):
+            if day < elapsed + stage.duration_days:
+                frac = (day - elapsed) / stage.duration_days
+                start_kc = prev_kc if i > 0 else stage.kc
+                return start_kc + (stage.kc - start_kc) * frac
+            elapsed += stage.duration_days
+            prev_kc = stage.kc
+        return self.stages[-1].kc
+
+    def root_depth_at(self, day: int) -> float:
+        """Root depth grows linearly within stages, never shrinks."""
+        if day >= self.season_days:
+            return self.stages[-1].root_depth_m
+        elapsed = 0
+        prev_depth = self.stages[0].root_depth_m * 0.4  # planting depth
+        for stage in self.stages:
+            if day < elapsed + stage.duration_days:
+                frac = (day - elapsed) / stage.duration_days
+                depth = prev_depth + (stage.root_depth_m - prev_depth) * frac
+                return max(prev_depth, depth)
+            elapsed += stage.duration_days
+            prev_depth = stage.root_depth_m
+        return self.stages[-1].root_depth_m
+
+
+class YieldTracker:
+    """Accumulates per-stage ETa/ETm and computes seasonal relative yield."""
+
+    def __init__(self, crop: Crop) -> None:
+        self.crop = crop
+        self._eta = [0.0] * len(crop.stages)
+        self._etm = [0.0] * len(crop.stages)
+
+    def record_day(self, day: int, et_actual_mm: float, et_potential_mm: float) -> None:
+        index = self.crop.stage_index_at(day)
+        self._eta[index] += et_actual_mm
+        self._etm[index] += et_potential_mm
+
+    def stage_relative_yield(self, index: int) -> float:
+        etm = self._etm[index]
+        if etm <= 0:
+            return 1.0
+        deficit = 1.0 - self._eta[index] / etm
+        ky = self.crop.stages[index].ky
+        return max(0.0, 1.0 - ky * deficit)
+
+    @property
+    def relative_yield(self) -> float:
+        """Product of stage relative yields, in [0, 1]."""
+        result = 1.0
+        for i in range(len(self.crop.stages)):
+            result *= self.stage_relative_yield(i)
+        return max(0.0, min(1.0, result))
+
+    @property
+    def yield_t_ha(self) -> float:
+        return self.relative_yield * self.crop.max_yield_t_ha
+
+
+SOYBEAN = Crop(
+    name="soybean",
+    stages=(
+        CropStage("initial", 20, kc=0.40, ky=0.40, root_depth_m=0.25, depletion_fraction_p=0.55),
+        CropStage("development", 30, kc=1.15, ky=0.60, root_depth_m=0.60, depletion_fraction_p=0.55),
+        CropStage("mid-flowering", 45, kc=1.15, ky=1.00, root_depth_m=1.00, depletion_fraction_p=0.50),
+        CropStage("late-ripening", 25, kc=0.50, ky=0.40, root_depth_m=1.00, depletion_fraction_p=0.60),
+    ),
+    max_yield_t_ha=4.2,
+)
+
+MAIZE = Crop(
+    name="maize",
+    stages=(
+        CropStage("initial", 20, kc=0.35, ky=0.40, root_depth_m=0.25, depletion_fraction_p=0.55),
+        CropStage("development", 35, kc=1.20, ky=0.60, root_depth_m=0.70, depletion_fraction_p=0.55),
+        CropStage("mid-tasseling", 40, kc=1.20, ky=1.30, root_depth_m=1.10, depletion_fraction_p=0.50),
+        CropStage("late-maturity", 30, kc=0.55, ky=0.50, root_depth_m=1.10, depletion_fraction_p=0.60),
+    ),
+    max_yield_t_ha=11.0,
+)
+
+GUASPARI_GRAPE = Crop(
+    name="wine-grape",
+    stages=(
+        CropStage("budbreak", 25, kc=0.35, ky=0.35, root_depth_m=0.60, depletion_fraction_p=0.45),
+        CropStage("flowering", 30, kc=0.75, ky=0.85, root_depth_m=0.90, depletion_fraction_p=0.40),
+        CropStage("veraison", 45, kc=0.80, ky=0.70, root_depth_m=1.10, depletion_fraction_p=0.40),
+        # Mild late-season deficit is *desired* for wine quality; the low Ky
+        # encodes that ripening tolerates deficit.
+        CropStage("ripening", 35, kc=0.55, ky=0.30, root_depth_m=1.10, depletion_fraction_p=0.55),
+    ),
+    max_yield_t_ha=8.0,
+)
+
+TOMATO_PROCESSING = Crop(
+    name="processing-tomato",
+    stages=(
+        CropStage("initial", 25, kc=0.60, ky=0.40, root_depth_m=0.25, depletion_fraction_p=0.45),
+        CropStage("development", 35, kc=1.15, ky=0.65, root_depth_m=0.60, depletion_fraction_p=0.45),
+        CropStage("mid-fruiting", 40, kc=1.15, ky=1.05, root_depth_m=0.90, depletion_fraction_p=0.40),
+        CropStage("late-ripening", 25, kc=0.75, ky=0.45, root_depth_m=0.90, depletion_fraction_p=0.50),
+    ),
+    max_yield_t_ha=85.0,
+)
+
+LETTUCE = Crop(
+    name="lettuce",
+    stages=(
+        CropStage("initial", 15, kc=0.70, ky=0.50, root_depth_m=0.15, depletion_fraction_p=0.30),
+        CropStage("development", 20, kc=1.00, ky=0.80, root_depth_m=0.25, depletion_fraction_p=0.30),
+        CropStage("mid-head", 20, kc=1.00, ky=1.00, root_depth_m=0.35, depletion_fraction_p=0.30),
+        CropStage("late-harvest", 10, kc=0.95, ky=0.70, root_depth_m=0.35, depletion_fraction_p=0.35),
+    ),
+    max_yield_t_ha=28.0,
+)
+
+CROPS = {c.name: c for c in (SOYBEAN, MAIZE, GUASPARI_GRAPE, TOMATO_PROCESSING, LETTUCE)}

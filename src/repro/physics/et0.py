@@ -1,0 +1,117 @@
+"""Reference evapotranspiration (ET0).
+
+Implements the two estimators used across the SWAMP pilots:
+
+* FAO-56 Penman-Monteith (equation 6 of Allen et al., 1998) for sites with a
+  full weather station (temperature, humidity, wind, radiation);
+* Hargreaves-Samani for sensor-poor sites (temperature extremes only).
+
+All functions take daily values and return mm/day.
+"""
+
+import math
+
+# Psychrometric and physical constants (FAO-56).
+_SOLAR_CONSTANT = 0.0820  # MJ m-2 min-1
+_STEFAN_BOLTZMANN = 4.903e-9  # MJ K-4 m-2 day-1
+
+
+def saturation_vapor_pressure(temp_c: float) -> float:
+    """e°(T) in kPa (FAO-56 eq. 11)."""
+    return 0.6108 * math.exp(17.27 * temp_c / (temp_c + 237.3))
+
+
+def slope_vapor_pressure_curve(temp_c: float) -> float:
+    """Δ in kPa/°C (FAO-56 eq. 13)."""
+    return 4098.0 * saturation_vapor_pressure(temp_c) / (temp_c + 237.3) ** 2
+
+
+def psychrometric_constant(altitude_m: float) -> float:
+    """γ in kPa/°C from site altitude (FAO-56 eq. 7-8)."""
+    pressure = 101.3 * ((293.0 - 0.0065 * altitude_m) / 293.0) ** 5.26
+    return 0.000665 * pressure
+
+
+def extraterrestrial_radiation(latitude_deg: float, day_of_year: int) -> float:
+    """Ra in MJ m-2 day-1 (FAO-56 eq. 21)."""
+    lat = math.radians(latitude_deg)
+    dr = 1.0 + 0.033 * math.cos(2.0 * math.pi * day_of_year / 365.0)
+    declination = 0.409 * math.sin(2.0 * math.pi * day_of_year / 365.0 - 1.39)
+    x = -math.tan(lat) * math.tan(declination)
+    x = max(-1.0, min(1.0, x))
+    sunset_hour_angle = math.acos(x)
+    return (
+        24.0 * 60.0 / math.pi
+        * _SOLAR_CONSTANT
+        * dr
+        * (
+            sunset_hour_angle * math.sin(lat) * math.sin(declination)
+            + math.cos(lat) * math.cos(declination) * math.sin(sunset_hour_angle)
+        )
+    )
+
+
+def clear_sky_radiation(ra: float, altitude_m: float) -> float:
+    """Rso in MJ m-2 day-1 (FAO-56 eq. 37)."""
+    return (0.75 + 2e-5 * altitude_m) * ra
+
+
+def et0_penman_monteith(
+    tmin_c: float,
+    tmax_c: float,
+    rh_mean_pct: float,
+    wind_2m_ms: float,
+    solar_mj_m2: float,
+    latitude_deg: float,
+    day_of_year: int,
+    altitude_m: float = 100.0,
+) -> float:
+    """Daily FAO-56 Penman-Monteith ET0 in mm/day.
+
+    ``solar_mj_m2`` is measured incoming shortwave radiation Rs.
+    """
+    tmean = (tmin_c + tmax_c) / 2.0
+    delta = slope_vapor_pressure_curve(tmean)
+    gamma = psychrometric_constant(altitude_m)
+    es = (saturation_vapor_pressure(tmin_c) + saturation_vapor_pressure(tmax_c)) / 2.0
+    ea = es * max(0.0, min(100.0, rh_mean_pct)) / 100.0
+
+    ra = extraterrestrial_radiation(latitude_deg, day_of_year)
+    rso = max(clear_sky_radiation(ra, altitude_m), 1e-6)
+    rs = max(0.0, min(solar_mj_m2, rso))
+    albedo = 0.23
+    rns = (1.0 - albedo) * rs
+    tmax_k4 = (tmax_c + 273.16) ** 4
+    tmin_k4 = (tmin_c + 273.16) ** 4
+    rnl = (
+        _STEFAN_BOLTZMANN
+        * (tmax_k4 + tmin_k4) / 2.0
+        * (0.34 - 0.14 * math.sqrt(max(ea, 0.0)))
+        * (1.35 * rs / rso - 0.35)
+    )
+    rn = rns - max(0.0, rnl)
+    soil_heat_flux = 0.0  # negligible at daily scale (FAO-56 eq. 42)
+
+    numerator = 0.408 * delta * (rn - soil_heat_flux) + gamma * 900.0 / (
+        tmean + 273.0
+    ) * wind_2m_ms * (es - ea)
+    denominator = delta + gamma * (1.0 + 0.34 * wind_2m_ms)
+    return max(0.0, numerator / denominator)
+
+
+def et0_hargreaves(
+    tmin_c: float,
+    tmax_c: float,
+    latitude_deg: float,
+    day_of_year: int,
+) -> float:
+    """Hargreaves-Samani ET0 in mm/day (FAO-56 eq. 52).
+
+    Needs only temperature extremes — the estimator a pilot falls back to
+    when its weather station is down or was never installed.
+    """
+    tmean = (tmin_c + tmax_c) / 2.0
+    ra = extraterrestrial_radiation(latitude_deg, day_of_year)
+    # 0.408 converts MJ m-2 day-1 to mm/day equivalent evaporation.
+    spread = max(0.0, tmax_c - tmin_c)
+    return max(0.0, 0.0023 * (tmean + 17.8) * math.sqrt(spread) * 0.408 * ra)

@@ -1,0 +1,51 @@
+"""NDVI (Normalized Difference Vegetation Index) model.
+
+Drones in the MATOPIBA and Guaspari pilots image the canopy; the paper's
+Sybil-attack threat is fake drones submitting fabricated NDVI.  The model
+maps crop state to NDVI so that (a) honest drones produce spatially coherent
+maps that track stress, and (b) detectors can exploit that coherence.
+
+NDVI rises with canopy development (Kc as a proxy) and falls with sustained
+water stress (Ks).
+"""
+
+from repro.physics.crop import Crop
+from repro.physics.field import FieldZone
+
+
+def ndvi_for_zone(zone: FieldZone, stress_memory: float = 1.0) -> float:
+    """Instantaneous NDVI of a zone.
+
+    ``stress_memory`` lets callers pass a smoothed Ks (stress shows in the
+    canopy with a lag); 1.0 means unstressed.
+    """
+    crop = zone.crop
+    day = max(0, zone.season_day - 1)
+    kc = crop.kc_at(day)
+    kc_span = max(s.kc for s in crop.stages) - min(s.kc for s in crop.stages)
+    kc_min = min(s.kc for s in crop.stages)
+    canopy = (kc - kc_min) / kc_span if kc_span > 0 else 1.0
+    stress_factor = 0.55 + 0.45 * max(0.0, min(1.0, stress_memory))
+    ndvi = crop.ndvi_min + (crop.ndvi_max - crop.ndvi_min) * canopy * stress_factor
+    return max(0.0, min(1.0, ndvi))
+
+
+class NdviTracker:
+    """Smooths zone stress into the lagged canopy response.
+
+    One tracker per zone; call :meth:`record_day` daily with the zone's Ks,
+    then :meth:`ndvi` gives the value a drone camera would measure.
+    """
+
+    def __init__(self, zone: FieldZone, memory: float = 0.9) -> None:
+        if not 0.0 <= memory < 1.0:
+            raise ValueError("memory must be in [0, 1)")
+        self.zone = zone
+        self.memory = memory
+        self._smoothed_ks = 1.0
+
+    def record_day(self, ks: float) -> None:
+        self._smoothed_ks = self.memory * self._smoothed_ks + (1.0 - self.memory) * ks
+
+    def ndvi(self) -> float:
+        return ndvi_for_zone(self.zone, stress_memory=self._smoothed_ks)

@@ -1,0 +1,208 @@
+"""Soil water balance (FAO-56 style, volumetric form).
+
+Each irrigation-management zone carries one :class:`SoilWaterBalance`.  The
+state variable is volumetric water content θ (m³/m³) of the root zone.
+Daily (or sub-daily) updates apply:
+
+* infiltration of rain + irrigation, with runoff above a maximum
+  infiltration amount and deep percolation above field capacity;
+* crop evapotranspiration ``ETc = Kc · ET0`` reduced by the water-stress
+  coefficient Ks (linear below the readily-available-water threshold,
+  FAO-56 eq. 84);
+* a small direct evaporation floor so bare soil still dries.
+
+The same object answers the two questions the platform asks constantly:
+"what would a soil-moisture probe read here?" (θ plus sensor noise, handled
+by the device layer) and "how stressed is the crop?" (Ks, consumed by the
+yield model).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SoilProperties:
+    """Static hydraulic properties of a soil type."""
+
+    name: str
+    theta_sat: float  # saturation, m3/m3
+    theta_fc: float  # field capacity
+    theta_wp: float  # wilting point
+    max_infiltration_mm_day: float
+    drainage_rate: float  # fraction of excess-over-FC drained per day
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.theta_wp < self.theta_fc < self.theta_sat <= 1.0):
+            raise ValueError(
+                f"soil {self.name!r}: need 0 < wp < fc < sat <= 1, got "
+                f"wp={self.theta_wp}, fc={self.theta_fc}, sat={self.theta_sat}"
+            )
+
+    def scaled(self, factor: float) -> "SoilProperties":
+        """A variant with water-holding capacity scaled by ``factor``.
+
+        Used to synthesize spatial variability across field zones: the
+        FC-WP span stretches/shrinks around the wilting point while staying
+        physically valid.
+        """
+        span = (self.theta_fc - self.theta_wp) * factor
+        fc = min(self.theta_wp + span, self.theta_sat - 0.01)
+        return SoilProperties(
+            name=f"{self.name}*{factor:.2f}",
+            theta_sat=self.theta_sat,
+            theta_fc=fc,
+            theta_wp=self.theta_wp,
+            max_infiltration_mm_day=self.max_infiltration_mm_day,
+            drainage_rate=self.drainage_rate,
+        )
+
+
+SANDY_LOAM = SoilProperties("sandy-loam", theta_sat=0.41, theta_fc=0.21, theta_wp=0.09,
+                            max_infiltration_mm_day=120.0, drainage_rate=0.7)
+LOAM = SoilProperties("loam", theta_sat=0.46, theta_fc=0.28, theta_wp=0.13,
+                      max_infiltration_mm_day=80.0, drainage_rate=0.5)
+SILTY_CLAY = SoilProperties("silty-clay", theta_sat=0.52, theta_fc=0.38, theta_wp=0.22,
+                            max_infiltration_mm_day=40.0, drainage_rate=0.25)
+CLAY = SoilProperties("clay", theta_sat=0.55, theta_fc=0.41, theta_wp=0.26,
+                      max_infiltration_mm_day=25.0, drainage_rate=0.15)
+
+
+class SoilWaterBalance:
+    """Dynamic root-zone water bookkeeping for one zone."""
+
+    def __init__(
+        self,
+        soil: SoilProperties,
+        root_depth_m: float = 0.5,
+        depletion_fraction_p: float = 0.5,
+        initial_theta: float = None,
+    ) -> None:
+        if root_depth_m <= 0:
+            raise ValueError("root depth must be positive")
+        self.soil = soil
+        self.root_depth_m = root_depth_m
+        self.depletion_fraction_p = depletion_fraction_p
+        self.theta = initial_theta if initial_theta is not None else soil.theta_fc
+        if not 0.0 < self.theta <= soil.theta_sat:
+            raise ValueError(f"initial theta {self.theta} outside (0, sat]")
+        # Cumulative fluxes (mm) for water accounting in experiments.
+        self.cum_irrigation_mm = 0.0
+        self.cum_rain_mm = 0.0
+        self.cum_et_actual_mm = 0.0
+        self.cum_et_potential_mm = 0.0
+        self.cum_drainage_mm = 0.0
+        self.cum_runoff_mm = 0.0
+
+    # -- unit helpers -----------------------------------------------------------
+
+    def _mm_to_theta(self, mm: float) -> float:
+        return mm / (self.root_depth_m * 1000.0)
+
+    def _theta_to_mm(self, theta: float) -> float:
+        return theta * self.root_depth_m * 1000.0
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def total_available_water_mm(self) -> float:
+        """TAW: water held between field capacity and wilting point."""
+        return self._theta_to_mm(self.soil.theta_fc - self.soil.theta_wp)
+
+    @property
+    def readily_available_water_mm(self) -> float:
+        """RAW = p · TAW."""
+        return self.depletion_fraction_p * self.total_available_water_mm
+
+    @property
+    def depletion_mm(self) -> float:
+        """Root-zone depletion Dr below field capacity (≥ 0)."""
+        return max(0.0, self._theta_to_mm(self.soil.theta_fc - self.theta))
+
+    @property
+    def available_fraction(self) -> float:
+        """Fraction of TAW still available (1 at FC, 0 at WP)."""
+        taw = self.total_available_water_mm
+        if taw <= 0:
+            return 0.0
+        return max(0.0, min(1.0, 1.0 - self.depletion_mm / taw))
+
+    @property
+    def stress_coefficient_ks(self) -> float:
+        """FAO-56 eq. 84: 1 while depletion ≤ RAW, linear to 0 at TAW."""
+        dr = self.depletion_mm
+        raw = self.readily_available_water_mm
+        taw = self.total_available_water_mm
+        if dr <= raw:
+            return 1.0
+        if dr >= taw:
+            return 0.0
+        return (taw - dr) / (taw - raw)
+
+    # -- dynamics -----------------------------------------------------------
+
+    def apply_water(self, mm: float, dt_days: float = 1.0) -> dict:
+        """Apply ``mm`` of rain/irrigation; returns infiltrated/runoff split."""
+        if mm < 0:
+            raise ValueError("water amount must be non-negative")
+        max_infiltration = self.soil.max_infiltration_mm_day * dt_days
+        infiltrated = min(mm, max_infiltration)
+        runoff = mm - infiltrated
+        self.theta += self._mm_to_theta(infiltrated)
+        # Instant ponding above saturation becomes runoff too.
+        if self.theta > self.soil.theta_sat:
+            excess = self._theta_to_mm(self.theta - self.soil.theta_sat)
+            runoff += excess
+            infiltrated -= excess
+            self.theta = self.soil.theta_sat
+        self.cum_runoff_mm += runoff
+        return {"infiltrated_mm": infiltrated, "runoff_mm": runoff}
+
+    def irrigate(self, mm: float, dt_days: float = 1.0) -> dict:
+        self.cum_irrigation_mm += mm
+        return self.apply_water(mm, dt_days)
+
+    def rain(self, mm: float, dt_days: float = 1.0) -> dict:
+        self.cum_rain_mm += mm
+        return self.apply_water(mm, dt_days)
+
+    def step(self, et_crop_potential_mm: float, dt_days: float = 1.0) -> dict:
+        """Advance ``dt_days``: extract ET (stress-limited) and drain.
+
+        ``et_crop_potential_mm`` is ETc = Kc·ET0 over the step.  Returns the
+        actual ET extracted and drainage.
+        """
+        if et_crop_potential_mm < 0:
+            raise ValueError("ET demand must be non-negative")
+        ks = self.stress_coefficient_ks
+        et_actual = et_crop_potential_mm * ks
+        # Never extract below wilting point.
+        max_extractable = self._theta_to_mm(max(0.0, self.theta - self.soil.theta_wp))
+        et_actual = min(et_actual, max_extractable)
+        self.theta -= self._mm_to_theta(et_actual)
+        self.cum_et_actual_mm += et_actual
+        self.cum_et_potential_mm += et_crop_potential_mm
+
+        # Drainage of water above field capacity.
+        drainage = 0.0
+        if self.theta > self.soil.theta_fc:
+            excess_mm = self._theta_to_mm(self.theta - self.soil.theta_fc)
+            drainage = excess_mm * min(1.0, self.soil.drainage_rate * dt_days)
+            self.theta -= self._mm_to_theta(drainage)
+            self.cum_drainage_mm += drainage
+        return {"et_actual_mm": et_actual, "drainage_mm": drainage, "ks": ks}
+
+    def set_root_depth(self, root_depth_m: float) -> None:
+        """Grow/shrink the root zone, conserving water content θ."""
+        if root_depth_m <= 0:
+            raise ValueError("root depth must be positive")
+        self.root_depth_m = root_depth_m
+
+    def water_accounting(self) -> dict:
+        return {
+            "irrigation_mm": self.cum_irrigation_mm,
+            "rain_mm": self.cum_rain_mm,
+            "et_actual_mm": self.cum_et_actual_mm,
+            "et_potential_mm": self.cum_et_potential_mm,
+            "drainage_mm": self.cum_drainage_mm,
+            "runoff_mm": self.cum_runoff_mm,
+        }

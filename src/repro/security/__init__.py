@@ -1,0 +1,20 @@
+"""Security subsystems.
+
+The paper's §III is a catalogue of threats and required mechanisms; each
+maps to a subpackage here:
+
+* :mod:`~repro.security.crypto` — confidentiality/integrity ("state of the
+  practice cryptography", simulation-grade constructions);
+* :mod:`~repro.security.auth` — identity, OAuth 2.0, PEP/PDP access control
+  (FIWARE security GEs);
+* :mod:`~repro.security.attacks` — executable threat models: DoS, jamming,
+  Sybil, sensor tampering, replay, eavesdropping, rogue actuators;
+* :mod:`~repro.security.detection` — the behavioral-baseline anomaly
+  detection the paper calls the most relevant challenge;
+* :mod:`~repro.security.ledger` — blockchain device lifecycle + smart
+  contracts;
+* :mod:`~repro.security.sdn` — centralized network view and reactive
+  quarantine;
+* :mod:`~repro.security.anonymization` — k-anonymity for cross-farm data
+  governance.
+"""

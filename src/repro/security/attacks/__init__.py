@@ -1,0 +1,43 @@
+"""Executable threat models (paper §III).
+
+Every attack the paper names is a class here that acts on the *same*
+substrate the legitimate platform uses — real MQTT packets, real links,
+real tamper hooks — so defences are tested against mechanics, not
+strawmen:
+
+* :class:`~repro.security.attacks.dos.DosFlood` — "a DoS attack in the
+  sensors, irrigation actuators or in the distribution system may affect
+  the availability of the system";
+* :class:`~repro.security.attacks.dos.RadioJammer` — field-radio jamming;
+* :class:`~repro.security.attacks.tamper.SensorTamper` — "changes in the
+  values of some sensors ... cause systems to take wrong actions";
+* :class:`~repro.security.attacks.sybil.SybilSwarm` — "a drone or sensor
+  node performing the Sybil attack could send fake images and false
+  measurements";
+* :class:`~repro.security.attacks.eavesdrop.Eavesdropper` — "using
+  eavesdropping, intruders may have access to private data about the farm
+  and crop yield";
+* :class:`~repro.security.attacks.rogue.RogueActuatorController` — "if an
+  attacker takes control of the actuators, the irrigation and water
+  distribution is compromised";
+* :class:`~repro.security.attacks.replay.PacketReplayer` — replay of
+  captured telemetry/commands.
+"""
+
+from repro.security.attacks.dos import DosFlood, RadioJammer
+from repro.security.attacks.eavesdrop import Eavesdropper
+from repro.security.attacks.replay import PacketReplayer
+from repro.security.attacks.rogue import RogueActuatorController
+from repro.security.attacks.sybil import SybilSwarm
+from repro.security.attacks.tamper import SensorTamper, TamperMode
+
+__all__ = [
+    "DosFlood",
+    "Eavesdropper",
+    "PacketReplayer",
+    "RadioJammer",
+    "RogueActuatorController",
+    "SensorTamper",
+    "SybilSwarm",
+    "TamperMode",
+]

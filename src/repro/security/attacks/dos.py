@@ -1,0 +1,104 @@
+"""Denial-of-service attacks: broker flooding and radio jamming."""
+
+from typing import List, Optional
+
+from repro.mqtt.client import MqttClient
+from repro.mqtt.packets import Publish
+from repro.network.topology import Network
+from repro.simkernel.simulator import Simulator
+
+
+class DosFlood:
+    """Floods the MQTT broker with junk publishes from attacker nodes.
+
+    Each bot is a real MQTT client on a real link: the flood competes for
+    link bandwidth and broker queues exactly as legitimate traffic does,
+    so delivery ratio and decision latency degrade mechanically (E4).
+    Bots connect like any client — if the broker requires token
+    authentication the connect is refused and the flood falls back to
+    hammering CONNECT, which still consumes link capacity but far less
+    than accepted publishes (this is the measurable value of E10's auth).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        broker_address: str,
+        link_model,
+        bot_count: int = 4,
+        rate_msgs_per_s: float = 50.0,
+        payload_bytes: int = 400,
+        topic: str = "swamp/flood/junk",
+        password: Optional[str] = None,
+    ) -> None:
+        if bot_count < 1 or rate_msgs_per_s <= 0:
+            raise ValueError("need at least one bot and a positive rate")
+        self.sim = sim
+        self.network = network
+        self.rate_msgs_per_s = rate_msgs_per_s
+        self.payload_bytes = payload_bytes
+        self.topic = topic
+        self.active = False
+        self.messages_sent = 0
+        self.bots: List[MqttClient] = []
+        self._rng = sim.rng.stream("attack:dos")
+        for i in range(bot_count):
+            bot = MqttClient(
+                sim, f"atk:bot{i}", broker_address,
+                client_id=f"bot-{i}", password=password, keepalive_s=0,
+            )
+            network.add_node(bot)
+            network.connect(bot.address, broker_address, link_model)
+            self.bots.append(bot)
+        self._processes = []
+
+    def start(self, duration_s: Optional[float] = None) -> None:
+        self.active = True
+        for bot in self.bots:
+            bot.connect()
+            self._processes.append(
+                self.sim.spawn(self._bot_loop(bot), f"dos:{bot.client_id}")
+            )
+        if duration_s is not None:
+            self.sim.schedule(duration_s, self.stop, label="dos:stop")
+
+    def stop(self) -> None:
+        self.active = False
+
+    def _bot_loop(self, bot: MqttClient):
+        per_bot_rate = self.rate_msgs_per_s / len(self.bots)
+        junk = b"\x00" * self.payload_bytes
+        while self.active:
+            yield self._rng.expovariate(per_bot_rate)
+            if not self.active:
+                break
+            if bot.connected:
+                # qos0 junk straight at the broker.
+                bot.publish(self.topic, junk, qos=0)
+                self.messages_sent += 1
+            else:
+                # Auth keeps bots out: burn the link with connect attempts.
+                bot.connect()
+
+
+class RadioJammer:
+    """Jams the radio links between the given node pairs (field-level DoS)."""
+
+    def __init__(self, network: Network, pairs: List[tuple], loss: float = 0.9) -> None:
+        if not 0.0 < loss <= 1.0:
+            raise ValueError("jam loss must be in (0, 1]")
+        self.network = network
+        self.pairs = list(pairs)
+        self.loss = loss
+        self.active = False
+
+    def start(self) -> None:
+        self.active = True
+        for a, b in self.pairs:
+            self.network.jam(a, b, loss=self.loss)
+
+    def stop(self) -> None:
+        self.active = False
+        for a, b in self.pairs:
+            self.network.unjam(a, b)

@@ -1,0 +1,106 @@
+"""Passive eavesdropping and the yield-inference analytic.
+
+The attacker taps links (radio sniffing or a compromised switch) and
+harvests whatever is *observable* on the wire: plaintext payloads when the
+channel is unencrypted, ciphertext otherwise.  On top of the harvest sits
+the analytic the paper worries about — estimating farm yield from stolen
+telemetry to front-run commodity markets.
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.devices.codec import decode_payload
+from repro.mqtt.packets import Publish
+from repro.network.topology import Network
+from repro.simkernel.simulator import Simulator
+
+
+class Eavesdropper:
+    def __init__(self, sim: Simulator, network: Network, pairs: List[Tuple[str, str]]) -> None:
+        self.sim = sim
+        self.network = network
+        self.pairs = list(pairs)
+        self.frames_observed = 0
+        self.bytes_observed = 0
+        self.plaintext_records: List[Dict[str, Any]] = []
+        self.ciphertext_frames = 0
+        self._taps = []
+        self.active = False
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        for a, b in self.pairs:
+            for link in self.network.links_between(a, b):
+                tap = self._make_tap()
+                link.add_tap(tap)
+                self._taps.append((link, tap))
+
+    def stop(self) -> None:
+        self.active = False
+        for link, tap in self._taps:
+            link.remove_tap(tap)
+        self._taps.clear()
+
+    def _make_tap(self):
+        def tap(packet):
+            self.frames_observed += 1
+            self.bytes_observed += packet.size_bytes
+            observed = packet.observable()
+            payload = None
+            if isinstance(observed, Publish):
+                payload = observed.payload
+            elif isinstance(observed, bytes):
+                payload = observed
+            if payload is None:
+                return
+            decoded = decode_payload(payload) if isinstance(payload, bytes) else None
+            if decoded is not None:
+                self.plaintext_records.append(decoded)
+            else:
+                self.ciphertext_frames += 1
+
+        return tap
+
+    # -- the market-manipulation analytic ---------------------------------------
+
+    def harvested_attribute(self, name: str) -> List[float]:
+        return [
+            float(record[name])
+            for record in self.plaintext_records
+            if isinstance(record.get(name), (int, float))
+        ]
+
+    def estimate_mean(self, name: str) -> Optional[float]:
+        values = self.harvested_attribute(name)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def leakage_ratio(self) -> float:
+        """Fraction of observed frames that yielded readable records."""
+        total = len(self.plaintext_records) + self.ciphertext_frames
+        if total == 0:
+            return 0.0
+        return len(self.plaintext_records) / total
+
+
+def market_advantage_eur(
+    yield_estimate_error: float,
+    farm_production_t: float,
+    price_eur_t: float = 380.0,
+    exploitable_fraction: float = 0.25,
+) -> float:
+    """Proxy for the attacker's trading advantage.
+
+    The tighter the attacker's yield estimate (lower relative error), the
+    more of the farm's production value they can front-run.  A crude but
+    monotone model: advantage = (1 - error) · fraction · production · price,
+    floored at zero.  Used only to *rank* plaintext vs. encrypted scenarios
+    in E7, not as an economic prediction.
+    """
+    if farm_production_t < 0 or price_eur_t < 0:
+        raise ValueError("production and price must be non-negative")
+    accuracy = max(0.0, 1.0 - max(0.0, yield_estimate_error))
+    return accuracy * exploitable_fraction * farm_production_t * price_eur_t

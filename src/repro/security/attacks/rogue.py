@@ -1,0 +1,67 @@
+"""Rogue actuator control: unauthorized irrigation commands.
+
+The attacker publishes commands straight onto a device's command topic —
+"if an attacker takes control of the actuators, the irrigation and water
+distribution is compromised, wrongly irrigating some crop."  Success
+depends entirely on the broker's authentication/ACL configuration, which
+is what E10 measures: an open broker executes the flood-the-field command;
+a PEP-guarded broker refuses the connect or denies the publish.
+"""
+
+from typing import Any, Dict, List, Optional
+
+from repro.devices.codec import encode_payload
+from repro.mqtt.client import MqttClient
+from repro.network.topology import Network
+from repro.simkernel.simulator import Simulator
+
+
+class RogueActuatorController:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        broker_address: str,
+        link_model,
+        farm: str,
+        password: Optional[str] = None,
+        username: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.farm = farm
+        self.commands_attempted = 0
+        self.client = MqttClient(
+            sim, "atk:rogue", broker_address,
+            client_id="rogue-controller", username=username or farm, password=password,
+        )
+        network.add_node(self.client)
+        network.connect(self.client.address, broker_address, link_model)
+        self.acks_seen: List[Dict[str, Any]] = []
+
+    def start(self) -> None:
+        self.client.connect()
+        self.client.subscribe(
+            f"swamp/{self.farm}/cmdexe/+", qos=0, handler=self._on_ack
+        )
+
+    def _on_ack(self, topic: str, payload: bytes, qos: int, retain: bool) -> None:
+        from repro.devices.codec import decode_payload
+
+        ack = decode_payload(payload)
+        if ack is not None:
+            self.acks_seen.append(ack)
+
+    def inject_command(self, device_id: str, command: Dict[str, Any]) -> bool:
+        """Attempt one command injection; True if the publish left the client."""
+        self.commands_attempted += 1
+        return self.client.publish(
+            f"swamp/{self.farm}/cmd/{device_id}", encode_payload(command), qos=1
+        )
+
+    def flood_field(self, valve_ids: List[str], hours: float = 12.0) -> int:
+        """The crop-destruction move: open every valve for ``hours``."""
+        injected = 0
+        for valve_id in valve_ids:
+            if self.inject_command(valve_id, {"cmd": "open", "duration_s": hours * 3600.0}):
+                injected += 1
+        return injected

@@ -1,0 +1,98 @@
+"""Sybil attack: fabricated identities feeding fake field data.
+
+The swarm spawns N fake "drones" (MQTT clients with made-up device ids)
+publishing fabricated NDVI observations painting the crop as the attacker
+wishes — typically *healthy* over zones that are actually stressed, so the
+farmer under-irrigates, or vice versa.  Two strengths:
+
+* ``provisioned=False`` (default): identities unknown to the IoT agent —
+  measures are dropped at provisioning (the platform's baseline defence);
+* ``provisioned=True``: the attacker has compromised provisioning (stolen
+  API keys), so the fake data enters the context broker and only
+  behavioral/spatial detection (E6/E8) can catch it.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.devices.codec import encode_payload
+from repro.mqtt.client import MqttClient
+from repro.network.topology import Network
+from repro.physics.field import Field
+from repro.simkernel.simulator import Simulator
+
+
+class SybilSwarm:
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        broker_address: str,
+        link_model,
+        farm: str,
+        field: Field,
+        identity_count: int = 5,
+        fake_ndvi: float = 0.85,
+        fake_noise: float = 0.01,
+        report_interval_s: float = 600.0,
+        target_zones: Optional[List[str]] = None,
+        password: Optional[str] = None,
+    ) -> None:
+        if identity_count < 1:
+            raise ValueError("need at least one Sybil identity")
+        self.sim = sim
+        self.farm = farm
+        self.field = field
+        self.fake_ndvi = fake_ndvi
+        self.fake_noise = fake_noise
+        self.report_interval_s = report_interval_s
+        self.target_zones = target_zones  # None = all zones
+        self.active = False
+        self.reports_sent = 0
+        self._rng = sim.rng.stream(f"attack:sybil:{farm}")
+        self.identities: List[MqttClient] = []
+        for i in range(identity_count):
+            client = MqttClient(
+                sim, f"atk:sybil{i}", broker_address,
+                client_id=f"fake-drone-{i}", username=farm, password=password,
+            )
+            network.add_node(client)
+            network.connect(client.address, broker_address, link_model)
+            self.identities.append(client)
+
+    def device_ids(self) -> List[str]:
+        return [client.client_id for client in self.identities]
+
+    def start(self) -> None:
+        self.active = True
+        for client in self.identities:
+            client.connect()
+            self.sim.spawn(self._loop(client), f"sybil:{client.client_id}")
+
+    def stop(self) -> None:
+        self.active = False
+
+    def _zones(self):
+        if self.target_zones is None:
+            return list(self.field)
+        wanted = set(self.target_zones)
+        return [z for z in self.field if z.zone_id in wanted]
+
+    def _loop(self, client: MqttClient):
+        yield self._rng.uniform(0.0, self.report_interval_s)
+        topic = f"swamp/{self.farm}/attrs/{client.client_id}"
+        while self.active:
+            if client.connected:
+                for zone in self._zones():
+                    ndvi = self._rng.bounded_gauss(self.fake_ndvi, self.fake_noise, 0.0, 1.0)
+                    payload = encode_payload(
+                        {
+                            "ndvi": round(ndvi, 4),
+                            "zone": zone.zone_id,
+                            "row": zone.row,
+                            "col": zone.col,
+                            "ts": round(self.sim.now, 3),
+                        }
+                    )
+                    if client.publish(topic, payload, qos=0):
+                        self.reports_sent += 1
+            yield self.report_interval_s

@@ -1,0 +1,100 @@
+"""Sensor tampering: corrupt readings at the device boundary.
+
+Installs a tamper hook on a device (physical compromise or firmware
+implant), mutating the measure dict before it is encoded and published.
+Modes cover the signatures the detection literature distinguishes:
+
+* ``BIAS``   — constant additive offset (mis-calibration attack);
+* ``DRIFT``  — offset growing linearly in time (slow poisoning, hardest
+  for threshold detectors);
+* ``SPIKE``  — occasional large outliers;
+* ``STUCK``  — freeze at the last value (dead/clamped sensor);
+* ``SCALE``  — multiplicative gain error.
+"""
+
+import enum
+from typing import Any, Dict, Optional
+
+from repro.devices.base import Device
+from repro.simkernel.simulator import Simulator
+
+
+class TamperMode(enum.Enum):
+    BIAS = "bias"
+    DRIFT = "drift"
+    SPIKE = "spike"
+    STUCK = "stuck"
+    SCALE = "scale"
+
+
+class SensorTamper:
+    """One tamper instance on one device attribute."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Device,
+        attribute: str,
+        mode: TamperMode,
+        magnitude: float,
+        spike_probability: float = 0.1,
+        drift_per_day: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self.device = device
+        self.attribute = attribute
+        self.mode = mode
+        self.magnitude = magnitude
+        self.spike_probability = spike_probability
+        self.drift_per_day = drift_per_day if drift_per_day is not None else magnitude
+        self.started_at: Optional[float] = None
+        self.active = False
+        self.samples_tampered = 0
+        self._stuck_value: Optional[float] = None
+        self._rng = sim.rng.stream(f"attack:tamper:{device.config.device_id}:{attribute}")
+        self._hook = self._tamper
+
+    def start(self) -> None:
+        if self.active:
+            return
+        self.active = True
+        self.started_at = self.sim.now
+        self.device.tamper_hooks.append(self._hook)
+        self.sim.trace.emit(
+            self.sim.now, "attack", "tamper started",
+            device=self.device.config.device_id, mode=self.mode.value,
+        )
+
+    def stop(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        try:
+            self.device.tamper_hooks.remove(self._hook)
+        except ValueError:
+            pass
+
+    def _tamper(self, measures: Dict[str, Any]) -> Dict[str, Any]:
+        if self.attribute not in measures:
+            return measures
+        value = measures[self.attribute]
+        if not isinstance(value, (int, float)):
+            return measures
+        mutated = dict(measures)
+        if self.mode is TamperMode.BIAS:
+            mutated[self.attribute] = value + self.magnitude
+        elif self.mode is TamperMode.DRIFT:
+            days = (self.sim.now - (self.started_at or 0.0)) / 86400.0
+            mutated[self.attribute] = value + self.drift_per_day * days
+        elif self.mode is TamperMode.SPIKE:
+            if self._rng.bernoulli(self.spike_probability):
+                mutated[self.attribute] = value + self.magnitude
+        elif self.mode is TamperMode.STUCK:
+            if self._stuck_value is None:
+                self._stuck_value = value
+            mutated[self.attribute] = self._stuck_value
+        elif self.mode is TamperMode.SCALE:
+            mutated[self.attribute] = value * self.magnitude
+        if mutated[self.attribute] != value:
+            self.samples_tampered += 1
+        return mutated

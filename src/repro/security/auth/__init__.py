@@ -1,0 +1,34 @@
+"""Identity, OAuth 2.0 and access control (FIWARE security GEs).
+
+The paper: "The access to the platform must be allowed only for identified
+and authorized users, using FIWARE security generic enablers (GE) and the
+OAuth 2.0 protocol" and "each owner controls their data and decides the
+access control to the data and the services".
+
+* :class:`~repro.security.auth.identity.IdentityManager` — Keyrock-like
+  user/device registry with salted credential storage, roles and farms;
+* :class:`~repro.security.auth.oauth.OAuthServer` — password,
+  client-credentials and refresh-token grants, expiring bearer tokens,
+  introspection and revocation, all on the simulation clock;
+* :class:`~repro.security.auth.pdp.PolicyDecisionPoint` — XACML-style
+  rules (subject role/farm × resource pattern × action), deny-unless-permit;
+* :class:`~repro.security.auth.pep.PepProxy` — the Wilma-style enforcement
+  point gluing token validation to PDP decisions, with an audit log.
+"""
+
+from repro.security.auth.identity import IdentityManager, Principal
+from repro.security.auth.oauth import OAuthError, OAuthServer, Token
+from repro.security.auth.pdp import Policy, PolicyDecisionPoint
+from repro.security.auth.pep import AuditRecord, PepProxy
+
+__all__ = [
+    "AuditRecord",
+    "IdentityManager",
+    "OAuthError",
+    "OAuthServer",
+    "PepProxy",
+    "Policy",
+    "PolicyDecisionPoint",
+    "Principal",
+    "Token",
+]

@@ -1,0 +1,94 @@
+"""Identity manager (Keyrock equivalent).
+
+Stores principals — human users, services and devices — with salted,
+hashed credentials, role assignments and farm membership.  Per-farm data
+isolation ("it is important to keep data apart from farms in our pilots")
+hangs off the ``farm`` attribute here.
+"""
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.simkernel.rng import SeededStream
+
+
+@dataclass
+class Principal:
+    principal_id: str
+    kind: str  # "user" | "service" | "device"
+    farm: Optional[str]
+    roles: Set[str] = field(default_factory=set)
+    salt: bytes = b""
+    credential_hash: bytes = b""
+    enabled: bool = True
+
+
+def _hash_credential(salt: bytes, secret: str) -> bytes:
+    return hashlib.pbkdf2_hmac("sha256", secret.encode("utf-8"), salt, 1000)
+
+
+class IdentityManager:
+    def __init__(self, rng: SeededStream) -> None:
+        self._rng = rng
+        self._principals: Dict[str, Principal] = {}
+
+    def register(
+        self,
+        principal_id: str,
+        secret: str,
+        kind: str = "user",
+        farm: Optional[str] = None,
+        roles: Optional[Set[str]] = None,
+    ) -> Principal:
+        if principal_id in self._principals:
+            raise ValueError(f"principal {principal_id!r} already registered")
+        if kind not in ("user", "service", "device"):
+            raise ValueError(f"unknown principal kind {kind!r}")
+        salt = self._rng.token_bytes(16)
+        principal = Principal(
+            principal_id=principal_id,
+            kind=kind,
+            farm=farm,
+            roles=set(roles or ()),
+            salt=salt,
+            credential_hash=_hash_credential(salt, secret),
+        )
+        self._principals[principal_id] = principal
+        return principal
+
+    def verify(self, principal_id: str, secret: str) -> Optional[Principal]:
+        """Principal when credentials are valid and enabled, else None."""
+        principal = self._principals.get(principal_id)
+        if principal is None or not principal.enabled:
+            return None
+        expected = _hash_credential(principal.salt, secret)
+        if not hmac.compare_digest(expected, principal.credential_hash):
+            return None
+        return principal
+
+    def get(self, principal_id: str) -> Optional[Principal]:
+        return self._principals.get(principal_id)
+
+    def disable(self, principal_id: str) -> None:
+        principal = self._principals.get(principal_id)
+        if principal is not None:
+            principal.enabled = False
+
+    def enable(self, principal_id: str) -> None:
+        principal = self._principals.get(principal_id)
+        if principal is not None:
+            principal.enabled = True
+
+    def grant_role(self, principal_id: str, role: str) -> None:
+        self._principals[principal_id].roles.add(role)
+
+    def revoke_role(self, principal_id: str, role: str) -> None:
+        self._principals[principal_id].roles.discard(role)
+
+    def principals_of_farm(self, farm: str):
+        return sorted(
+            (p for p in self._principals.values() if p.farm == farm),
+            key=lambda p: p.principal_id,
+        )

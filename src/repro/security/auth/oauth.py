@@ -1,0 +1,147 @@
+"""OAuth 2.0 authorization server (the protocol the paper mandates).
+
+Implements the grants the platform uses:
+
+* **password** — human users and dashboards;
+* **client_credentials** — services (IoT agents, schedulers);
+* **refresh_token** — long-lived sessions without re-sending passwords.
+
+Tokens are opaque bearer strings with expiry on the *simulation* clock,
+introspection and revocation.  Wrong credentials, expired/revoked tokens
+and unknown grants all fail closed.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.security.auth.identity import IdentityManager, Principal
+from repro.simkernel.rng import SeededStream
+from repro.simkernel.simulator import Simulator
+
+
+class OAuthError(Exception):
+    def __init__(self, error: str, description: str = "") -> None:
+        super().__init__(f"{error}: {description}" if description else error)
+        self.error = error
+
+
+@dataclass
+class Token:
+    access_token: str
+    refresh_token: Optional[str]
+    principal_id: str
+    scope: str
+    issued_at: float
+    expires_at: float
+    revoked: bool = False
+
+    def active(self, now: float) -> bool:
+        return not self.revoked and now < self.expires_at
+
+
+class OAuthServer:
+    def __init__(
+        self,
+        sim: Simulator,
+        identity: IdentityManager,
+        rng: SeededStream,
+        access_token_ttl_s: float = 3600.0,
+        refresh_token_ttl_s: float = 30 * 86400.0,
+    ) -> None:
+        self.sim = sim
+        self.identity = identity
+        self._rng = rng
+        self.access_token_ttl_s = access_token_ttl_s
+        self.refresh_token_ttl_s = refresh_token_ttl_s
+        self._tokens: Dict[str, Token] = {}
+        self._refresh_tokens: Dict[str, Token] = {}
+        self.issued_count = 0
+        self.rejected_count = 0
+
+    def _new_token_string(self) -> str:
+        return self._rng.token_bytes(24).hex()
+
+    def _issue(self, principal: Principal, scope: str, with_refresh: bool) -> Token:
+        now = self.sim.now
+        token = Token(
+            access_token=self._new_token_string(),
+            refresh_token=self._new_token_string() if with_refresh else None,
+            principal_id=principal.principal_id,
+            scope=scope,
+            issued_at=now,
+            expires_at=now + self.access_token_ttl_s,
+        )
+        self._tokens[token.access_token] = token
+        if token.refresh_token:
+            self._refresh_tokens[token.refresh_token] = token
+        self.issued_count += 1
+        return token
+
+    # -- grants -----------------------------------------------------------
+
+    def password_grant(self, username: str, password: str, scope: str = "") -> Token:
+        principal = self.identity.verify(username, password)
+        if principal is None or principal.kind == "device":
+            self.rejected_count += 1
+            raise OAuthError("invalid_grant", "bad credentials")
+        return self._issue(principal, scope, with_refresh=True)
+
+    def client_credentials_grant(self, client_id: str, client_secret: str, scope: str = "") -> Token:
+        principal = self.identity.verify(client_id, client_secret)
+        if principal is None or principal.kind != "service":
+            self.rejected_count += 1
+            raise OAuthError("invalid_client", "bad client credentials")
+        return self._issue(principal, scope, with_refresh=False)
+
+    def device_grant(self, device_id: str, device_key: str) -> Token:
+        """Token for a provisioned device (the MQTT CONNECT credential)."""
+        principal = self.identity.verify(device_id, device_key)
+        if principal is None or principal.kind != "device":
+            self.rejected_count += 1
+            raise OAuthError("invalid_client", "bad device credentials")
+        return self._issue(principal, "telemetry", with_refresh=False)
+
+    def refresh_grant(self, refresh_token: str) -> Token:
+        old = self._refresh_tokens.get(refresh_token)
+        if old is None or old.revoked:
+            self.rejected_count += 1
+            raise OAuthError("invalid_grant", "unknown refresh token")
+        if self.sim.now - old.issued_at > self.refresh_token_ttl_s:
+            self.rejected_count += 1
+            raise OAuthError("invalid_grant", "refresh token expired")
+        principal = self.identity.get(old.principal_id)
+        if principal is None or not principal.enabled:
+            self.rejected_count += 1
+            raise OAuthError("invalid_grant", "principal disabled")
+        # Rotation: the old refresh token is single-use.
+        del self._refresh_tokens[refresh_token]
+        old.revoked = True
+        return self._issue(principal, old.scope, with_refresh=True)
+
+    # -- validation -----------------------------------------------------------
+
+    def introspect(self, access_token: str) -> Optional[Token]:
+        """The active token, or None (expired/revoked/unknown)."""
+        token = self._tokens.get(access_token)
+        if token is None or not token.active(self.sim.now):
+            return None
+        principal = self.identity.get(token.principal_id)
+        if principal is None or not principal.enabled:
+            return None
+        return token
+
+    def revoke(self, access_token: str) -> None:
+        token = self._tokens.get(access_token)
+        if token is not None:
+            token.revoked = True
+            if token.refresh_token:
+                self._refresh_tokens.pop(token.refresh_token, None)
+
+    def revoke_principal(self, principal_id: str) -> int:
+        """Revoke every live token of a principal (incident response)."""
+        count = 0
+        for token in self._tokens.values():
+            if token.principal_id == principal_id and not token.revoked:
+                token.revoked = True
+                count += 1
+        return count

@@ -1,0 +1,111 @@
+"""Policy Enforcement Point (Wilma equivalent) + audit log.
+
+The PEP fronts every protected API: it introspects the bearer token with
+the OAuth server, asks the PDP, records an audit entry and returns the
+verdict.  It also provides adapters for the two enforcement surfaces the
+platform actually has:
+
+* MQTT broker ``authenticator``/``authorizer`` hooks (device CONNECT with
+  token-as-password, per-farm topic ACLs);
+* context-API guard used by services before broker queries/updates.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mqtt.broker import BrokerSession
+from repro.mqtt.packets import Connect, ConnectReturnCode
+from repro.security.auth.oauth import OAuthServer
+from repro.security.auth.pdp import PolicyDecisionPoint
+from repro.simkernel.simulator import Simulator
+
+
+@dataclass
+class AuditRecord:
+    time: float
+    principal: Optional[str]
+    action: str
+    resource: str
+    allowed: bool
+    reason: str
+
+
+class PepProxy:
+    def __init__(
+        self,
+        sim: Simulator,
+        oauth: OAuthServer,
+        pdp: PolicyDecisionPoint,
+        max_audit_records: int = 100_000,
+    ) -> None:
+        self.sim = sim
+        self.oauth = oauth
+        self.pdp = pdp
+        self.audit_log: List[AuditRecord] = []
+        self.max_audit_records = max_audit_records
+        self.allowed_count = 0
+        self.denied_count = 0
+        # Per-request processing latency model (token check + PDP walk).
+        self.overhead_s = 0.0015
+
+    def _audit(self, principal: Optional[str], action: str, resource: str,
+               allowed: bool, reason: str) -> None:
+        if len(self.audit_log) >= self.max_audit_records:
+            self.audit_log.pop(0)
+        self.audit_log.append(
+            AuditRecord(self.sim.now, principal, action, resource, allowed, reason)
+        )
+        if allowed:
+            self.allowed_count += 1
+        else:
+            self.denied_count += 1
+
+    # -- generic enforcement -----------------------------------------------------
+
+    def check(self, access_token: str, action: str, resource: str) -> bool:
+        token = self.oauth.introspect(access_token)
+        if token is None:
+            self._audit(None, action, resource, False, "invalid-token")
+            return False
+        principal = self.oauth.identity.get(token.principal_id)
+        allowed = self.pdp.decide(principal, action, resource)
+        self._audit(
+            principal.principal_id, action, resource, allowed,
+            "pdp-permit" if allowed else "pdp-deny",
+        )
+        return allowed
+
+    # -- MQTT adapters -----------------------------------------------------------
+
+    def mqtt_authenticator(self, connect: Connect) -> ConnectReturnCode:
+        """Broker CONNECT hook: the password field carries a bearer token."""
+        token = self.oauth.introspect(connect.password or "")
+        if token is None:
+            self._audit(connect.client_id, "connect", "mqtt", False, "invalid-token")
+            return ConnectReturnCode.BAD_CREDENTIALS
+        principal = self.oauth.identity.get(token.principal_id)
+        if principal is None:
+            self._audit(connect.client_id, "connect", "mqtt", False, "unknown-principal")
+            return ConnectReturnCode.NOT_AUTHORIZED
+        self._audit(principal.principal_id, "connect", "mqtt", True, "token-ok")
+        return ConnectReturnCode.ACCEPTED
+
+    def mqtt_authorizer(self, session: BrokerSession, action: str, topic: str) -> bool:
+        """Broker publish/subscribe hook, backed by the PDP."""
+        principal = self.oauth.identity.get(session.client_id) or (
+            self.oauth.identity.get(session.username) if session.username else None
+        )
+        if principal is None:
+            self._audit(session.client_id, action, topic, False, "unknown-principal")
+            return False
+        allowed = self.pdp.decide(principal, action, topic)
+        self._audit(
+            principal.principal_id, action, topic, allowed,
+            "pdp-permit" if allowed else "pdp-deny",
+        )
+        return allowed
+
+    # -- reporting -----------------------------------------------------------
+
+    def denied_records(self) -> List[AuditRecord]:
+        return [r for r in self.audit_log if not r.allowed]

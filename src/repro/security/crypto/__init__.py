@@ -1,0 +1,29 @@
+"""Simulation-grade cryptography.
+
+These are real constructions built only on the Python standard library
+(``hashlib``/``hmac``), faithful in *shape* — key exchange, KDF, AEAD with
+nonces and tags, replay windows — so the platform exercises genuine
+key-management and authenticated-encryption code paths and the experiments
+can price their energy cost (E13).  They are **not** audited production
+cryptography; see DESIGN.md's substitution table.
+"""
+
+from repro.security.crypto.aead import AeadError, open_payload, seal_payload
+from repro.security.crypto.channel import ChannelStats, SecureChannel, SecureChannelPair
+from repro.security.crypto.dh import DhKeyPair, MODP_PRIME, shared_secret
+from repro.security.crypto.kdf import hkdf
+from repro.security.crypto.replay import ReplayWindow
+
+__all__ = [
+    "AeadError",
+    "ChannelStats",
+    "DhKeyPair",
+    "MODP_PRIME",
+    "ReplayWindow",
+    "SecureChannel",
+    "SecureChannelPair",
+    "hkdf",
+    "open_payload",
+    "seal_payload",
+    "shared_secret",
+]

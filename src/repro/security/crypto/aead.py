@@ -1,0 +1,63 @@
+"""Authenticated encryption (encrypt-then-MAC, HMAC-SHA256 throughout).
+
+The keystream is HMAC-SHA256 used as a PRF in counter mode over the nonce
+(a standard construction); the tag is HMAC-SHA256 over
+``nonce || associated_data || ciphertext`` with an independent key.  Wire
+format::
+
+    nonce (12B) || ciphertext || tag (16B, truncated HMAC)
+
+Simulation-grade (see package docstring) but structurally faithful: wrong
+key, flipped bit, truncation and nonce reuse across different plaintexts
+all behave as the real thing would.
+"""
+
+import hashlib
+import hmac
+
+NONCE_LEN = 12
+TAG_LEN = 16
+_BLOCK = 32
+
+
+class AeadError(Exception):
+    """Authentication failure on open."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(
+            hmac.new(key, nonce + counter.to_bytes(4, "big"), hashlib.sha256).digest()
+        )
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def _xor(data: bytes, keystream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, keystream))
+
+
+def seal_payload(
+    enc_key: bytes, mac_key: bytes, nonce: bytes, plaintext: bytes, associated_data: bytes = b""
+) -> bytes:
+    if len(nonce) != NONCE_LEN:
+        raise ValueError(f"nonce must be {NONCE_LEN} bytes")
+    ciphertext = _xor(plaintext, _keystream(enc_key, nonce, len(plaintext)))
+    tag = hmac.new(mac_key, nonce + associated_data + ciphertext, hashlib.sha256).digest()[:TAG_LEN]
+    return nonce + ciphertext + tag
+
+
+def open_payload(
+    enc_key: bytes, mac_key: bytes, sealed: bytes, associated_data: bytes = b""
+) -> bytes:
+    if len(sealed) < NONCE_LEN + TAG_LEN:
+        raise AeadError("sealed payload too short")
+    nonce = sealed[:NONCE_LEN]
+    ciphertext = sealed[NONCE_LEN:-TAG_LEN]
+    tag = sealed[-TAG_LEN:]
+    expected = hmac.new(mac_key, nonce + associated_data + ciphertext, hashlib.sha256).digest()[:TAG_LEN]
+    if not hmac.compare_digest(tag, expected):
+        raise AeadError("authentication failed")
+    return _xor(ciphertext, _keystream(enc_key, nonce, len(ciphertext)))

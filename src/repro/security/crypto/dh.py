@@ -1,0 +1,44 @@
+"""Finite-field Diffie-Hellman over the RFC 3526 2048-bit MODP group.
+
+Private keys come from the deterministic experiment RNG (so runs are
+reproducible); in the real platform they would come from the OS CSPRNG.
+"""
+
+from repro.simkernel.rng import SeededStream
+
+# RFC 3526 group 14 (2048-bit MODP), generator 2.
+MODP_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+GENERATOR = 2
+
+
+class DhKeyPair:
+    """One party's ephemeral key pair."""
+
+    def __init__(self, rng: SeededStream) -> None:
+        # 256 bits of private exponent is ample for the group.
+        self.private = int.from_bytes(rng.token_bytes(32), "big") | 1
+        self.public = pow(GENERATOR, self.private, MODP_PRIME)
+
+    def shared_with(self, peer_public: int) -> bytes:
+        return shared_secret(self.private, peer_public)
+
+
+def shared_secret(private: int, peer_public: int) -> bytes:
+    """The DH shared secret as fixed-width bytes."""
+    if not 1 < peer_public < MODP_PRIME - 1:
+        raise ValueError("invalid peer public key")
+    value = pow(peer_public, private, MODP_PRIME)
+    return value.to_bytes(256, "big")

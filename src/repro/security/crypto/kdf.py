@@ -1,0 +1,23 @@
+"""HKDF (RFC 5869) over HMAC-SHA256."""
+
+import hashlib
+import hmac
+
+_HASH_LEN = 32
+
+
+def hkdf(input_key_material: bytes, length: int, salt: bytes = b"", info: bytes = b"") -> bytes:
+    """Extract-then-expand key derivation."""
+    if length <= 0 or length > 255 * _HASH_LEN:
+        raise ValueError(f"cannot derive {length} bytes")
+    pseudo_random_key = hmac.new(salt or b"\x00" * _HASH_LEN, input_key_material, hashlib.sha256).digest()
+    blocks = []
+    previous = b""
+    counter = 1
+    while sum(len(b) for b in blocks) < length:
+        previous = hmac.new(
+            pseudo_random_key, previous + info + bytes([counter]), hashlib.sha256
+        ).digest()
+        blocks.append(previous)
+        counter += 1
+    return b"".join(blocks)[:length]

@@ -1,0 +1,49 @@
+"""Behavioral-baseline anomaly detection.
+
+The paper's thesis: "one of the most relevant challenges ... is dealing
+with the multitude of behaviors from IoT application and what would be
+considered as normal and what would be considered as a threat", and "a
+baseline must be created to promote security effectiveness" — while
+acknowledging the system "will probably have a partial view of the
+environment".
+
+Implementation:
+
+* per-(entity, attribute) statistical detectors
+  (:mod:`~repro.security.detection.detectors`): range, z-score, jump,
+  stuck-value, CUSUM drift, report-rate;
+* a cross-sensor spatial-consistency voter
+  (:mod:`~repro.security.detection.spatial`) that exploits field coherence
+  to catch Sybil/fake data that is individually plausible;
+* the :class:`~repro.security.detection.engine.DetectionEngine` that
+  subscribes to the context broker, learns baselines over a training
+  window, scores every update, raises alerts and (optionally) quarantines
+  offending devices — closing the loop the paper asks for.
+"""
+
+from repro.security.detection.detectors import (
+    CusumDriftDetector,
+    JumpDetector,
+    RangeDetector,
+    RateDetector,
+    StuckDetector,
+    ZScoreDetector,
+)
+from repro.security.detection.engine import Alert, AlertManager, DetectionEngine
+from repro.security.detection.sequence import CommandRhythmMonitor, EventSequenceModel
+from repro.security.detection.spatial import SpatialConsistencyDetector
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "CommandRhythmMonitor",
+    "CusumDriftDetector",
+    "DetectionEngine",
+    "EventSequenceModel",
+    "JumpDetector",
+    "RangeDetector",
+    "RateDetector",
+    "SpatialConsistencyDetector",
+    "StuckDetector",
+    "ZScoreDetector",
+]

@@ -1,0 +1,237 @@
+"""Per-signal statistical detectors.
+
+Each detector consumes one (time, value) stream and follows the same
+protocol: ``train(t, x)`` during the baseline window, then
+``score(t, x) -> float`` where 0 is perfectly normal and scores ≥ 1.0 are
+alert-worthy.  Detector choice maps to tamper signature (E5/E8):
+
+=============  ==========================================
+Detector       Catches
+=============  ==========================================
+Range          gross bias, impossible values
+ZScore         moderate bias, spikes
+Jump           spikes, step changes
+Stuck          frozen/clamped sensors
+CusumDrift     slow drift poisoning
+Rate           floods (too fast), outages (too slow)
+=============  ==========================================
+"""
+
+import math
+from collections import deque
+from typing import Deque, Optional
+
+
+class _WelfordStats:
+    """Streaming mean/variance."""
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+
+class RangeDetector:
+    """Alerts when a value leaves the trained envelope ± margin·σ."""
+
+    def __init__(self, margin_sigmas: float = 4.0, min_sigma: float = 1e-6) -> None:
+        self.margin_sigmas = margin_sigmas
+        self.min_sigma = min_sigma
+        self._stats = _WelfordStats()
+        self._low = math.inf
+        self._high = -math.inf
+
+    def train(self, t: float, x: float) -> None:
+        self._stats.add(x)
+        self._low = min(self._low, x)
+        self._high = max(self._high, x)
+
+    def score(self, t: float, x: float) -> float:
+        if self._stats.count < 3:
+            return 0.0
+        sigma = max(self._stats.std, self.min_sigma)
+        margin = self.margin_sigmas * sigma
+        if self._low - margin <= x <= self._high + margin:
+            return 0.0
+        overshoot = max(self._low - margin - x, x - self._high - margin)
+        return 1.0 + overshoot / margin
+
+
+class ZScoreDetector:
+    """EWMA z-score; alert scales with |z| above the threshold."""
+
+    def __init__(self, alpha: float = 0.05, threshold: float = 4.0, min_sigma: float = 1e-6) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha in (0,1)")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.min_sigma = min_sigma
+        self._trained = _WelfordStats()
+        self._mean: Optional[float] = None
+        self._var: Optional[float] = None
+
+    def train(self, t: float, x: float) -> None:
+        self._trained.add(x)
+
+    def _ensure_state(self) -> None:
+        if self._mean is None:
+            self._mean = self._trained.mean
+            self._var = max(self._trained.std ** 2, self.min_sigma ** 2)
+
+    def score(self, t: float, x: float) -> float:
+        if self._trained.count < 3:
+            return 0.0
+        self._ensure_state()
+        sigma = math.sqrt(max(self._var, self.min_sigma ** 2))
+        z = abs(x - self._mean) / sigma
+        # Update the running state with the new sample (slowly absorbs
+        # legitimate seasonal movement).
+        self._mean = (1 - self.alpha) * self._mean + self.alpha * x
+        self._var = (1 - self.alpha) * self._var + self.alpha * (x - self._mean) ** 2
+        return z / self.threshold
+
+
+class JumpDetector:
+    """Alerts on sample-to-sample deltas far beyond trained deltas."""
+
+    def __init__(self, margin_sigmas: float = 5.0, min_sigma: float = 1e-6) -> None:
+        self.margin_sigmas = margin_sigmas
+        self.min_sigma = min_sigma
+        self._delta_stats = _WelfordStats()
+        self._last: Optional[float] = None
+
+    def train(self, t: float, x: float) -> None:
+        if self._last is not None:
+            self._delta_stats.add(abs(x - self._last))
+        self._last = x
+
+    def score(self, t: float, x: float) -> float:
+        if self._last is None or self._delta_stats.count < 3:
+            self._last = x
+            return 0.0
+        delta = abs(x - self._last)
+        self._last = x
+        limit = self._delta_stats.mean + self.margin_sigmas * max(
+            self._delta_stats.std, self.min_sigma
+        )
+        if delta <= limit or limit <= 0:
+            return 0.0
+        return delta / limit
+
+
+class StuckDetector:
+    """Alerts when the last N values are byte-identical.
+
+    Real sensors carry noise; a perfectly flat window means a frozen
+    reading (STUCK tamper or a dead transducer).
+    """
+
+    def __init__(self, window: int = 12) -> None:
+        if window < 3:
+            raise ValueError("window must be >= 3")
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+
+    def train(self, t: float, x: float) -> None:
+        self._values.append(x)
+
+    def score(self, t: float, x: float) -> float:
+        self._values.append(x)
+        if len(self._values) < self.window:
+            return 0.0
+        first = self._values[0]
+        if all(v == first for v in self._values):
+            return 1.5
+        return 0.0
+
+
+class CusumDriftDetector:
+    """Two-sided CUSUM on the trained mean — catches slow poisoning.
+
+    On alarm the accumulators reset (alarm-and-restart, the standard CUSUM
+    operating mode): a genuinely drifting signal re-accumulates and alarms
+    again quickly, while a legitimate signal that wandered (soil moisture
+    is cyclo-stationary, not i.i.d.) produces an isolated alert and goes
+    quiet — which is what lets the AlertManager's alert-budget separate
+    the two.
+    """
+
+    def __init__(self, slack_sigmas: float = 0.75, threshold_sigmas: float = 10.0,
+                 min_sigma: float = 1e-6) -> None:
+        self.slack_sigmas = slack_sigmas
+        self.threshold_sigmas = threshold_sigmas
+        self.min_sigma = min_sigma
+        self._trained = _WelfordStats()
+        self._s_high = 0.0
+        self._s_low = 0.0
+
+    def train(self, t: float, x: float) -> None:
+        self._trained.add(x)
+
+    def score(self, t: float, x: float) -> float:
+        if self._trained.count < 3:
+            return 0.0
+        sigma = max(self._trained.std, self.min_sigma)
+        slack = self.slack_sigmas * sigma
+        centered = x - self._trained.mean
+        self._s_high = max(0.0, self._s_high + centered - slack)
+        self._s_low = max(0.0, self._s_low - centered - slack)
+        threshold = self.threshold_sigmas * sigma
+        score = max(self._s_high, self._s_low) / threshold
+        if score >= 1.0:
+            self._s_high = 0.0
+            self._s_low = 0.0
+        return score
+
+
+class RateDetector:
+    """Report-rate envelope: floods and outages both score.
+
+    Trains on inter-arrival times; scores the rate over a sliding window
+    against the trained mean interval.
+    """
+
+    def __init__(self, fast_factor: float = 4.0, slow_factor: float = 4.0, window: int = 8) -> None:
+        self.fast_factor = fast_factor
+        self.slow_factor = slow_factor
+        self._intervals = _WelfordStats()
+        self._last_t: Optional[float] = None
+        self._recent: Deque[float] = deque(maxlen=window)
+
+    def train(self, t: float, x: float) -> None:
+        if self._last_t is not None and t > self._last_t:
+            self._intervals.add(t - self._last_t)
+        self._last_t = t
+
+    def score(self, t: float, x: float) -> float:
+        if self._last_t is None or self._intervals.count < 3:
+            self._last_t = t
+            return 0.0
+        interval = t - self._last_t
+        self._last_t = t
+        if interval <= 0:
+            return 1.0
+        self._recent.append(interval)
+        mean_recent = sum(self._recent) / len(self._recent)
+        expected = self._intervals.mean
+        if expected <= 0:
+            return 0.0
+        if mean_recent < expected / self.fast_factor:
+            return expected / (mean_recent * self.fast_factor)
+        if mean_recent > expected * self.slow_factor:
+            return mean_recent / (expected * self.slow_factor)
+        return 0.0

@@ -1,0 +1,222 @@
+"""Event-sequence behaviour model.
+
+The paper's sharpest formulation of the baseline challenge is about
+*sequences*, not values: "to understand and correlate the expected sequence
+of events and behavior of agriculture applications".  Irrigation commands
+follow rhythms — a valve opens after a dry-down, in the morning cycle, at
+most once a day; a pivot pass follows a scheduler decision which follows
+fresh telemetry.  An attacker who replays a *plausible value* still breaks
+the *rhythm*: commands at 3 a.m., opens with no preceding dry-down, five
+opens in an hour.
+
+:class:`EventSequenceModel` learns a first-order Markov model over
+discretized platform events — (event type, time-of-day bucket) — plus
+inter-event gap statistics per transition, then scores new events by the
+improbability of their transition and timing.  Smoothing keeps unseen
+transitions finite; scores ≥ 1 are alert-worthy, matching the detector
+protocol in :mod:`repro.security.detection.detectors`.
+"""
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+DAY_S = 86400.0
+
+
+class _GapStats:
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+
+def _time_bucket(t: float, buckets_per_day: int) -> int:
+    seconds_into_day = t % DAY_S
+    return int(seconds_into_day / (DAY_S / buckets_per_day))
+
+
+class EventSequenceModel:
+    """First-order Markov model over (event, time-of-day-bucket) symbols."""
+
+    def __init__(
+        self,
+        buckets_per_day: int = 6,
+        smoothing: float = 0.1,
+        surprise_threshold_bits: float = 6.0,
+        min_training_events: int = 10,
+        online_learning: bool = True,
+    ) -> None:
+        if buckets_per_day < 1:
+            raise ValueError("need at least one time bucket")
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.buckets_per_day = buckets_per_day
+        self.smoothing = smoothing
+        self.surprise_threshold_bits = surprise_threshold_bits
+        self.min_training_events = min_training_events
+        # Online learning: non-anomalous scored events keep refining the
+        # model (normal drift is absorbed); anomalous ones never do (an
+        # attacker cannot poison the baseline by repeating the attack).
+        self.online_learning = online_learning
+        self._transitions: Dict[Hashable, Dict[Hashable, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        self._gaps: Dict[Tuple[Hashable, Hashable], _GapStats] = defaultdict(_GapStats)
+        self._symbols: set = set()
+        self._last: Optional[Tuple[Hashable, float]] = None
+        self.trained_events = 0
+
+    # -- symbolization -----------------------------------------------------------
+
+    def symbol(self, event_type: str, t: float) -> Tuple[str, int]:
+        return (event_type, _time_bucket(t, self.buckets_per_day))
+
+    # -- training -----------------------------------------------------------
+
+    def train(self, event_type: str, t: float) -> None:
+        current = self.symbol(event_type, t)
+        self._symbols.add(current)
+        if self._last is not None:
+            previous, previous_t = self._last
+            self._transitions[previous][current] += 1
+            self._gaps[(previous, current)].add(t - previous_t)
+        self._last = (current, t)
+        self.trained_events += 1
+
+    def end_training(self) -> None:
+        """Forget the dangling last event so scoring starts fresh."""
+        self._last = None
+
+    # -- scoring -----------------------------------------------------------
+
+    def transition_probability(self, previous: Hashable, current: Hashable) -> float:
+        """Laplace-smoothed P(current | previous)."""
+        row = self._transitions.get(previous, {})
+        vocabulary = max(1, len(self._symbols))
+        total = sum(row.values()) + self.smoothing * vocabulary
+        return (row.get(current, 0) + self.smoothing) / total
+
+    def surprise_bits(self, previous: Hashable, current: Hashable) -> float:
+        return -math.log2(self.transition_probability(previous, current))
+
+    def score(self, event_type: str, t: float) -> float:
+        """Anomaly score for the next event (0 normal, ≥1 alert-worthy).
+
+        Combines transition surprise with gap timing: an expected
+        transition arriving wildly off-schedule still scores.  A context
+        (previous symbol) that was itself never observed is flagged
+        outright — it can only exist downstream of an earlier anomaly.
+        """
+        if self.trained_events < self.min_training_events:
+            self._observe(event_type, t)
+            return 0.0
+        current = self.symbol(event_type, t)
+        if self._last is None:
+            self._last = (current, t)
+            return 0.0
+        previous, previous_t = self._last
+        row = self._transitions.get(previous)
+        if not row:
+            score = 1.2  # novel context: downstream of an anomaly
+        else:
+            surprise = self.surprise_bits(previous, current)
+            score = surprise / self.surprise_threshold_bits
+            gap_stats = self._gaps.get((previous, current))
+            if gap_stats is not None and gap_stats.count >= 3 and gap_stats.std > 0:
+                gap = t - previous_t
+                z = abs(gap - gap_stats.mean) / max(gap_stats.std, 1.0)
+                score = max(score, z / 8.0)
+        if self.online_learning and score < 1.0:
+            self._symbols.add(current)
+            self._transitions[previous][current] += 1
+            self._gaps[(previous, current)].add(t - previous_t)
+        self._last = (current, t)
+        return score
+
+    def _observe(self, event_type: str, t: float) -> None:
+        # While under-trained, keep learning silently.
+        self.train(event_type, t)
+
+    # -- inspection -----------------------------------------------------------
+
+    def known_transitions(self) -> List[Tuple[Hashable, Hashable, int]]:
+        result = []
+        for previous, row in self._transitions.items():
+            for current, count in row.items():
+                result.append((previous, current, count))
+        return sorted(result, key=lambda item: (-item[2], str(item[0]), str(item[1])))
+
+
+class CommandRhythmMonitor:
+    """Platform integration: learns the command rhythm per device.
+
+    Feed it every actuator command (the IoT agent's ``send_command`` and
+    the broker-visible command topic both work); after the training window
+    it scores each command and calls ``on_alert`` for improbable ones —
+    the sequence-level complement to the per-value detectors, and the one
+    that catches *replayed* or *injected* commands whose payloads are
+    individually plausible.
+    """
+
+    def __init__(
+        self,
+        training_window_s: float = 7 * DAY_S,
+        alert_threshold: float = 1.0,
+        on_alert=None,
+        buckets_per_day: int = 6,
+        group_of=None,
+    ) -> None:
+        self.training_window_s = training_window_s
+        self.alert_threshold = alert_threshold
+        self.on_alert = on_alert
+        self.buckets_per_day = buckets_per_day
+        # Commands are sparse per device (a valve opens a handful of times
+        # per week) — pooling devices of the same class into one model is
+        # what makes the rhythm learnable inside a season.  ``group_of``
+        # maps a device id to its pool key; default is per-device.
+        self.group_of = group_of or (lambda device_id: device_id)
+        self._models: Dict[str, EventSequenceModel] = {}
+        self._started_at: Optional[float] = None
+        self.alerts: List[dict] = []
+
+    def _model(self, group: str) -> EventSequenceModel:
+        model = self._models.get(group)
+        if model is None:
+            model = EventSequenceModel(buckets_per_day=self.buckets_per_day)
+            self._models[group] = model
+        return model
+
+    def observe(self, device_id: str, command_name: str, t: float) -> float:
+        """Record a command; returns its anomaly score (0 during training)."""
+        if self._started_at is None:
+            self._started_at = t
+        model = self._model(self.group_of(device_id))
+        if t - self._started_at < self.training_window_s:
+            model.train(command_name, t)
+            return 0.0
+        score = model.score(command_name, t)
+        if score >= self.alert_threshold:
+            alert = {"time": t, "device": device_id, "command": command_name,
+                     "score": score}
+            self.alerts.append(alert)
+            if self.on_alert is not None:
+                self.on_alert(alert)
+        return score
+
+    def alerts_for(self, device_id: str) -> List[dict]:
+        return [a for a in self.alerts if a["device"] == device_id]

@@ -1,0 +1,89 @@
+"""Spatial cross-sensor consistency.
+
+A field is physically coherent: neighbouring zones share weather and
+(correlated) soils, so their soil moisture and NDVI move together.  A
+fabricated reading that is plausible in isolation (a Sybil's "healthy
+0.85 NDVI") still disagrees with honest neighbours over a stressed area.
+The detector scores each observation against the median of the other
+observations for the same zone and the trained zone-to-neighbour spread.
+
+Observations are keyed by (zone, source): multiple sources reporting one
+zone (honest drone + Sybils) vote against each other; the median is robust
+as long as honest sources are the majority *or* the fabricated values sit
+far from the field's physical state.
+"""
+
+import math
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class SpatialConsistencyDetector:
+    """Scores zone observations against cross-source and neighbour medians."""
+
+    def __init__(self, grid_rows: int, grid_cols: int, tolerance: float = 0.08) -> None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.rows = grid_rows
+        self.cols = grid_cols
+        self.tolerance = tolerance
+        # (row, col) -> {source: value} for the current epoch.
+        self._observations: Dict[Tuple[int, int], Dict[str, float]] = defaultdict(dict)
+
+    def reset_epoch(self) -> None:
+        self._observations.clear()
+
+    def observe(self, row: int, col: int, source: str, value: float) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"zone ({row},{col}) outside grid")
+        self._observations[(row, col)][source] = value
+
+    def _neighbour_values(self, row: int, col: int, exclude_source: str) -> List[float]:
+        values: List[float] = []
+        for dr in (-1, 0, 1):
+            for dc in (-1, 0, 1):
+                rr, cc = row + dr, col + dc
+                if not (0 <= rr < self.rows and 0 <= cc < self.cols):
+                    continue
+                for source, value in self._observations.get((rr, cc), {}).items():
+                    if rr == row and cc == col and source == exclude_source:
+                        continue
+                    values.append(value)
+        return values
+
+    def score(self, row: int, col: int, source: str) -> float:
+        """Anomaly score for one source's observation of one zone."""
+        own = self._observations.get((row, col), {}).get(source)
+        if own is None:
+            return 0.0
+        reference = self._neighbour_values(row, col, exclude_source=source)
+        if len(reference) < 2:
+            return 0.0  # partial view: not enough context to judge
+        deviation = abs(own - _median(reference))
+        if deviation <= self.tolerance:
+            return 0.0
+        return deviation / self.tolerance
+
+    def score_all(self) -> Dict[Tuple[int, int, str], float]:
+        """Scores for every observation in the epoch (deterministic order)."""
+        results: Dict[Tuple[int, int, str], float] = {}
+        for (row, col) in sorted(self._observations):
+            for source in sorted(self._observations[(row, col)]):
+                results[(row, col, source)] = self.score(row, col, source)
+        return results
+
+    def suspicious_sources(self, alert_threshold: float = 1.0) -> Dict[str, int]:
+        """Source -> count of zones where it scored above threshold."""
+        counts: Dict[str, int] = defaultdict(int)
+        for (row, col, source), score in self.score_all().items():
+            if score >= alert_threshold:
+                counts[source] += 1
+        return dict(counts)

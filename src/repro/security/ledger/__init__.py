@@ -1,0 +1,34 @@
+"""Blockchain device lifecycle ledger and smart contracts.
+
+The paper: blockchain "will have great importance in the security of IoT.
+One possible application is in the supply chain and lifecycle of an IoT
+device ... it is possible to track all the attributes, relationships and
+events related to a device", and "the use of smart contracts is also a
+promising mechanism ... for authentication, authorization, and privacy".
+
+* :class:`~repro.security.ledger.blockchain.Blockchain` —
+  proof-of-authority hash-chained blocks of
+  :class:`~repro.security.ledger.blockchain.LifecycleEvent` transactions;
+* :class:`~repro.security.ledger.registry.DeviceLifecycleRegistry` — the
+  state machine replayed from the chain (manufactured → provisioned →
+  active → retired/revoked) with clone detection;
+* :class:`~repro.security.ledger.contracts.AuthorizationContract` —
+  deterministic rules over chain state gating platform actions
+  (e.g. "only an *active*, *untampered* device owned by this farm may
+  receive actuator commands").
+"""
+
+from repro.security.ledger.blockchain import Block, Blockchain, LedgerError, LifecycleEvent
+from repro.security.ledger.contracts import AuthorizationContract, ContractRule
+from repro.security.ledger.registry import DeviceLifecycleRegistry, DeviceState
+
+__all__ = [
+    "AuthorizationContract",
+    "Block",
+    "Blockchain",
+    "ContractRule",
+    "DeviceLifecycleRegistry",
+    "DeviceState",
+    "LedgerError",
+    "LifecycleEvent",
+]

@@ -1,0 +1,86 @@
+"""Smart contracts: deterministic authorization rules over chain state.
+
+A contract is a conjunction of :class:`ContractRule` predicates evaluated
+against the :class:`~repro.security.ledger.registry.DeviceLifecycleRegistry`
+(itself a pure replay of the chain).  The canonical SWAMP contract gates
+actuator commands: the target device must be ACTIVE, owned by the
+requesting farm, and free of lifecycle violations.  Every evaluation is
+logged — an on-chain-auditable authorization trail.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.security.ledger.registry import DeviceLifecycleRegistry, DeviceState
+
+
+@dataclass
+class ContractRule:
+    name: str
+    predicate: Callable[[DeviceLifecycleRegistry, str, Dict], bool]
+    description: str = ""
+
+
+def rule_device_active() -> ContractRule:
+    return ContractRule(
+        "device-active",
+        lambda registry, device_id, ctx: registry.state_of(device_id) is DeviceState.ACTIVE,
+        "target device must be in the ACTIVE lifecycle state",
+    )
+
+
+def rule_owned_by(context_key: str = "farm") -> ContractRule:
+    return ContractRule(
+        "owned-by-requester",
+        lambda registry, device_id, ctx: (
+            registry.owner_of(device_id) is not None
+            and registry.owner_of(device_id) == ctx.get(context_key)
+        ),
+        "target device must be owned by the requesting farm",
+    )
+
+
+def rule_no_violations() -> ContractRule:
+    def predicate(registry: DeviceLifecycleRegistry, device_id: str, ctx: Dict) -> bool:
+        return not any(v.event.device_id == device_id for v in registry.violations)
+
+    return ContractRule(
+        "clean-lifecycle",
+        predicate,
+        "target device must have no lifecycle violations (clones, bad transitions)",
+    )
+
+
+@dataclass
+class ContractDecision:
+    device_id: str
+    allowed: bool
+    failed_rule: Optional[str]
+    context: Dict
+
+
+class AuthorizationContract:
+    def __init__(self, registry: DeviceLifecycleRegistry, rules: Optional[List[ContractRule]] = None) -> None:
+        self.registry = registry
+        self.rules = rules if rules is not None else [
+            rule_device_active(),
+            rule_owned_by(),
+            rule_no_violations(),
+        ]
+        self.decisions: List[ContractDecision] = []
+
+    def authorize(self, device_id: str, context: Optional[Dict] = None) -> bool:
+        """Evaluate all rules; refresh registry state from the chain first."""
+        self.registry.refresh()
+        context = context or {}
+        failed: Optional[str] = None
+        for rule in self.rules:
+            if not rule.predicate(self.registry, device_id, context):
+                failed = rule.name
+                break
+        decision = ContractDecision(device_id, failed is None, failed, dict(context))
+        self.decisions.append(decision)
+        return decision.allowed
+
+    def denials(self) -> List[ContractDecision]:
+        return [d for d in self.decisions if not d.allowed]

@@ -1,0 +1,116 @@
+"""Device lifecycle state replayed from the chain.
+
+The registry is a pure function of committed chain events, so two parties
+replaying the same chain agree on every device's state — the property
+that makes contract decisions auditable.  Illegal transitions (e.g. a
+second ``manufactured`` for the same id — a counterfeit/clone) do not
+change state; they are recorded as violations.
+"""
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.security.ledger.blockchain import Blockchain, LifecycleEvent
+
+
+class DeviceState(enum.Enum):
+    UNKNOWN = "unknown"
+    MANUFACTURED = "manufactured"
+    PROVISIONED = "provisioned"
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    RETIRED = "retired"
+    REVOKED = "revoked"
+
+
+# event -> (allowed source states, resulting state)
+_TRANSITIONS = {
+    "manufactured": ({DeviceState.UNKNOWN}, DeviceState.MANUFACTURED),
+    "provisioned": ({DeviceState.MANUFACTURED}, DeviceState.PROVISIONED),
+    "activated": ({DeviceState.PROVISIONED, DeviceState.SUSPENDED}, DeviceState.ACTIVE),
+    "suspended": ({DeviceState.ACTIVE}, DeviceState.SUSPENDED),
+    "key_rotated": ({DeviceState.ACTIVE, DeviceState.PROVISIONED}, None),  # no state change
+    "transferred": ({DeviceState.ACTIVE, DeviceState.PROVISIONED}, None),
+    "retired": ({DeviceState.ACTIVE, DeviceState.SUSPENDED, DeviceState.PROVISIONED},
+                DeviceState.RETIRED),
+    "revoked": (set(DeviceState) - {DeviceState.UNKNOWN}, DeviceState.REVOKED),
+}
+
+
+@dataclass
+class DeviceRecord:
+    device_id: str
+    state: DeviceState = DeviceState.UNKNOWN
+    owner: Optional[str] = None
+    manufacturer: Optional[str] = None
+    history: List[LifecycleEvent] = field(default_factory=list)
+
+
+@dataclass
+class Violation:
+    event: LifecycleEvent
+    reason: str
+
+
+class DeviceLifecycleRegistry:
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+        self.devices: Dict[str, DeviceRecord] = {}
+        self.violations: List[Violation] = []
+        self._replayed_events = 0
+        self.replay()
+
+    def replay(self) -> None:
+        """Rebuild all state from the chain (idempotent full replay)."""
+        self.devices = {}
+        self.violations = []
+        self._replayed_events = 0
+        for event in self.chain.events():
+            self._apply(event)
+
+    def refresh(self) -> None:
+        """Apply only events committed since the last replay/refresh."""
+        events = self.chain.events()
+        for event in events[self._replayed_events:]:
+            self._apply(event)
+
+    def _apply(self, event: LifecycleEvent) -> None:
+        self._replayed_events += 1
+        record = self.devices.setdefault(event.device_id, DeviceRecord(event.device_id))
+        transition = _TRANSITIONS.get(event.event)
+        if transition is None:
+            self.violations.append(Violation(event, f"unknown event {event.event!r}"))
+            return
+        allowed_states, next_state = transition
+        if record.state not in allowed_states:
+            self.violations.append(
+                Violation(event, f"{event.event} not allowed from {record.state.value}")
+            )
+            return
+        record.history.append(event)
+        if next_state is not None:
+            record.state = next_state
+        if event.event == "manufactured":
+            record.manufacturer = event.actor
+        if event.event in ("provisioned", "transferred"):
+            record.owner = event.data.get("owner", event.actor)
+
+    # -- queries -----------------------------------------------------------
+
+    def state_of(self, device_id: str) -> DeviceState:
+        record = self.devices.get(device_id)
+        return record.state if record else DeviceState.UNKNOWN
+
+    def owner_of(self, device_id: str) -> Optional[str]:
+        record = self.devices.get(device_id)
+        return record.owner if record else None
+
+    def clone_violations(self) -> List[Violation]:
+        """Violations signalling duplicate 'manufactured' ids — the
+        counterfeit-device signature the paper's supply-chain use case
+        exists to catch."""
+        return [
+            v for v in self.violations
+            if v.event.event == "manufactured" and "not allowed" in v.reason
+        ]

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the SWAMP reproduction runs on this kernel: device firmware
+loops, radio links, the MQTT broker, the context broker, fog/cloud sync,
+attackers and detectors are all simulation processes scheduled on a single
+virtual clock.  Determinism is a hard requirement (experiments must be
+reproducible bit-for-bit from a seed), so:
+
+* all randomness flows through named, seeded :class:`~repro.simkernel.rng.RngRegistry`
+  streams, and
+* event ties are broken by a monotone sequence number, never by object id
+  or insertion races.
+"""
+
+from repro.simkernel.clock import SimClock
+from repro.simkernel.errors import SimulationError, StopSimulation
+from repro.simkernel.events import Event, EventQueue
+from repro.simkernel.process import Process, ProcessState
+from repro.simkernel.rng import RngRegistry, SeededStream
+from repro.simkernel.simulator import Simulator
+from repro.simkernel.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Process",
+    "ProcessState",
+    "RngRegistry",
+    "SeededStream",
+    "SimClock",
+    "SimulationError",
+    "Simulator",
+    "StopSimulation",
+    "TraceLog",
+    "TraceRecord",
+]

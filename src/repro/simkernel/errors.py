@@ -1,0 +1,25 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(RuntimeError):
+    """Base class for kernel-level failures (bad schedule, reversed clock...)."""
+
+
+class StopSimulation(Exception):
+    """Raised by a process or callback to stop the run immediately.
+
+    The simulator catches it, drains nothing further, and returns normally;
+    the exception carries an optional ``reason`` used in the trace log.
+    """
+
+    def __init__(self, reason: str = "stopped") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the current simulation time."""
+
+
+class ProcessError(SimulationError):
+    """A simulation process misbehaved (yielded a bad value, double-started...)."""

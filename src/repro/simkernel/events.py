@@ -1,0 +1,114 @@
+"""Event objects and the priority queue that orders them.
+
+Ordering is ``(time, priority, seq)``: earlier time first, then lower
+priority number, then FIFO by insertion sequence.  The sequence number makes
+the schedule fully deterministic even when many events share a timestamp,
+which happens constantly (e.g. a broker fanning out one publish to fifty
+subscribers at the same instant).
+"""
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.simkernel.errors import SimulationError
+
+# Priority bands.  Lower runs first at equal timestamps.
+PRIORITY_KERNEL = 0
+PRIORITY_NETWORK = 10
+PRIORITY_NORMAL = 50
+PRIORITY_BACKGROUND = 90
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are single-shot.  Cancelling flips a flag; the queue drops
+    cancelled events lazily when they reach the head.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " CANCELLED" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, p={self.priority}, #{self.seq}, {self.label}{flag})"
+
+
+class EventQueue:
+    """Binary-heap event queue with lazy deletion of cancelled events."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        event = Event(time, priority, next(self._counter), callback, args, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises :class:`SimulationError` when empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: an event in the heap was cancelled externally."""
+        self._live -= 1

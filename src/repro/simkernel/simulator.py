@@ -1,0 +1,158 @@
+"""The discrete-event simulator that drives a SWAMP run."""
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.simkernel.clock import SimClock
+from repro.simkernel.errors import ScheduleInPastError, SimulationError, StopSimulation
+from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.simkernel.process import Process, Signal
+from repro.simkernel.rng import RngRegistry
+from repro.simkernel.trace import TraceLog
+
+
+class Simulator:
+    """Owns the clock, event queue, RNG registry and trace log for one run.
+
+    A run is deterministic given ``seed``: the kernel never consults wall
+    time, thread identity or hash randomization for ordering decisions.
+    """
+
+    def __init__(self, seed: int = 0, trace_capacity: int = 200_000) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = TraceLog(max_records=trace_capacity)
+        self.processes: List[Process] = []
+        self._running = False
+        self._stop_reason: Optional[str] = None
+        self.events_executed = 0
+        self.fail_fast = True
+        self._shutdown_hooks: List[Callable[[], None]] = []
+
+    # -- scheduling -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ScheduleInPastError(f"negative delay {delay!r} for {label or callback!r}")
+        return self.queue.push(self.clock.now + delay, callback, args, priority, label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self.clock.now:
+            raise ScheduleInPastError(
+                f"cannot schedule at {time!r}, now is {self.clock.now!r} ({label})"
+            )
+        return self.queue.push(time, callback, args, priority, label)
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Start a generator-based process immediately."""
+        process = Process(self, generator, name)
+        self.processes.append(process)
+        process.start()
+        return process
+
+    def signal(self, name: str = "") -> Signal:
+        return Signal(name)
+
+    def add_shutdown_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook()`` once when the run ends (normally or via stop())."""
+        self._shutdown_hooks.append(hook)
+
+    # -- run loop ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Execute events until the queue drains, ``until`` is reached, or stop().
+
+        Returns the final simulation time.  ``until`` is inclusive: events at
+        exactly ``until`` still execute, and the clock lands on ``until`` even
+        if the queue drains earlier (so back-to-back ``run`` calls compose).
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        self._running = True
+        executed_this_call = 0
+        try:
+            while self.queue:
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self.queue.pop()
+                self.clock.advance_to(event.time)
+                try:
+                    event.callback(*event.args)
+                except StopSimulation as stop:
+                    self._stop_reason = stop.reason
+                    self.trace.emit(self.now, "kernel", "simulation stopped", reason=stop.reason)
+                    break
+                self.events_executed += 1
+                executed_this_call += 1
+                if max_events is not None and executed_this_call >= max_events:
+                    break
+                if self._stop_reason is not None:
+                    break
+        finally:
+            self._running = False
+        if self._stop_reason is None and until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return self.clock.now
+
+    def stop(self, reason: str = "stopped") -> None:
+        """Request the run loop to exit after the current event."""
+        self._stop_reason = reason
+
+    def finish(self) -> None:
+        """Invoke shutdown hooks (idempotent: each hook runs once)."""
+        hooks, self._shutdown_hooks = self._shutdown_hooks, []
+        for hook in hooks:
+            hook()
+
+    @property
+    def stopped_reason(self) -> Optional[str]:
+        return self._stop_reason
+
+    # -- failure policy -----------------------------------------------------------
+
+    def on_process_failure(self, process: Process, exc: BaseException) -> None:
+        """Called by a Process whose body raised.
+
+        With ``fail_fast`` (the default) the exception propagates and aborts
+        the run — silent partial failures would invalidate experiments.
+        """
+        self.trace.emit(
+            self.now, "kernel", "process failed", process=process.name, error=repr(exc)
+        )
+        if self.fail_fast:
+            raise exc
+
+    # -- convenience -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "now": self.clock.now,
+            "events_executed": self.events_executed,
+            "events_pending": len(self.queue),
+            "processes": len(self.processes),
+            "processes_alive": sum(1 for p in self.processes if p.alive),
+            "trace_records": len(self.trace),
+        }

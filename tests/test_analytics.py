@@ -1,0 +1,162 @@
+"""Tests for the NDVI map service and season profiles."""
+
+import pytest
+
+from repro.analytics import NdviMapService, SeasonProfileBuilder, expected_ndvi_band
+from repro.context import ContextBroker, ShortTermHistory
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.simkernel import Simulator
+from repro.simkernel.rng import RngRegistry
+
+
+def make_service(seed=0, rows=3, cols=3):
+    sim = Simulator(seed=seed)
+    context = ContextBroker(sim)
+    field = Field("f", rows, cols, LOAM, SOYBEAN, sim.rng.stream("field"))
+    service = NdviMapService(context, field)
+    context.create_entity("urn:Drone:d1", "Drone", {"deviceId": "d1"})
+    return sim, context, field, service
+
+
+def report(context, drone_entity, zone, ndvi):
+    context.update_attributes(
+        drone_entity,
+        {"ndvi": ndvi, "zone": zone.zone_id, "row": zone.row, "col": zone.col},
+    )
+
+
+class TestExpectedBand:
+    def test_band_widens_with_canopy(self):
+        low_early, high_early = expected_ndvi_band(SOYBEAN, 5)
+        low_mid, high_mid = expected_ndvi_band(SOYBEAN, 60)
+        assert high_mid > high_early
+        assert low_mid >= low_early
+
+    def test_band_contains_model_output(self):
+        from repro.physics.ndvi import ndvi_for_zone
+
+        field = Field("f", 1, 1, LOAM, SOYBEAN, RngRegistry(0).stream("f"))
+        zone = field.zone(0, 0)
+        for day in (5, 30, 60, 100):
+            zone.season_day = day
+            low, high = expected_ndvi_band(SOYBEAN, day)
+            for stress in (0.0, 0.5, 1.0):
+                value = ndvi_for_zone(zone, stress_memory=stress)
+                assert low <= value <= high
+
+    def test_bounds_in_unit_interval(self):
+        low, high = expected_ndvi_band(SOYBEAN, 60, slack=0.5)
+        assert 0.0 <= low < high <= 1.0
+
+
+class TestNdviMapService:
+    def test_map_assembly_and_consensus(self):
+        sim, context, field, service = make_service()
+        for zone in field:
+            report(context, "urn:Drone:d1", zone, 0.5)
+        assert service.coverage() == 1.0
+        consensus = service.consensus_map()
+        assert len(consensus) == 9
+        assert all(v == 0.5 for v in consensus.values())
+
+    def test_consensus_median_across_sources(self):
+        sim, context, field, service = make_service()
+        context.create_entity("urn:Drone:d2", "Drone", {"deviceId": "d2"})
+        context.create_entity("urn:Drone:d3", "Drone", {"deviceId": "d3"})
+        zone = field.zone(0, 0)
+        report(context, "urn:Drone:d1", zone, 0.4)
+        report(context, "urn:Drone:d2", zone, 0.45)
+        report(context, "urn:Drone:d3", zone, 0.95)  # fake
+        assert service.consensus_map()[zone.zone_id] == 0.45
+
+    def test_stress_zone_classification(self):
+        sim, context, field, service = make_service()
+        for zone in field:
+            report(context, "urn:Drone:d1", zone, 0.3 if zone.row == 0 else 0.7)
+        stressed = service.stress_zones(threshold=0.55)
+        assert stressed == sorted(z.zone_id for z in field if z.row == 0)
+
+    def test_map_error_vs_truth(self):
+        sim, context, field, service = make_service()
+        from repro.physics.ndvi import ndvi_for_zone
+
+        for zone in field:
+            report(context, "urn:Drone:d1", zone, ndvi_for_zone(zone))
+        assert service.map_error() == pytest.approx(0.0, abs=1e-9)
+        service.reset_epoch()
+        for zone in field:
+            report(context, "urn:Drone:d1", zone, ndvi_for_zone(zone) + 0.2)
+        assert service.map_error() == pytest.approx(0.2, abs=1e-6)
+
+    def test_band_screening_rejects_impossible_claims(self):
+        sim, context, field, service = make_service()
+        service.enable_band_screening(SOYBEAN)
+        service.set_season_day(5)  # bare field: high NDVI impossible
+        zone = field.zone(0, 0)
+        report(context, "urn:Drone:d1", zone, 0.85)
+        assert service.rejected_out_of_band == 1
+        assert service.coverage() == 0.0
+        low, high = expected_ndvi_band(SOYBEAN, 5)
+        report(context, "urn:Drone:d1", zone, (low + high) / 2)
+        assert service.coverage() > 0.0
+
+    def test_ignores_non_ndvi_updates(self):
+        sim, context, field, service = make_service()
+        context.update_attributes("urn:Drone:d1", {"battery": 0.5})
+        assert service.observations == {}
+
+    def test_misclassified_stress_zones(self):
+        sim, context, field, service = make_service()
+        from repro.physics.ndvi import ndvi_for_zone
+
+        # Truth: early season, low NDVI (stressed classification).
+        for zone in field:
+            report(context, "urn:Drone:d1", zone, 0.9)  # attacker: all healthy
+        flips = service.misclassified_stress_zones(threshold=0.55)
+        assert flips == len(field)  # truth ~0.2 early season -> all flipped
+
+
+class TestSeasonProfiles:
+    def make(self, seed=0):
+        sim = Simulator(seed=seed)
+        context = ContextBroker(sim)
+        history = ShortTermHistory(context)
+        builder = SeasonProfileBuilder(history)
+        context.create_entity("e1", "AgriParcel")
+        return sim, context, history, builder
+
+    def feed_days(self, sim, context, values_by_day, per_day=4):
+        for day, value in values_by_day.items():
+            for i in range(per_day):
+                t = day * 86400.0 + i * 3600.0
+                sim.schedule_at(t, lambda v=value: context.update_attributes("e1", {"m": v}))
+        sim.run()
+
+    def test_profile_mean(self):
+        sim, context, history, builder = self.make()
+        self.feed_days(sim, context, {0: 0.3, 1: 0.28, 2: 0.26})
+        builder.ingest("e1", "m")
+        assert builder.expected("m", 0)[0] == pytest.approx(0.3)
+        assert builder.expected("m", 2)[0] == pytest.approx(0.26)
+        assert builder.expected("m", 9) is None
+        assert builder.days_covered("m") == 3
+
+    def test_confidence_scales_with_support(self):
+        sim, context, history, builder = self.make()
+        self.feed_days(sim, context, {0: 0.3}, per_day=2)
+        self.feed_days(sim, context, {1: 0.3}, per_day=30)
+        builder.ingest("e1", "m")
+        assert builder.confidence("m", 0) < builder.confidence("m", 1)
+        assert builder.confidence("m", 1) == 1.0
+        assert builder.confidence("m", 5) == 0.0
+
+    def test_deviation_score_weighted_by_confidence(self):
+        sim, context, history, builder = self.make()
+        self.feed_days(sim, context, {0: 0.3}, per_day=3)   # thin profile
+        self.feed_days(sim, context, {1: 0.3}, per_day=40)  # solid profile
+        builder.ingest("e1", "m")
+        thin = builder.deviation_score("m", 0, 0.9)
+        solid = builder.deviation_score("m", 1, 0.9)
+        assert thin is not None and solid is not None
+        assert thin < solid  # the partial profile cannot condemn as hard
+        assert builder.deviation_score("m", 7, 0.9) is None

@@ -1,0 +1,552 @@
+"""Tests for attack mechanics, the SDN defence and anonymization."""
+
+import pytest
+
+from repro.devices import DeviceConfig, SoilMoistureProbe, Valve
+from repro.mqtt import MqttBroker, MqttClient
+from repro.network import Network, RadioModel
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.security.anonymization import (
+    Anonymizer,
+    generalize_bucket,
+    generalize_coordinate,
+    pseudonymize,
+    reidentification_rate,
+    utility_error,
+)
+from repro.security.attacks import (
+    DosFlood,
+    Eavesdropper,
+    PacketReplayer,
+    RadioJammer,
+    RogueActuatorController,
+    SensorTamper,
+    SybilSwarm,
+    TamperMode,
+)
+from repro.security.sdn import FloodDefenseApp, SdnController
+from repro.simkernel import Simulator
+
+
+def model(loss=0.0, bandwidth=1e6):
+    return RadioModel("t", latency_s=0.01, bandwidth_bps=bandwidth, loss_rate=loss)
+
+
+class Rig:
+    def __init__(self, seed=1):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim)
+        self.broker = MqttBroker(self.sim, "broker")
+        self.net.add_node(self.broker)
+        self.field = Field("f", 3, 3, LOAM, SOYBEAN, self.sim.rng.stream("field"))
+
+    def client(self, name, **kw):
+        c = MqttClient(self.sim, name, "broker", **kw)
+        self.net.add_node(c)
+        self.net.connect(name, "broker", model())
+        c.connect()
+        return c
+
+    def device(self, cls, config, **kw):
+        d = cls(self.sim, self.net, config, "broker", **kw)
+        self.net.connect(d.client.address, "broker", model())
+        d.start()
+        return d
+
+
+class TestTamper:
+    def test_bias_shifts_readings(self):
+        rig = Rig()
+        zone = rig.field.zone(0, 0)
+        probe = rig.device(
+            SoilMoistureProbe,
+            DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=zone,
+        )
+        observer = rig.client("obs")
+        readings = []
+        rig.sim.run(until=1.0)
+        from repro.devices import decode_payload
+
+        observer.subscribe("swamp/#", handler=lambda t, p, q, r: readings.append(decode_payload(p)))
+        tamper = SensorTamper(rig.sim, probe, "soilMoisture", TamperMode.BIAS, magnitude=0.3)
+        rig.sim.schedule(3600.0, tamper.start)
+        rig.sim.run(until=7200.0)
+        before = [r["soilMoisture"] for r in readings if r and r["ts"] < 3600]
+        after = [r["soilMoisture"] for r in readings if r and r["ts"] > 3600]
+        assert max(before) < 0.4
+        assert min(after) > 0.4
+        assert tamper.samples_tampered == len(after)
+
+    def test_stuck_freezes_value(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe, DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=rig.field.zone(0, 0),
+        )
+        tamper = SensorTamper(rig.sim, probe, "soilMoisture", TamperMode.STUCK, magnitude=0.0)
+        tamper.start()
+        values = []
+        probe.tamper_hooks.append(lambda m: (values.append(m["soilMoisture"]), m)[1])
+        rig.sim.run(until=3 * 3600.0)
+        assert len(set(values)) == 1
+
+    def test_drift_grows_with_time(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe, DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=600),
+            zone=rig.field.zone(0, 0),
+        )
+        tamper = SensorTamper(
+            rig.sim, probe, "soilMoisture", TamperMode.DRIFT, magnitude=0.0, drift_per_day=0.5
+        )
+        tamper.start()
+        values = []
+        probe.tamper_hooks.append(lambda m: (values.append(m["soilMoisture"]), m)[1])
+        rig.sim.run(until=86400.0)
+        assert values[-1] - values[0] > 0.3
+
+    def test_stop_removes_hook(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe, DeviceConfig("p1", "farmA", "SoilProbe"),
+            zone=rig.field.zone(0, 0),
+        )
+        tamper = SensorTamper(rig.sim, probe, "soilMoisture", TamperMode.BIAS, 0.5)
+        tamper.start()
+        tamper.stop()
+        assert probe.tamper_hooks == []
+
+    def test_scale_mode(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe, DeviceConfig("p1", "farmA", "SoilProbe"),
+            zone=rig.field.zone(0, 0),
+        )
+        tamper = SensorTamper(rig.sim, probe, "soilMoisture", TamperMode.SCALE, magnitude=0.5)
+        tamper.start()
+        out = tamper._tamper({"soilMoisture": 0.3})
+        assert out["soilMoisture"] == pytest.approx(0.15)
+
+    def test_missing_attribute_untouched(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe, DeviceConfig("p1", "farmA", "SoilProbe"),
+            zone=rig.field.zone(0, 0),
+        )
+        tamper = SensorTamper(rig.sim, probe, "nonexistent", TamperMode.BIAS, 0.5)
+        tamper.start()
+        assert tamper._tamper({"soilMoisture": 0.3}) == {"soilMoisture": 0.3}
+
+
+class TestDosFlood:
+    def test_flood_degrades_legitimate_delivery(self):
+        """Flood and legitimate traffic share a narrow gateway uplink —
+        the realistic rural topology — so the flood saturates the shared
+        queue and legitimate delivery drops."""
+        from repro.network import NetworkNode
+
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        broker = MqttBroker(sim, "broker")
+        net.add_node(broker)
+        net.add_node(NetworkNode("gw"))  # forwarding-only gateway
+        # Narrow shared uplink, small queue.
+        net.connect("gw", "broker", model(bandwidth=64_000.0))
+        for link in net.links_between("gw", "broker"):
+            link.max_backlog_s = 0.5
+        field = Field("f", 1, 1, LOAM, SOYBEAN, sim.rng.stream("field"))
+        probe = SoilMoistureProbe(
+            sim, net, DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=30),
+            "broker", zone=field.zone(0, 0),
+        )
+        net.connect(probe.client.address, "gw", model())
+        probe.start()
+        observer = MqttClient(sim, "obs", "broker")
+        net.add_node(observer)
+        net.connect("obs", "broker", model())
+        observer.connect()
+        got = []
+        observer.subscribe("swamp/farmA/#", handler=lambda t, p, q, r: got.append(sim.now))
+        sim.run(until=300.0)
+        baseline = len(got)
+        assert baseline > 5
+        flood = DosFlood(
+            sim, net, "broker", model(), bot_count=3,
+            rate_msgs_per_s=150.0, payload_bytes=800,
+        )
+        # Bots sit behind the same gateway (compromised field nodes).
+        for bot in flood.bots:
+            net.remove_node(bot.address)
+        flood.bots.clear()
+        for i in range(3):
+            bot = MqttClient(sim, f"atk2:bot{i}", "broker", client_id=f"bot2-{i}", keepalive_s=0)
+            net.add_node(bot)
+            net.connect(bot.address, "gw", model())
+            flood.bots.append(bot)
+        flood.start()
+        sim.run(until=600.0)
+        during = len(got) - baseline
+        assert flood.messages_sent > 1000
+        assert during < baseline * 0.7  # clearly degraded under flood
+
+    def test_flood_stop(self):
+        rig = Rig()
+        flood = DosFlood(rig.sim, rig.net, "broker", model(), bot_count=1, rate_msgs_per_s=10)
+        flood.start(duration_s=60.0)
+        rig.sim.run(until=300.0)
+        sent_at_stop = flood.messages_sent
+        rig.sim.run(until=600.0)
+        assert flood.messages_sent == sent_at_stop
+
+    def test_validation(self):
+        rig = Rig()
+        with pytest.raises(ValueError):
+            DosFlood(rig.sim, rig.net, "broker", model(), bot_count=0)
+        with pytest.raises(ValueError):
+            RadioJammer(rig.net, [("a", "b")], loss=0.0)
+
+
+class TestJammer:
+    def test_jam_and_release(self):
+        rig = Rig()
+        a = rig.client("a")
+        b = rig.client("b")
+        rig.sim.run(until=1.0)
+        got = []
+        b.subscribe("t", handler=lambda t, p, q, r: got.append(p))
+        rig.sim.run(until=2.0)
+        jammer = RadioJammer(rig.net, [("a", "broker")], loss=1.0)
+        jammer.start()
+        for _ in range(20):
+            a.publish("t", b"jammed")
+        rig.sim.run(until=3.0)
+        assert got == []
+        jammer.stop()
+        a.publish("t", b"clear")
+        rig.sim.run(until=4.0)
+        assert got == [b"clear"]
+
+
+class TestEavesdropper:
+    def test_plaintext_harvest(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe,
+            DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=rig.field.zone(0, 0),
+        )
+        spy = Eavesdropper(rig.sim, rig.net, [(probe.client.address, "broker")])
+        spy.start()
+        rig.sim.run(until=3600.0)
+        assert spy.frames_observed > 0
+        assert len(spy.plaintext_records) >= 10
+        assert spy.estimate_mean("soilMoisture") == pytest.approx(
+            rig.field.zone(0, 0).theta, abs=0.05
+        )
+        assert spy.leakage_ratio() > 0.9
+
+    def test_encrypted_channel_blocks_harvest(self):
+        from repro.security.crypto import SecureChannelPair
+
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe,
+            DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=rig.field.zone(0, 0),
+        )
+        pair = SecureChannelPair(rig.sim.rng.stream("d"), rig.sim.rng.stream("p"))
+        probe.client.payload_encoder = pair.endpoint_a.mqtt_encoder
+        spy = Eavesdropper(rig.sim, rig.net, [(probe.client.address, "broker")])
+        spy.start()
+        rig.sim.run(until=3600.0)
+        assert spy.plaintext_records == []
+        assert spy.ciphertext_frames > 0
+        assert spy.estimate_mean("soilMoisture") is None
+        assert spy.leakage_ratio() == 0.0
+
+    def test_market_advantage_monotone(self):
+        from repro.security.attacks.eavesdrop import market_advantage_eur
+
+        precise = market_advantage_eur(0.02, 1000.0)
+        vague = market_advantage_eur(0.5, 1000.0)
+        blind = market_advantage_eur(1.0, 1000.0)
+        assert precise > vague > blind == 0.0
+        with pytest.raises(ValueError):
+            market_advantage_eur(0.1, -5.0)
+
+
+class TestRogueActuator:
+    def test_open_broker_executes_rogue_command(self):
+        rig = Rig()
+        valve = rig.device(
+            Valve, DeviceConfig("v1", "farmA", "Valve"), zone=rig.field.zone(0, 0),
+        )
+        rogue = RogueActuatorController(rig.sim, rig.net, "broker", model(), "farmA")
+        rogue.start()
+        rig.sim.run(until=5.0)
+        assert rogue.flood_field(["v1"], hours=2.0) == 1
+        rig.sim.run(until=3 * 3600.0)
+        assert valve.total_applied_mm > 10.0  # crop drowned
+        assert any(a.get("result") == "ok" for a in rogue.acks_seen)
+
+    def test_acl_broker_blocks_rogue_command(self):
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        broker = MqttBroker(
+            sim, "broker",
+            authorizer=lambda session, action, topic: session.client_id != "rogue-controller",
+        )
+        net.add_node(broker)
+        field = Field("f", 1, 1, LOAM, SOYBEAN, sim.rng.stream("field"))
+        valve = Valve(
+            sim, net, DeviceConfig("v1", "farmA", "Valve"), "broker", zone=field.zone(0, 0)
+        )
+        net.connect(valve.client.address, "broker", model())
+        valve.start()
+        rogue = RogueActuatorController(sim, net, "broker", model(), "farmA")
+        rogue.start()
+        sim.run(until=5.0)
+        rogue.flood_field(["v1"], hours=2.0)
+        sim.run(until=3 * 3600.0)
+        assert valve.total_applied_mm == 0.0
+        assert broker.stats.denied_publish >= 1
+
+
+class TestReplayer:
+    def test_capture_and_replay(self):
+        rig = Rig()
+        probe = rig.device(
+            SoilMoistureProbe,
+            DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=rig.field.zone(0, 0),
+        )
+        replayer = PacketReplayer(
+            rig.sim, rig.net, [(probe.client.address, "broker")], "broker", model()
+        )
+        replayer.start_capture()
+        got = []
+        observer = rig.client("obs")
+        observer.subscribe("swamp/#", handler=lambda t, p, q, r: got.append(rig.sim.now))
+        rig.sim.run(until=3600.0)
+        captured = len(replayer.captured)
+        assert captured >= 10
+        live = len(got)
+        replayer.stop_capture()
+        # Silence the real probe, then replay stale data.
+        probe.stop()
+        rig.sim.run(until=4000.0)
+        sent = replayer.replay_all()
+        rig.sim.run(until=4100.0)
+        assert sent == captured
+        assert len(got) == live + captured
+
+
+class TestSybil:
+    def test_swarm_publishes_fake_ndvi(self):
+        rig = Rig()
+        swarm = SybilSwarm(
+            rig.sim, rig.net, "broker", model(), "farmA", rig.field,
+            identity_count=3, fake_ndvi=0.9, report_interval_s=300.0,
+        )
+        got = []
+        observer = rig.client("obs")
+        from repro.devices import decode_payload
+
+        observer.subscribe(
+            "swamp/farmA/attrs/+", handler=lambda t, p, q, r: got.append(decode_payload(p))
+        )
+        rig.sim.run(until=1.0)
+        swarm.start()
+        rig.sim.run(until=1200.0)
+        assert swarm.reports_sent > 0
+        ndvi_values = [m["ndvi"] for m in got if m and "ndvi" in m]
+        assert ndvi_values and min(ndvi_values) > 0.8
+        assert len(swarm.device_ids()) == 3
+
+    def test_target_zones_restriction(self):
+        rig = Rig()
+        target = rig.field.zone(0, 0).zone_id
+        swarm = SybilSwarm(
+            rig.sim, rig.net, "broker", model(), "farmA", rig.field,
+            identity_count=1, target_zones=[target], report_interval_s=300.0,
+        )
+        got = []
+        observer = rig.client("obs")
+        from repro.devices import decode_payload
+
+        observer.subscribe(
+            "swamp/farmA/attrs/+", handler=lambda t, p, q, r: got.append(decode_payload(p))
+        )
+        rig.sim.run(until=1.0)
+        swarm.start()
+        rig.sim.run(until=1200.0)
+        zones = {m["zone"] for m in got if m and "zone" in m}
+        assert zones == {target}
+
+    def test_validation(self):
+        rig = Rig()
+        with pytest.raises(ValueError):
+            SybilSwarm(rig.sim, rig.net, "broker", model(), "farmA", rig.field, identity_count=0)
+
+
+class TestSdn:
+    def test_flow_accounting(self):
+        rig = Rig()
+        controller = SdnController(rig.sim, rig.net)
+        a = rig.client("a")
+        rig.sim.run(until=1.0)
+        for _ in range(5):
+            a.publish("t/x", b"data")
+        rig.sim.run(until=2.0)
+        assert controller.flows[("a", "mqtt")].packets >= 5
+        top = controller.top_talkers(1)
+        assert top[0][0][0] == "a"
+
+    def test_quarantine_blocks_source(self):
+        rig = Rig()
+        controller = SdnController(rig.sim, rig.net)
+        a = rig.client("a")
+        b = rig.client("b")
+        rig.sim.run(until=1.0)
+        got = []
+        b.subscribe("t", handler=lambda t, p, q, r: got.append(p))
+        rig.sim.run(until=2.0)
+        controller.quarantine("a")
+        a.publish("t", b"blocked")
+        rig.sim.run(until=3.0)
+        assert got == []
+        controller.release("a")
+        a.publish("t", b"released")
+        rig.sim.run(until=4.0)
+        assert got == [b"released"]
+
+    def test_flood_defense_quarantines_bots_not_legit(self):
+        rig = Rig(seed=5)
+        controller = SdnController(rig.sim, rig.net, window_s=5.0)
+        defense = FloodDefenseApp(controller, threshold_pkts_per_s=10.0, check_interval_s=5.0)
+        legit = rig.device(
+            SoilMoistureProbe,
+            DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=60),
+            zone=rig.field.zone(0, 0),
+        )
+        flood = DosFlood(
+            rig.sim, rig.net, "broker", model(), bot_count=2, rate_msgs_per_s=100.0,
+        )
+        controller.watch_new_links()
+        flood.start()
+        rig.sim.run(until=120.0)
+        assert defense.quarantine_actions >= 2
+        assert all(bot.address in controller.quarantined for bot in flood.bots)
+        assert legit.client.address not in controller.quarantined
+
+    def test_rate_limit(self):
+        rig = Rig(seed=7)
+        controller = SdnController(rig.sim, rig.net, window_s=2.0)
+        controller.rate_limit("mqtt", packets_per_s=5.0)
+        a = rig.client("a")
+        b = rig.client("b")
+        rig.sim.run(until=1.0)
+        got = []
+        b.subscribe("t", handler=lambda t, p, q, r: got.append(p))
+        rig.sim.run(until=2.0)
+
+        def spam():
+            while True:
+                a.publish("t", b"x")
+                yield 0.02  # 50/s
+
+        rig.sim.spawn(spam(), "spammer")
+        rig.sim.run(until=12.0)
+        assert 0 < len(got) < 450  # most of the 500 dropped
+
+    def test_rate_limit_validation(self):
+        rig = Rig()
+        controller = SdnController(rig.sim, rig.net)
+        with pytest.raises(ValueError):
+            controller.rate_limit("mqtt", 0.0)
+
+
+class TestAnonymization:
+    def records(self):
+        return [
+            {"farm": "guaspari", "lat": -22.19, "lon": -46.74, "area_ha": 35.0,
+             "crop": "grape", "yield_t_ha": 7.5},
+            {"farm": "riodaspedras", "lat": -12.15, "lon": -45.10, "area_ha": 900.0,
+             "crop": "soybean", "yield_t_ha": 3.9},
+            {"farm": "neighbor1", "lat": -12.18, "lon": -45.20, "area_ha": 850.0,
+             "crop": "soybean", "yield_t_ha": 4.1},
+            {"farm": "neighbor2", "lat": -12.13, "lon": -45.30, "area_ha": 820.0,
+             "crop": "soybean", "yield_t_ha": 3.8},
+        ]
+
+    def make(self):
+        return Anonymizer(
+            secret_salt=b"salt",
+            quasi_identifiers=["lat", "lon", "area_ha", "crop"],
+            coordinate_cell=0.5,
+        )
+
+    def test_pseudonymize_stable_and_opaque(self):
+        a = pseudonymize("guaspari", b"s")
+        assert a == pseudonymize("guaspari", b"s")
+        assert a != pseudonymize("guaspari", b"other-salt")
+        assert "guaspari" not in a
+
+    def test_generalize_coordinate(self):
+        assert generalize_coordinate(-22.19, 0.5) == pytest.approx(-22.5)
+        with pytest.raises(ValueError):
+            generalize_coordinate(1.0, 0.0)
+
+    def test_generalize_bucket(self):
+        edges = (10.0, 50.0, 200.0)
+        assert generalize_bucket(5.0, edges) == "<10"
+        assert generalize_bucket(35.0, edges) == "[10,50)"
+        assert generalize_bucket(900.0, edges) == ">=200"
+        with pytest.raises(ValueError):
+            generalize_bucket(1.0, ())
+        with pytest.raises(ValueError):
+            generalize_bucket(1.0, (5.0, 5.0))
+
+    def test_k2_suppresses_unique_records(self):
+        anonymizer = self.make()
+        released = anonymizer.anonymize(self.records(), k=2)
+        # The grape farm is unique under its quasi-identifiers -> suppressed.
+        assert len(released) == 3
+        assert anonymizer.suppressed_count == 1
+        assert all(r["crop"] == "soybean" for r in released)
+
+    def test_k1_releases_everything_pseudonymized(self):
+        anonymizer = self.make()
+        released = anonymizer.anonymize(self.records(), k=1)
+        assert len(released) == 4
+        assert all("guaspari" not in str(r["farm"]) for r in released)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            self.make().anonymize(self.records(), k=0)
+
+    def test_reidentification_drops_with_k(self):
+        anonymizer = self.make()
+        originals = self.records()
+        adversary = [anonymizer._generalize_record(r) for r in originals]
+        quasi = ["lat", "lon", "area_ha", "crop"]
+        release_k1 = anonymizer.anonymize(originals, k=1)
+        release_k2 = anonymizer.anonymize(originals, k=2)
+        rate_k1 = reidentification_rate(release_k1, adversary, quasi)
+        rate_k2 = reidentification_rate(release_k2, adversary, quasi)
+        assert rate_k1 > 0.0
+        assert rate_k2 < rate_k1
+
+    def test_utility_error_grows_with_suppression(self):
+        anonymizer = self.make()
+        originals = self.records()
+        release_k1 = anonymizer.anonymize(originals, k=1)
+        release_k2 = anonymizer.anonymize(originals, k=2)
+        error_k1 = utility_error(originals, release_k1, "yield_t_ha")
+        error_k2 = utility_error(originals, release_k2, "yield_t_ha")
+        assert error_k1 == pytest.approx(0.0, abs=1e-9)
+        assert error_k2 > error_k1
+
+    def test_utility_error_empty(self):
+        assert utility_error([], [], "x") is None

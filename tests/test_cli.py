@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import _parse_security, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "matopiba"])
+        assert args.pilot == "matopiba"
+        assert args.seed == 0
+        assert args.days is None
+
+    def test_unknown_pilot_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "atlantis"])
+
+    def test_security_parsing(self):
+        config = _parse_security("auth,encryption")
+        assert config.auth and config.encryption and not config.detection
+
+    def test_security_empty(self):
+        config = _parse_security("")
+        assert not config.auth
+
+    def test_security_unknown_flag(self):
+        with pytest.raises(SystemExit):
+            _parse_security("auth,teleportation")
+
+
+class TestCommands:
+    def test_list_output(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for pilot in ("cbec", "intercrop", "guaspari", "matopiba"):
+            assert pilot in text
+
+    def test_run_truncated_season(self):
+        out = io.StringIO()
+        assert main(["run", "guaspari", "--days", "3", "--seed", "2"], out=out) == 0
+        text = out.getvalue()
+        assert "guaspari" in text
+        assert "telemetry processed" in text
+
+    def test_run_with_security_flags(self):
+        out = io.StringIO()
+        assert main(
+            ["run", "guaspari", "--days", "2", "--security", "auth"], out=out
+        ) == 0
+        assert "guaspari" in out.getvalue()

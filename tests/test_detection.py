@@ -1,0 +1,322 @@
+"""Tests for the behavioral-baseline detectors, spatial voter and engine."""
+
+import pytest
+
+from repro.context import ContextBroker
+from repro.security.detection import (
+    Alert,
+    AlertManager,
+    CusumDriftDetector,
+    DetectionEngine,
+    JumpDetector,
+    RangeDetector,
+    RateDetector,
+    SpatialConsistencyDetector,
+    StuckDetector,
+    ZScoreDetector,
+)
+from repro.simkernel import Simulator
+from repro.simkernel.rng import RngRegistry
+
+
+def train_stream(detector, values, start_t=0.0, dt=600.0):
+    t = start_t
+    for v in values:
+        detector.train(t, v)
+        t += dt
+    return t
+
+
+def normal_values(n=100, mean=0.25, sigma=0.01, seed=0):
+    rng = RngRegistry(seed).stream("values")
+    return [rng.gauss(mean, sigma) for _ in range(n)]
+
+
+class TestRangeDetector:
+    def test_normal_values_score_zero(self):
+        detector = RangeDetector()
+        t = train_stream(detector, normal_values())
+        assert detector.score(t, 0.25) == 0.0
+
+    def test_gross_outlier_scores_high(self):
+        detector = RangeDetector()
+        t = train_stream(detector, normal_values())
+        assert detector.score(t, 0.9) > 1.0
+        assert detector.score(t, -0.5) > 1.0
+
+    def test_untrained_scores_zero(self):
+        assert RangeDetector().score(0.0, 100.0) == 0.0
+
+
+class TestZScoreDetector:
+    def test_moderate_bias_detected(self):
+        detector = ZScoreDetector(threshold=4.0)
+        t = train_stream(detector, normal_values(sigma=0.01))
+        assert detector.score(t, 0.25 + 0.08) > 1.0
+
+    def test_small_noise_ok(self):
+        detector = ZScoreDetector()
+        t = train_stream(detector, normal_values(sigma=0.01))
+        assert detector.score(t, 0.255) < 1.0
+
+    def test_adapts_slowly(self):
+        """A slow legitimate trend should not alert forever."""
+        detector = ZScoreDetector(alpha=0.2, threshold=4.0)
+        t = train_stream(detector, normal_values(sigma=0.01))
+        # Feed a small persistent shift; after absorption scores drop.
+        scores = [detector.score(t + i * 600, 0.27) for i in range(50)]
+        assert scores[-1] < scores[0]
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZScoreDetector(alpha=1.5)
+
+
+class TestJumpDetector:
+    def test_spike_detected(self):
+        detector = JumpDetector()
+        t = train_stream(detector, normal_values(sigma=0.005))
+        assert detector.score(t, 0.55) > 1.0
+
+    def test_smooth_change_ok(self):
+        detector = JumpDetector()
+        t = train_stream(detector, normal_values(sigma=0.005))
+        assert detector.score(t, 0.253) < 1.0
+
+
+class TestStuckDetector:
+    def test_frozen_window_alerts(self):
+        detector = StuckDetector(window=5)
+        t = train_stream(detector, normal_values(sigma=0.01))
+        score = 0.0
+        for i in range(6):
+            score = detector.score(t + i * 600, 0.31)
+        assert score > 1.0
+
+    def test_noisy_signal_ok(self):
+        detector = StuckDetector(window=5)
+        values = normal_values(sigma=0.01)
+        t = train_stream(detector, values)
+        for i, v in enumerate(normal_values(20, seed=9)):
+            assert detector.score(t + i * 600, v) == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            StuckDetector(window=2)
+
+
+class TestCusumDrift:
+    def test_slow_drift_eventually_detected(self):
+        detector = CusumDriftDetector()
+        t = train_stream(detector, normal_values(sigma=0.01))
+        rng = RngRegistry(3).stream("drift")
+        detected_at = None
+        for i in range(200):
+            drifted = rng.gauss(0.25, 0.01) + 0.0008 * i  # slow poisoning
+            if detector.score(t + i * 600, drifted) > 1.0:
+                detected_at = i
+                break
+        assert detected_at is not None
+        assert detected_at > 5  # not instant — it is genuinely slow
+
+    def test_stationary_signal_ok(self):
+        detector = CusumDriftDetector()
+        t = train_stream(detector, normal_values(sigma=0.01))
+        for i, v in enumerate(normal_values(100, seed=4)):
+            assert detector.score(t + i * 600, v) < 1.0
+
+
+class TestRateDetector:
+    def test_flood_detected(self):
+        detector = RateDetector()
+        t = train_stream(detector, [0.0] * 50, dt=600.0)
+        score = 0.0
+        for i in range(10):
+            score = detector.score(t + i * 10.0, 0.0)  # 60x faster
+        assert score > 1.0
+
+    def test_outage_detected(self):
+        detector = RateDetector()
+        t = train_stream(detector, [0.0] * 50, dt=600.0)
+        score = detector.score(t + 50_000.0, 0.0)
+        assert score > 1.0
+
+    def test_normal_rate_ok(self):
+        detector = RateDetector()
+        t = train_stream(detector, [0.0] * 50, dt=600.0)
+        for i in range(10):
+            assert detector.score(t + (i + 1) * 600.0, 0.0) < 1.0
+
+
+class TestSpatialConsistency:
+    def make(self, rows=4, cols=4, tolerance=0.08):
+        return SpatialConsistencyDetector(rows, cols, tolerance)
+
+    def fill_honest(self, detector, value=0.45, rows=4, cols=4):
+        for r in range(rows):
+            for c in range(cols):
+                detector.observe(r, c, f"drone-honest", value)
+
+    def test_consistent_observation_scores_zero(self):
+        detector = self.make()
+        self.fill_honest(detector)
+        assert detector.score(1, 1, "drone-honest") == 0.0
+
+    def test_fabricated_value_scores_high(self):
+        detector = self.make()
+        self.fill_honest(detector, value=0.45)
+        detector.observe(1, 1, "sybil-1", 0.85)
+        assert detector.score(1, 1, "sybil-1") > 1.0
+
+    def test_suspicious_sources_ranking_with_honest_majority(self):
+        detector = self.make()
+        for source in ("drone-a", "drone-b"):  # honest majority: 2 vs 1
+            for r in range(4):
+                for c in range(4):
+                    detector.observe(r, c, source, 0.45)
+        for r in range(4):
+            for c in range(4):
+                detector.observe(r, c, "sybil-1", 0.85)
+        suspicious = detector.suspicious_sources()
+        assert suspicious.get("sybil-1", 0) >= 12
+        assert "drone-a" not in suspicious
+        assert "drone-b" not in suspicious
+
+    def test_one_to_one_vote_is_ambiguous(self):
+        """A voting detector cannot break a 1:1 tie — both sources look
+        deviant relative to the mixed median.  (Majority assumption.)"""
+        detector = self.make()
+        self.fill_honest(detector, value=0.45)
+        for r in range(4):
+            for c in range(4):
+                detector.observe(r, c, "sybil-1", 0.85)
+        suspicious = detector.suspicious_sources()
+        assert "sybil-1" in suspicious  # flagged, along with the honest one
+
+    def test_partial_view_returns_zero(self):
+        """With almost no context the detector abstains (paper's partial
+        observability point)."""
+        detector = self.make()
+        detector.observe(0, 0, "only-source", 0.9)
+        assert detector.score(0, 0, "only-source") == 0.0
+
+    def test_epoch_reset(self):
+        detector = self.make()
+        self.fill_honest(detector)
+        detector.reset_epoch()
+        assert detector.score_all() == {}
+
+    def test_out_of_grid_rejected(self):
+        detector = self.make()
+        with pytest.raises(ValueError):
+            detector.observe(10, 0, "s", 0.5)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            SpatialConsistencyDetector(2, 2, tolerance=0.0)
+
+
+class TestAlertManager:
+    def make_alert(self, t, device="dev1"):
+        return Alert(t, "e1", "m", "range", 2.0, 0.9, device)
+
+    def test_quarantine_after_threshold(self):
+        quarantined = []
+        manager = AlertManager(quarantine_threshold=3, on_quarantine=quarantined.append)
+        for i in range(3):
+            manager.handle(self.make_alert(float(i)))
+        assert quarantined == ["dev1"]
+        assert "dev1" in manager.quarantined
+
+    def test_window_expiry_prevents_quarantine(self):
+        quarantined = []
+        manager = AlertManager(
+            quarantine_threshold=3, window_s=10.0, on_quarantine=quarantined.append
+        )
+        manager.handle(self.make_alert(0.0))
+        manager.handle(self.make_alert(100.0))
+        manager.handle(self.make_alert(200.0))
+        assert quarantined == []
+
+    def test_no_double_quarantine(self):
+        quarantined = []
+        manager = AlertManager(quarantine_threshold=2, on_quarantine=quarantined.append)
+        for i in range(6):
+            manager.handle(self.make_alert(float(i)))
+        assert quarantined == ["dev1"]
+
+    def test_alerts_for_filter(self):
+        manager = AlertManager()
+        manager.handle(self.make_alert(0.0, "a"))
+        manager.handle(self.make_alert(1.0, "b"))
+        assert len(manager.alerts_for("a")) == 1
+
+
+class TestDetectionEngine:
+    def make_engine(self, training_s=1000.0, threshold=2):
+        sim = Simulator(seed=1)
+        context = ContextBroker(sim)
+        manager = AlertManager(quarantine_threshold=threshold)
+        engine = DetectionEngine(
+            sim, context, alert_manager=manager, training_window_s=training_s
+        )
+        context.create_entity("e1", "SoilProbe")
+        return sim, context, engine, manager
+
+    def feed(self, sim, context, values, start, dt=60.0):
+        for i, v in enumerate(values):
+            sim.schedule_at(
+                start + i * dt,
+                lambda v=v: context.update_attributes(
+                    "e1", {"soilMoisture": v},
+                    metadata={"soilMoisture": {"sourceDevice": "probe1"}},
+                ),
+            )
+        sim.run()
+
+    def test_trains_then_scores(self):
+        sim, context, engine, manager = self.make_engine(training_s=1000.0)
+        self.feed(sim, context, normal_values(15), start=0.0)
+        assert engine.samples_trained > 0
+        self.feed(sim, context, normal_values(10, seed=2), start=1020.0)
+        assert engine.samples_scored > 0
+        assert manager.alerts == []  # normal data: no alerts
+
+    def test_tampered_values_raise_alerts_with_source(self):
+        sim, context, engine, manager = self.make_engine()
+        self.feed(sim, context, normal_values(30), start=0.0)
+        self.feed(sim, context, [0.9] * 5, start=3000.0)
+        assert engine.alerts_raised > 0
+        assert manager.alerts[0].source_device == "probe1"
+
+    def test_quarantine_hook_fires(self):
+        sim, context, engine, manager = self.make_engine(threshold=2)
+        quarantined = []
+        manager.on_quarantine = quarantined.append
+        self.feed(sim, context, normal_values(30), start=0.0)
+        self.feed(sim, context, [0.9] * 6, start=3000.0)
+        assert quarantined == ["probe1"]
+
+    def test_non_numeric_ignored(self):
+        sim, context, engine, manager = self.make_engine()
+        context.update_attributes("e1", {"state": "open", "ok": True})
+        assert engine.samples_trained == 0
+
+    def test_watched_attributes_filter(self):
+        sim = Simulator(seed=1)
+        context = ContextBroker(sim)
+        engine = DetectionEngine(sim, context, watched_attributes=["soilMoisture"])
+        context.create_entity("e1", "T")
+        context.update_attributes("e1", {"other": 1.0})
+        assert engine.samples_trained == 0
+        context.update_attributes("e1", {"soilMoisture": 0.25})
+        assert engine.samples_trained == 1
+
+    def test_profile_confidence_grows(self):
+        sim, context, engine, manager = self.make_engine(training_s=1e9)
+        assert engine.profile_confidence("e1", "soilMoisture") == 0.0
+        self.feed(sim, context, normal_values(25), start=0.0)
+        mid = engine.profile_confidence("e1", "soilMoisture")
+        assert 0.0 < mid < 1.0
+        self.feed(sim, context, normal_values(40, seed=5), start=10_000.0)
+        assert engine.profile_confidence("e1", "soilMoisture") > mid

@@ -1,0 +1,33 @@
+"""Smoke tests: the shipped examples must stay runnable.
+
+Only the fast examples run here (the full-season walkthroughs are covered
+by the benchmark suite, which exercises the same pilots).
+"""
+
+import runpy
+import sys
+
+
+def run_example(path, capsys):
+    # Execute the script as __main__, exactly as a user would.
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("examples/quickstart.py", capsys)
+        assert "telemetry messages processed" in out
+        assert "Per-zone state" in out
+
+    def test_cbec_water_distribution(self, capsys):
+        out = run_example("examples/cbec_water_distribution.py", capsys)
+        assert "CBEC canal allocation" in out
+        assert "distribution efficiency" in out
+
+    def test_fog_disconnection(self, capsys):
+        out = run_example("examples/fog_disconnection.py", capsys)
+        assert "cloud-only deployment" in out
+        assert "fog deployment" in out
+        # The story the example exists to tell: fog skips nothing.
+        assert "decisions skipped (stale/no-data): 0" in out

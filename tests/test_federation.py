@@ -1,0 +1,157 @@
+"""Tests for the multi-tenant federated cloud: isolation + sanctioned sharing."""
+
+import pytest
+
+from repro.context import ContextBroker
+from repro.core.federation import (
+    FederatedCloud,
+    GuardedContextApi,
+    RegionalReleaseService,
+    farm_of_entity,
+)
+from repro.fog.replication import Replicator
+from repro.network import Network, RadioModel
+from repro.simkernel import Simulator
+
+
+def wan():
+    return RadioModel("wan", latency_s=0.05, bandwidth_bps=8e6, loss_rate=0.0)
+
+
+class TestFarmOfEntity:
+    def test_standard_urns(self):
+        assert farm_of_entity("urn:AgriParcel:guaspari:0-1") == "guaspari"
+        assert farm_of_entity("urn:Valve:matopiba-valve-1") == "matopiba-valve-1"
+
+    def test_non_urn(self):
+        assert farm_of_entity("plain-id") is None
+
+
+class FederationRig:
+    """Two farms replicating into one cloud."""
+
+    def __init__(self, seed=5):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim)
+        self.cloud = FederatedCloud(self.sim, self.net)
+        self.farm_contexts = {}
+        for farm in ("farma", "farmb"):
+            context = ContextBroker(self.sim, name=f"{farm}:context")
+            self.farm_contexts[farm] = context
+            self.cloud.register_farm(farm)
+            Replicator(
+                self.sim, self.net, f"{farm}:sync", context,
+                f"cloud:sync:{farm}", sync_interval_s=10.0,
+            )
+            self.net.connect(f"{farm}:sync", f"cloud:sync:{farm}", wan())
+
+    def seed_data(self):
+        self.farm_contexts["farma"].ensure_entity(
+            "urn:AgriParcel:farma:0-0", "AgriParcel",
+            {"soilMoisture": 0.25, "crop": "soybean", "area_ha": 400.0,
+             "lat": -12.1, "lon": -45.2, "yield_t_ha": 3.9},
+        )
+        self.farm_contexts["farmb"].ensure_entity(
+            "urn:AgriParcel:farmb:0-0", "AgriParcel",
+            {"soilMoisture": 0.31, "crop": "soybean", "area_ha": 420.0,
+             "lat": -12.3, "lon": -45.4, "yield_t_ha": 4.1},
+        )
+        self.sim.run(until=120.0)
+
+
+class TestFederatedReplication:
+    def test_both_farms_replicate_to_one_cloud(self):
+        rig = FederationRig()
+        rig.seed_data()
+        assert rig.cloud.context.has_entity("urn:AgriParcel:farma:0-0")
+        assert rig.cloud.context.has_entity("urn:AgriParcel:farmb:0-0")
+
+    def test_duplicate_farm_registration_rejected(self):
+        rig = FederationRig()
+        with pytest.raises(ValueError):
+            rig.cloud.register_farm("farma")
+
+
+class TestTenantIsolation:
+    def test_own_farm_readable(self):
+        rig = FederationRig()
+        rig.seed_data()
+        token = rig.cloud.register_user("alice", "pw", farm="farma")
+        entity = rig.cloud.api.get_entity(token, "urn:AgriParcel:farma:0-0")
+        assert entity is not None
+        assert entity.get("soilMoisture") == 0.25
+
+    def test_cross_farm_read_denied_and_audited(self):
+        rig = FederationRig()
+        rig.seed_data()
+        token = rig.cloud.register_user("alice", "pw", farm="farma")
+        assert rig.cloud.api.get_entity(token, "urn:AgriParcel:farmb:0-0") is None
+        assert rig.cloud.api.reads_denied == 1
+        assert rig.cloud.pep.denied_records()
+
+    def test_query_omits_other_farms(self):
+        rig = FederationRig()
+        rig.seed_data()
+        token = rig.cloud.register_user("alice", "pw", farm="farma")
+        results = rig.cloud.api.query(token, entity_type="AgriParcel")
+        assert [e.entity_id for e in results] == ["urn:AgriParcel:farma:0-0"]
+
+    def test_admin_sees_everything(self):
+        rig = FederationRig()
+        rig.seed_data()
+        token = rig.cloud.register_user("root", "pw", farm=None,
+                                        roles=("platform-admin",))
+        results = rig.cloud.api.query(token, entity_type="AgriParcel")
+        assert len(results) == 2
+
+    def test_bogus_token_denied(self):
+        rig = FederationRig()
+        rig.seed_data()
+        assert rig.cloud.api.get_entity("garbage", "urn:AgriParcel:farma:0-0") is None
+
+    def test_missing_entity_authorized_read_returns_none(self):
+        rig = FederationRig()
+        token = rig.cloud.register_user("alice", "pw", farm="farma")
+        assert rig.cloud.api.get_entity(token, "urn:AgriParcel:farma:9-9") is None
+
+
+class TestRegionalRelease:
+    def make_rig_with_release(self, k=2):
+        rig = FederationRig()
+        rig.seed_data()
+        service = RegionalReleaseService(rig.cloud, secret_salt=b"region", k=k)
+        return rig, service
+
+    def test_analyst_gets_anonymized_release(self):
+        rig, service = self.make_rig_with_release(k=1)
+        token = rig.cloud.register_analyst("ana", "pw")
+        release = service.release(token, "AgriParcel", ["yield_t_ha"])
+        assert release is not None and len(release) == 2
+        for record in release:
+            # Pseudonymized farm ids; no raw farm names.
+            assert "farma" not in str(record["farm"])
+            assert "farmb" not in str(record["farm"])
+            # Coordinates generalized to grid cells (float-safe check).
+            remainder = record["lat"] % 0.1
+            assert min(remainder, 0.1 - remainder) < 1e-9
+            # Payload preserved.
+            assert record["yield_t_ha"] in (3.9, 4.1)
+
+    def test_k2_suppresses_unique_combinations(self):
+        rig, service = self.make_rig_with_release(k=2)
+        token = rig.cloud.register_analyst("ana", "pw")
+        release = service.release(token, "AgriParcel", ["yield_t_ha"])
+        # The two farms sit in different grid cells/area buckets -> both
+        # quasi-identifier combinations are unique -> suppressed.
+        assert release == []
+        assert service.anonymizer.suppressed_count == 2
+
+    def test_farmer_cannot_pull_release(self):
+        rig, service = self.make_rig_with_release()
+        token = rig.cloud.register_user("alice", "pw", farm="farma")
+        assert service.release(token, "AgriParcel", ["yield_t_ha"]) is None
+        assert service.releases == 0
+
+    def test_invalid_token_rejected(self):
+        rig, service = self.make_rig_with_release()
+        assert service.release("junk", "AgriParcel", ["yield_t_ha"]) is None

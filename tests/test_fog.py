@@ -1,0 +1,169 @@
+"""Tests for fog/cloud nodes and store-and-forward replication."""
+
+import pytest
+
+from repro.context import ContextBroker
+from repro.fog import CloudNode, FogNode, Replicator
+from repro.fog.replication import CloudSyncTarget
+from repro.network import Network, RadioModel, WAN_BACKHAUL
+from repro.simkernel import Simulator
+
+
+def wan():
+    return RadioModel("wan", latency_s=0.05, bandwidth_bps=8e6, loss_rate=0.0)
+
+
+class ReplicationRig:
+    def __init__(self, seed=1, **replicator_kwargs):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim)
+        self.fog_context = ContextBroker(self.sim, "fog")
+        self.cloud_context = ContextBroker(self.sim, "cloud")
+        self.target = CloudSyncTarget(self.sim, self.net, "cloud:sync", self.cloud_context)
+        self.replicator = Replicator(
+            self.sim, self.net, "fog:sync", self.fog_context, "cloud:sync",
+            sync_interval_s=10.0, **replicator_kwargs,
+        )
+        self.net.connect("fog:sync", "cloud:sync", wan())
+
+    def update(self, entity_id, **attrs):
+        self.fog_context.ensure_entity(entity_id, "T", attrs)
+
+
+class TestReplication:
+    def test_updates_reach_cloud(self):
+        rig = ReplicationRig()
+        rig.update("e1", soilMoisture=0.25)
+        rig.sim.run(until=60.0)
+        assert rig.cloud_context.get_entity("e1").get("soilMoisture") == 0.25
+        assert rig.replicator.updates_synced >= 1
+
+    def test_batching(self):
+        rig = ReplicationRig(batch_size=10)
+        for i in range(25):
+            rig.update(f"e{i}", v=i)
+        rig.sim.run(until=120.0)
+        assert rig.cloud_context.entity_count() == 25
+        # 25 updates in batches of <=10 -> at least 3 batches.
+        assert rig.replicator.batches_acked >= 3
+
+    def test_partition_queues_then_drains(self):
+        rig = ReplicationRig()
+        rig.net.partition("fog:sync", "cloud:sync")
+        for i in range(20):
+            rig.update(f"e{i}", v=i)
+        rig.sim.run(until=120.0)
+        assert rig.cloud_context.entity_count() == 0
+        assert rig.replicator.backlog_depth >= 19
+        rig.net.heal("fog:sync", "cloud:sync")
+        rig.sim.run(until=400.0)
+        assert rig.cloud_context.entity_count() == 20
+        assert rig.replicator.updates_dropped_overflow == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        rig = ReplicationRig(max_backlog=10)
+        rig.net.partition("fog:sync", "cloud:sync")
+        for i in range(30):
+            rig.update(f"e{i}", v=i)
+        rig.sim.run(until=60.0)
+        assert rig.replicator.updates_dropped_overflow == 20
+        rig.net.heal("fog:sync", "cloud:sync")
+        rig.sim.run(until=400.0)
+        # Only the newest 10 survive.
+        assert rig.cloud_context.entity_count() == 10
+        assert rig.cloud_context.has_entity("e29")
+        assert not rig.cloud_context.has_entity("e0")
+
+    def test_retransmission_on_lossy_wan(self):
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        fog_context = ContextBroker(sim, "fog")
+        cloud_context = ContextBroker(sim, "cloud")
+        CloudSyncTarget(sim, net, "cloud:sync", cloud_context)
+        replicator = Replicator(
+            sim, net, "fog:sync", fog_context, "cloud:sync",
+            sync_interval_s=5.0, retry_timeout_s=5.0,
+        )
+        net.connect("fog:sync", "cloud:sync", RadioModel("wan", 0.05, 8e6, 0.35))
+        for i in range(10):
+            fog_context.ensure_entity(f"e{i}", "T", {"v": i})
+        sim.run(until=600.0)
+        assert cloud_context.entity_count() == 10
+        assert replicator.batches_sent > replicator.batches_acked  # retries happened
+
+    def test_duplicate_batches_idempotent(self):
+        """If an ack is lost the batch is retransmitted; the cloud must not
+        double-apply (checked via the duplicate counter)."""
+        sim = Simulator(seed=7)
+        net = Network(sim)
+        fog_context = ContextBroker(sim, "fog")
+        cloud_context = ContextBroker(sim, "cloud")
+        target = CloudSyncTarget(sim, net, "cloud:sync", cloud_context)
+        Replicator(sim, net, "fog:sync", fog_context, "cloud:sync",
+                   sync_interval_s=5.0, retry_timeout_s=5.0)
+        # Lossy only on the ack direction.
+        net.connect("fog:sync", "cloud:sync", RadioModel("wan", 0.05, 8e6, 0.0),
+                    bidirectional=False)
+        net._make_link("cloud:sync", "fog:sync", RadioModel("wan", 0.05, 8e6, 0.6), 2.0)
+        for i in range(5):
+            fog_context.ensure_entity(f"e{i}", "T", {"v": i})
+        sim.run(until=600.0)
+        assert cloud_context.entity_count() == 5
+        assert target.batches_duplicate > 0
+
+    def test_fast_drain_after_ack(self):
+        """Backlog drains batch-after-batch on ack, not one per interval."""
+        rig = ReplicationRig(batch_size=5)
+        for i in range(50):
+            rig.update(f"e{i}", v=i)
+        # 10 batches; with interval 10s a per-interval pump would need 100s.
+        rig.sim.run(until=25.0)
+        assert rig.cloud_context.entity_count() == 50
+
+
+class TestNodes:
+    def test_fog_node_composition(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        fog = FogNode(sim, net, "fog1", "farmA")
+        fog.start()
+        assert fog.mqtt_address == "fog1:mqtt"
+        assert fog.context.name == "fog1:context"
+        assert fog.agent.farm == "farmA"
+
+    def test_cloud_node_optional_mqtt(self):
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        plain = CloudNode(sim, net, "cloud1")
+        assert plain.mqtt is None
+        with_mqtt = CloudNode(sim, net, "cloud2", with_mqtt=True)
+        assert with_mqtt.mqtt is not None
+
+    def test_end_to_end_fog_pipeline(self):
+        """Device -> fog MQTT -> fog IoT agent -> fog context -> cloud."""
+        from repro.agents import DeviceProvision
+        from repro.devices import DeviceConfig, SoilMoistureProbe
+        from repro.physics import Field, LOAM, SOYBEAN
+
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        fog = FogNode(sim, net, "fog1", "farmA")
+        cloud = CloudNode(sim, net, "cloud")
+        net.connect("fog1:iota", "fog1:mqtt", wan())
+        fog.start()
+        CloudSyncTarget(sim, net, "cloud:sync", cloud.context)
+        Replicator(sim, net, "fog1:sync", fog.context, "cloud:sync", sync_interval_s=10.0)
+        net.connect("fog1:sync", "cloud:sync", wan())
+        field = Field("f", 1, 1, LOAM, SOYBEAN, sim.rng.stream("field"))
+        probe = SoilMoistureProbe(
+            sim, net, DeviceConfig("p1", "farmA", "SoilProbe", report_interval_s=300),
+            "fog1:mqtt", zone=field.zone(0, 0),
+        )
+        net.connect(probe.client.address, "fog1:mqtt", wan())
+        fog.agent.provision(DeviceProvision("p1", "", "urn:soil:p1", "SoilProbe"))
+        probe.start()
+        sim.run(until=1800.0)
+        assert fog.context.get_entity("urn:soil:p1").get("soilMoisture") is not None
+        assert cloud.context.get_entity("urn:soil:p1").get("soilMoisture") is not None
+        # History captured on the fog tier.
+        assert len(fog.history.series("urn:soil:p1", "soilMoisture")) >= 3

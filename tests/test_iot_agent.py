@@ -1,0 +1,163 @@
+"""Integration tests: device → MQTT → IoT agent → context broker → command loop."""
+
+import pytest
+
+from repro.agents import DeviceProvision, IoTAgent
+from repro.context import ContextBroker
+from repro.devices import DeviceConfig, SoilMoistureProbe, Valve
+from repro.mqtt import MqttBroker, MqttClient
+from repro.network import Network, RadioModel
+from repro.physics import Field, LOAM, SOYBEAN
+from repro.simkernel import Simulator
+
+
+def lossless():
+    return RadioModel("t", latency_s=0.01, bandwidth_bps=1e6, loss_rate=0.0)
+
+
+class Stack:
+    """Full south-to-north stack for one farm."""
+
+    def __init__(self, seed=1, farm="farmA"):
+        self.sim = Simulator(seed=seed)
+        self.net = Network(self.sim)
+        self.mqtt = MqttBroker(self.sim, "broker")
+        self.net.add_node(self.mqtt)
+        self.context = ContextBroker(self.sim)
+        self.agent = IoTAgent(self.sim, self.net, "iota", "broker", self.context, farm)
+        self.net.connect("iota", "broker", lossless())
+        self.agent.start()
+        self.field = Field("f", 2, 2, LOAM, SOYBEAN, self.sim.rng.stream("field"))
+        self.farm = farm
+
+    def add_device(self, cls, config, provision=True, **kwargs):
+        device = cls(self.sim, self.net, config, "broker", **kwargs)
+        self.net.connect(device.client.address, "broker", lossless())
+        device.start()
+        if provision:
+            self.agent.provision(
+                DeviceProvision(
+                    device_id=config.device_id,
+                    api_key=config.api_key,
+                    entity_id=f"urn:{config.device_type}:{config.device_id}",
+                    entity_type=config.device_type,
+                    commands=("open", "close") if cls is Valve else (),
+                )
+            )
+        return device
+
+
+class TestMeasurePath:
+    def test_probe_updates_entity(self):
+        stack = Stack()
+        zone = stack.field.zone(0, 0)
+        stack.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("probe1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=zone,
+        )
+        stack.sim.run(until=3600.0)
+        entity = stack.context.get_entity("urn:SoilProbe:probe1")
+        assert entity.get("soilMoisture") == pytest.approx(zone.theta, abs=0.05)
+        assert entity.get("zone") == zone.zone_id
+        assert stack.agent.stats.measures_processed >= 10
+
+    def test_measure_metadata_carries_device(self):
+        stack = Stack()
+        stack.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("probe1", "farmA", "SoilProbe", report_interval_s=300),
+            zone=stack.field.zone(0, 0),
+        )
+        stack.sim.run(until=1200.0)
+        attribute = stack.context.get_entity("urn:SoilProbe:probe1").attribute("soilMoisture")
+        assert attribute.metadata["sourceDevice"] == "probe1"
+
+    def test_unprovisioned_device_dropped(self):
+        stack = Stack()
+        stack.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("rogue", "farmA", "SoilProbe", report_interval_s=300),
+            provision=False,
+            zone=stack.field.zone(0, 0),
+        )
+        stack.sim.run(until=3600.0)
+        assert not stack.context.has_entity("urn:SoilProbe:rogue")
+        assert stack.agent.stats.measures_dropped_unprovisioned >= 10
+
+    def test_attribute_mapping(self):
+        stack = Stack()
+        device = stack.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("probe2", "farmA", "SoilProbe", report_interval_s=300),
+            provision=False,
+            zone=stack.field.zone(0, 1),
+        )
+        stack.agent.provision(
+            DeviceProvision(
+                device_id="probe2",
+                api_key="",
+                entity_id="urn:zone:0-1",
+                entity_type="AgriParcel",
+                attribute_map={"soilMoisture": "soilMoistureVwc"},
+            )
+        )
+        stack.sim.run(until=1200.0)
+        entity = stack.context.get_entity("urn:zone:0-1")
+        assert entity.get("soilMoistureVwc") is not None
+        assert entity.get("soilMoisture") is None
+
+    def test_garbage_payload_counted(self):
+        stack = Stack()
+        stack.agent.provision(
+            DeviceProvision("fuzzer", "", "urn:x", "X")
+        )
+        attacker = MqttClient(stack.sim, "atk", "broker")
+        stack.net.add_node(attacker)
+        stack.net.connect("atk", "broker", lossless())
+        attacker.connect()
+        stack.sim.run(until=1.0)
+        attacker.publish("swamp/farmA/attrs/fuzzer", b"\xff\xfenot-json")
+        stack.sim.run(until=2.0)
+        assert stack.agent.stats.decode_failures == 1
+
+
+class TestCommandPath:
+    def test_command_roundtrip_with_status(self):
+        stack = Stack()
+        zone = stack.field.zone(0, 0)
+        valve = stack.add_device(
+            Valve, DeviceConfig("v1", "farmA", "Valve", report_interval_s=600),
+            zone=zone, rate_mm_h=10.0,
+        )
+        stack.sim.run(until=5.0)
+        assert stack.agent.send_command("v1", {"cmd": "open", "duration_s": 1800})
+        entity = stack.context.get_entity("urn:Valve:v1")
+        assert entity.get("open_status") == "PENDING"  # ack not yet delivered
+        stack.sim.run(until=7200.0)
+        assert entity.get("open_status") == "OK"
+        assert valve.total_applied_mm > 4.0
+
+    def test_command_to_unknown_device_fails(self):
+        stack = Stack()
+        assert not stack.agent.send_command("ghost", {"cmd": "open"})
+
+    def test_command_error_result_recorded(self):
+        stack = Stack()
+        stack.add_device(
+            Valve, DeviceConfig("v2", "farmA", "Valve"), zone=stack.field.zone(0, 0)
+        )
+        stack.sim.run(until=5.0)
+        stack.agent.send_command("v2", {"cmd": "open"})  # missing args
+        stack.sim.run(until=30.0)
+        entity = stack.context.get_entity("urn:Valve:v2")
+        assert entity.get("open_status") == "bad-arguments"
+
+    def test_provision_materializes_command_status(self):
+        stack = Stack()
+        stack.add_device(
+            Valve, DeviceConfig("v3", "farmA", "Valve"), zone=stack.field.zone(0, 0)
+        )
+        entity = stack.context.get_entity("urn:Valve:v3")
+        assert entity.get("open_status") == "UNKNOWN"
+        assert entity.get("close_status") == "UNKNOWN"

@@ -1,0 +1,224 @@
+"""Tests for the PoA blockchain, lifecycle registry and smart contracts."""
+
+import pytest
+
+from repro.security.ledger import (
+    AuthorizationContract,
+    Blockchain,
+    ContractRule,
+    DeviceLifecycleRegistry,
+    DeviceState,
+    LedgerError,
+    LifecycleEvent,
+)
+from repro.security.ledger.contracts import rule_device_active, rule_no_violations, rule_owned_by
+
+
+def event(device_id, name, actor="factory", t=0.0, **data):
+    return LifecycleEvent(device_id, name, actor, t, data)
+
+
+def chain_with(*events):
+    chain = Blockchain(validators=["v1", "v2"])
+    for e in events:
+        chain.submit(e)
+    chain.seal_block(time=1.0)
+    return chain
+
+
+class TestBlockchain:
+    def test_genesis(self):
+        chain = Blockchain(["v1"])
+        assert chain.height == 1
+        assert chain.verify_chain()
+
+    def test_no_validators_rejected(self):
+        with pytest.raises(LedgerError):
+            Blockchain([])
+
+    def test_seal_and_verify(self):
+        chain = chain_with(event("d1", "manufactured"))
+        assert chain.height == 2
+        assert chain.verify_chain()
+
+    def test_seal_empty_returns_none(self):
+        chain = Blockchain(["v1"])
+        assert chain.seal_block(1.0) is None
+
+    def test_validators_rotate(self):
+        chain = Blockchain(["v1", "v2"])
+        chain.submit(event("d1", "manufactured"))
+        b1 = chain.seal_block(1.0)
+        chain.submit(event("d2", "manufactured"))
+        b2 = chain.seal_block(2.0)
+        assert {b1.validator, b2.validator} == {"v1", "v2"}
+
+    def test_tamper_with_transaction_detected(self):
+        chain = chain_with(event("d1", "manufactured"))
+        # Retroactively replace a committed transaction.
+        chain.blocks[1].transactions[0] = event("evil", "manufactured")
+        assert not chain.verify_chain()
+
+    def test_tamper_with_hash_link_detected(self):
+        chain = chain_with(event("d1", "manufactured"))
+        chain.submit(event("d2", "manufactured"))
+        chain.seal_block(2.0)
+        chain.blocks[1].block_hash = "f" * 64
+        assert not chain.verify_chain()
+
+    def test_rogue_validator_detected(self):
+        chain = chain_with(event("d1", "manufactured"))
+        chain.blocks[1].validator = "mallory"
+        chain.blocks[1].block_hash = chain.blocks[1].compute_hash()
+        # Hash now self-consistent but validator is not authorized... except
+        # the next block's previous_hash no longer matches.
+        chain.submit(event("d2", "manufactured"))
+        chain.seal_block(2.0)
+        assert not chain.verify_chain() or chain.blocks[1].validator not in chain.validators
+
+    def test_events_query(self):
+        chain = chain_with(
+            event("d1", "manufactured"), event("d2", "manufactured"),
+            event("d1", "provisioned", actor="farmA", owner="farmA"),
+        )
+        assert len(chain.events()) == 3
+        assert len(chain.events("d1")) == 2
+
+
+class TestRegistry:
+    def test_happy_lifecycle(self):
+        chain = chain_with(
+            event("d1", "manufactured"),
+            event("d1", "provisioned", actor="farmA", owner="farmA"),
+            event("d1", "activated"),
+        )
+        registry = DeviceLifecycleRegistry(chain)
+        assert registry.state_of("d1") is DeviceState.ACTIVE
+        assert registry.owner_of("d1") == "farmA"
+        assert registry.violations == []
+
+    def test_unknown_device(self):
+        registry = DeviceLifecycleRegistry(Blockchain(["v1"]))
+        assert registry.state_of("ghost") is DeviceState.UNKNOWN
+        assert registry.owner_of("ghost") is None
+
+    def test_clone_detected(self):
+        chain = chain_with(
+            event("d1", "manufactured", actor="factory"),
+            event("d1", "manufactured", actor="counterfeiter"),
+        )
+        registry = DeviceLifecycleRegistry(chain)
+        clones = registry.clone_violations()
+        assert len(clones) == 1
+        assert clones[0].event.actor == "counterfeiter"
+        # Original state intact.
+        assert registry.state_of("d1") is DeviceState.MANUFACTURED
+        assert registry.devices["d1"].manufacturer == "factory"
+
+    def test_illegal_transition_recorded(self):
+        chain = chain_with(event("d1", "activated"))  # never manufactured
+        registry = DeviceLifecycleRegistry(chain)
+        assert registry.state_of("d1") is DeviceState.UNKNOWN
+        assert len(registry.violations) == 1
+
+    def test_suspend_resume(self):
+        chain = chain_with(
+            event("d1", "manufactured"),
+            event("d1", "provisioned", owner="farmA"),
+            event("d1", "activated"),
+            event("d1", "suspended"),
+        )
+        registry = DeviceLifecycleRegistry(chain)
+        assert registry.state_of("d1") is DeviceState.SUSPENDED
+        chain.submit(event("d1", "activated", t=2.0))
+        chain.seal_block(2.0)
+        registry.refresh()
+        assert registry.state_of("d1") is DeviceState.ACTIVE
+
+    def test_revoked_terminal(self):
+        chain = chain_with(
+            event("d1", "manufactured"),
+            event("d1", "provisioned", owner="farmA"),
+            event("d1", "activated"),
+            event("d1", "revoked"),
+            event("d1", "activated"),  # illegal after revocation
+        )
+        registry = DeviceLifecycleRegistry(chain)
+        assert registry.state_of("d1") is DeviceState.REVOKED
+        assert any("activated" in v.reason for v in registry.violations)
+
+    def test_transfer_changes_owner(self):
+        chain = chain_with(
+            event("d1", "manufactured"),
+            event("d1", "provisioned", owner="farmA"),
+            event("d1", "activated"),
+            event("d1", "transferred", owner="farmB"),
+        )
+        registry = DeviceLifecycleRegistry(chain)
+        assert registry.owner_of("d1") == "farmB"
+        assert registry.state_of("d1") is DeviceState.ACTIVE
+
+    def test_refresh_is_incremental(self):
+        chain = chain_with(event("d1", "manufactured"))
+        registry = DeviceLifecycleRegistry(chain)
+        chain.submit(event("d1", "provisioned", owner="farmA", t=2.0))
+        chain.seal_block(2.0)
+        registry.refresh()
+        assert registry.state_of("d1") is DeviceState.PROVISIONED
+        # History not double-applied.
+        assert len(registry.devices["d1"].history) == 2
+
+
+class TestContracts:
+    def active_owned_chain(self):
+        return chain_with(
+            event("pivot1", "manufactured"),
+            event("pivot1", "provisioned", owner="farmA"),
+            event("pivot1", "activated"),
+        )
+
+    def test_authorize_happy_path(self):
+        registry = DeviceLifecycleRegistry(self.active_owned_chain())
+        contract = AuthorizationContract(registry)
+        assert contract.authorize("pivot1", {"farm": "farmA"})
+
+    def test_wrong_farm_denied(self):
+        registry = DeviceLifecycleRegistry(self.active_owned_chain())
+        contract = AuthorizationContract(registry)
+        assert not contract.authorize("pivot1", {"farm": "farmB"})
+        assert contract.denials()[-1].failed_rule == "owned-by-requester"
+
+    def test_inactive_device_denied(self):
+        chain = chain_with(
+            event("pivot1", "manufactured"),
+            event("pivot1", "provisioned", owner="farmA"),
+        )
+        contract = AuthorizationContract(DeviceLifecycleRegistry(chain))
+        assert not contract.authorize("pivot1", {"farm": "farmA"})
+        assert contract.denials()[-1].failed_rule == "device-active"
+
+    def test_cloned_device_denied(self):
+        chain = chain_with(
+            event("pivot1", "manufactured"),
+            event("pivot1", "provisioned", owner="farmA"),
+            event("pivot1", "activated"),
+            event("pivot1", "manufactured", actor="counterfeiter"),
+        )
+        contract = AuthorizationContract(DeviceLifecycleRegistry(chain))
+        assert not contract.authorize("pivot1", {"farm": "farmA"})
+        assert contract.denials()[-1].failed_rule == "clean-lifecycle"
+
+    def test_contract_sees_new_chain_events(self):
+        chain = self.active_owned_chain()
+        registry = DeviceLifecycleRegistry(chain)
+        contract = AuthorizationContract(registry)
+        assert contract.authorize("pivot1", {"farm": "farmA"})
+        chain.submit(event("pivot1", "revoked", t=5.0))
+        chain.seal_block(5.0)
+        assert not contract.authorize("pivot1", {"farm": "farmA"})
+
+    def test_custom_rules(self):
+        registry = DeviceLifecycleRegistry(self.active_owned_chain())
+        deny_all = ContractRule("deny-all", lambda reg, d, c: False)
+        contract = AuthorizationContract(registry, rules=[deny_all])
+        assert not contract.authorize("pivot1")

@@ -1,0 +1,102 @@
+"""Topic name/filter validation and matching tests (MQTT 3.1.1 rules)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mqtt.topics import TopicError, topic_matches, validate_filter, validate_topic
+
+
+class TestValidateTopic:
+    def test_plain_topic_ok(self):
+        assert validate_topic("farm/a/soil") == "farm/a/soil"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("")
+
+    def test_wildcards_rejected_in_names(self):
+        for bad in ("a/+/b", "a/#", "+", "#"):
+            with pytest.raises(TopicError):
+                validate_topic(bad)
+
+    def test_nul_rejected(self):
+        with pytest.raises(TopicError):
+            validate_topic("a\x00b")
+
+    def test_empty_levels_allowed(self):
+        assert validate_topic("a//b") == "a//b"
+
+
+class TestValidateFilter:
+    def test_wildcards_ok(self):
+        for good in ("a/+/b", "a/#", "+", "#", "+/+", "a/+/#"):
+            assert validate_filter(good) == good
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(TopicError):
+            validate_filter("a/#/b")
+
+    def test_hash_must_be_whole_level(self):
+        with pytest.raises(TopicError):
+            validate_filter("a/b#")
+
+    def test_plus_must_be_whole_level(self):
+        with pytest.raises(TopicError):
+            validate_filter("a/b+/c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopicError):
+            validate_filter("")
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "topic_filter,topic,expected",
+        [
+            ("a/b/c", "a/b/c", True),
+            ("a/b/c", "a/b/d", False),
+            ("a/+/c", "a/b/c", True),
+            ("a/+/c", "a/x/c", True),
+            ("a/+/c", "a/b/c/d", False),
+            ("a/#", "a/b/c/d", True),
+            ("a/#", "a", True),  # '#' includes the parent level
+            ("#", "a/b", True),
+            ("+", "a", True),
+            ("+", "a/b", False),
+            ("+/+", "a/b", True),
+            ("sport/+/player1", "sport/tennis/player1", True),
+            ("a/b", "a/b/c", False),
+            ("a/b/c", "a/b", False),
+            ("a//b", "a//b", True),
+            ("a/+/b", "a//b", True),  # '+' matches an empty level
+        ],
+    )
+    def test_cases(self, topic_filter, topic, expected):
+        assert topic_matches(topic_filter, topic) is expected
+
+    def test_dollar_topics_hidden_from_leading_wildcards(self):
+        assert not topic_matches("#", "$SYS/broker/load")
+        assert not topic_matches("+/broker/load", "$SYS/broker/load")
+        assert topic_matches("$SYS/#", "$SYS/broker/load")
+
+    @given(st.lists(st.text(alphabet="abcz09-_", min_size=1, max_size=6), min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_property_exact_filter_matches_itself(self, levels):
+        topic = "/".join(levels)
+        assert topic_matches(topic, topic)
+
+    @given(st.lists(st.text(alphabet="abcz09", min_size=1, max_size=4), min_size=1, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_property_hash_matches_everything_nondollar(self, levels):
+        topic = "/".join(levels)
+        assert topic_matches("#", topic)
+
+    @given(st.lists(st.text(alphabet="abc", min_size=1, max_size=3), min_size=2, max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_property_plus_substitution_matches(self, levels):
+        topic = "/".join(levels)
+        for i in range(len(levels)):
+            with_plus = levels.copy()
+            with_plus[i] = "+"
+            assert topic_matches("/".join(with_plus), topic)

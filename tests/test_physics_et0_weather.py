@@ -1,0 +1,181 @@
+"""Tests for ET0 estimators and the synthetic weather generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.et0 import (
+    clear_sky_radiation,
+    et0_hargreaves,
+    et0_penman_monteith,
+    extraterrestrial_radiation,
+    psychrometric_constant,
+    saturation_vapor_pressure,
+    slope_vapor_pressure_curve,
+)
+from repro.physics.weather import (
+    BARREIRAS_MATOPIBA,
+    CARTAGENA,
+    EMILIA_ROMAGNA,
+    PINHAL,
+    WeatherGenerator,
+)
+from repro.simkernel.rng import RngRegistry
+
+
+class TestEt0Components:
+    def test_saturation_vapor_pressure_known_value(self):
+        # FAO-56 table: e°(20°C) ≈ 2.338 kPa
+        assert saturation_vapor_pressure(20.0) == pytest.approx(2.338, abs=0.01)
+
+    def test_slope_positive_and_increasing(self):
+        assert slope_vapor_pressure_curve(10.0) < slope_vapor_pressure_curve(30.0)
+
+    def test_psychrometric_constant_sea_level(self):
+        # FAO-56: γ ≈ 0.0674 kPa/°C at sea level.
+        assert psychrometric_constant(0.0) == pytest.approx(0.0674, abs=0.001)
+
+    def test_extraterrestrial_radiation_equator_high(self):
+        ra_equator = extraterrestrial_radiation(0.0, 80)
+        ra_high_lat = extraterrestrial_radiation(60.0, 80)
+        assert ra_equator > ra_high_lat
+
+    def test_polar_night_no_radiation(self):
+        # Above the arctic circle in midwinter, Ra ~ 0.
+        assert extraterrestrial_radiation(80.0, 355) < 0.5
+
+    def test_clear_sky_below_extraterrestrial(self):
+        ra = extraterrestrial_radiation(44.0, 180)
+        assert clear_sky_radiation(ra, 100.0) < ra
+
+
+class TestPenmanMonteith:
+    def test_reference_magnitude_summer_temperate(self):
+        # Warm summer day in the Po valley: expect roughly 4-7 mm/day.
+        et0 = et0_penman_monteith(
+            tmin_c=17.0, tmax_c=31.0, rh_mean_pct=60.0, wind_2m_ms=2.0,
+            solar_mj_m2=25.0, latitude_deg=44.7, day_of_year=190,
+        )
+        assert 4.0 < et0 < 7.5
+
+    def test_winter_lower_than_summer(self):
+        summer = et0_penman_monteith(17, 31, 60, 2.0, 25.0, 44.7, 190)
+        winter = et0_penman_monteith(0, 8, 85, 2.0, 6.0, 44.7, 15)
+        assert winter < summer / 3
+
+    def test_wind_increases_et0(self):
+        calm = et0_penman_monteith(15, 30, 50, 0.5, 22.0, 40.0, 180)
+        windy = et0_penman_monteith(15, 30, 50, 5.0, 22.0, 40.0, 180)
+        assert windy > calm
+
+    def test_humidity_decreases_et0(self):
+        humid = et0_penman_monteith(15, 30, 90, 2.0, 22.0, 40.0, 180)
+        dry = et0_penman_monteith(15, 30, 30, 2.0, 22.0, 40.0, 180)
+        assert dry > humid
+
+    def test_never_negative(self):
+        assert et0_penman_monteith(-10, -2, 95, 0.5, 1.0, 60.0, 10) >= 0.0
+
+    @given(
+        tmin=st.floats(min_value=-5, max_value=25),
+        spread=st.floats(min_value=1, max_value=20),
+        rh=st.floats(min_value=10, max_value=100),
+        wind=st.floats(min_value=0.1, max_value=8),
+        solar=st.floats(min_value=0.5, max_value=32),
+        lat=st.floats(min_value=-50, max_value=50),
+        doy=st.integers(min_value=1, max_value=365),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_physical_range(self, tmin, spread, rh, wind, solar, lat, doy):
+        et0 = et0_penman_monteith(tmin, tmin + spread, rh, wind, solar, lat, doy)
+        assert 0.0 <= et0 < 20.0  # physically plausible bounds
+
+
+class TestHargreaves:
+    def test_magnitude_matches_penman_roughly(self):
+        pm = et0_penman_monteith(17, 31, 55, 2.0, 24.0, 44.7, 190)
+        hg = et0_hargreaves(17, 31, 44.7, 190)
+        assert hg == pytest.approx(pm, rel=0.5)
+
+    def test_zero_spread_gives_zero(self):
+        assert et0_hargreaves(20, 20, 44.7, 190) == 0.0
+
+    def test_never_negative(self):
+        assert et0_hargreaves(-30, -25, 60.0, 20) >= 0.0
+
+
+class TestWeatherGenerator:
+    def make(self, profile, seed=0):
+        return WeatherGenerator(profile, RngRegistry(seed).stream("weather"))
+
+    def test_deterministic(self):
+        a = self.make(EMILIA_ROMAGNA, seed=1).generate(30)
+        b = self.make(EMILIA_ROMAGNA, seed=1).generate(30)
+        assert [(d.tmin_c, d.rain_mm) for d in a] == [(d.tmin_c, d.rain_mm) for d in b]
+
+    def test_different_seeds_differ(self):
+        a = self.make(EMILIA_ROMAGNA, seed=1).generate(30)
+        b = self.make(EMILIA_ROMAGNA, seed=2).generate(30)
+        assert [d.tmin_c for d in a] != [d.tmin_c for d in b]
+
+    def test_day_of_year_wraps(self):
+        gen = WeatherGenerator(EMILIA_ROMAGNA, RngRegistry(0).stream("w"), start_day_of_year=364)
+        days = gen.generate(4)
+        assert [d.day_of_year for d in days] == [364, 365, 1, 2]
+
+    def test_tmin_below_tmax(self):
+        for day in self.make(CARTAGENA).generate(365):
+            assert day.tmin_c < day.tmax_c
+
+    def test_et0_computed_and_positive_in_summer(self):
+        days = self.make(EMILIA_ROMAGNA).generate(365)
+        july = [d for d in days if 182 <= d.day_of_year <= 212]
+        assert all(d.et0_mm > 1.0 for d in july)
+
+    def test_seasonality_northern(self):
+        days = self.make(EMILIA_ROMAGNA, seed=3).generate(365)
+        january = [d.tmean_c for d in days if d.day_of_year <= 31]
+        july = [d.tmean_c for d in days if 182 <= d.day_of_year <= 212]
+        assert sum(july) / len(july) > sum(january) / len(january) + 10
+
+    def test_seasonality_southern_inverted(self):
+        days = self.make(BARREIRAS_MATOPIBA, seed=3).generate(365)
+        january = [d.tmean_c for d in days if d.day_of_year <= 31]
+        july = [d.tmean_c for d in days if 182 <= d.day_of_year <= 212]
+        assert sum(january) / len(january) > sum(july) / len(july)
+
+    def test_matopiba_dry_season(self):
+        """The MATOPIBA winter (Jun-Aug) must be markedly drier than summer
+        — this is why irrigation there runs on center pivots at all."""
+        days = self.make(BARREIRAS_MATOPIBA, seed=5).generate(365 * 3)
+        winter_rain = sum(d.rain_mm for d in days if 152 <= d.day_of_year <= 243)
+        summer_rain = sum(d.rain_mm for d in days if d.day_of_year <= 59 or d.day_of_year >= 335)
+        assert winter_rain < summer_rain / 4
+
+    def test_cartagena_semiarid(self):
+        """Cartagena's annual rainfall should be semi-arid (< 400 mm/yr)."""
+        days = self.make(CARTAGENA, seed=7).generate(365 * 3)
+        annual = sum(d.rain_mm for d in days) / 3
+        assert annual < 400.0
+
+    def test_emilia_wetter_than_cartagena(self):
+        emilia = sum(d.rain_mm for d in self.make(EMILIA_ROMAGNA, seed=11).generate(365 * 2))
+        cartagena = sum(d.rain_mm for d in self.make(CARTAGENA, seed=11).generate(365 * 2))
+        assert emilia > cartagena * 1.5
+
+    def test_pinhal_winter_dry_enough_for_winter_harvest(self):
+        """Guaspari moves harvest to the dry winter; winter must be dry."""
+        days = self.make(PINHAL, seed=13).generate(365 * 3)
+        winter_rain = sum(d.rain_mm for d in days if 152 <= d.day_of_year <= 243) / 3
+        assert winter_rain < 150.0
+
+    def test_physical_bounds(self):
+        for day in self.make(PINHAL, seed=17).generate(730):
+            assert -20 < day.tmin_c < 45
+            assert 0 <= day.rain_mm < 300
+            assert 20 <= day.rh_mean_pct <= 100
+            assert day.wind_ms > 0
+            assert day.solar_mj_m2 > 0
+            assert 0 <= day.et0_mm < 15

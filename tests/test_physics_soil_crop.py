@@ -1,0 +1,337 @@
+"""Tests for the soil water balance, crop model, field grid and NDVI."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.physics.crop import GUASPARI_GRAPE, MAIZE, SOYBEAN, YieldTracker
+from repro.physics.field import Field
+from repro.physics.ndvi import NdviTracker, ndvi_for_zone
+from repro.physics.soil import CLAY, LOAM, SANDY_LOAM, SoilProperties, SoilWaterBalance
+from repro.simkernel.rng import RngRegistry
+
+
+class TestSoilProperties:
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            SoilProperties("bad", theta_sat=0.3, theta_fc=0.4, theta_wp=0.1,
+                           max_infiltration_mm_day=50, drainage_rate=0.5)
+
+    def test_scaled_preserves_validity(self):
+        for factor in (0.5, 0.8, 1.0, 1.3, 2.0):
+            scaled = LOAM.scaled(factor)
+            assert scaled.theta_wp < scaled.theta_fc < scaled.theta_sat
+
+    def test_scaled_changes_capacity(self):
+        small = LOAM.scaled(0.6)
+        big = LOAM.scaled(1.3)
+        assert (small.theta_fc - small.theta_wp) < (big.theta_fc - big.theta_wp)
+
+
+class TestWaterBalance:
+    def make(self, soil=LOAM, **kw):
+        return SoilWaterBalance(soil, root_depth_m=0.5, **kw)
+
+    def test_starts_at_field_capacity(self):
+        wb = self.make()
+        assert wb.theta == LOAM.theta_fc
+        assert wb.depletion_mm == 0.0
+        assert wb.available_fraction == 1.0
+
+    def test_taw_raw(self):
+        wb = self.make()
+        # TAW = (0.28-0.13)*0.5m*1000 = 75 mm; RAW = 0.5*75
+        assert wb.total_available_water_mm == pytest.approx(75.0)
+        assert wb.readily_available_water_mm == pytest.approx(37.5)
+
+    def test_et_extraction_lowers_theta(self):
+        wb = self.make()
+        wb.step(et_crop_potential_mm=5.0)
+        assert wb.theta < LOAM.theta_fc
+        assert wb.cum_et_actual_mm == pytest.approx(5.0)
+
+    def test_no_stress_above_raw(self):
+        wb = self.make()
+        wb.step(10.0)  # depletion 10 < RAW 37.5
+        assert wb.stress_coefficient_ks == 1.0
+
+    def test_stress_grows_below_raw(self):
+        wb = self.make()
+        for _ in range(12):
+            wb.step(5.0)  # drives depletion past RAW
+        assert 0.0 < wb.stress_coefficient_ks < 1.0
+
+    def test_ks_zero_at_wilting_point(self):
+        wb = self.make(initial_theta=LOAM.theta_wp + 1e-9)
+        assert wb.stress_coefficient_ks == pytest.approx(0.0, abs=1e-6)
+
+    def test_cannot_extract_below_wilting_point(self):
+        wb = self.make(initial_theta=LOAM.theta_wp + 0.01)
+        for _ in range(50):
+            wb.step(10.0)
+        assert wb.theta >= LOAM.theta_wp - 1e-12
+
+    def test_irrigation_raises_theta(self):
+        wb = self.make(initial_theta=0.20)
+        wb.irrigate(20.0)
+        assert wb.theta == pytest.approx(0.20 + 20.0 / 500.0)
+        assert wb.cum_irrigation_mm == 20.0
+
+    def test_drainage_above_field_capacity(self):
+        wb = self.make()
+        wb.rain(60.0)
+        theta_wet = wb.theta
+        result = wb.step(0.0)
+        assert result["drainage_mm"] > 0
+        assert LOAM.theta_fc < wb.theta < theta_wet
+        # Repeated steps converge back to field capacity.
+        for _ in range(30):
+            wb.step(0.0)
+        assert wb.theta == pytest.approx(LOAM.theta_fc, abs=1e-3)
+
+    def test_runoff_above_infiltration_capacity(self):
+        wb = self.make(soil=CLAY)  # 25 mm/day max infiltration
+        result = wb.rain(80.0)
+        assert result["runoff_mm"] == pytest.approx(55.0)
+
+    def test_ponding_above_saturation_runs_off(self):
+        wb = SoilWaterBalance(SANDY_LOAM, root_depth_m=0.1, initial_theta=SANDY_LOAM.theta_fc)
+        result = wb.apply_water(100.0)  # 100mm into 0.1m profile
+        assert wb.theta == SANDY_LOAM.theta_sat
+        assert result["runoff_mm"] > 0
+
+    def test_negative_inputs_rejected(self):
+        wb = self.make()
+        with pytest.raises(ValueError):
+            wb.apply_water(-1.0)
+        with pytest.raises(ValueError):
+            wb.step(-1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SoilWaterBalance(LOAM, root_depth_m=0.0)
+        with pytest.raises(ValueError):
+            SoilWaterBalance(LOAM, initial_theta=0.9)
+
+    def test_water_accounting_keys(self):
+        wb = self.make()
+        wb.irrigate(10)
+        wb.rain(5)
+        wb.step(3)
+        acc = wb.water_accounting()
+        assert acc["irrigation_mm"] == 10
+        assert acc["rain_mm"] == 5
+        assert acc["et_actual_mm"] == pytest.approx(3.0)
+
+    @given(
+        irrigation=st.lists(st.floats(min_value=0, max_value=40), min_size=1, max_size=30),
+        et=st.lists(st.floats(min_value=0, max_value=10), min_size=1, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_theta_stays_physical(self, irrigation, et):
+        wb = self.make()
+        for irr, demand in zip(irrigation, et):
+            wb.irrigate(irr)
+            wb.step(demand)
+            assert LOAM.theta_wp - 1e-9 <= wb.theta <= LOAM.theta_sat + 1e-9
+
+    @given(st.lists(st.floats(min_value=0, max_value=30), min_size=5, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_mass_balance(self, inputs):
+        """Water in = water out + storage change (within float tolerance)."""
+        wb = self.make(initial_theta=0.20)
+        start_mm = wb.theta * 500.0
+        for mm in inputs:
+            wb.rain(mm)
+            wb.step(4.0)
+        end_mm = wb.theta * 500.0
+        acc = wb.water_accounting()
+        water_in = acc["rain_mm"] + acc["irrigation_mm"]
+        water_out = acc["et_actual_mm"] + acc["drainage_mm"] + acc["runoff_mm"]
+        assert water_in - water_out == pytest.approx(end_mm - start_mm, abs=1e-6)
+
+
+class TestCrop:
+    def test_season_length(self):
+        assert SOYBEAN.season_days == 120
+
+    def test_stage_lookup(self):
+        assert SOYBEAN.stage_at(0).name == "initial"
+        assert SOYBEAN.stage_at(19).name == "initial"
+        assert SOYBEAN.stage_at(20).name == "development"
+        assert SOYBEAN.stage_at(500).name == "late-ripening"
+
+    def test_stage_negative_day_rejected(self):
+        with pytest.raises(ValueError):
+            SOYBEAN.stage_at(-1)
+
+    def test_kc_curve_shape(self):
+        kc_start = SOYBEAN.kc_at(5)
+        kc_mid = SOYBEAN.kc_at(60)
+        kc_end = SOYBEAN.kc_at(119)
+        assert kc_start < kc_mid
+        assert kc_end < kc_mid
+        assert kc_mid == pytest.approx(1.15)
+
+    def test_kc_continuous_across_stages(self):
+        for day in range(1, SOYBEAN.season_days):
+            delta = abs(SOYBEAN.kc_at(day) - SOYBEAN.kc_at(day - 1))
+            assert delta < 0.06  # no jumps
+
+    def test_root_depth_monotone(self):
+        depths = [SOYBEAN.root_depth_at(d) for d in range(SOYBEAN.season_days)]
+        assert all(b >= a - 1e-9 for a, b in zip(depths, depths[1:]))
+        assert depths[-1] == pytest.approx(1.0)
+
+    def test_kc_after_season_clamps(self):
+        assert SOYBEAN.kc_at(10_000) == SOYBEAN.stages[-1].kc
+
+
+class TestYieldTracker:
+    def test_no_stress_full_yield(self):
+        tracker = YieldTracker(SOYBEAN)
+        for day in range(SOYBEAN.season_days):
+            tracker.record_day(day, 5.0, 5.0)
+        assert tracker.relative_yield == pytest.approx(1.0)
+        assert tracker.yield_t_ha == pytest.approx(SOYBEAN.max_yield_t_ha)
+
+    def test_uniform_deficit_scales_yield(self):
+        tracker = YieldTracker(SOYBEAN)
+        for day in range(SOYBEAN.season_days):
+            tracker.record_day(day, 4.0, 5.0)  # 20% deficit everywhere
+        assert tracker.relative_yield < 0.8  # multiplicative penalty stacks
+
+    def test_flowering_stress_hurts_more_than_ripening(self):
+        flowering = YieldTracker(SOYBEAN)
+        ripening = YieldTracker(SOYBEAN)
+        for day in range(SOYBEAN.season_days):
+            stage = SOYBEAN.stage_at(day).name
+            flowering.record_day(day, 2.5 if stage == "mid-flowering" else 5.0, 5.0)
+            ripening.record_day(day, 2.5 if stage == "late-ripening" else 5.0, 5.0)
+        assert flowering.relative_yield < ripening.relative_yield
+
+    def test_total_failure_zero_yield(self):
+        tracker = YieldTracker(MAIZE)
+        for day in range(MAIZE.season_days):
+            tracker.record_day(day, 0.0, 6.0)
+        assert tracker.relative_yield == 0.0
+
+    def test_no_et_demand_no_penalty(self):
+        tracker = YieldTracker(SOYBEAN)
+        tracker.record_day(0, 0.0, 0.0)
+        assert tracker.relative_yield == 1.0
+
+
+class TestField:
+    def make(self, rows=4, cols=4, cv=0.2, seed=0):
+        return Field(
+            "test", rows, cols, LOAM, SOYBEAN,
+            RngRegistry(seed).stream("field"), spatial_cv=cv,
+        )
+
+    def test_grid_size(self):
+        field = self.make(3, 5)
+        assert len(field) == 15
+        assert field.area_ha == 15.0
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(0, 3)
+        with pytest.raises(ValueError):
+            Field("x", 2, 2, LOAM, SOYBEAN, RngRegistry(0).stream("f"), spatial_cv=-1)
+
+    def test_zone_lookup(self):
+        field = self.make()
+        zone = field.zone(1, 2)
+        assert zone.row == 1 and zone.col == 2
+        assert field.zone_by_id(zone.zone_id) is zone
+        with pytest.raises(KeyError):
+            field.zone_by_id("nope")
+
+    def test_zero_cv_uniform(self):
+        field = self.make(cv=0.0)
+        assert all(z.capacity_factor == 1.0 for z in field)
+        assert field.capacity_cv() == 0.0
+
+    def test_cv_realized(self):
+        field = self.make(rows=10, cols=10, cv=0.25, seed=3)
+        assert field.capacity_cv() == pytest.approx(0.25, abs=0.08)
+
+    def test_spatial_correlation(self):
+        """Neighbouring zones should be more alike than distant ones."""
+        field = self.make(rows=12, cols=12, cv=0.3, seed=5)
+        neighbor_diffs, distant_diffs = [], []
+        for r in range(11):
+            for c in range(11):
+                here = field.zone(r, c).capacity_factor
+                neighbor_diffs.append(abs(here - field.zone(r, c + 1).capacity_factor))
+                distant = field.zone((r + 6) % 12, (c + 6) % 12).capacity_factor
+                distant_diffs.append(abs(here - distant))
+        assert sum(neighbor_diffs) / len(neighbor_diffs) < sum(distant_diffs) / len(distant_diffs)
+
+    def test_advance_day_progresses_all_zones(self):
+        field = self.make()
+        field.advance_day(et0_mm=5.0, rain_mm=0.0)
+        assert all(z.season_day == 1 for z in field)
+        assert all(z.theta < z.water_balance.soil.theta_fc for z in field)
+
+    def test_unirrigated_dry_season_loses_yield(self):
+        field = self.make(cv=0.0)
+        for _ in range(SOYBEAN.season_days):
+            field.advance_day(et0_mm=6.0, rain_mm=0.0)
+        assert field.mean_relative_yield() < 0.4
+
+    def test_well_irrigated_keeps_yield(self):
+        field = self.make(cv=0.0)
+        for _ in range(SOYBEAN.season_days):
+            for zone in field:
+                if zone.water_balance.depletion_mm > zone.water_balance.readily_available_water_mm * 0.8:
+                    zone.irrigate(zone.water_balance.depletion_mm)
+            field.advance_day(et0_mm=6.0, rain_mm=0.0)
+        assert field.mean_relative_yield() > 0.95
+
+    def test_irrigation_volume_accounting(self):
+        field = self.make(rows=2, cols=2, cv=0.0)
+        field.zone(0, 0).irrigate(10.0)  # 10mm on 1 ha = 100 m3
+        assert field.total_irrigation_m3() == pytest.approx(100.0)
+
+
+class TestNdvi:
+    def make_zone(self):
+        field = Field("n", 1, 1, LOAM, SOYBEAN, RngRegistry(0).stream("f"))
+        return field.zone(0, 0)
+
+    def test_ndvi_range(self):
+        zone = self.make_zone()
+        assert 0.0 <= ndvi_for_zone(zone) <= 1.0
+
+    def test_ndvi_peaks_mid_season(self):
+        zone = self.make_zone()
+        early = ndvi_for_zone(zone)
+        zone.season_day = 60
+        mid = ndvi_for_zone(zone)
+        assert mid > early
+
+    def test_stress_lowers_ndvi(self):
+        zone = self.make_zone()
+        zone.season_day = 60
+        healthy = ndvi_for_zone(zone, stress_memory=1.0)
+        stressed = ndvi_for_zone(zone, stress_memory=0.2)
+        assert stressed < healthy
+
+    def test_tracker_lags_stress(self):
+        zone = self.make_zone()
+        zone.season_day = 60
+        tracker = NdviTracker(zone, memory=0.9)
+        before = tracker.ndvi()
+        tracker.record_day(0.0)  # one stressed day barely moves canopy
+        after_one = tracker.ndvi()
+        for _ in range(30):
+            tracker.record_day(0.0)
+        after_many = tracker.ndvi()
+        assert before - after_one < 0.05
+        assert after_many < after_one
+
+    def test_tracker_invalid_memory(self):
+        with pytest.raises(ValueError):
+            NdviTracker(self.make_zone(), memory=1.0)

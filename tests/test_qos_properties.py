@@ -1,0 +1,157 @@
+"""Property-based tests for the QoS state machines under adversarial loss.
+
+The unit tests exercise QoS over the simulated network; here hypothesis
+drives the :class:`~repro.mqtt.qos.Outbox`/:class:`~repro.mqtt.qos.Inbox`
+state machines *directly* with arbitrary loss/duplication patterns and
+checks the protocol invariants:
+
+* QoS 1: every message is delivered at least once, or expires after the
+  retry budget; acknowledged messages leave the in-flight window;
+* QoS 2: the receiver releases each packet id exactly once regardless of
+  how many duplicate PUBLISHes or PUBRELs arrive;
+* packet-id allocation never collides with an in-flight id.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mqtt.packets import PubAck, PubComp, Publish, PubRec, PubRel
+from repro.mqtt.qos import Inbox, Outbox
+from repro.simkernel import Simulator
+
+
+class LossyPipe:
+    """Deterministically drops sender frames by index pattern."""
+
+    def __init__(self, drop_indices):
+        self.drop_indices = set(drop_indices)
+        self.delivered = []
+        self._count = 0
+
+    def send(self, packet):
+        index = self._count
+        self._count += 1
+        if index in self.drop_indices:
+            return
+        self.delivered.append(packet)
+
+
+class TestOutboxQos1:
+    @given(
+        message_count=st.integers(min_value=1, max_value=10),
+        drops=st.sets(st.integers(min_value=0, max_value=80), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_at_least_once_or_expired(self, message_count, drops):
+        sim = Simulator(seed=1)
+        pipe = LossyPipe(drops)
+        outbox = Outbox(sim, pipe.send, retry_interval_s=1.0, max_retries=10)
+        receiver_got = set()
+
+        def receiver_process():
+            """Acks every delivered publish (acks never lost here)."""
+            while True:
+                yield 0.5
+                for packet in list(pipe.delivered):
+                    if isinstance(packet, Publish):
+                        receiver_got.add(packet.payload)
+                        outbox.on_puback(PubAck(packet_id=packet.packet_id))
+                pipe.delivered.clear()
+
+        sim.spawn(receiver_process(), "receiver")
+        payloads = [bytes([i]) for i in range(message_count)]
+        for payload in payloads:
+            outbox.send_publish(Publish(topic="t", payload=payload, qos=1))
+        sim.run(until=60.0)
+        # Every message either arrived or was abandoned after the budget.
+        assert outbox.completed + outbox.expired == message_count
+        assert len(receiver_got) == outbox.completed
+        assert outbox.in_flight_count == 0
+
+    def test_window_limit_enforced(self):
+        sim = Simulator(seed=1)
+        outbox = Outbox(sim, lambda p: None, max_in_flight=3)
+        ids = [outbox.send_publish(Publish(topic="t", payload=b"x", qos=1))
+               for _ in range(5)]
+        assert ids[:3] == [1, 2, 3]
+        assert ids[3] is None and ids[4] is None
+
+    def test_ids_skip_in_flight(self):
+        sim = Simulator(seed=1)
+        outbox = Outbox(sim, lambda p: None, max_in_flight=100)
+        first = outbox.send_publish(Publish(topic="t", payload=b"a", qos=1))
+        assert first == 1
+        outbox._next_id = 1  # force wrap onto the in-flight id
+        second = outbox.send_publish(Publish(topic="t", payload=b"b", qos=1))
+        assert second == 2  # 1 skipped: still in flight
+
+
+class TestInboxQos2:
+    @given(duplicates=st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_exactly_once_release(self, duplicates):
+        sent = []
+        inbox = Inbox(sent.append)
+        publish = Publish(topic="t", payload=b"x", qos=2, packet_id=7)
+        deliveries = [inbox.on_publish_qos2(publish) for _ in range(duplicates + 1)]
+        # Only the first arrival is surfaced to the application.
+        assert deliveries.count(True) == 1
+        assert inbox.duplicates_suppressed == duplicates
+        # Every arrival got a PUBREC.
+        assert sum(1 for p in sent if isinstance(p, PubRec)) == duplicates + 1
+        # PUBREL releases; replayed PUBRELs are acked but release nothing.
+        inbox.on_pubrel(PubRel(packet_id=7))
+        inbox.on_pubrel(PubRel(packet_id=7))
+        assert sum(1 for p in sent if isinstance(p, PubComp)) == 2
+        # After release the same id counts as a fresh message again (MQTT
+        # allows id reuse after the flow completes).
+        assert inbox.on_publish_qos2(publish) is True
+
+    def test_distinct_ids_independent(self):
+        sent = []
+        inbox = Inbox(sent.append)
+        assert inbox.on_publish_qos2(Publish(topic="t", payload=b"a", qos=2, packet_id=1))
+        assert inbox.on_publish_qos2(Publish(topic="t", payload=b"b", qos=2, packet_id=2))
+        assert inbox.duplicates_suppressed == 0
+
+
+class TestOutboxQos2Flow:
+    def test_full_handshake(self):
+        sim = Simulator(seed=1)
+        sent = []
+        outbox = Outbox(sim, sent.append, retry_interval_s=5.0)
+        pid = outbox.send_publish(Publish(topic="t", payload=b"x", qos=2))
+        assert isinstance(sent[0], Publish)
+        assert outbox.on_pubrec(PubRec(packet_id=pid))
+        assert isinstance(sent[1], PubRel)
+        assert outbox.on_pubcomp(PubComp(packet_id=pid))
+        assert outbox.completed == 1
+        assert outbox.in_flight_count == 0
+
+    def test_wrong_order_acks_ignored(self):
+        sim = Simulator(seed=1)
+        outbox = Outbox(sim, lambda p: None)
+        pid = outbox.send_publish(Publish(topic="t", payload=b"x", qos=2))
+        # PUBCOMP before PUBREC: invalid, must be ignored.
+        assert not outbox.on_pubcomp(PubComp(packet_id=pid))
+        # PUBACK for a qos2 flow: invalid.
+        assert not outbox.on_puback(PubAck(packet_id=pid))
+        assert outbox.in_flight_count == 1
+
+    def test_unknown_ids_ignored(self):
+        sim = Simulator(seed=1)
+        outbox = Outbox(sim, lambda p: None)
+        assert not outbox.on_puback(PubAck(packet_id=999))
+        assert not outbox.on_pubrec(PubRec(packet_id=999))
+        assert not outbox.on_pubcomp(PubComp(packet_id=999))
+
+    def test_pubrel_retransmitted_on_lost_pubcomp(self):
+        sim = Simulator(seed=1)
+        sent = []
+        outbox = Outbox(sim, sent.append, retry_interval_s=1.0, max_retries=3)
+        pid = outbox.send_publish(Publish(topic="t", payload=b"x", qos=2))
+        outbox.on_pubrec(PubRec(packet_id=pid))
+        sim.run(until=2.5)  # two retry timers fire with no PUBCOMP
+        pubrels = [p for p in sent if isinstance(p, PubRel)]
+        assert len(pubrels) >= 3  # original + retransmissions

@@ -1,0 +1,307 @@
+"""Tests for the event-sequence behaviour model and command-rhythm monitor."""
+
+import pytest
+
+from repro.security.detection import CommandRhythmMonitor, EventSequenceModel
+
+DAY = 86400.0
+HOUR = 3600.0
+
+
+def train_daily_rhythm(model, days=14, hour=6.0):
+    """A valve that opens every morning and closes two hours later."""
+    for day in range(days):
+        base = day * DAY + hour * HOUR
+        model.train("open", base)
+        model.train("close", base + 2 * HOUR)
+    model.end_training()
+
+
+class TestEventSequenceModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventSequenceModel(buckets_per_day=0)
+        with pytest.raises(ValueError):
+            EventSequenceModel(smoothing=0.0)
+
+    def test_symbol_buckets_time_of_day(self):
+        model = EventSequenceModel(buckets_per_day=6)
+        assert model.symbol("open", 0.0) == ("open", 0)
+        assert model.symbol("open", 5 * HOUR) == ("open", 1)
+        assert model.symbol("open", DAY - 1) == ("open", 5)
+        # Same time next day -> same bucket.
+        assert model.symbol("open", DAY + 5 * HOUR) == ("open", 1)
+
+    def test_learned_transition_probable(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model)
+        open_sym = model.symbol("open", 6 * HOUR)
+        close_sym = model.symbol("close", 8 * HOUR)
+        assert model.transition_probability(open_sym, close_sym) > 0.5
+
+    def test_unseen_transition_improbable(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model)
+        open_morning = model.symbol("open", 6 * HOUR)
+        open_night = model.symbol("open", 3 * HOUR)
+        assert (model.transition_probability(open_morning, open_night)
+                < model.transition_probability(open_morning, model.symbol("close", 8 * HOUR)))
+
+    def test_normal_sequence_scores_low(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model)
+        base = 20 * DAY + 6 * HOUR
+        assert model.score("open", base) < 1.0
+        assert model.score("close", base + 2 * HOUR) < 1.0
+
+    def test_night_command_scores_high(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model)
+        base = 20 * DAY + 6 * HOUR
+        model.score("open", base)
+        model.score("close", base + 2 * HOUR)
+        # An 'open' at 3 a.m. following the evening close: never seen.
+        assert model.score("open", 20 * DAY + 27 * HOUR) > 1.0
+
+    def test_command_burst_scores_high(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model)
+        base = 20 * DAY + 6 * HOUR
+        model.score("open", base)
+        # open -> open (same bucket) was never observed in training.
+        scores = [model.score("open", base + i * 60.0) for i in range(1, 5)]
+        assert max(scores) > 1.0
+
+    def test_undertrained_model_abstains(self):
+        model = EventSequenceModel(min_training_events=50)
+        for day in range(3):
+            model.train("open", day * DAY + 6 * HOUR)
+        # Still below min_training_events: scores 0 and keeps learning.
+        assert model.score("open", 100 * DAY) == 0.0
+
+    def test_known_transitions_listing(self):
+        model = EventSequenceModel()
+        train_daily_rhythm(model, days=5)
+        transitions = model.known_transitions()
+        assert transitions
+        (previous, current, count) = transitions[0]
+        assert count >= 4
+
+
+class TestCommandRhythmMonitor:
+    def run_rhythm(self, monitor, days, start_day=0, hour=6.0, device="v1"):
+        for day in range(start_day, start_day + days):
+            base = day * DAY + hour * HOUR
+            monitor.observe(device, "open", base)
+            monitor.observe(device, "close", base + 2 * HOUR)
+
+    def test_clean_rhythm_no_alerts(self):
+        monitor = CommandRhythmMonitor(training_window_s=7 * DAY)
+        self.run_rhythm(monitor, days=20)
+        assert monitor.alerts == []
+
+    def test_injected_night_commands_alert(self):
+        monitor = CommandRhythmMonitor(training_window_s=7 * DAY)
+        self.run_rhythm(monitor, days=14)
+        # The rogue controller floods opens at 2 a.m.
+        for i in range(4):
+            monitor.observe("v1", "open", 15 * DAY + 2 * HOUR + i * 120.0)
+        assert len(monitor.alerts_for("v1")) >= 2
+        assert all(a["command"] == "open" for a in monitor.alerts)
+
+    def test_per_device_models_independent(self):
+        monitor = CommandRhythmMonitor(training_window_s=7 * DAY)
+        self.run_rhythm(monitor, days=14, device="v1")
+        self.run_rhythm(monitor, days=14, device="v2", hour=18.0)
+        # v2's evening open is normal for v2, would be odd for v1.
+        monitor.observe("v2", "open", 15 * DAY + 18 * HOUR)
+        assert monitor.alerts_for("v2") == []
+
+    def test_on_alert_callback(self):
+        seen = []
+        monitor = CommandRhythmMonitor(training_window_s=7 * DAY, on_alert=seen.append)
+        self.run_rhythm(monitor, days=14)
+        for i in range(4):
+            monitor.observe("v1", "open", 15 * DAY + 2 * HOUR + i * 60.0)
+        assert seen
+        assert seen[0]["device"] == "v1"
+
+
+class TestAgentCommandGateIntegration:
+    def make_stack(self):
+        from repro.agents import DeviceProvision, IoTAgent
+        from repro.context import ContextBroker
+        from repro.mqtt import MqttBroker
+        from repro.network import Network, RadioModel
+        from repro.simkernel import Simulator
+
+        sim = Simulator(seed=3)
+        net = Network(sim)
+        broker = MqttBroker(sim, "broker")
+        net.add_node(broker)
+        context = ContextBroker(sim)
+        agent = IoTAgent(sim, net, "iota", "broker", context, "farmA")
+        net.connect("iota", "broker", RadioModel("t", 0.01, 1e6, 0.0))
+        agent.start()
+        agent.provision(DeviceProvision("v1", "", "urn:Valve:v1", "Valve", commands=("open",)))
+        sim.run(until=1.0)
+        return sim, agent
+
+    def test_gate_blocks_commands(self):
+        sim, agent = self.make_stack()
+        agent.command_gate = lambda device_id, command: False
+        assert not agent.send_command("v1", {"cmd": "open", "depth_mm": 5})
+        assert agent.stats.commands_gated == 1
+        assert agent.stats.commands_sent == 0
+
+    def test_gate_allows_commands(self):
+        sim, agent = self.make_stack()
+        agent.command_gate = lambda device_id, command: command.get("cmd") == "open"
+        assert agent.send_command("v1", {"cmd": "open", "depth_mm": 5})
+        assert not agent.send_command("v1", {"cmd": "close"})
+
+    def test_observers_see_dispatched_commands(self):
+        sim, agent = self.make_stack()
+        seen = []
+        agent.command_observers.append(lambda d, c, t: seen.append((d, c["cmd"], t)))
+        agent.send_command("v1", {"cmd": "open", "depth_mm": 5})
+        assert seen == [("v1", "open", 1.0)]
+
+
+class TestLedgerIntegration:
+    def make_runner(self, **security_kwargs):
+        from repro.core import DeploymentKind, PilotConfig, PilotRunner, SecurityConfig
+        from repro.physics import LOAM, SOYBEAN
+        from repro.physics.weather import BARREIRAS_MATOPIBA
+
+        return PilotRunner(PilotConfig(
+            name="ledger-test",
+            farm="ledgerfarm",
+            climate=BARREIRAS_MATOPIBA,
+            crop=SOYBEAN,
+            soil=LOAM,
+            rows=2, cols=2,
+            season_days=8,
+            start_day_of_year=150,
+            initial_theta=0.21,
+            deployment=DeploymentKind.FOG,
+            irrigation_kind="valves",
+            scheduler_kind="smart",
+            security=SecurityConfig(**security_kwargs),
+            seed=11,
+        ))
+
+    def test_enrolment_writes_lifecycle_events(self):
+        runner = self.make_runner(ledger=True)
+        chain = runner.security.chain
+        assert chain is not None
+        registry = runner.security.lifecycle_registry
+        registry.refresh()
+        from repro.security.ledger import DeviceState
+
+        for zone_id, valve in runner.valves.items():
+            assert registry.state_of(valve.config.device_id) is DeviceState.ACTIVE
+            assert registry.owner_of(valve.config.device_id) == "ledgerfarm"
+        assert chain.verify_chain()
+
+    def test_contract_gates_do_not_block_legitimate_commands(self):
+        runner = self.make_runner(ledger=True)
+        report = runner.run_season()
+        assert report.commands_sent > 0
+        assert runner.agent.stats.commands_gated == 0
+
+    def test_quarantined_device_refused_by_contract(self):
+        from repro.simkernel.clock import DAY as DAY_S
+
+        runner = self.make_runner(ledger=True, detection=True,
+                                  detection_training_s=4 * DAY_S)
+        from repro.security.attacks import SensorTamper, TamperMode
+
+        victim_zone = list(runner.field)[0]
+        probe = runner.probes[victim_zone.zone_id]
+        tamper = SensorTamper(runner.sim, probe, "soilMoisture",
+                              TamperMode.BIAS, magnitude=0.3)
+        runner.sim.schedule_at(5 * DAY_S, tamper.start)
+        runner.run_season()
+        # The quarantine was committed on-chain...
+        from repro.security.ledger import DeviceState
+
+        registry = runner.security.lifecycle_registry
+        registry.refresh()
+        assert registry.state_of(probe.config.device_id) is DeviceState.SUSPENDED
+        # ...and the contract now refuses commands to that device id.
+        assert not runner.security.contract.authorize(
+            probe.config.device_id, {"farm": "ledgerfarm"}
+        )
+
+    def test_rhythm_monitor_learns_scheduler_commands(self):
+        runner = self.make_runner(command_rhythm=True)
+        runner.run_season()
+        monitor = runner.security.rhythm_monitor
+        assert monitor is not None
+        # The scheduler's daily cycle was observed for training.
+        assert sum(m.trained_events for m in monitor._models.values()) > 0
+
+
+class TestInsiderCommandInjection:
+    """End-to-end: the rhythm monitor catches off-pattern commands injected
+    at the broker with *valid* credentials — the insider threat that PEP
+    and the ledger contract cannot stop (the paper's 'what is normal vs
+    what is a threat' case)."""
+
+    def test_night_flood_alerts_after_training(self):
+        from repro.core import DeploymentKind, PilotConfig, PilotRunner, SecurityConfig
+        from repro.devices.codec import encode_payload
+        from repro.mqtt import MqttClient
+        from repro.network import RadioModel
+        from repro.physics import LOAM, SOYBEAN
+        from repro.physics.weather import BARREIRAS_MATOPIBA
+        from repro.simkernel.clock import DAY as DAY_S, HOUR as HOUR_S
+
+        runner = PilotRunner(PilotConfig(
+            name="insider",
+            farm="ifarm",
+            climate=BARREIRAS_MATOPIBA,
+            crop=SOYBEAN,
+            soil=LOAM,
+            rows=2, cols=2,
+            season_days=16,
+            start_day_of_year=150,
+            initial_theta=0.20,
+            deployment=DeploymentKind.FOG,
+            irrigation_kind="valves",
+            scheduler_kind="smart",
+            security=SecurityConfig(command_rhythm=True,
+                                    detection_training_s=10 * DAY_S),
+            seed=23,
+        ))
+        victim_valve = next(iter(runner.valves.values()))
+        insider = MqttClient(runner.sim, "insider", runner.broker_address,
+                             client_id="disgruntled", username="ifarm")
+        runner.net.add_node(insider)
+        runner.net.connect("insider", runner.broker_address,
+                           RadioModel("t", 0.01, 1e6, 0.0))
+        insider.connect()
+
+        def inject():
+            # 2 a.m. on day 12 (post-training): open-flood the valve.
+            for i in range(4):
+                insider.publish(
+                    victim_valve.command_topic,
+                    encode_payload({"cmd": "open", "duration_s": 6 * 3600.0}),
+                    qos=1,
+                )
+                yield 120.0
+
+        runner.sim.schedule_at(12 * DAY_S + 2 * HOUR_S,
+                               lambda: runner.sim.spawn(inject(), "inject"))
+        runner.run_season()
+        monitor = runner.security.rhythm_monitor
+        alerts = monitor.alerts_for(victim_valve.config.device_id)
+        assert alerts, "insider night commands must break the learned rhythm"
+        assert all(a["time"] >= 12 * DAY_S for a in alerts)
+        # The scheduler's own daily commands never alerted.
+        for valve in runner.valves.values():
+            if valve.config.device_id == victim_valve.config.device_id:
+                continue
+            assert monitor.alerts_for(valve.config.device_id) == []

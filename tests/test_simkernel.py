@@ -1,0 +1,479 @@
+"""Unit and property tests for the discrete-event simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simkernel import (
+    Simulator,
+    SimulationError,
+    StopSimulation,
+    RngRegistry,
+)
+from repro.simkernel.clock import DAY, HOUR, MINUTE, SimClock
+from repro.simkernel.errors import ProcessError, ScheduleInPastError
+from repro.simkernel.events import EventQueue
+from repro.simkernel.process import ProcessState, Signal
+from repro.simkernel.rng import derive_seed
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        clock = SimClock()
+        assert clock.now == 0.0
+
+    def test_custom_start(self):
+        clock = SimClock(start=5.0)
+        assert clock.now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9.0)
+
+    def test_unit_conversions(self):
+        clock = SimClock()
+        clock.advance_to(2 * DAY)
+        assert clock.now_days == pytest.approx(2.0)
+        assert clock.now_hours == pytest.approx(48.0)
+        assert clock.now_minutes == pytest.approx(48 * 60)
+
+    def test_unit_constants(self):
+        assert MINUTE == 60.0
+        assert HOUR == 3600.0
+        assert DAY == 86400.0
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, order.append, ("b",))
+        q.push(1.0, order.append, ("a",))
+        q.push(3.0, order.append, ("c",))
+        while q:
+            e = q.pop()
+            e.callback(*e.args)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_time(self):
+        q = EventQueue()
+        events = [q.push(1.0, lambda: None, label=str(i)) for i in range(10)]
+        popped = [q.pop().label for _ in range(10)]
+        assert popped == [e.label for e in events]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None, priority=50, label="normal")
+        q.push(1.0, lambda: None, priority=10, label="network")
+        assert q.pop().label == "network"
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None, label="first")
+        q.push(2.0, lambda: None, label="second")
+        e1.cancel()
+        q.note_cancelled()
+        assert q.pop().label == "second"
+
+    def test_pop_empty_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.pop()
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        e.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 5.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_pop_order_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, lambda: None)
+        popped = [q.pop().time for _ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestSchedule:
+    def test_callback_runs_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ScheduleInPastError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("at5"))
+        sim.schedule(6.0, lambda: seen.append("at6"))
+        sim.run(until=5.0)
+        assert seen == ["at5"]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_repeated_runs_compose(self):
+        sim = Simulator()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, seen.append, (t,))
+        sim.run(until=1.5)
+        assert seen == [1.0]
+        sim.run(until=3.0)
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_stop_simulation_exception(self):
+        sim = Simulator()
+
+        def boom():
+            raise StopSimulation("enough")
+
+        sim.schedule(1.0, boom)
+        sim.schedule(2.0, lambda: pytest.fail("should not run"))
+        sim.run()
+        assert sim.stopped_reason == "enough"
+
+    def test_stop_method(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.stop("done"))
+        sim.schedule(2.0, lambda: pytest.fail("should not run"))
+        sim.run()
+        assert sim.stopped_reason == "done"
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_executed == 3
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, (n + 1,))
+
+        sim.schedule(0.0, chain, (0,))
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_shutdown_hooks_run_once(self):
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(1))
+        sim.finish()
+        sim.finish()
+        assert calls == [1]
+
+
+class TestProcess:
+    def test_sleep_yield(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            marks.append(sim.now)
+            yield 10.0
+            marks.append(sim.now)
+            yield 5.0
+            marks.append(sim.now)
+
+        sim.spawn(body(), "p")
+        sim.run()
+        assert marks == [0.0, 10.0, 15.0]
+
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+            return 42
+
+        p = sim.spawn(body(), "p")
+        sim.run()
+        assert p.state is ProcessState.FINISHED
+        assert p.result == 42
+
+    def test_signal_wakes_waiters(self):
+        sim = Simulator()
+        sig = Signal("go")
+        got = []
+
+        def waiter(name):
+            value = yield sig
+            got.append((name, value, sim.now))
+
+        def firer():
+            yield 3.0
+            sig.fire("payload")
+
+        sim.spawn(waiter("a"), "a")
+        sim.spawn(waiter("b"), "b")
+        sim.spawn(firer(), "f")
+        sim.run()
+        assert got == [("a", "payload", 3.0), ("b", "payload", 3.0)]
+
+    def test_signal_refire_wakes_new_waiters_only(self):
+        sim = Simulator()
+        sig = Signal()
+        got = []
+
+        def waiter():
+            got.append((yield sig))
+
+        def driver():
+            yield 1.0
+            sig.fire("first")
+            yield 1.0
+            sig.fire("second")  # nobody waiting
+
+        sim.spawn(waiter(), "w")
+        sim.spawn(driver(), "d")
+        sim.run()
+        assert got == ["first"]
+        assert sig.fire_count == 2
+
+    def test_kill_cancels_pending_timer(self):
+        sim = Simulator()
+        marks = []
+
+        def body():
+            yield 100.0
+            marks.append("should not happen")
+
+        p = sim.spawn(body(), "victim")
+        sim.schedule(1.0, lambda: p.kill("test"))
+        sim.run()
+        assert marks == []
+        assert p.state is ProcessState.KILLED
+
+    def test_kill_removes_signal_waiter(self):
+        sim = Simulator()
+        sig = Signal()
+
+        def body():
+            yield sig
+            pytest.fail("woken after kill")
+
+        p = sim.spawn(body(), "victim")
+        sim.schedule(1.0, lambda: p.kill())
+        sim.schedule(2.0, lambda: sig.fire())
+        sim.run()
+        assert p.state is ProcessState.KILLED
+
+    def test_done_signal_fires(self):
+        sim = Simulator()
+        order = []
+
+        def short():
+            yield 1.0
+            return "done"
+
+        def watcher(proc):
+            finished = yield proc.done_signal
+            order.append((finished.result, sim.now))
+
+        p = sim.spawn(short(), "short")
+        sim.spawn(watcher(p), "watch")
+        sim.run()
+        assert order == [("done", 1.0)]
+
+    def test_bad_yield_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield "nonsense"
+
+        with pytest.raises(ProcessError):
+            sim.spawn(body(), "bad")
+            sim.run()
+
+    def test_negative_delay_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield -5.0
+
+        with pytest.raises(ProcessError):
+            sim.spawn(body(), "bad")
+            sim.run()
+
+    def test_process_exception_propagates_fail_fast(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+            raise ValueError("boom")
+
+        sim.spawn(body(), "bad")
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_process_exception_tolerated_when_not_fail_fast(self):
+        sim = Simulator()
+        sim.fail_fast = False
+
+        def body():
+            yield 1.0
+            raise ValueError("boom")
+
+        p = sim.spawn(body(), "bad")
+        sim.run()
+        assert p.state is ProcessState.FAILED
+        assert isinstance(p.error, ValueError)
+
+    def test_double_start_rejected(self):
+        sim = Simulator()
+
+        def body():
+            yield 1.0
+
+        p = sim.spawn(body(), "p")
+        with pytest.raises(ProcessError):
+            p.start()
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(42).stream("weather")
+        b = RngRegistry(42).stream("weather")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(42)
+        a = reg.stream("weather")
+        b = reg.stream("noise")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_cached(self):
+        reg = RngRegistry(1)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_fork_independent_of_parent(self):
+        parent = RngRegistry(7)
+        child = parent.fork("sweep-0")
+        assert child.master_seed != parent.master_seed
+        # Forks are themselves deterministic.
+        again = RngRegistry(7).fork("sweep-0")
+        assert child.master_seed == again.master_seed
+
+    def test_derive_seed_is_stable(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_bernoulli_extremes(self):
+        s = RngRegistry(3).stream("s")
+        assert not s.bernoulli(0.0)
+        assert s.bernoulli(1.0)
+
+    def test_bounded_gauss_respects_bounds(self):
+        s = RngRegistry(3).stream("s")
+        for _ in range(200):
+            v = s.bounded_gauss(0.0, 100.0, -1.0, 1.0)
+            assert -1.0 <= v <= 1.0
+
+    def test_token_bytes_deterministic(self):
+        a = RngRegistry(9).stream("k").token_bytes(16)
+        b = RngRegistry(9).stream("k").token_bytes(16)
+        assert a == b
+        assert len(a) == 16
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_property_derive_seed_in_64_bit_range(self, seed, name):
+        child = derive_seed(seed, name)
+        assert 0 <= child < 2**64
+
+
+class TestTrace:
+    def test_emit_and_select(self):
+        sim = Simulator()
+        sim.trace.emit(0.0, "net", "packet sent", size=10)
+        sim.trace.emit(1.0, "net", "packet lost")
+        sim.trace.emit(2.0, "app", "decision")
+        assert len(sim.trace.select(category="net")) == 2
+        assert sim.trace.count("net") == 2
+        assert len(sim.trace.select(since=1.5)) == 1
+
+    def test_bounded_with_drop_counter(self):
+        sim = Simulator(trace_capacity=5)
+        for i in range(8):
+            sim.trace.emit(float(i), "c", "m")
+        assert len(sim.trace) == 5
+        assert sim.trace.dropped == 3
+        assert sim.trace.count("c") == 8  # counters survive eviction
+
+    def test_listener_invoked(self):
+        sim = Simulator()
+        seen = []
+        sim.trace.subscribe(lambda r: seen.append(r.category))
+        sim.trace.emit(0.0, "x", "m")
+        assert seen == ["x"]
+
+
+class TestDeterminism:
+    def test_full_run_reproducible(self):
+        def run_once(seed):
+            sim = Simulator(seed=seed)
+            log = []
+            rng = sim.rng.stream("jitter")
+
+            def worker(name):
+                for _ in range(5):
+                    yield rng.uniform(0.1, 2.0)
+                    log.append((round(sim.now, 9), name))
+
+            for n in ("a", "b", "c"):
+                sim.spawn(worker(n), n)
+            sim.run()
+            return log
+
+        assert run_once(123) == run_once(123)
+        assert run_once(123) != run_once(124)
