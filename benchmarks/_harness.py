@@ -12,12 +12,42 @@ itself publishes no tables/figures — see DESIGN.md).  Conventions:
   of the trend), never absolute numbers.
 """
 
+import time
 from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 
 def run_once(benchmark, fn: Callable[[], Any]) -> Any:
-    """Run an expensive experiment exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    """Run an expensive experiment exactly once under the benchmark timer.
+
+    The experiment's wall-clock time is also filed into
+    ``benchmark.extra_info["wall_clock_s"]`` so the JSON output carries it
+    even when the pytest-benchmark timer columns are elided.
+    """
+
+    def timed() -> Any:
+        started = time.perf_counter()
+        result = fn()
+        benchmark.extra_info["wall_clock_s"] = round(
+            time.perf_counter() - started, 6
+        )
+        return result
+
+    return benchmark.pedantic(timed, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_kernel_stats(benchmark, sim) -> None:
+    """File the kernel's throughput numbers into ``benchmark.extra_info``.
+
+    ``sim`` is a :class:`repro.simkernel.simulator.Simulator` (or anything
+    exposing ``events_executed`` / ``wall_time_s`` / ``events_per_sec()``).
+    Benchmarks that drive a pilot call this after the run so regressions in
+    raw kernel throughput show up alongside the experiment results.
+    """
+    benchmark.extra_info["kernel"] = {
+        "events_executed": sim.events_executed,
+        "wall_time_s": round(sim.wall_time_s, 6),
+        "events_per_sec": round(sim.events_per_sec(), 1),
+    }
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:

@@ -17,7 +17,7 @@ Expected shape: water(fixed) > water(uniform) > water(vri) with yield held
 with water.
 """
 
-from _harness import print_table, record_rows, run_once
+from _harness import print_table, record_kernel_stats, record_rows, run_once
 
 from repro.core.pilots import build_matopiba_pilot
 
@@ -30,6 +30,7 @@ ARMS = (
 
 def _run_experiment():
     results = {}
+    sim = None
     for label, overrides in ARMS:
         runner = build_matopiba_pilot(
             seed=101, rows=4, cols=4, probe_interval_s=3600.0, spatial_cv=0.25,
@@ -37,11 +38,13 @@ def _run_experiment():
         )
         report = runner.run_season()
         results[label] = report
-    return results
+        sim = runner.sim
+    return results, sim
 
 
 def test_exp1_water_savings(benchmark):
-    results = run_once(benchmark, _run_experiment)
+    results, sim = run_once(benchmark, _run_experiment)
+    record_kernel_stats(benchmark, sim)
     headers = ["controller", "water m3", "mm/ha", "energy kWh", "rel yield", "yield t"]
     rows = [
         (

@@ -87,6 +87,12 @@ class IoTAgent:
         # Observers notified of every dispatched command (device_id,
         # command, sim-time) — rhythm learning taps this.
         self.command_observers = []
+        labels = {"agent": address}
+        registry = sim.metrics
+        self._m_measures = registry.counter("iota.measures_processed", labels)
+        self._m_dropped = registry.counter("iota.measures_dropped_unprovisioned", labels)
+        self._m_commands = registry.counter("iota.commands_sent", labels)
+        self._m_acks = registry.counter("iota.command_acks", labels)
 
     def start(self) -> None:
         self.client.connect()
@@ -122,6 +128,7 @@ class IoTAgent:
         provision = self.provisions.get(device_id)
         if provision is None:
             self.stats.measures_dropped_unprovisioned += 1
+            self._m_dropped.inc()
             self.sim.trace.emit(
                 self.sim.now, "iota", "unprovisioned device dropped",
                 farm=self.farm, device=device_id,
@@ -140,6 +147,7 @@ class IoTAgent:
             metadata[entity_attr] = {"sourceDevice": device_id, "measuredAt": timestamp}
         if attrs:
             self.stats.measures_processed += 1
+            self._m_measures.inc()
             self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
             self.context_broker.update_attributes(provision.entity_id, attrs, metadata=metadata)
 
@@ -163,6 +171,7 @@ class IoTAgent:
         )
         if sent:
             self.stats.commands_sent += 1
+            self._m_commands.inc()
             for observer in self.command_observers:
                 observer(device_id, command, self.sim.now)
             self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
@@ -182,6 +191,7 @@ class IoTAgent:
             self.stats.decode_failures += 1
             return
         self.stats.command_acks += 1
+        self._m_acks.inc()
         name = ack.get("cmd", "cmd")
         result = ack.get("result", "OK")
         self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)

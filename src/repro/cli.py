@@ -86,6 +86,19 @@ def cmd_list(args, out) -> int:
     return 0
 
 
+def _print_metrics_summary(runner, out) -> None:
+    metrics = runner.sim.metrics
+    if not metrics.enabled:
+        return
+    print(
+        "metrics: "
+        f"{runner.sim.events_per_sec():,.0f} events/s kernel, "
+        f"{metrics.total('mqtt.publishes_in'):.0f} messages published, "
+        f"{metrics.total('context.notifications'):.0f} notifications delivered",
+        file=out,
+    )
+
+
 def cmd_run(args, out) -> int:
     security = _parse_security(args.security)
     runner = PILOTS[args.pilot](args.seed, security)
@@ -95,6 +108,15 @@ def cmd_run(args, out) -> int:
     else:
         report = runner.run_season()
     _print_report(report, out)
+    _print_metrics_summary(runner, out)
+    if args.metrics:
+        try:
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(runner.sim.metrics.to_json())
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write metrics snapshot to {args.metrics!r}: {exc}")
+        print(f"metrics snapshot written to {args.metrics}", file=out)
     return 0
 
 
@@ -138,6 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="truncate the season to N days")
     run_parser.add_argument("--security", default="",
                             help=f"comma list of {','.join(SECURITY_FLAGS)}")
+    run_parser.add_argument("--metrics", default=None, metavar="PATH",
+                            help="write a JSON metrics snapshot to PATH")
 
     compare_parser = sub.add_parser("compare", help="smart vs fixed-calendar business case")
     compare_parser.add_argument("pilot", choices=["matopiba"])

@@ -33,16 +33,27 @@ _OPS = ("<=", ">=", "==", "!=", "<", ">")
 
 
 def _parse_filter(expression: str):
+    # Split on the *earliest* operator occurrence by position (an operator
+    # appearing inside the value, e.g. ``label<a==b``, must not win just
+    # because it sorts earlier in _OPS), preferring the longest operator at
+    # that position so ``a<=1`` parses as ``<=`` rather than ``<``.
+    best_pos = -1
+    best_op = None
     for op in _OPS:
-        if op in expression:
-            attr, raw = expression.split(op, 1)
-            attr, raw = attr.strip(), raw.strip()
-            try:
-                value: Any = float(raw)
-            except ValueError:
-                value = raw
-            return attr, op, value
-    raise ContextError(f"cannot parse filter expression {expression!r}")
+        pos = expression.find(op)
+        if pos < 0:
+            continue
+        if best_op is None or pos < best_pos or (pos == best_pos and len(op) > len(best_op)):
+            best_pos, best_op = pos, op
+    if best_op is None:
+        raise ContextError(f"cannot parse filter expression {expression!r}")
+    attr = expression[:best_pos].strip()
+    raw = expression[best_pos + len(best_op):].strip()
+    try:
+        value: Any = float(raw)
+    except ValueError:
+        value = raw
+    return attr, best_op, value
 
 
 def _apply_op(actual: Any, op: str, expected: Any) -> bool:
@@ -95,6 +106,21 @@ class ContextBroker:
         # Hook called on every applied update: (entity, changed_attrs).
         # The replicator and audit layers attach here.
         self.update_hooks: List[Callable[[ContextEntity, List[str]], None]] = []
+        labels = {"broker": name}
+        registry = sim.metrics
+        self._m_creates = registry.counter("context.creates", labels)
+        self._m_updates = registry.counter("context.updates", labels)
+        self._m_deletes = registry.counter("context.deletes", labels)
+        self._m_queries = registry.counter("context.queries", labels)
+        self._m_notifications = registry.counter("context.notifications", labels)
+        self._m_throttled = registry.counter("context.notifications_throttled", labels)
+        self._m_query_latency = registry.timer("context.query_latency_s", labels)
+        registry.register_callback(
+            "context.entities", lambda: float(len(self.entities)), labels
+        )
+        registry.register_callback(
+            "context.subscriptions", lambda: float(len(self.subscriptions)), labels
+        )
 
     # -- entity CRUD -----------------------------------------------------------
 
@@ -106,6 +132,7 @@ class ContextBroker:
         entity = ContextEntity(entity_id, entity_type)
         self.entities[entity_id] = entity
         self.metrics.creates += 1
+        self._m_creates.inc()
         if attrs:
             self.update_attributes(entity_id, attrs)
         return entity
@@ -135,6 +162,7 @@ class ContextBroker:
             raise NotFoundError(f"entity {entity_id!r} not found")
         del self.entities[entity_id]
         self.metrics.deletes += 1
+        self._m_deletes.inc()
 
     def update_attributes(
         self,
@@ -162,6 +190,7 @@ class ContextBroker:
             changed.append(name)
         if changed:
             self.metrics.updates += 1
+            self._m_updates.inc()
             for hook in self.update_hooks:
                 hook(entity, changed)
             self._dispatch(entity, changed)
@@ -178,20 +207,22 @@ class ContextBroker:
     ) -> List[ContextEntity]:
         """Filtered entity listing, deterministic order (by id)."""
         self.metrics.queries += 1
-        regex = re.compile(id_pattern) if id_pattern else None
-        parsed = [_parse_filter(f) for f in (filters or [])]
-        results: List[ContextEntity] = []
-        for entity_id in sorted(self.entities):
-            entity = self.entities[entity_id]
-            if entity_type is not None and entity.entity_type != entity_type:
-                continue
-            if regex is not None and not regex.search(entity_id):
-                continue
-            if not all(_apply_op(entity.get(attr), op, value) for attr, op, value in parsed):
-                continue
-            results.append(entity)
-            if limit is not None and len(results) >= limit:
-                break
+        self._m_queries.inc()
+        with self._m_query_latency:
+            regex = re.compile(id_pattern) if id_pattern else None
+            parsed = [_parse_filter(f) for f in (filters or [])]
+            results: List[ContextEntity] = []
+            for entity_id in sorted(self.entities):
+                entity = self.entities[entity_id]
+                if entity_type is not None and entity.entity_type != entity_type:
+                    continue
+                if regex is not None and not regex.search(entity_id):
+                    continue
+                if not all(_apply_op(entity.get(attr), op, value) for attr, op, value in parsed):
+                    continue
+                results.append(entity)
+                if limit is not None and len(results) >= limit:
+                    break
         return results
 
     def entity_count(self) -> int:
@@ -217,10 +248,12 @@ class ContextBroker:
                 continue
             if now - subscription.last_notification_time < subscription.throttling_s:
                 subscription.notifications_throttled += 1
+                self._m_throttled.inc()
                 continue
             subscription.last_notification_time = now
             subscription.notifications_sent += 1
             self.metrics.notifications += 1
+            self._m_notifications.inc()
             subscription.callback(subscription.build_notification(entity, changed, now))
 
 

@@ -6,31 +6,37 @@ security stack are assembled per :class:`PilotConfig` and driven through a
 growing season.  All experiments (benchmarks/) run through this class so
 that every number reported comes from the full pipeline, not from a
 shortcut around it.
+
+Assembly is delegated to the builder stages in :mod:`repro.core.stages`:
+each stage registers named services on a
+:class:`~repro.platform.registry.PlatformRuntime`, which starts them in
+dependency order and shuts them down (via a simulator shutdown hook) when
+the run ends.  The runner keeps its flat attribute surface — ``.agent``,
+``.field``, ``.scheduler`` and friends — so callers are unaffected by the
+layering underneath.
 """
 
 from dataclasses import dataclass, field as dataclass_field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-from repro.agents.iot_agent import DeviceProvision, IoTAgent
 from repro.core.deployment import DeploymentKind
 from repro.core.security_profile import SecurityConfig, SecurityStack
-from repro.devices.actuators import CenterPivot, Pump, Valve
-from repro.devices.base import DeviceConfig
+from repro.core.stages import default_stages
+from repro.devices.actuators import CenterPivot, Valve
 from repro.devices.drone import Drone
-from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
-from repro.fog.node import CloudNode, FogNode
-from repro.fog.replication import CloudSyncTarget, Replicator
+from repro.devices.sensors import SoilMoistureProbe
+from repro.fog.node import FogNode
+from repro.fog.replication import Replicator
 from repro.irrigation.policy import SoilMoisturePolicy
 from repro.irrigation.scheduler import PlatformScheduler
-from repro.network.radio import ETHERNET_LAN, LORA_FIELD, WAN_BACKHAUL, WIFI_FARM
 from repro.network.topology import Network
 from repro.physics.crop import Crop
-from repro.physics.field import Field
-from repro.physics.ndvi import NdviTracker
 from repro.physics.soil import LOAM, SoilProperties
-from repro.physics.weather import ClimateProfile, WeatherGenerator
+from repro.physics.weather import ClimateProfile
+from repro.platform.registry import PlatformRuntime
 from repro.simkernel.clock import DAY, HOUR
 from repro.simkernel.simulator import Simulator
+from repro.telemetry.metrics import MetricsRegistry
 
 
 @dataclass
@@ -63,6 +69,11 @@ class PilotConfig:
     uniform_pivot: bool = False  # True = no VRI: worst-zone depth everywhere
     security: SecurityConfig = dataclass_field(default_factory=SecurityConfig)
     supply_gate: Optional[Callable[[float], float]] = None
+    # Collect platform metrics during the run.  Enabled metrics never
+    # perturb determinism (instruments neither schedule events nor draw
+    # RNG); disabling swaps in the shared no-op registry for truly
+    # zero-overhead hot paths.
+    metrics_enabled: bool = True
     seed: int = 0
 
     @property
@@ -102,263 +113,54 @@ class PilotReport:
 
 
 class PilotRunner:
+    """Assembles one pilot on a :class:`PlatformRuntime` and drives it.
+
+    Layer attributes populated by the builder stages (kept flat here for
+    callers): ``security``, ``cloud``, ``fog``, ``replicator``,
+    ``broker_address``, ``context``, ``history``, ``agent``, ``field``,
+    ``weather``, ``ndvi_trackers``, ``pump``, ``flow_meter``,
+    ``weather_station``, ``probes``, ``valves``, ``pivot``, ``drone``,
+    ``scheduler``.
+    """
+
+    security: SecurityStack
+    fog: Optional[FogNode]
+    replicator: Optional[Replicator]
+    probes: Dict[str, SoilMoistureProbe]
+    valves: Dict[str, Valve]
+    pivot: Optional[CenterPivot]
+    drone: Optional[Drone]
+    scheduler: Optional[PlatformScheduler]
+
     def __init__(self, config: PilotConfig) -> None:
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        self.sim = Simulator(seed=config.seed, metrics=metrics)
         self.net = Network(self.sim, name=config.name)
-        self.security = SecurityStack(self.sim, config.farm, config.security)
-        self._build_tiers()
-        self._build_field_and_weather()
-        self._build_devices()
-        self._provision_devices()
-        self._build_scheduler()
-        self.security.wire_detection(self.context, self.agent)
-        self.security.wire_command_tap(self.net, self.broker_address)
+        self.runtime = PlatformRuntime(metrics=metrics)
+        self.stages = default_stages()
+        for stage in self.stages:
+            stage.register(self)
+        self.runtime.start()
+        # Wind the services down when the simulation run ends.
+        self.sim.add_shutdown_hook(self.runtime.shutdown)
         self.season_day = 0
         self._daily_process = None
         self._report_cache: Optional[PilotReport] = None
 
-    # -- construction -----------------------------------------------------------
+    # -- metrics -----------------------------------------------------------
 
-    def _build_tiers(self) -> None:
-        config = self.config
-        hooks = self.security.broker_hooks()
-        self.cloud = CloudNode(
-            self.sim, self.net, "cloud",
-            with_mqtt=not config.deployment.has_fog,
-            authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
-        )
-        self.fog: Optional[FogNode] = None
-        self.replicator: Optional[Replicator] = None
-        if config.deployment.has_fog:
-            self.fog = FogNode(
-                self.sim, self.net, "fog", config.farm,
-                authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
-            )
-            self.broker_address = self.fog.mqtt_address
-            self.context = self.fog.context
-            self.history = self.fog.history
-            self.agent = self.fog.agent
-            self.net.connect("fog:iota", self.fog.mqtt_address, ETHERNET_LAN)
-            # Store-and-forward sync to the cloud over the rural WAN.
-            CloudSyncTarget(self.sim, self.net, "cloud:sync", self.cloud.context)
-            self.replicator = Replicator(
-                self.sim, self.net, "fog:sync", self.fog.context, "cloud:sync",
-                sync_interval_s=60.0,
-            )
-            self.net.connect("fog:sync", "cloud:sync", WAN_BACKHAUL)
-            self._wan_pair = ("fog:sync", "cloud:sync")
-            self._device_uplink = self.broker_address
-            self._device_radio = LORA_FIELD
-        else:
-            self.broker_address = self.cloud.mqtt_address
-            self.context = self.cloud.context
-            self.history = self.cloud.history
-            self.agent = IoTAgent(
-                self.sim, self.net, "cloud:iota", self.broker_address,
-                self.cloud.context, config.farm,
-            )
-            self.net.connect("cloud:iota", self.broker_address, ETHERNET_LAN)
-            # Farm gateway: field radio on one side, rural WAN on the other.
-            from repro.network.node import NetworkNode
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry (shared by kernel and services)."""
+        return self.sim.metrics
 
-            self.gateway = self.net.add_node(NetworkNode(f"{config.farm}:gw"))
-            self.net.connect(f"{config.farm}:gw", self.broker_address, WAN_BACKHAUL)
-            self._wan_pair = (f"{config.farm}:gw", self.broker_address)
-            self._device_uplink = f"{config.farm}:gw"
-            self._device_radio = LORA_FIELD
-        self.security.wire_agent(self.agent)
-        self.agent.start()
-
-    def _build_field_and_weather(self) -> None:
-        config = self.config
-        self.field = Field(
-            config.farm, config.rows, config.cols, config.soil, config.crop,
-            self.sim.rng.stream("field"),
-            zone_area_ha=config.zone_area_ha,
-            spatial_cv=config.spatial_cv,
-            initial_theta=config.initial_theta,
-        )
-        generator = WeatherGenerator(
-            config.climate, self.sim.rng.stream("weather"),
-            start_day_of_year=config.start_day_of_year,
-        )
-        self.weather = generator.generate(config.effective_season_days + 1)
-        self.ndvi_trackers: Dict[str, NdviTracker] = {
-            zone.zone_id: NdviTracker(zone) for zone in self.field
-        }
-        self._forecast_rng = self.sim.rng.stream("forecast")
-
-    def _attach_device(self, device) -> None:
-        """Connect a device's radio and register its credentials."""
-        self.net.connect(device.client.address, self._device_uplink, self._device_radio)
-        self.security.enroll_device(device, device_key=f"key-{device.config.device_id}")
-        device.start()
-
-    def _build_devices(self) -> None:
-        config = self.config
-        farm = config.farm
-        self.probes: Dict[str, SoilMoistureProbe] = {}
-        self.valves: Dict[str, Valve] = {}
-        self.pivot: Optional[CenterPivot] = None
-        self.drone: Optional[Drone] = None
-
-        # Shared irrigation plant.
-        self.pump = Pump(
-            self.sim, self.net, DeviceConfig(f"{farm}-pump", farm, "Pump", report_interval_s=3600),
-            self.broker_address, head_m=config.pump_head_m,
-        )
-        self._attach_device(self.pump)
-        self.flow_meter = WaterFlowMeter(
-            self.sim, self.net,
-            DeviceConfig(f"{farm}-flow", farm, "FlowMeter", report_interval_s=3600),
-            self.broker_address,
-        )
-        self._attach_device(self.flow_meter)
-
-        self.weather_station = WeatherStation(
-            self.sim, self.net,
-            DeviceConfig(f"{farm}-ws", farm, "WeatherStation", report_interval_s=3600),
-            self.broker_address,
-        )
-        self._attach_device(self.weather_station)
-
-        # Probes on the first `coverage` fraction of zones (deterministic).
-        zones = list(self.field)
-        probe_count = max(1, round(config.probe_coverage * len(zones)))
-        for zone in zones[:probe_count]:
-            device_id = f"{farm}-probe-{zone.row}-{zone.col}"
-            probe = SoilMoistureProbe(
-                self.sim, self.net,
-                DeviceConfig(device_id, farm, "SoilProbe",
-                             report_interval_s=config.probe_interval_s),
-                self.broker_address, zone=zone,
-            )
-            self._attach_device(probe)
-            self.probes[zone.zone_id] = probe
-
-        if config.irrigation_kind == "valves":
-            for zone in zones:
-                device_id = f"{farm}-valve-{zone.row}-{zone.col}"
-                valve = Valve(
-                    self.sim, self.net,
-                    DeviceConfig(device_id, farm, "Valve", report_interval_s=7200),
-                    self.broker_address, zone=zone,
-                    rate_mm_h=config.valve_rate_mm_h,
-                    pump=self.pump, flow_meter=self.flow_meter,
-                )
-                self._attach_device(valve)
-                self.valves[zone.zone_id] = valve
-        elif config.irrigation_kind == "pivot":
-            self.pivot = CenterPivot(
-                self.sim, self.net,
-                DeviceConfig(f"{farm}-pivot", farm, "CenterPivot", report_interval_s=7200),
-                self.broker_address, zones=zones,
-                max_application_rate_mm_h=config.pivot_rate_mm_h, pump=self.pump,
-            )
-            self._attach_device(self.pivot)
-
-        if config.deployment.has_drone:
-            self.drone = Drone(
-                self.sim, self.net,
-                DeviceConfig(f"{farm}-drone", farm, "Drone", report_interval_s=7200,
-                             battery_capacity_j=500_000.0),
-                self.broker_address, field=self.field, trackers=self.ndvi_trackers,
-            )
-            self._attach_device(self.drone)
-
-    def _provision_devices(self) -> None:
-        farm = self.config.farm
-        for zone_id, probe in self.probes.items():
-            zone = self.field.zone_by_id(zone_id)
-            self.agent.provision(
-                DeviceProvision(
-                    probe.config.device_id, "", self.zone_entity_id(zone), "AgriParcel"
-                )
-            )
-        for zone_id, valve in self.valves.items():
-            self.agent.provision(
-                DeviceProvision(
-                    valve.config.device_id, "",
-                    f"urn:Valve:{valve.config.device_id}", "Valve",
-                    commands=("open", "close"),
-                )
-            )
-        if self.pivot is not None:
-            self.agent.provision(
-                DeviceProvision(
-                    self.pivot.config.device_id, "",
-                    f"urn:CenterPivot:{self.pivot.config.device_id}", "CenterPivot",
-                    commands=("start_pass", "stop"),
-                )
-            )
-        self.agent.provision(
-            DeviceProvision(self.pump.config.device_id, "",
-                            f"urn:Pump:{farm}", "Pump", commands=("start", "stop"))
-        )
-        self.agent.provision(
-            DeviceProvision(self.flow_meter.config.device_id, "",
-                            f"urn:FlowMeter:{farm}", "FlowMeter")
-        )
-        self.agent.provision(
-            DeviceProvision(self.weather_station.config.device_id, "",
-                            f"urn:WeatherObserved:{farm}", "WeatherObserved")
-        )
-        if self.drone is not None:
-            self.agent.provision(
-                DeviceProvision(self.drone.config.device_id, "",
-                                f"urn:Drone:{farm}", "Drone", commands=("survey",))
-            )
+    def metrics_snapshot(self) -> dict:
+        """Point-in-time snapshot of every instrument (see telemetry docs)."""
+        return self.sim.metrics.snapshot()
 
     def zone_entity_id(self, zone) -> str:
         return f"urn:AgriParcel:{self.config.farm}:{zone.row}-{zone.col}"
-
-    def _build_scheduler(self) -> None:
-        config = self.config
-        self.scheduler: Optional[PlatformScheduler] = None
-        if config.scheduler_kind == "none" or config.irrigation_kind == "none":
-            return
-        if config.scheduler_kind == "fixed":
-            self.sim.spawn(self._fixed_schedule_loop(), "fixed-scheduler")
-            return
-        self.scheduler = PlatformScheduler(
-            self.sim, self.context, self.agent,
-            policy=config.policy or SoilMoisturePolicy(),
-            forecast_provider=self._forecast_rain,
-            supply_gate=config.supply_gate,
-            uniform_pivot=config.uniform_pivot,
-        )
-        if config.irrigation_kind == "valves":
-            for zone_id, probe in self.probes.items():
-                zone = self.field.zone_by_id(zone_id)
-                valve = self.valves.get(zone_id)
-                if valve is None:
-                    continue
-                self.scheduler.bind_valve(
-                    self.zone_entity_id(zone), valve.config.device_id,
-                    theta_fc=zone.water_balance.soil.theta_fc,
-                    theta_wp=zone.water_balance.soil.theta_wp,
-                    root_depth_m=zone.crop.root_depth_at(0),
-                    depletion_fraction_p=zone.crop.stages[0].depletion_fraction_p,
-                    area_ha=zone.area_ha,
-                )
-        elif config.irrigation_kind == "pivot":
-            zone_bindings = []
-            for zone_id, probe in self.probes.items():
-                zone = self.field.zone_by_id(zone_id)
-                zone_bindings.append(
-                    {
-                        "entity_id": self.zone_entity_id(zone),
-                        "zone_id": zone.zone_id,
-                        "theta_fc": zone.water_balance.soil.theta_fc,
-                        "theta_wp": zone.water_balance.soil.theta_wp,
-                        "root_depth_m": zone.crop.root_depth_at(0),
-                        "p": zone.crop.stages[0].depletion_fraction_p,
-                        "area_ha": zone.area_ha,
-                    }
-                )
-            self.scheduler.bind_pivot(self.pivot.config.device_id, zone_bindings)
-        self.scheduler.start()
 
     # -- forecast -----------------------------------------------------------
 

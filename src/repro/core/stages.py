@@ -1,0 +1,432 @@
+"""Builder stages: a :class:`PilotConfig` as a declarative assembly plan.
+
+The old ``PilotRunner.__init__`` was a ~200-line monolith that built
+security, tiers, physics, devices and the scheduler inline.  Each
+architectural layer now lives in one :class:`BuildStage` that registers
+named services — with declared dependencies — on the runner's
+:class:`~repro.platform.registry.PlatformRuntime`.  The runtime then
+drives them through register → configure → start, and its shutdown is
+hooked into the simulator so services wind down when the run ends.
+
+Determinism contract: registration order is a valid topological order of
+the declared dependencies, and the runtime starts the earliest-registered
+ready service first, so the services run in *exactly* the order the old
+monolith ran its builder methods.  Event-queue sequence numbers — and
+therefore whole seed-pinned runs — stay bit-identical
+(``tests/test_pilot_pinned.py`` holds that pin).
+
+The service graph::
+
+    security.stack ──► platform.tiers ──► messaging.agent ─┬─► devices.fleet
+                                       physics.environment ─┘        │
+                                                          devices.provisioning
+                                                                     │
+                                                           decision.scheduler
+                                                                     │
+                                             security.detection ── security.command_tap
+"""
+
+from typing import List
+
+from repro.agents.iot_agent import DeviceProvision, IoTAgent
+from repro.core.security_profile import SecurityStack
+from repro.devices.actuators import CenterPivot, Pump, Valve
+from repro.devices.base import DeviceConfig
+from repro.devices.drone import Drone
+from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
+from repro.fog.node import CloudNode, FogNode
+from repro.fog.replication import CloudSyncTarget, Replicator
+from repro.irrigation.policy import SoilMoisturePolicy
+from repro.irrigation.scheduler import PlatformScheduler
+from repro.network.radio import ETHERNET_LAN, LORA_FIELD, WAN_BACKHAUL
+from repro.physics.field import Field
+from repro.physics.ndvi import NdviTracker
+from repro.physics.weather import WeatherGenerator
+
+
+class BuildStage:
+    """One architectural layer of a pilot.
+
+    ``register`` adds this layer's services to ``runner.runtime``; the
+    service ``start`` callables do the actual construction against the
+    runner, so the runner keeps its flat attribute surface (``.agent``,
+    ``.field``, ...) that tests and experiments rely on.
+    """
+
+    def register(self, runner) -> None:
+        raise NotImplementedError
+
+
+class SecurityLayerStage(BuildStage):
+    """Identity, OAuth/PDP/PEP and the detection scaffolding."""
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            runner.security = SecurityStack(
+                runner.sim, runner.config.farm, runner.config.security
+            )
+            service.provides = runner.security
+
+        service = runner.runtime.register("security.stack", start=start)
+
+
+class FogCloudStage(BuildStage):
+    """Cloud node, optional fog node, replication and the WAN topology."""
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            self._start(runner)
+            service.provides = {
+                "cloud": runner.cloud,
+                "fog": runner.fog,
+                "replicator": runner.replicator,
+                "broker_address": runner.broker_address,
+            }
+
+        service = runner.runtime.register(
+            "platform.tiers", depends_on=("security.stack",), start=start
+        )
+
+    def _start(self, runner) -> None:
+        config = runner.config
+        hooks = runner.security.broker_hooks()
+        runner.cloud = CloudNode(
+            runner.sim, runner.net, "cloud",
+            with_mqtt=not config.deployment.has_fog,
+            authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
+        )
+        runner.fog = None
+        runner.replicator = None
+        if config.deployment.has_fog:
+            runner.fog = FogNode(
+                runner.sim, runner.net, "fog", config.farm,
+                authenticator=hooks["authenticator"], authorizer=hooks["authorizer"],
+            )
+            runner.broker_address = runner.fog.mqtt_address
+            runner.context = runner.fog.context
+            runner.history = runner.fog.history
+            runner.agent = runner.fog.agent
+            runner.net.connect("fog:iota", runner.fog.mqtt_address, ETHERNET_LAN)
+            # Store-and-forward sync to the cloud over the rural WAN.
+            CloudSyncTarget(runner.sim, runner.net, "cloud:sync", runner.cloud.context)
+            runner.replicator = Replicator(
+                runner.sim, runner.net, "fog:sync", runner.fog.context, "cloud:sync",
+                sync_interval_s=60.0,
+            )
+            runner.net.connect("fog:sync", "cloud:sync", WAN_BACKHAUL)
+            runner._wan_pair = ("fog:sync", "cloud:sync")
+            runner._device_uplink = runner.broker_address
+            runner._device_radio = LORA_FIELD
+        else:
+            runner.broker_address = runner.cloud.mqtt_address
+            runner.context = runner.cloud.context
+            runner.history = runner.cloud.history
+            runner.agent = IoTAgent(
+                runner.sim, runner.net, "cloud:iota", runner.broker_address,
+                runner.cloud.context, config.farm,
+            )
+            runner.net.connect("cloud:iota", runner.broker_address, ETHERNET_LAN)
+            # Farm gateway: field radio on one side, rural WAN on the other.
+            from repro.network.node import NetworkNode
+
+            runner.gateway = runner.net.add_node(NetworkNode(f"{config.farm}:gw"))
+            runner.net.connect(f"{config.farm}:gw", runner.broker_address, WAN_BACKHAUL)
+            runner._wan_pair = (f"{config.farm}:gw", runner.broker_address)
+            runner._device_uplink = f"{config.farm}:gw"
+            runner._device_radio = LORA_FIELD
+
+
+class MessagingStage(BuildStage):
+    """Attach the IoT agent to the security stack and open its MQTT session."""
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            runner.security.wire_agent(runner.agent)
+            runner.agent.start()
+            service.provides = runner.agent
+
+        service = runner.runtime.register(
+            "messaging.agent",
+            depends_on=("security.stack", "platform.tiers"),
+            start=start,
+        )
+
+
+class PhysicsStage(BuildStage):
+    """Field zones, a season of weather and the NDVI trackers."""
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            self._start(runner)
+            service.provides = runner.field
+
+        service = runner.runtime.register("physics.environment", start=start)
+
+    def _start(self, runner) -> None:
+        config = runner.config
+        runner.field = Field(
+            config.farm, config.rows, config.cols, config.soil, config.crop,
+            runner.sim.rng.stream("field"),
+            zone_area_ha=config.zone_area_ha,
+            spatial_cv=config.spatial_cv,
+            initial_theta=config.initial_theta,
+        )
+        generator = WeatherGenerator(
+            config.climate, runner.sim.rng.stream("weather"),
+            start_day_of_year=config.start_day_of_year,
+        )
+        runner.weather = generator.generate(config.effective_season_days + 1)
+        runner.ndvi_trackers = {
+            zone.zone_id: NdviTracker(zone) for zone in runner.field
+        }
+        runner._forecast_rng = runner.sim.rng.stream("forecast")
+
+
+class DeviceNetworkStage(BuildStage):
+    """The device fleet, its radio links and its agent provisioning."""
+
+    def register(self, runner) -> None:
+        def start_fleet(runtime):
+            self._build_devices(runner)
+
+        def start_provisioning(runtime):
+            self._provision_devices(runner)
+
+        runner.runtime.register(
+            "devices.fleet",
+            depends_on=("messaging.agent", "physics.environment"),
+            start=start_fleet,
+        )
+        runner.runtime.register(
+            "devices.provisioning", depends_on=("devices.fleet",),
+            start=start_provisioning,
+        )
+
+    @staticmethod
+    def _attach_device(runner, device) -> None:
+        """Connect a device's radio and register its credentials."""
+        runner.net.connect(device.client.address, runner._device_uplink,
+                           runner._device_radio)
+        runner.security.enroll_device(device, device_key=f"key-{device.config.device_id}")
+        device.start()
+
+    def _build_devices(self, runner) -> None:
+        config = runner.config
+        farm = config.farm
+        runner.probes = {}
+        runner.valves = {}
+        runner.pivot = None
+        runner.drone = None
+
+        # Shared irrigation plant.
+        runner.pump = Pump(
+            runner.sim, runner.net,
+            DeviceConfig(f"{farm}-pump", farm, "Pump", report_interval_s=3600),
+            runner.broker_address, head_m=config.pump_head_m,
+        )
+        self._attach_device(runner, runner.pump)
+        runner.flow_meter = WaterFlowMeter(
+            runner.sim, runner.net,
+            DeviceConfig(f"{farm}-flow", farm, "FlowMeter", report_interval_s=3600),
+            runner.broker_address,
+        )
+        self._attach_device(runner, runner.flow_meter)
+
+        runner.weather_station = WeatherStation(
+            runner.sim, runner.net,
+            DeviceConfig(f"{farm}-ws", farm, "WeatherStation", report_interval_s=3600),
+            runner.broker_address,
+        )
+        self._attach_device(runner, runner.weather_station)
+
+        # Probes on the first `coverage` fraction of zones (deterministic).
+        zones = list(runner.field)
+        probe_count = max(1, round(config.probe_coverage * len(zones)))
+        for zone in zones[:probe_count]:
+            device_id = f"{farm}-probe-{zone.row}-{zone.col}"
+            probe = SoilMoistureProbe(
+                runner.sim, runner.net,
+                DeviceConfig(device_id, farm, "SoilProbe",
+                             report_interval_s=config.probe_interval_s),
+                runner.broker_address, zone=zone,
+            )
+            self._attach_device(runner, probe)
+            runner.probes[zone.zone_id] = probe
+
+        if config.irrigation_kind == "valves":
+            for zone in zones:
+                device_id = f"{farm}-valve-{zone.row}-{zone.col}"
+                valve = Valve(
+                    runner.sim, runner.net,
+                    DeviceConfig(device_id, farm, "Valve", report_interval_s=7200),
+                    runner.broker_address, zone=zone,
+                    rate_mm_h=config.valve_rate_mm_h,
+                    pump=runner.pump, flow_meter=runner.flow_meter,
+                )
+                self._attach_device(runner, valve)
+                runner.valves[zone.zone_id] = valve
+        elif config.irrigation_kind == "pivot":
+            runner.pivot = CenterPivot(
+                runner.sim, runner.net,
+                DeviceConfig(f"{farm}-pivot", farm, "CenterPivot",
+                             report_interval_s=7200),
+                runner.broker_address, zones=zones,
+                max_application_rate_mm_h=config.pivot_rate_mm_h, pump=runner.pump,
+            )
+            self._attach_device(runner, runner.pivot)
+
+        if config.deployment.has_drone:
+            runner.drone = Drone(
+                runner.sim, runner.net,
+                DeviceConfig(f"{farm}-drone", farm, "Drone", report_interval_s=7200,
+                             battery_capacity_j=500_000.0),
+                runner.broker_address, field=runner.field,
+                trackers=runner.ndvi_trackers,
+            )
+            self._attach_device(runner, runner.drone)
+
+    def _provision_devices(self, runner) -> None:
+        farm = runner.config.farm
+        for zone_id, probe in runner.probes.items():
+            zone = runner.field.zone_by_id(zone_id)
+            runner.agent.provision(
+                DeviceProvision(
+                    probe.config.device_id, "", runner.zone_entity_id(zone), "AgriParcel"
+                )
+            )
+        for zone_id, valve in runner.valves.items():
+            runner.agent.provision(
+                DeviceProvision(
+                    valve.config.device_id, "",
+                    f"urn:Valve:{valve.config.device_id}", "Valve",
+                    commands=("open", "close"),
+                )
+            )
+        if runner.pivot is not None:
+            runner.agent.provision(
+                DeviceProvision(
+                    runner.pivot.config.device_id, "",
+                    f"urn:CenterPivot:{runner.pivot.config.device_id}", "CenterPivot",
+                    commands=("start_pass", "stop"),
+                )
+            )
+        runner.agent.provision(
+            DeviceProvision(runner.pump.config.device_id, "",
+                            f"urn:Pump:{farm}", "Pump", commands=("start", "stop"))
+        )
+        runner.agent.provision(
+            DeviceProvision(runner.flow_meter.config.device_id, "",
+                            f"urn:FlowMeter:{farm}", "FlowMeter")
+        )
+        runner.agent.provision(
+            DeviceProvision(runner.weather_station.config.device_id, "",
+                            f"urn:WeatherObserved:{farm}", "WeatherObserved")
+        )
+        if runner.drone is not None:
+            runner.agent.provision(
+                DeviceProvision(runner.drone.config.device_id, "",
+                                f"urn:Drone:{farm}", "Drone", commands=("survey",))
+            )
+
+
+class DecisionLayerStage(BuildStage):
+    """The irrigation scheduler (smart / fixed-calendar / none)."""
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            self._start(runner)
+            service.provides = runner.scheduler
+
+        service = runner.runtime.register(
+            "decision.scheduler",
+            depends_on=("devices.provisioning", "physics.environment"),
+            start=start,
+        )
+
+    def _start(self, runner) -> None:
+        config = runner.config
+        runner.scheduler = None
+        if config.scheduler_kind == "none" or config.irrigation_kind == "none":
+            return
+        if config.scheduler_kind == "fixed":
+            runner.sim.spawn(runner._fixed_schedule_loop(), "fixed-scheduler")
+            return
+        runner.scheduler = PlatformScheduler(
+            runner.sim, runner.context, runner.agent,
+            policy=config.policy or SoilMoisturePolicy(),
+            forecast_provider=runner._forecast_rain,
+            supply_gate=config.supply_gate,
+            uniform_pivot=config.uniform_pivot,
+        )
+        if config.irrigation_kind == "valves":
+            for zone_id, probe in runner.probes.items():
+                zone = runner.field.zone_by_id(zone_id)
+                valve = runner.valves.get(zone_id)
+                if valve is None:
+                    continue
+                runner.scheduler.bind_valve(
+                    runner.zone_entity_id(zone), valve.config.device_id,
+                    theta_fc=zone.water_balance.soil.theta_fc,
+                    theta_wp=zone.water_balance.soil.theta_wp,
+                    root_depth_m=zone.crop.root_depth_at(0),
+                    depletion_fraction_p=zone.crop.stages[0].depletion_fraction_p,
+                    area_ha=zone.area_ha,
+                )
+        elif config.irrigation_kind == "pivot":
+            zone_bindings = []
+            for zone_id, probe in runner.probes.items():
+                zone = runner.field.zone_by_id(zone_id)
+                zone_bindings.append(
+                    {
+                        "entity_id": runner.zone_entity_id(zone),
+                        "zone_id": zone.zone_id,
+                        "theta_fc": zone.water_balance.soil.theta_fc,
+                        "theta_wp": zone.water_balance.soil.theta_wp,
+                        "root_depth_m": zone.crop.root_depth_at(0),
+                        "p": zone.crop.stages[0].depletion_fraction_p,
+                        "area_ha": zone.area_ha,
+                    }
+                )
+            runner.scheduler.bind_pivot(runner.pivot.config.device_id, zone_bindings)
+        runner.scheduler.start()
+
+
+class SecurityWiringStage(BuildStage):
+    """Late security wiring that needs the assembled platform: anomaly
+    detection over the context broker and the broker-side command tap."""
+
+    def register(self, runner) -> None:
+        def start_detection(runtime):
+            runner.security.wire_detection(runner.context, runner.agent)
+
+        def start_tap(runtime):
+            runner.security.wire_command_tap(runner.net, runner.broker_address)
+
+        runner.runtime.register(
+            "security.detection",
+            depends_on=("security.stack", "platform.tiers", "messaging.agent"),
+            start=start_detection,
+        )
+        runner.runtime.register(
+            "security.command_tap",
+            depends_on=("security.stack", "platform.tiers"),
+            start=start_tap,
+        )
+
+
+def default_stages() -> List[BuildStage]:
+    """The standard pilot assembly plan, in registration order.
+
+    The order is load-bearing (see the module docstring): it must remain a
+    valid topological order of each stage's declared dependencies, and it
+    reproduces the construction order of the pre-refactor monolith.
+    """
+    return [
+        SecurityLayerStage(),
+        FogCloudStage(),
+        MessagingStage(),
+        PhysicsStage(),
+        DeviceNetworkStage(),
+        DecisionLayerStage(),
+        SecurityWiringStage(),
+    ]

@@ -134,6 +134,22 @@ class Replicator:
         self.updates_dropped_overflow = 0
         self.batches_sent = 0
         self.batches_acked = 0
+        labels = {"replicator": address}
+        registry = sim.metrics
+        self._m_captured = registry.counter("fog.updates_captured", labels)
+        self._m_synced = registry.counter("fog.updates_synced", labels)
+        self._m_dropped = registry.counter("fog.updates_dropped_overflow", labels)
+        self._m_batches_sent = registry.counter("fog.sync_batches_sent", labels)
+        self._m_batches_acked = registry.counter("fog.sync_batches_acked", labels)
+        # Sim-time seconds from capture on the fog tier to cloud ack; a WAN
+        # partition shows up as the tail of this distribution.
+        self._m_lag = registry.histogram(
+            "fog.sync_lag_s", labels,
+            buckets=(1.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0),
+        )
+        registry.register_callback(
+            "fog.backlog_depth", lambda: float(self.backlog_depth), labels
+        )
         source_context.update_hooks.append(self._capture)
         self._process = sim.spawn(self._sync_loop(), f"replicator:{address}")
 
@@ -148,11 +164,14 @@ class Replicator:
             "entity_id": entity.entity_id,
             "entity_type": entity.entity_type,
             "attrs": {name: entity.get(name) for name in changed},
+            "captured_at": self.sim.now,
         }
         self.updates_captured += 1
+        self._m_captured.inc()
         if len(self._backlog) >= self.max_backlog:
             self._backlog.popleft()
             self.updates_dropped_overflow += 1
+            self._m_dropped.inc()
         self._backlog.append(update)
 
     # -- sync loop -----------------------------------------------------------
@@ -180,6 +199,7 @@ class Replicator:
     def _transmit(self, batch: SyncBatch) -> None:
         self._in_flight_since = self.sim.now
         self.batches_sent += 1
+        self._m_batches_sent.inc()
         self.node.send(self.target_address, batch, batch.wire_size(), flow="ngsi-sync")
 
     def _on_packet(self, packet: Packet) -> None:
@@ -188,7 +208,13 @@ class Replicator:
             return
         if self._in_flight is not None and ack.seq == self._in_flight.seq:
             self.updates_synced += len(self._in_flight.updates)
+            self._m_synced.inc(len(self._in_flight.updates))
             self.batches_acked += 1
+            self._m_batches_acked.inc()
+            if self.sim.metrics.enabled:
+                now = self.sim.now
+                for update in self._in_flight.updates:
+                    self._m_lag.observe(now - update.get("captured_at", now))
             self._in_flight = None
             # Keep draining immediately while there's backlog (fast resync
             # after a healed partition instead of one batch per interval).

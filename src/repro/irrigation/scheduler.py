@@ -77,6 +77,15 @@ class PlatformScheduler:
         self._pivot_bindings: List[dict] = []
         self.decision_log: List[dict] = []
         self._process = None
+        registry = sim.metrics
+        self._m_cycles = registry.counter("scheduler.cycles")
+        self._m_decisions = registry.counter("scheduler.decisions")
+        self._m_commands = registry.counter("scheduler.commands_sent")
+        self._m_skipped_no_data = registry.counter("scheduler.skipped_no_data")
+        self._m_skipped_stale = registry.counter("scheduler.skipped_stale")
+        # Actuation volume actually commanded (post supply-gate scaling).
+        self._m_requested_mm = registry.counter("scheduler.actuation_depth_mm")
+        self._m_requested_m3 = registry.counter("scheduler.actuation_volume_m3")
 
     # -- wiring -----------------------------------------------------------
 
@@ -124,6 +133,7 @@ class PlatformScheduler:
 
     def run_cycle(self) -> None:
         self.stats.cycles += 1
+        self._m_cycles.inc()
         forecast = self.forecast_provider() if self.forecast_provider else 0.0
         valve_plans = [
             plan for plan in
@@ -168,13 +178,16 @@ class PlatformScheduler:
             entity = self.context.get_entity(binding["entity_id"])
         except Exception:
             self.stats.skipped_no_data += 1
+            self._m_skipped_no_data.inc()
             return None
         attribute = entity.attribute("soilMoisture")
         if attribute is None or not isinstance(attribute.value, (int, float)):
             self.stats.skipped_no_data += 1
+            self._m_skipped_no_data.inc()
             return None
         if self.sim.now - attribute.timestamp > self.max_data_age_s:
             self.stats.skipped_stale += 1
+            self._m_skipped_stale.inc()
             return None
         theta = float(attribute.value)
         depletion = max(0.0, (binding["theta_fc"] - theta) * binding["root_depth_m"] * 1000.0)
@@ -193,6 +206,7 @@ class PlatformScheduler:
             return None
         decision = self.policy.decide(depletion, self._raw_mm(binding), forecast)
         self.stats.decisions += 1
+        self._m_decisions.inc()
         self.decision_log.append(
             {
                 "t": self.sim.now,
@@ -213,6 +227,9 @@ class PlatformScheduler:
         )
         if sent:
             self.stats.commands_sent += 1
+            self._m_commands.inc()
+            self._m_requested_mm.inc(depth_mm)
+            self._m_requested_m3.inc(depth_mm * binding.get("area_ha", 1.0) * 10.0)
 
     def _plan_pivot(self, binding: dict, forecast: float):
         """Decide one pivot's prescription; returns (binding, map) or None."""
@@ -225,6 +242,7 @@ class PlatformScheduler:
             any_data = True
             decision = self.policy.decide(depletion, self._raw_mm(zone_binding), forecast)
             self.stats.decisions += 1
+            self._m_decisions.inc()
             if decision.irrigate:
                 prescription[zone_binding["zone_id"]] = round(decision.depth_mm, 2)
         if not any_data:
@@ -248,3 +266,8 @@ class PlatformScheduler:
         )
         if sent:
             self.stats.commands_sent += 1
+            self._m_commands.inc()
+            areas = {z["zone_id"]: z.get("area_ha", 1.0) for z in binding["zones"]}
+            for zone_id, depth in prescription.items():
+                self._m_requested_mm.inc(depth)
+                self._m_requested_m3.inc(depth * areas.get(zone_id, 1.0) * 10.0)

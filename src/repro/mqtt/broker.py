@@ -119,6 +119,20 @@ class MqttBroker(NetworkNode):
         self._address_index: Dict[str, str] = {}  # network address -> client_id
         self.retained: Dict[str, Publish] = {}
         self.stats = BrokerStats()
+        labels = {"broker": address}
+        registry = sim.metrics
+        self._m_connects = registry.counter("mqtt.connects", labels)
+        self._m_rejected = registry.counter("mqtt.rejected_connects", labels)
+        self._m_pub_in = registry.counter("mqtt.publishes_in", labels)
+        self._m_pub_out = registry.counter("mqtt.publishes_out", labels)
+        self._m_denied = registry.counter("mqtt.denied", labels)
+        self._m_dropped = registry.counter("mqtt.dropped_overload", labels)
+        self._m_expired = registry.counter("mqtt.session_expirations", labels)
+        registry.register_callback(
+            "mqtt.connected_clients",
+            lambda: float(sum(1 for s in self.sessions.values() if s.connected)),
+            labels,
+        )
         self._sweep_interval_s = sweep_interval_s
         self._sweeping = False
         self._start_sweeper()
@@ -143,6 +157,7 @@ class MqttBroker(NetworkNode):
 
     def _expire_session(self, session: BrokerSession) -> None:
         self.stats.session_expirations += 1
+        self._m_expired.inc()
         self.sim.trace.emit(
             self.sim.now, "mqtt", "session expired", broker=self.address, client=session.client_id
         )
@@ -180,7 +195,7 @@ class MqttBroker(NetworkNode):
         if session is None or not session.connected:
             # Unknown peer: per spec we must close the connection; in the
             # simulation we just ignore (counted for DoS experiments).
-            self.stats.dropped_overload += 1
+            self.stats.dropped_overload += 1; self._m_dropped.inc()
             return
         session.last_seen = self.sim.now
         if isinstance(mqtt_packet, Publish):
@@ -215,6 +230,7 @@ class MqttBroker(NetworkNode):
             code = self.authenticator(connect)
         if code is not ConnectReturnCode.ACCEPTED:
             self.stats.rejected_connects += 1
+            self._m_rejected.inc()
             self.sim.trace.emit(
                 self.sim.now, "mqtt", "connect rejected",
                 broker=self.address, client=connect.client_id, code=int(code),
@@ -246,6 +262,7 @@ class MqttBroker(NetworkNode):
                 )
         self._address_index[src_address] = connect.client_id
         self.stats.connects += 1
+        self._m_connects.inc()
         self.send(
             src_address,
             ConnAck(return_code=code, session_present=session_present),
@@ -269,6 +286,7 @@ class MqttBroker(NetworkNode):
             return
         if self.authorizer is not None and not self.authorizer(session, "publish", publish.topic):
             self.stats.denied_publish += 1
+            self._m_denied.inc()
             self.sim.trace.emit(
                 self.sim.now, "mqtt", "publish denied",
                 broker=self.address, client=session.client_id, topic=publish.topic,
@@ -281,6 +299,7 @@ class MqttBroker(NetworkNode):
                 session.inbox.on_publish_qos2(publish)
             return
         self.stats.publishes_in += 1
+        self._m_pub_in.inc()
         if publish.qos == 0:
             self._route_publish(publish, origin=session)
         elif publish.qos == 1:
@@ -316,18 +335,18 @@ class MqttBroker(NetworkNode):
                             Publish(topic=publish.topic, payload=publish.payload, qos=effective_qos)
                         )
                     else:
-                        self.stats.dropped_overload += 1
+                        self.stats.dropped_overload += 1; self._m_dropped.inc()
                 continue
             self._deliver_to(session, publish, effective_qos)
 
     def _deliver_to(self, session: BrokerSession, publish: Publish, qos: int) -> None:
         outbound = Publish(topic=publish.topic, payload=publish.payload, qos=qos, retain=False)
-        self.stats.publishes_out += 1
+        self.stats.publishes_out += 1; self._m_pub_out.inc()
         if qos == 0:
             self._send_to(session, outbound)
         else:
             if session.outbox.send_publish(outbound) is None:
-                self.stats.dropped_overload += 1
+                self.stats.dropped_overload += 1; self._m_dropped.inc()
 
     # -- SUBSCRIBE / UNSUBSCRIBE --------------------------------------------------
 
@@ -342,6 +361,7 @@ class MqttBroker(NetworkNode):
                 continue
             if self.authorizer is not None and not self.authorizer(session, "subscribe", topic_filter):
                 self.stats.denied_subscribe += 1
+                self._m_denied.inc()
                 self.sim.trace.emit(
                     self.sim.now, "mqtt", "subscribe denied",
                     broker=self.address, client=session.client_id, filter=topic_filter,
@@ -364,7 +384,7 @@ class MqttBroker(NetworkNode):
                         qos=min(qos, retained.qos),
                         retain=True,
                     )
-                    self.stats.publishes_out += 1
+                    self.stats.publishes_out += 1; self._m_pub_out.inc()
                     if outbound.qos == 0:
                         self._send_to(session, outbound)
                     else:

@@ -45,6 +45,10 @@ class Outbox:
         self._in_flight: Dict[int, _InFlight] = {}
         self.expired = 0  # messages abandoned after max_retries
         self.completed = 0
+        # Shared across every outbox on this simulator: per-session label
+        # cardinality would explode (one outbox per broker session).
+        self._m_retries = sim.metrics.counter("mqtt.qos_retries")
+        self._m_expired = sim.metrics.counter("mqtt.qos_expired")
 
     def _alloc_id(self) -> int:
         # Packet ids are 16-bit and must not collide with in-flight ids.
@@ -84,8 +88,10 @@ class Outbox:
         if flight.retries >= self.max_retries:
             del self._in_flight[pid]
             self.expired += 1
+            self._m_expired.inc()
             return
         flight.retries += 1
+        self._m_retries.inc()
         if flight.state in ("await_puback", "await_pubrec"):
             flight.publish.dup = True
             self._send(flight.publish)

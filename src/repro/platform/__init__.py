@@ -1,0 +1,21 @@
+"""Platform runtime: service registry, lifecycle, and composition."""
+
+from repro.platform.registry import (
+    DependencyError,
+    LifecycleError,
+    PlatformError,
+    PlatformRuntime,
+    Service,
+    ServiceRegistry,
+    ServiceState,
+)
+
+__all__ = [
+    "DependencyError",
+    "LifecycleError",
+    "PlatformError",
+    "PlatformRuntime",
+    "Service",
+    "ServiceRegistry",
+    "ServiceState",
+]

@@ -1,0 +1,238 @@
+"""Service registry and platform runtime.
+
+The SWAMP deployment variants (cloud / fog / mobile-fog) are different
+*compositions* of the same services — broker, context, IoT agent,
+replication, scheduler, security.  This module gives those compositions
+an explicit shape: a :class:`Service` is registered with a
+:class:`ServiceRegistry` together with its declared dependencies, and a
+:class:`PlatformRuntime` drives every service through one lifecycle::
+
+    register → configure → start → (run) → shutdown
+
+Start order is the topological order of the dependency graph with
+registration order as the deterministic tie-break; shutdown runs in
+exact reverse start order.  Determinism matters here: in a discrete-event
+simulation the order in which services schedule their first events fixes
+the event-queue sequence numbers, so the runtime never reorders services
+beyond what the dependency graph requires.
+"""
+
+import enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+
+
+class PlatformError(Exception):
+    """Base error for runtime/registry misuse."""
+
+
+class DependencyError(PlatformError):
+    """Unknown or cyclic service dependency."""
+
+
+class LifecycleError(PlatformError):
+    """Lifecycle method called from the wrong state."""
+
+
+class ServiceState(enum.Enum):
+    REGISTERED = "registered"
+    CONFIGURED = "configured"
+    STARTED = "started"
+    SHUTDOWN = "shutdown"
+    FAILED = "failed"
+
+
+class Service:
+    """One named platform service with optional lifecycle callables.
+
+    Subclass and override :meth:`on_configure` / :meth:`on_start` /
+    :meth:`on_shutdown`, or pass plain callables — builder stages mostly
+    use the callable form to wrap existing construction code.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        depends_on: Sequence[str] = (),
+        configure: Optional[Callable[["PlatformRuntime"], None]] = None,
+        start: Optional[Callable[["PlatformRuntime"], None]] = None,
+        shutdown: Optional[Callable[["PlatformRuntime"], None]] = None,
+        provides: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self.depends_on = tuple(depends_on)
+        self._configure = configure
+        self._start = start
+        self._shutdown = shutdown
+        self.state = ServiceState.REGISTERED
+        #: The domain object this service manages (broker, agent, ...);
+        #: populated by the lifecycle hooks or passed up-front.
+        self.provides = provides
+
+    # -- overridable hooks -------------------------------------------------------
+
+    def on_configure(self, runtime: "PlatformRuntime") -> None:
+        if self._configure is not None:
+            self._configure(runtime)
+
+    def on_start(self, runtime: "PlatformRuntime") -> None:
+        if self._start is not None:
+            self._start(runtime)
+
+    def on_shutdown(self, runtime: "PlatformRuntime") -> None:
+        if self._shutdown is not None:
+            self._shutdown(runtime)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Service({self.name!r}, state={self.state.value})"
+
+
+class ServiceRegistry:
+    """Name → service map with dependency-ordered iteration."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, Service] = {}
+        self._order: List[str] = []  # registration order (tie-break)
+
+    def register(self, service: Service) -> Service:
+        if service.name in self._services:
+            raise PlatformError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+        self._order.append(service.name)
+        return service
+
+    def get(self, name: str) -> Service:
+        service = self._services.get(name)
+        if service is None:
+            raise DependencyError(f"unknown service {name!r}")
+        return service
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def __len__(self) -> int:
+        return len(self._services)
+
+    def names(self) -> List[str]:
+        return list(self._order)
+
+    def start_order(self) -> List[Service]:
+        """Topological order, registration order as deterministic tie-break.
+
+        Kahn's algorithm over the declared dependencies; raises
+        :class:`DependencyError` on unknown dependencies or cycles.
+        """
+        for service in self._services.values():
+            for dep in service.depends_on:
+                if dep not in self._services:
+                    raise DependencyError(
+                        f"service {service.name!r} depends on unknown {dep!r}"
+                    )
+        remaining: Dict[str, set] = {
+            name: set(self._services[name].depends_on) for name in self._order
+        }
+        ordered: List[Service] = []
+        satisfied: set = set()
+        # Pick ONE ready service at a time, always the earliest-registered:
+        # when registration order is itself a valid topological order (the
+        # builder-stage case) the start order reproduces it exactly, which
+        # keeps event-queue sequence numbers — and therefore whole runs —
+        # bit-identical across recompositions.
+        while remaining:
+            ready = next(
+                (name for name in self._order
+                 if name in remaining and remaining[name] <= satisfied),
+                None,
+            )
+            if ready is None:
+                cycle = ", ".join(sorted(remaining))
+                raise DependencyError(f"dependency cycle among: {cycle}")
+            del remaining[ready]
+            satisfied.add(ready)
+            ordered.append(self._services[ready])
+        return ordered
+
+
+class PlatformRuntime:
+    """Owns the service registry, the metrics registry and the lifecycle.
+
+    Builder stages register services; ``start()`` configures and starts
+    them in dependency order; ``shutdown()`` tears them down in reverse
+    start order.  Both are idempotent so a runner can be driven manually
+    in tests without double-starting anything.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.registry = ServiceRegistry()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._started_order: List[Service] = []
+        self._started = False
+        self._shut_down = False
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        depends_on: Sequence[str] = (),
+        configure: Optional[Callable[["PlatformRuntime"], None]] = None,
+        start: Optional[Callable[["PlatformRuntime"], None]] = None,
+        shutdown: Optional[Callable[["PlatformRuntime"], None]] = None,
+        provides: Optional[object] = None,
+    ) -> Service:
+        """Convenience wrapper building and registering a :class:`Service`."""
+        if self._started:
+            raise LifecycleError("cannot register services after start()")
+        return self.registry.register(
+            Service(name, depends_on=depends_on, configure=configure,
+                    start=start, shutdown=shutdown, provides=provides)
+        )
+
+    def service(self, name: str) -> Service:
+        return self.registry.get(name)
+
+    def provided(self, name: str) -> object:
+        """The domain object a service manages (``service.provides``)."""
+        return self.registry.get(name).provides
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """configure() then start() every service in dependency order."""
+        if self._started:
+            return
+        order = self.registry.start_order()
+        for service in order:
+            if service.state is ServiceState.REGISTERED:
+                service.on_configure(self)
+                service.state = ServiceState.CONFIGURED
+        for service in order:
+            if service.state is ServiceState.CONFIGURED:
+                try:
+                    service.on_start(self)
+                except Exception:
+                    service.state = ServiceState.FAILED
+                    raise
+                service.state = ServiceState.STARTED
+                self._started_order.append(service)
+        self._started = True
+
+    def shutdown(self) -> None:
+        """Stop started services in reverse start order.  Idempotent."""
+        if self._shut_down:
+            return
+        self._shut_down = True
+        for service in reversed(self._started_order):
+            if service.state is ServiceState.STARTED:
+                service.on_shutdown(self)
+                service.state = ServiceState.SHUTDOWN
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    def states(self) -> Dict[str, str]:
+        """Service name → lifecycle state (diagnostics, tests)."""
+        return {name: self.registry.get(name).state.value
+                for name in self.registry.names()}

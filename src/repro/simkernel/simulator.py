@@ -1,5 +1,6 @@
 """The discrete-event simulator that drives a SWAMP run."""
 
+import time
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.simkernel.clock import SimClock
@@ -8,6 +9,7 @@ from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.simkernel.process import Process, Signal
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.trace import TraceLog
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 class Simulator:
@@ -15,19 +17,42 @@ class Simulator:
 
     A run is deterministic given ``seed``: the kernel never consults wall
     time, thread identity or hash randomization for ordering decisions.
+    (Wall time is *read* only for throughput metrics; it never influences
+    event ordering or simulation state.)
+
+    The simulator also carries the run's :class:`MetricsRegistry` so every
+    subsystem built on top of it reaches the same registry through
+    ``sim.metrics``.  The kernel's own instrumentation is snapshot-lazy
+    (callback gauges), so the event loop pays nothing for it.
     """
 
-    def __init__(self, seed: int = 0, trace_capacity: int = 200_000) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace_capacity: int = 200_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.clock = SimClock()
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog(max_records=trace_capacity)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.processes: List[Process] = []
         self._running = False
         self._stop_reason: Optional[str] = None
         self.events_executed = 0
+        self.wall_time_s = 0.0
         self.fail_fast = True
         self._shutdown_hooks: List[Callable[[], None]] = []
+        self.metrics.register_callback(
+            "simkernel.events_executed", lambda: float(self.events_executed)
+        )
+        self.metrics.register_callback(
+            "simkernel.queue_depth", lambda: float(len(self.queue))
+        )
+        self.metrics.register_callback("simkernel.events_per_sec", self.events_per_sec)
+        self.metrics.register_callback("simkernel.sim_time_s", lambda: self.clock.now)
+        self.metrics.register_callback("simkernel.wall_time_s", lambda: self.wall_time_s)
 
     # -- scheduling -----------------------------------------------------------
 
@@ -85,11 +110,21 @@ class Simulator:
         Returns the final simulation time.  ``until`` is inclusive: events at
         exactly ``until`` still execute, and the clock lands on ``until`` even
         if the queue drains earlier (so back-to-back ``run`` calls compose).
+
+        Shutdown hooks fire automatically when the run *ends* — queue drain,
+        ``until`` reached, :class:`StopSimulation`/:meth:`stop`, or an
+        exception escaping an event callback.  A ``max_events`` break is a
+        pause, not an end, so hooks are withheld there.  :meth:`finish` stays
+        idempotent, so hooks registered before the first of several
+        back-to-back ``run`` calls fire exactly once.
         """
         if self._running:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
         self._running = True
         executed_this_call = 0
+        invoke_hooks = True
+        completed = False
+        wall_started = time.perf_counter()
         try:
             while self.queue:
                 next_time = self.queue.peek_time()
@@ -108,13 +143,22 @@ class Simulator:
                 self.events_executed += 1
                 executed_this_call += 1
                 if max_events is not None and executed_this_call >= max_events:
+                    invoke_hooks = False
                     break
                 if self._stop_reason is not None:
                     break
+            completed = True
         finally:
             self._running = False
+            self.wall_time_s += time.perf_counter() - wall_started
+            if not completed:
+                # An exception is escaping: the run is over; fire hooks so
+                # resources (logs, exporters) still flush.
+                self.finish()
         if self._stop_reason is None and until is not None and self.clock.now < until:
             self.clock.advance_to(until)
+        if invoke_hooks:
+            self.finish()
         return self.clock.now
 
     def stop(self, reason: str = "stopped") -> None:
@@ -147,6 +191,12 @@ class Simulator:
 
     # -- convenience -----------------------------------------------------------
 
+    def events_per_sec(self) -> float:
+        """Kernel throughput: events executed per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.events_executed / self.wall_time_s
+
     def stats(self) -> Dict[str, Any]:
         return {
             "now": self.clock.now,
@@ -155,4 +205,6 @@ class Simulator:
             "processes": len(self.processes),
             "processes_alive": sum(1 for p in self.processes if p.alive),
             "trace_records": len(self.trace),
+            "wall_time_s": self.wall_time_s,
+            "events_per_sec": self.events_per_sec(),
         }

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -56,3 +57,36 @@ class TestCommands:
             ["run", "guaspari", "--days", "2", "--security", "auth"], out=out
         ) == 0
         assert "guaspari" in out.getvalue()
+
+    def test_run_prints_metrics_summary(self):
+        out = io.StringIO()
+        assert main(["run", "guaspari", "--days", "2", "--seed", "2"], out=out) == 0
+        summary = [line for line in out.getvalue().splitlines()
+                   if line.startswith("metrics:")]
+        assert len(summary) == 1
+        assert "events/s kernel" in summary[0]
+        assert "messages published" in summary[0]
+        assert "notifications delivered" in summary[0]
+
+    def test_run_writes_metrics_snapshot(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "guaspari", "--days", "2", "--seed", "2",
+             "--metrics", str(path)],
+            out=out,
+        ) == 0
+        assert f"metrics snapshot written to {path}" in out.getvalue()
+        snapshot = json.loads(path.read_text())
+        assert snapshot["enabled"] is True
+        # Non-zero activity from at least five instrumented subsystems.
+        active = {
+            name.split(".", 1)[0]
+            for name, value in snapshot["counters"].items() if value > 0
+        }
+        active |= {
+            name.split(".", 1)[0]
+            for name, value in snapshot["gauges"].items() if value > 0
+        }
+        assert len(active & {"simkernel", "mqtt", "context", "fog",
+                             "scheduler", "security", "iota"}) >= 5

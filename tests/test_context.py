@@ -101,6 +101,22 @@ class TestFilters:
         with pytest.raises(ContextError):
             _parse_filter("nonsense")
 
+    def test_parse_splits_on_earliest_operator(self):
+        # An operator inside the *value* must not win over the one that
+        # actually separates attribute and value.
+        assert _parse_filter("label<a==b") == ("label", "<", "a==b")
+        assert _parse_filter("status==a<b") == ("status", "==", "a<b")
+        assert _parse_filter("tag!=x>=1") == ("tag", "!=", "x>=1")
+
+    def test_parse_prefers_longest_operator_at_same_position(self):
+        # ``a<=1`` is ``<=``, not ``<`` with value ``=1``.
+        assert _parse_filter("a<=1") == ("a", "<=", 1.0)
+        assert _parse_filter("a>=1") == ("a", ">=", 1.0)
+        assert _parse_filter("a!=b") == ("a", "!=", "b")
+
+    def test_parse_strips_whitespace(self):
+        assert _parse_filter("  temp  <=  21.5 ") == ("temp", "<=", 21.5)
+
     def test_apply_op_string_equality(self):
         assert _apply_op("open", "==", "open")
         assert _apply_op("open", "!=", "closed")

@@ -1,0 +1,173 @@
+"""Seed-pinned pilot reports + platform-runtime assembly invariants.
+
+The expected report dicts below were captured from the pre-refactor
+monolithic ``PilotRunner.__init__`` at the same seeds.  The builder-stage
+refactor must keep every field bit-identical (floats compared exactly:
+the event order, RNG draws and arithmetic must not change at all), and
+enabling metrics must not perturb the run either.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.deployment import DeploymentKind
+from repro.core.pilot import PilotConfig, PilotRunner
+from repro.core.security_profile import SecurityConfig
+from repro.physics.crop import SOYBEAN
+from repro.physics.soil import LOAM
+from repro.physics.weather import BARREIRAS_MATOPIBA
+
+BASE = dict(
+    name="pin", farm="pinfarm", climate=BARREIRAS_MATOPIBA, crop=SOYBEAN,
+    soil=LOAM, rows=2, cols=2, spatial_cv=0.1, season_days=10,
+    start_day_of_year=150, initial_theta=0.20,
+    deployment=DeploymentKind.FOG, irrigation_kind="valves",
+    scheduler_kind="smart", seed=3,
+)
+
+FIXTURES = {
+    "fog": dict(BASE),
+    "cloud": dict(BASE, deployment=DeploymentKind.CLOUD_ONLY, seed=7,
+                  security=SecurityConfig(auth=True)),
+    "mobile_fog_pivot": dict(BASE, deployment=DeploymentKind.MOBILE_FOG,
+                             irrigation_kind="pivot", rows=3, cols=3, seed=11),
+}
+
+PINNED = {
+    "fog": {
+        "name": "pin", "season_days": 10,
+        "irrigation_m3": 640.7999999999997,
+        "irrigation_mm_per_ha": 16.019999999999992,
+        "rain_mm": 2.714988640705466,
+        "pump_kwh": 104.7708000000002,
+        "pivot_move_kwh": 0.0,
+        "relative_yield": 1.0, "yield_t": 16.8,
+        "decision_cycles": 10, "decisions": 40, "commands_sent": 8,
+        "skipped_no_data": 0, "skipped_stale": 0,
+        "measures_processed": 3063, "measures_dropped_unprovisioned": 0,
+        "broker_publishes_in": 3079, "broker_denied": 0,
+        "devices_dead": 0,
+        "replicator_synced": 3078, "replicator_dropped": 0,
+        "alerts": 0, "quarantined_devices": 0,
+    },
+    "cloud": {
+        "name": "pin", "season_days": 10,
+        "irrigation_m3": 607.2999999999998,
+        "irrigation_mm_per_ha": 15.182499999999996,
+        "rain_mm": 4.106462029682147,
+        "pump_kwh": 99.2935500000002,
+        "pivot_move_kwh": 0.0,
+        "relative_yield": 1.0, "yield_t": 16.8,
+        "decision_cycles": 10, "decisions": 40, "commands_sent": 8,
+        "skipped_no_data": 0, "skipped_stale": 0,
+        "measures_processed": 3055, "measures_dropped_unprovisioned": 0,
+        "broker_publishes_in": 3071, "broker_denied": 0,
+        "devices_dead": 0,
+        "replicator_synced": 0, "replicator_dropped": 0,
+        "alerts": 0, "quarantined_devices": 0,
+    },
+    "mobile_fog_pivot": {
+        "name": "pin", "season_days": 10,
+        "irrigation_m3": 1715.1,
+        "irrigation_mm_per_ha": 19.056666666666665,
+        "rain_mm": 0.0,
+        "pump_kwh": 280.41885,
+        "pivot_move_kwh": 32.400000000000034,
+        "relative_yield": 1.0, "yield_t": 37.800000000000004,
+        "decision_cycles": 10, "decisions": 90, "commands_sent": 6,
+        "skipped_no_data": 0, "skipped_stale": 0,
+        "measures_processed": 5215, "measures_dropped_unprovisioned": 0,
+        "broker_publishes_in": 5229, "broker_denied": 0,
+        "devices_dead": 0,
+        "replicator_synced": 5229, "replicator_dropped": 0,
+        "alerts": 0, "quarantined_devices": 0,
+    },
+}
+
+EXPECTED_START_ORDER = [
+    "security.stack",
+    "platform.tiers",
+    "messaging.agent",
+    "physics.environment",
+    "devices.fleet",
+    "devices.provisioning",
+    "decision.scheduler",
+    "security.detection",
+    "security.command_tap",
+]
+
+
+def run_fixture(name, **overrides):
+    config = PilotConfig(**{**FIXTURES[name], **overrides})
+    runner = PilotRunner(config)
+    runner.run_season()
+    return runner
+
+
+@pytest.mark.parametrize("fixture", sorted(FIXTURES))
+def test_reports_bit_identical_to_pre_refactor_baseline(fixture):
+    runner = run_fixture(fixture)
+    assert dataclasses.asdict(runner.report()) == PINNED[fixture]
+
+
+@pytest.mark.parametrize("fixture", ["fog", "cloud"])
+def test_disabling_metrics_does_not_change_the_run(fixture):
+    with_metrics = dataclasses.asdict(run_fixture(fixture).report())
+    without = dataclasses.asdict(
+        run_fixture(fixture, metrics_enabled=False).report()
+    )
+    assert with_metrics == without == PINNED[fixture]
+
+
+def test_runtime_assembles_services_in_monolith_order():
+    runner = PilotRunner(PilotConfig(**FIXTURES["fog"]))
+    assert list(runner.runtime.states()) == EXPECTED_START_ORDER
+    order = [s.name for s in runner.runtime.registry.start_order()]
+    assert order == EXPECTED_START_ORDER
+    assert all(state == "started" for state in runner.runtime.states().values())
+
+
+def test_runtime_shuts_down_when_run_ends():
+    runner = run_fixture("fog")
+    assert all(state == "shutdown" for state in runner.runtime.states().values())
+
+
+def test_runtime_exposes_layer_objects_via_provides():
+    runner = PilotRunner(PilotConfig(**FIXTURES["fog"]))
+    assert runner.runtime.provided("security.stack") is runner.security
+    assert runner.runtime.provided("messaging.agent") is runner.agent
+    assert runner.runtime.provided("physics.environment") is runner.field
+    assert runner.runtime.provided("decision.scheduler") is runner.scheduler
+    tiers = runner.runtime.provided("platform.tiers")
+    assert tiers["fog"] is runner.fog
+    assert tiers["broker_address"] == runner.broker_address
+
+
+def test_metrics_snapshot_covers_at_least_five_subsystems():
+    runner = run_fixture("fog")
+    snapshot = runner.metrics_snapshot()
+    assert snapshot["enabled"] is True
+    counters = snapshot["counters"]
+    active_prefixes = {
+        name.split(".", 1)[0]
+        for name, value in counters.items() if value > 0
+    }
+    assert {"mqtt", "context", "fog", "scheduler", "iota"} <= active_prefixes
+    gauges = snapshot["gauges"]
+    assert gauges["simkernel.events_executed"] > 0
+    assert gauges["simkernel.events_per_sec"] > 0
+    # A few spot checks tying instruments to the pinned report.
+    assert runner.metrics.total("iota.measures_processed") == 3063
+    assert runner.metrics.total("mqtt.publishes_in") == 3079
+    assert runner.metrics.total("scheduler.commands_sent") == 8
+    assert runner.metrics.total("fog.updates_synced") == 3078
+
+
+def test_disabled_metrics_registry_is_inert():
+    runner = run_fixture("fog", metrics_enabled=False)
+    assert runner.metrics.enabled is False
+    snapshot = runner.metrics_snapshot()
+    assert snapshot["enabled"] is False
+    assert snapshot["counters"] == {}
+    assert snapshot["gauges"] == {}

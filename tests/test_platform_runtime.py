@@ -1,0 +1,139 @@
+"""Unit tests for the service registry and platform runtime."""
+
+import pytest
+
+from repro.platform.registry import (
+    DependencyError,
+    LifecycleError,
+    PlatformError,
+    PlatformRuntime,
+    Service,
+    ServiceRegistry,
+    ServiceState,
+)
+
+
+class TestServiceRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(Service("a"))
+        with pytest.raises(PlatformError):
+            registry.register(Service("a"))
+
+    def test_unknown_dependency_rejected(self):
+        registry = ServiceRegistry()
+        registry.register(Service("a", depends_on=("ghost",)))
+        with pytest.raises(DependencyError):
+            registry.start_order()
+
+    def test_cycle_detected(self):
+        registry = ServiceRegistry()
+        registry.register(Service("a", depends_on=("b",)))
+        registry.register(Service("b", depends_on=("a",)))
+        with pytest.raises(DependencyError):
+            registry.start_order()
+
+    def test_start_order_respects_dependencies(self):
+        registry = ServiceRegistry()
+        registry.register(Service("c", depends_on=("a", "b")))
+        registry.register(Service("a"))
+        registry.register(Service("b", depends_on=("a",)))
+        assert [s.name for s in registry.start_order()] == ["a", "b", "c"]
+
+    def test_registration_order_preserved_when_already_topological(self):
+        # The determinism contract: when registration order is a valid
+        # topological order, start order must reproduce it exactly —
+        # including dependency-free services registered late.
+        registry = ServiceRegistry()
+        registry.register(Service("tiers"))
+        registry.register(Service("agent", depends_on=("tiers",)))
+        registry.register(Service("physics"))  # dep-free, registered third
+        registry.register(Service("devices", depends_on=("agent", "physics")))
+        assert [s.name for s in registry.start_order()] == [
+            "tiers", "agent", "physics", "devices",
+        ]
+
+
+class TestPlatformRuntime:
+    def test_lifecycle_order_and_states(self):
+        calls = []
+        runtime = PlatformRuntime()
+        runtime.register(
+            "a",
+            configure=lambda rt: calls.append("configure:a"),
+            start=lambda rt: calls.append("start:a"),
+            shutdown=lambda rt: calls.append("shutdown:a"),
+        )
+        runtime.register(
+            "b", depends_on=("a",),
+            start=lambda rt: calls.append("start:b"),
+            shutdown=lambda rt: calls.append("shutdown:b"),
+        )
+        runtime.start()
+        assert runtime.started
+        assert runtime.states() == {"a": "started", "b": "started"}
+        runtime.shutdown()
+        # Shutdown runs in reverse start order.
+        assert calls == [
+            "configure:a", "start:a", "start:b", "shutdown:b", "shutdown:a",
+        ]
+        assert runtime.states() == {"a": "shutdown", "b": "shutdown"}
+
+    def test_start_and_shutdown_are_idempotent(self):
+        starts = []
+        stops = []
+        runtime = PlatformRuntime()
+        runtime.register("a", start=lambda rt: starts.append(1),
+                         shutdown=lambda rt: stops.append(1))
+        runtime.start()
+        runtime.start()
+        runtime.shutdown()
+        runtime.shutdown()
+        assert starts == [1]
+        assert stops == [1]
+
+    def test_register_after_start_raises(self):
+        runtime = PlatformRuntime()
+        runtime.register("a")
+        runtime.start()
+        with pytest.raises(LifecycleError):
+            runtime.register("b")
+
+    def test_failed_start_marks_service_and_propagates(self):
+        runtime = PlatformRuntime()
+        runtime.register("ok")
+        runtime.register("boom", depends_on=("ok",),
+                         start=lambda rt: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            runtime.start()
+        assert runtime.service("ok").state is ServiceState.STARTED
+        assert runtime.service("boom").state is ServiceState.FAILED
+
+    def test_provides_exposes_domain_object(self):
+        runtime = PlatformRuntime()
+        sentinel = object()
+        runtime.register("a", provides=sentinel)
+        assert runtime.provided("a") is sentinel
+
+    def test_service_subclass_hooks(self):
+        events = []
+
+        class MyService(Service):
+            def on_configure(self, runtime):
+                events.append("configure")
+
+            def on_start(self, runtime):
+                events.append("start")
+
+            def on_shutdown(self, runtime):
+                events.append("shutdown")
+
+        runtime = PlatformRuntime()
+        runtime.registry.register(MyService("custom"))
+        runtime.start()
+        runtime.shutdown()
+        assert events == ["configure", "start", "shutdown"]
+
+    def test_runtime_defaults_to_null_metrics(self):
+        runtime = PlatformRuntime()
+        assert runtime.metrics.enabled is False

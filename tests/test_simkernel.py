@@ -477,3 +477,168 @@ class TestDeterminism:
 
         assert run_once(123) == run_once(123)
         assert run_once(123) != run_once(124)
+
+
+class TestAutoFinish:
+    """run() fires shutdown hooks automatically when the run *ends*."""
+
+    def test_hooks_fire_on_queue_drain(self):
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append("hook"))
+        sim.schedule(1.0, lambda: calls.append("event"))
+        sim.run()
+        assert calls == ["event", "hook"]
+
+    def test_hooks_fire_when_until_reached(self):
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(sim.now))
+        sim.schedule(100.0, lambda: None)  # beyond the horizon
+        sim.run(until=10.0)
+        assert calls == [10.0]
+
+    def test_hooks_fire_on_stop_simulation(self):
+        def stopper():
+            raise StopSimulation("enough")
+
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(1))
+        sim.schedule(1.0, stopper)
+        sim.run()
+        assert calls == [1]
+
+    def test_hooks_fire_when_callback_raises(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(1))
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        assert calls == [1]
+
+    def test_max_events_break_is_a_pause_not_an_end(self):
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(1))
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=2)
+        assert calls == []  # paused: hooks withheld
+        sim.run()
+        assert calls == [1]  # resumed to completion: hooks fire
+
+    def test_hooks_fire_exactly_once_across_back_to_back_runs(self):
+        sim = Simulator()
+        calls = []
+        sim.add_shutdown_hook(lambda: calls.append(1))
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert calls == [1]
+
+    def test_hook_may_schedule_and_rerun(self):
+        # A shutdown hook is allowed to call run() again (e.g. a flush
+        # loop): _running is cleared before hooks are invoked.
+        sim = Simulator()
+        flushed = []
+
+        def flush():
+            sim.schedule(0.0, lambda: flushed.append(sim.now))
+            sim.run()
+
+        sim.add_shutdown_hook(flush)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert flushed == [1.0]
+
+
+class TestTraceEviction:
+    def test_ring_buffer_keeps_newest_records(self):
+        sim = Simulator(trace_capacity=3)
+        for i in range(7):
+            sim.trace.emit(float(i), "cat", f"m{i}")
+        assert len(sim.trace) == 3
+        assert [r.message for r in sim.trace] == ["m4", "m5", "m6"]
+        assert sim.trace.dropped == 4
+        assert sim.trace.count("cat") == 7  # per-category total survives
+
+    def test_select_only_sees_retained_records(self):
+        sim = Simulator(trace_capacity=2)
+        for i in range(4):
+            sim.trace.emit(float(i), "cat", f"m{i}")
+        assert [r.message for r in sim.trace.select(category="cat")] == ["m2", "m3"]
+
+
+class TestRngIndependence:
+    def test_streams_are_independent_of_draw_order(self):
+        # Drawing heavily from one stream must not perturb another —
+        # the property that keeps ablations comparable across revisions.
+        a = RngRegistry(42)
+        baseline = [a.stream("weather").random() for _ in range(5)]
+
+        b = RngRegistry(42)
+        for _ in range(1000):
+            b.stream("radio").random()  # extra traffic on another stream
+        perturbed = [b.stream("weather").random() for _ in range(5)]
+        assert baseline == perturbed
+
+    def test_stream_creation_order_is_irrelevant(self):
+        a = RngRegistry(7)
+        a.stream("x")
+        first = a.stream("y").random()
+        b = RngRegistry(7)
+        b.stream("y")  # created first this time
+        b.stream("x")
+        assert b.stream("y").random() == first
+
+    def test_fork_is_deterministic_and_distinct(self):
+        root = RngRegistry(3)
+        fork_a = root.fork("sweep-1")
+        fork_b = RngRegistry(3).fork("sweep-1")
+        other = root.fork("sweep-2")
+        assert fork_a.master_seed == fork_b.master_seed
+        assert fork_a.master_seed != other.master_seed
+        assert fork_a.stream("s").random() == fork_b.stream("s").random()
+
+
+class TestEventTieBreak:
+    def test_same_time_same_priority_runs_fifo(self):
+        queue = EventQueue()
+        order = []
+        for i in range(10):
+            queue.push(5.0, lambda i=i: order.append(i))
+        while queue:
+            event = queue.pop()
+            event.callback(*event.args)
+        assert order == list(range(10))
+
+    def test_priority_beats_insertion_order_at_equal_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, priority=50, label="normal")
+        queue.push(5.0, lambda: None, priority=10, label="network")
+        queue.push(5.0, lambda: None, priority=0, label="kernel")
+        labels = [queue.pop().label for _ in range(3)]
+        assert labels == ["kernel", "network", "normal"]
+
+    def test_time_dominates_priority(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, priority=0, label="later-kernel")
+        queue.push(1.0, lambda: None, priority=90, label="earlier-background")
+        assert queue.pop().label == "earlier-background"
+
+    def test_simultaneous_fanout_is_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for name in ("s1", "s2", "s3", "s4", "s5"):
+                sim.schedule(1.0, lambda n=name: order.append(n))
+            sim.run()
+            return order
+
+        assert run_once() == run_once() == ["s1", "s2", "s3", "s4", "s5"]
