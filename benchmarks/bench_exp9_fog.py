@@ -19,12 +19,24 @@ bounded loss after the link heals.
 from _harness import print_table, record_rows, run_once
 
 from repro.core import DeploymentKind, PilotConfig, PilotRunner
+from repro.faults import FaultPlan
 from repro.physics import LOAM, SOYBEAN
 from repro.physics.weather import BARREIRAS_MATOPIBA
 from repro.simkernel.clock import DAY
 
 SEASON_DAYS = 18
 OUTAGE_START_DAY = 5
+
+
+def _outage_plan(outage_days: float):
+    """The E9 fault as a declarative plan (same schedule any pilot can load
+    from JSON via ``--faults``)."""
+    if outage_days <= 0:
+        return None
+    return FaultPlan(f"e9-wan-outage-{outage_days:g}d").add(
+        "link_partition", "wan",
+        at_s=OUTAGE_START_DAY * DAY, duration_s=outage_days * DAY,
+    )
 
 
 def _run_scenario(deployment: DeploymentKind, outage_days: float, seed: int = 909):
@@ -42,9 +54,8 @@ def _run_scenario(deployment: DeploymentKind, outage_days: float, seed: int = 90
         irrigation_kind="valves",
         scheduler_kind="smart",
         seed=seed,
+        fault_plan=_outage_plan(outage_days),
     ))
-    if outage_days > 0:
-        runner.schedule_wan_partition(OUTAGE_START_DAY * DAY, outage_days * DAY)
     report = runner.run_season()
     cloud_entities = runner.cloud.context.entity_count()
     return {

@@ -26,12 +26,17 @@ from repro.core.pilots import (
     build_matopiba_pilot,
 )
 from repro.core.security_profile import SecurityConfig
+from repro.faults.plan import FaultPlan, FaultPlanError
 
 PILOTS = {
-    "cbec": lambda seed, security: build_cbec_pilot(seed=seed, security=security)[0],
-    "intercrop": lambda seed, security: build_intercrop_pilot(seed=seed, security=security)[0],
-    "guaspari": lambda seed, security: build_guaspari_pilot(seed=seed, security=security),
-    "matopiba": lambda seed, security: build_matopiba_pilot(seed=seed, security=security),
+    "cbec": lambda seed, security, faults: build_cbec_pilot(
+        seed=seed, security=security, fault_plan=faults)[0],
+    "intercrop": lambda seed, security, faults: build_intercrop_pilot(
+        seed=seed, security=security, fault_plan=faults)[0],
+    "guaspari": lambda seed, security, faults: build_guaspari_pilot(
+        seed=seed, security=security, fault_plan=faults),
+    "matopiba": lambda seed, security, faults: build_matopiba_pilot(
+        seed=seed, security=security, fault_plan=faults),
 }
 
 SECURITY_FLAGS = ("auth", "encryption", "detection", "ledger", "command_rhythm")
@@ -99,9 +104,21 @@ def _print_metrics_summary(runner, out) -> None:
     )
 
 
+def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
+    if not path:
+        return None
+    try:
+        return FaultPlan.load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fault plan {path!r}: {exc}")
+    except FaultPlanError as exc:
+        raise SystemExit(f"invalid fault plan {path!r}: {exc}")
+
+
 def cmd_run(args, out) -> int:
     security = _parse_security(args.security)
-    runner = PILOTS[args.pilot](args.seed, security)
+    fault_plan = _load_fault_plan(args.faults)
+    runner = PILOTS[args.pilot](args.seed, security, fault_plan)
     if args.days is not None:
         runner.run_days(args.days)
         report = runner.report()
@@ -109,6 +126,14 @@ def cmd_run(args, out) -> int:
         report = runner.run_season()
     _print_report(report, out)
     _print_metrics_summary(runner, out)
+    if runner.fault_injector is not None:
+        injector = runner.fault_injector
+        print(
+            f"faults: plan {fault_plan.name!r}, "
+            f"{injector.injected} injected, {injector.recovered} recovered, "
+            f"{injector.active_count} still active",
+            file=out,
+        )
     if args.metrics:
         try:
             with open(args.metrics, "w", encoding="utf-8") as fh:
@@ -162,6 +187,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help=f"comma list of {','.join(SECURITY_FLAGS)}")
     run_parser.add_argument("--metrics", default=None, metavar="PATH",
                             help="write a JSON metrics snapshot to PATH")
+    run_parser.add_argument("--faults", default=None, metavar="PATH",
+                            help="run under the fault plan in this JSON file")
 
     compare_parser = sub.add_parser("compare", help="smart vs fixed-calendar business case")
     compare_parser.add_argument("pilot", choices=["matopiba"])

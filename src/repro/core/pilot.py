@@ -21,8 +21,10 @@ from typing import Callable, Dict, Optional
 
 from repro.core.deployment import DeploymentKind
 from repro.core.security_profile import SecurityConfig, SecurityStack
-from repro.core.stages import default_stages
+from repro.core.stages import FaultInjectionStage, default_stages
 from repro.devices.actuators import CenterPivot, Valve
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.devices.drone import Drone
 from repro.devices.sensors import SoilMoistureProbe
 from repro.fog.node import FogNode
@@ -74,6 +76,10 @@ class PilotConfig:
     # RNG); disabling swaps in the shared no-op registry for truly
     # zero-overhead hot paths.
     metrics_enabled: bool = True
+    # Declarative chaos: a schedule of typed fault events executed by a
+    # FaultInjector service (see repro/faults/).  None keeps the service
+    # graph — and seed-pinned event sequences — exactly fault-free.
+    fault_plan: Optional[FaultPlan] = None
     seed: int = 0
 
     @property
@@ -131,6 +137,7 @@ class PilotRunner:
     pivot: Optional[CenterPivot]
     drone: Optional[Drone]
     scheduler: Optional[PlatformScheduler]
+    fault_injector: Optional[FaultInjector]
 
     def __init__(self, config: PilotConfig) -> None:
         self.config = config
@@ -138,7 +145,10 @@ class PilotRunner:
         self.sim = Simulator(seed=config.seed, metrics=metrics)
         self.net = Network(self.sim, name=config.name)
         self.runtime = PlatformRuntime(metrics=metrics)
+        self.fault_injector = None
         self.stages = default_stages()
+        if config.fault_plan is not None:
+            self.stages.append(FaultInjectionStage())
         for stage in self.stages:
             stage.register(self)
         self.runtime.start()

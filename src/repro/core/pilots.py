@@ -24,6 +24,7 @@ from typing import Tuple
 from repro.core.deployment import DeploymentKind
 from repro.core.pilot import PilotConfig, PilotRunner
 from repro.core.security_profile import SecurityConfig
+from repro.faults.plan import FaultPlan
 from repro.irrigation.distribution import Canal, DistributionNetwork, FarmOfftake, Reservoir
 from repro.irrigation.policy import DeficitPolicy, SoilMoisturePolicy
 from repro.irrigation.sources import DesalinationPlant, SourceMixOptimizer, WaterSource
@@ -33,7 +34,7 @@ from repro.physics.weather import BARREIRAS_MATOPIBA, CARTAGENA, EMILIA_ROMAGNA,
 
 
 def build_cbec_pilot(
-    seed: int = 0, security: SecurityConfig = None
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
 ) -> Tuple[PilotRunner, DistributionNetwork]:
     """CBEC: tomato on the Emilia plain, canal-fed, cloud deployment."""
     reservoir = Reservoir("po-offtake", capacity_m3=60_000.0)
@@ -64,13 +65,14 @@ def build_cbec_pilot(
         scheduler_kind="smart",
         supply_gate=supply_gate,
         security=security or SecurityConfig(),
+        fault_plan=fault_plan,
         seed=seed,
     )
     return PilotRunner(config), network
 
 
 def build_intercrop_pilot(
-    seed: int = 0, security: SecurityConfig = None
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
 ) -> Tuple[PilotRunner, SourceMixOptimizer]:
     """Intercrop: lettuce near Cartagena, desalination-backed source mix."""
     well = WaterSource("well", capacity_m3_day=220.0, cost_eur_m3=0.09, energy_kwh_m3=0.6)
@@ -100,12 +102,15 @@ def build_intercrop_pilot(
         pump_head_m=25.0,
         supply_gate=supply_gate,
         security=security or SecurityConfig(),
+        fault_plan=fault_plan,
         seed=seed,
     )
     return PilotRunner(config), optimizer
 
 
-def build_guaspari_pilot(seed: int = 0, security: SecurityConfig = None) -> PilotRunner:
+def build_guaspari_pilot(
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
+) -> PilotRunner:
     """Guaspari: winter wine grapes under regulated deficit irrigation."""
     config = PilotConfig(
         name="guaspari",
@@ -124,6 +129,7 @@ def build_guaspari_pilot(seed: int = 0, security: SecurityConfig = None) -> Pilo
         valve_rate_mm_h=6.0,
         pump_head_m=60.0,  # hillside vineyard
         security=security or SecurityConfig(),
+        fault_plan=fault_plan,
         seed=seed,
     )
     return PilotRunner(config)
@@ -141,6 +147,7 @@ def build_matopiba_pilot(
     cols: int = 6,
     probe_interval_s: float = 1800.0,
     season_days: int = None,
+    fault_plan: FaultPlan = None,
 ) -> PilotRunner:
     """MATOPIBA: VRI soybean under a center pivot in the dry season.
 
@@ -168,6 +175,7 @@ def build_matopiba_pilot(
         pump_head_m=50.0,
         uniform_pivot=uniform_pivot,
         security=security or SecurityConfig(),
+        fault_plan=fault_plan,
         seed=seed,
     )
     return PilotRunner(config)

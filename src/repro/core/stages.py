@@ -34,6 +34,7 @@ from repro.devices.actuators import CenterPivot, Pump, Valve
 from repro.devices.base import DeviceConfig
 from repro.devices.drone import Drone
 from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
+from repro.faults.injector import FaultInjector
 from repro.fog.node import CloudNode, FogNode
 from repro.fog.replication import CloudSyncTarget, Replicator
 from repro.irrigation.policy import SoilMoisturePolicy
@@ -412,6 +413,65 @@ class SecurityWiringStage(BuildStage):
             depends_on=("security.stack", "platform.tiers"),
             start=start_tap,
         )
+
+
+class FaultInjectionStage(BuildStage):
+    """The fault injector, bound to the assembled pilot's targets.
+
+    Appended to the stage list only when ``config.fault_plan`` is set, so
+    fault-free pilots keep their exact service graph (and their bit-pinned
+    event sequence) untouched.
+    """
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            self._start(runner)
+            service.provides = runner.fault_injector
+
+        service = runner.runtime.register(
+            "faults.injector",
+            depends_on=("platform.tiers", "devices.fleet"),
+            start=start,
+        )
+
+    def _start(self, runner) -> None:
+        injector = FaultInjector(runner.sim, runner.net)
+        if hasattr(runner, "_wan_pair"):
+            injector.register_pair("wan", *runner._wan_pair)
+        broker = runner.fog.mqtt if runner.fog is not None else runner.cloud.mqtt
+        if broker is not None:
+            # "broker" always means the broker the device fleet talks to.
+            injector.register_broker("broker", broker)
+        if runner.cloud.mqtt is not None:
+            injector.register_broker("cloud", runner.cloud.mqtt)
+        if runner.replicator is not None:
+            injector.register_replicator("replicator", runner.replicator)
+        if runner.fog is not None:
+            injector.register_fog(
+                "fog",
+                broker=runner.fog.mqtt,
+                replicator=runner.replicator,
+                addresses=[runner.fog.mqtt_address, f"{runner.fog.name}:iota",
+                           f"{runner.fog.name}:sync"],
+            )
+        for device in self._fleet(runner):
+            injector.register_device(device)
+        injector.apply(runner.config.fault_plan)
+        runner.fault_injector = injector
+
+    @staticmethod
+    def _fleet(runner):
+        yield runner.pump
+        yield runner.flow_meter
+        yield runner.weather_station
+        for probe in runner.probes.values():
+            yield probe
+        for valve in runner.valves.values():
+            yield valve
+        if runner.pivot is not None:
+            yield runner.pivot
+        if runner.drone is not None:
+            yield runner.drone
 
 
 def default_stages() -> List[BuildStage]:

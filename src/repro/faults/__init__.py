@@ -1,0 +1,16 @@
+"""Deterministic fault injection for SWAMP pilots.
+
+``plan`` holds the declarative schedule format (:class:`FaultPlan`,
+:class:`FaultEvent`); ``injector`` executes plans against a live pilot.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultPlanError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+]

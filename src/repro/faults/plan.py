@@ -1,0 +1,188 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a named, serializable schedule of typed fault
+events.  Plans are plain data — they name *what* goes wrong, *where* and
+*when*; the :class:`~repro.faults.injector.FaultInjector` binds targets to
+live platform objects and executes the schedule on the sim clock.  Keeping
+the two apart means one JSON file can drive any pilot or benchmark
+(``python -m repro.cli run guaspari --faults plan.json``) and two runs of
+the same plan with the same seed are bit-identical.
+
+Fault kinds
+-----------
+
+================== ============================= ==========================
+kind               target                        semantics
+================== ============================= ==========================
+``link_partition`` link alias or ``"a|b"`` pair  both directions DOWN, then
+                                                 healed after ``duration_s``
+``radio_jam``      link alias or ``"a|b"`` pair  JAMMED with ``loss`` extra
+                                                 corruption, then unjammed
+``broker_restart`` broker alias (``"broker"``)   all sessions/QoS state lost;
+                                                 with ``duration_s`` the
+                                                 broker is also unreachable
+                                                 for the outage window
+``fog_crash``      fog alias (``"fog"``)         broker restart + replicator
+                                                 sync daemon killed + node
+                                                 links DOWN; restart re-arms
+                                                 the sync loop, backlog kept
+``sensor_dropout`` device id                     device stops reporting, then
+                                                 resumes after ``duration_s``
+``sensor_stuck``   device id                     reported measures freeze at
+                                                 their first post-fault value
+``battery_brownout`` device id                   one-shot: drains ``fraction``
+                                                 of the remaining charge
+================== ============================= ==========================
+
+``duration_s`` of ``None`` means the fault never recovers inside the run
+(or, for one-shot kinds, that there is nothing to recover).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+FAULT_KINDS = (
+    "link_partition",
+    "radio_jam",
+    "broker_restart",
+    "fog_crash",
+    "sensor_dropout",
+    "sensor_stuck",
+    "battery_brownout",
+)
+
+# Kinds whose injection is instantaneous and has no paired recovery action.
+ONE_SHOT_KINDS = ("battery_brownout",)
+
+
+class FaultPlanError(ValueError):
+    """A plan failed validation (unknown kind, bad times, ...)."""
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled fault: inject at ``at_s``, recover ``duration_s`` later."""
+
+    kind: str
+    target: str
+    at_s: float
+    duration_s: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; choose from {', '.join(FAULT_KINDS)}"
+            )
+        if not self.target:
+            raise FaultPlanError(f"fault {self.kind!r} needs a target")
+        if self.at_s < 0:
+            raise FaultPlanError(f"fault {self.kind!r} at_s must be >= 0, got {self.at_s!r}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise FaultPlanError(
+                f"fault {self.kind!r} duration_s must be positive or omitted, "
+                f"got {self.duration_s!r}"
+            )
+        if self.duration_s is not None and self.kind in ONE_SHOT_KINDS:
+            raise FaultPlanError(f"fault {self.kind!r} is one-shot; drop duration_s")
+
+    @property
+    def recovers(self) -> bool:
+        return self.duration_s is not None and self.kind not in ONE_SHOT_KINDS
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "target": self.target, "at_s": self.at_s}
+        if self.duration_s is not None:
+            data["duration_s"] = self.duration_s
+        if self.params:
+            data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        unknown = set(data) - {"kind", "target", "at_s", "duration_s", "params"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault event fields: {sorted(unknown)}")
+        try:
+            event = cls(
+                kind=str(data["kind"]),
+                target=str(data["target"]),
+                at_s=float(data["at_s"]),
+                duration_s=(
+                    float(data["duration_s"]) if data.get("duration_s") is not None else None
+                ),
+                params=dict(data.get("params") or {}),
+            )
+        except KeyError as exc:
+            raise FaultPlanError(f"fault event missing required field {exc.args[0]!r}")
+        event.validate()
+        return event
+
+
+@dataclass
+class FaultPlan:
+    """A named schedule of fault events."""
+
+    name: str = "unnamed"
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        kind: str,
+        target: str,
+        at_s: float,
+        duration_s: Optional[float] = None,
+        **params: Any,
+    ) -> "FaultPlan":
+        """Append an event (chainable builder used by benchmarks/tests)."""
+        event = FaultEvent(kind, target, at_s, duration_s, dict(params))
+        event.validate()
+        self.events.append(event)
+        return self
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+
+    def sorted_events(self) -> List[FaultEvent]:
+        """Events in injection order (stable for equal times)."""
+        return sorted(self.events, key=lambda e: e.at_s)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object, got {type(data).__name__}")
+        events = data.get("events", [])
+        if not isinstance(events, list):
+            raise FaultPlanError("fault plan 'events' must be a list")
+        return cls(
+            name=str(data.get("name", "unnamed")),
+            events=[FaultEvent.from_dict(item) for item in events],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}")
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")

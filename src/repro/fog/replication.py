@@ -223,3 +223,41 @@ class Replicator:
     def flush_now(self) -> None:
         """Kick the pump outside the periodic schedule (tests, shutdown)."""
         self._pump()
+
+    # -- fault injection -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._process.alive
+
+    def crash(self) -> None:
+        """Kill the sync loop, keeping durable state.
+
+        The backlog, sequence counter and in-flight batch survive — they
+        model the on-disk store-and-forward log, which is the whole point
+        of the fog tier's disconnection tolerance (E9).  Only the daemon
+        process dies; captures keep accumulating via the context hook.
+        """
+        if self._process.alive:
+            self._process.kill("fault:crash")
+        self.sim.trace.emit(
+            self.sim.now, "fog", "replicator crashed",
+            replicator=self.node.address, backlog=self.backlog_depth,
+        )
+
+    def restart(self) -> None:
+        """Re-arm the sync loop after :meth:`crash`.
+
+        The retained in-flight batch (if any) retransmits through the
+        normal ``retry_timeout_s`` path, and the backlog drains batch by
+        batch exactly as after a healed partition.
+        """
+        if self._process.alive:
+            return
+        self._process = self.sim.spawn(
+            self._sync_loop(), f"replicator:{self.node.address}"
+        )
+        self.sim.trace.emit(
+            self.sim.now, "fog", "replicator restarted",
+            replicator=self.node.address, backlog=self.backlog_depth,
+        )

@@ -57,7 +57,7 @@ class BrokerSession:
         if connect.will_topic:
             self.will = (connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain)
         self.outbox = Outbox(broker.sim, lambda pkt: broker._send_to(self, pkt))
-        self.inbox = Inbox(lambda pkt: broker._send_to(self, pkt))
+        self.inbox = Inbox(lambda pkt: broker._send_to(self, pkt), sim=broker.sim)
         # Messages queued while a persistent session is offline.
         self.offline_queue: List[Publish] = []
 
@@ -82,6 +82,7 @@ class BrokerStats:
         "dropped_overload",
         "session_expirations",
         "wills_published",
+        "restarts",
     )
 
     def __init__(self) -> None:
@@ -94,6 +95,7 @@ class BrokerStats:
         self.dropped_overload = 0
         self.session_expirations = 0
         self.wills_published = 0
+        self.restarts = 0
 
 
 class MqttBroker(NetworkNode):
@@ -193,9 +195,14 @@ class MqttBroker(NetworkNode):
         client_id = self._address_index.get(packet.src)
         session = self.sessions.get(client_id) if client_id else None
         if session is None or not session.connected:
-            # Unknown peer: per spec we must close the connection; in the
-            # simulation we just ignore (counted for DoS experiments).
+            # Unknown peer: per spec the server closes the connection.  We
+            # model the close as a DISCONNECT back to the sender (the "TCP
+            # RST" a real client would observe after a broker restart), so
+            # clients learn their session is gone without waiting out two
+            # keepalive periods.  Still counted for DoS experiments.
             self.stats.dropped_overload += 1; self._m_dropped.inc()
+            if not isinstance(mqtt_packet, Disconnect):
+                self.send(packet.src, Disconnect(), Disconnect().wire_size(), flow="mqtt")
             return
         session.last_seen = self.sim.now
         if isinstance(mqtt_packet, Publish):
@@ -394,6 +401,33 @@ class MqttBroker(NetworkNode):
         for topic_filter in unsubscribe.filters:
             session.subscriptions.pop(topic_filter, None)
         self._send_to(session, UnsubAck(packet_id=unsubscribe.packet_id))
+
+    # -- fault injection -----------------------------------------------------------
+
+    def restart(self) -> None:
+        """Simulate a broker process restart.
+
+        All session state is volatile in this model: connected and
+        persistent sessions alike are lost, every QoS flight in progress is
+        abandoned (counted by ``Outbox.clear``) and offline queues are
+        dropped.  Retained messages survive — brokers persist them to disk.
+        Clients discover the restart either through the DISCONNECT answered
+        to their next packet or through missed keepalive PINGRESPs, and
+        re-establish sessions via their reconnect backoff.
+        """
+        self.stats.restarts += 1
+        self.sim.trace.emit(
+            self.sim.now, "mqtt", "broker restarted",
+            broker=self.address, sessions_lost=len(self.sessions),
+        )
+        for session in list(self.sessions.values()):
+            session.connected = False
+            session.will = None
+            session.outbox.clear()
+            session.inbox.clear()
+            session.offline_queue.clear()
+        self.sessions.clear()
+        self._address_index.clear()
 
     # -- inspection -----------------------------------------------------------
 

@@ -79,7 +79,7 @@ class MqttClient(NetworkNode):
         self.connecting = False
         self.stats = ClientStats()
         self.outbox = Outbox(sim, self._send_packet)
-        self.inbox = Inbox(self._send_packet)
+        self.inbox = Inbox(self._send_packet, sim=sim)
         self._handlers: List[Tuple[str, MessageHandler]] = []
         self._next_sub_id = 1
         self._pending_subscribes: Dict[int, Tuple[Tuple[str, int], ...]] = {}
@@ -88,7 +88,14 @@ class MqttClient(NetworkNode):
         self.granted: Dict[str, int] = {}
         self._ping_timer = None
         self._connack_timer = None
-        self._reconnect_backoff_s = 1.0
+        self.reconnect_backoff_initial_s = 1.0
+        self.reconnect_backoff_max_s = 60.0
+        self._reconnect_backoff_s = self.reconnect_backoff_initial_s
+        # Jitter source for reconnect backoff: a dedicated per-client stream
+        # so a fleet of clients dropped by the same outage does not stampede
+        # the broker in lockstep — and so backoff draws never perturb any
+        # other subsystem's RNG sequence.
+        self._backoff_rng = sim.rng.stream(f"mqtt:{self.client_id}:backoff")
         # Liveness: consecutive PINGREQs without a PINGRESP.  Two misses
         # mean the connection is dead (the TCP-break signal a real client
         # gets for free); tear down and let auto-reconnect take over.
@@ -137,10 +144,14 @@ class MqttClient(NetworkNode):
             self._schedule_reconnect()
 
     def _schedule_reconnect(self) -> None:
-        self.sim.schedule(
-            self._reconnect_backoff_s, self.connect, label=f"{self.client_id}:reconnect"
+        # Exponential backoff, capped, with up to +25% jitter drawn from this
+        # client's own stream (decorrelates reconnect storms after a shared
+        # fault without breaking run determinism).
+        delay = self._reconnect_backoff_s * (1.0 + self._backoff_rng.uniform(0.0, 0.25))
+        self.sim.schedule(delay, self.connect, label=f"{self.client_id}:reconnect")
+        self._reconnect_backoff_s = min(
+            self._reconnect_backoff_s * 2.0, self.reconnect_backoff_max_s
         )
-        self._reconnect_backoff_s = min(self._reconnect_backoff_s * 2.0, 60.0)
 
     def disconnect(self) -> None:
         if not self.connected:
@@ -261,6 +272,17 @@ class MqttClient(NetworkNode):
             self._on_suback(mqtt_packet)
         elif isinstance(mqtt_packet, PingResp):
             self._unanswered_pings = 0
+        elif isinstance(mqtt_packet, Disconnect):
+            # Server-side reset: the broker no longer knows this session
+            # (restart, takeover, overload shed).  Tear down and let the
+            # backoff machinery re-establish the session.
+            if self.connected or self.connecting:
+                if self._connack_timer is not None:
+                    self._connack_timer.cancel()
+                    self._connack_timer = None
+                self._teardown(notify=True)
+                if self.auto_reconnect:
+                    self._schedule_reconnect()
 
     def _on_connack(self, connack: ConnAck) -> None:
         if self._connack_timer is not None:
@@ -274,7 +296,7 @@ class MqttClient(NetworkNode):
             return
         self.connected = True
         self.stats.connects += 1
-        self._reconnect_backoff_s = 1.0
+        self._reconnect_backoff_s = self.reconnect_backoff_initial_s
         self._unanswered_pings = 0
         self._arm_ping()
         # A fresh (non-resumed) session has no server-side subscription

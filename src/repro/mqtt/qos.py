@@ -8,7 +8,7 @@ deduplicating PUBLISHes by packet id until the PUBREL releases them.
 QoS 0 never touches these classes.
 """
 
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Optional
 
 from repro.mqtt.packets import PubAck, PubComp, Publish, PubRec, PubRel
 from repro.simkernel.simulator import Simulator
@@ -133,18 +133,59 @@ class Outbox:
         return True
 
     def clear(self) -> None:
+        """Abandon every in-flight message (connection teardown).
+
+        Abandoned flights count as expired: the peer never acknowledged
+        them, so availability accounting must see them as losses rather
+        than silently forgetting they existed.
+        """
+        abandoned = len(self._in_flight)
         for flight in self._in_flight.values():
             self._cancel_timer(flight)
         self._in_flight.clear()
+        if abandoned:
+            self.expired += abandoned
+            self._m_expired.inc(abandoned)
 
 
 class Inbox:
-    """Receiver-side QoS 2 exactly-once dedup for one peer connection."""
+    """Receiver-side QoS 2 exactly-once dedup for one peer connection.
 
-    def __init__(self, send: Callable[[object], None]) -> None:
+    A pending-release entry normally leaves via the PUBREL, but when the
+    *sender* gives up (its flight expires after ``max_retries``) no PUBREL
+    ever comes.  Entries therefore expire ``pending_release_timeout_s``
+    after the last PUBLISH for that packet id — comfortably past the
+    sender's give-up horizon — so the set cannot leak, and a reused packet
+    id after 16-bit wrap is not falsely suppressed as a duplicate.
+    Expiry is checked lazily on inbound traffic (never via scheduled
+    events), so determinism is unaffected.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[object], None],
+        sim: Optional[Simulator] = None,
+        pending_release_timeout_s: float = 60.0,
+    ) -> None:
         self._send = send
-        self._pending_release: Set[int] = set()
+        self.sim = sim
+        self.pending_release_timeout_s = pending_release_timeout_s
+        # packet id -> sim time of the most recent PUBLISH carrying it.
+        self._pending_release: Dict[int, float] = {}
         self.duplicates_suppressed = 0
+        self.pending_expired = 0
+
+    def _now(self) -> float:
+        return self.sim.now if self.sim is not None else 0.0
+
+    def _expire_stale(self) -> None:
+        if self.sim is None or not self._pending_release:
+            return
+        cutoff = self.sim.now - self.pending_release_timeout_s
+        stale = [pid for pid, seen in self._pending_release.items() if seen <= cutoff]
+        for pid in stale:
+            del self._pending_release[pid]
+            self.pending_expired += 1
 
     def on_publish_qos2(self, publish: Publish) -> bool:
         """Handle an inbound QoS 2 PUBLISH.
@@ -153,17 +194,20 @@ class Inbox:
         application (first arrival); False for a duplicate.
         Always answers with PUBREC.
         """
+        self._expire_stale()
         pid = publish.packet_id
         first = pid not in self._pending_release
-        if first:
-            self._pending_release.add(pid)
-        else:
+        if not first:
             self.duplicates_suppressed += 1
+        # (Re)stamp on duplicates too: the sender is still retrying, so the
+        # entry must outlive its final attempt.
+        self._pending_release[pid] = self._now()
         self._send(PubRec(packet_id=pid))
         return first
 
     def on_pubrel(self, packet: PubRel) -> None:
-        self._pending_release.discard(packet.packet_id)
+        self._expire_stale()
+        self._pending_release.pop(packet.packet_id, None)
         self._send(PubComp(packet_id=packet.packet_id))
 
     def clear(self) -> None:

@@ -73,6 +73,10 @@ class Link:
         self.taps: List[Callable[[Packet], None]] = []
         # Absolute sim time until which the transmitter is busy.
         self._busy_until = 0.0
+        # Absolute sim time of the most recent scheduled arrival: a FIFO
+        # wire never reorders, so later frames may not overtake earlier
+        # ones just because they drew less jitter.
+        self._last_arrival = 0.0
         # Extra loss imposed by jamming (fraction of packets corrupted).
         self.jam_loss = 0.0
         # Regulatory duty-cycle accounting (rolling 1-hour windows).
@@ -114,8 +118,12 @@ class Link:
             return False
         serialization = self.model.serialization_delay(packet.size_bytes)
         if self.model.duty_cycle < 1.0:
-            if now - self._duty_window_start >= self.duty_window_s:
-                self._duty_window_start = now
+            elapsed = now - self._duty_window_start
+            if elapsed >= self.duty_window_s:
+                # Advance by whole windows (not to `now`): re-anchoring the
+                # window at the current packet would drift the budget
+                # periods and hand out fresh airtime early after idle gaps.
+                self._duty_window_start += (elapsed // self.duty_window_s) * self.duty_window_s
                 self._airtime_used_s = 0.0
             budget = self.model.duty_cycle * self.duty_window_s
             if self._airtime_used_s + serialization > budget:
@@ -125,9 +133,13 @@ class Link:
         start = max(now, self._busy_until)
         self._busy_until = start + serialization
         jitter = self.rng.uniform(0.0, self.model.jitter_s) if self.model.jitter_s else 0.0
-        arrival_delay = (start - now) + serialization + self.model.latency_s + jitter
+        arrival = max(
+            start + serialization + self.model.latency_s + jitter,
+            self._last_arrival,
+        )
+        self._last_arrival = arrival
         self.sim.schedule(
-            arrival_delay,
+            arrival - now,
             self._arrive,
             (packet,),
             priority=PRIORITY_NETWORK,

@@ -139,13 +139,14 @@ class Simulator:
                 except StopSimulation as stop:
                     self._stop_reason = stop.reason
                     self.trace.emit(self.now, "kernel", "simulation stopped", reason=stop.reason)
-                    break
+                # The event ran (fully or up to its StopSimulation), so it
+                # counts toward throughput and max_events either way.
                 self.events_executed += 1
                 executed_this_call += 1
+                if self._stop_reason is not None:
+                    break
                 if max_events is not None and executed_this_call >= max_events:
                     invoke_hooks = False
-                    break
-                if self._stop_reason is not None:
                     break
             completed = True
         finally:

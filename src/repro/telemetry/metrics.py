@@ -289,10 +289,14 @@ class MetricsRegistry:
 
     def value(self, name: str, labels: Optional[Dict[str, str]] = None) -> Any:
         """Current value of one instrument (None when absent)."""
-        instrument = self._instruments.get((name, _label_key(labels)))
-        if instrument is None:
-            return None
-        return instrument.snapshot_value()
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            return instrument.snapshot_value()
+        callback = self._callbacks.get(key)
+        if callback is not None:
+            return float(callback())
+        return None
 
     def total(self, name: str) -> float:
         """Sum of a counter/gauge across every label combination."""

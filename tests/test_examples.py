@@ -7,6 +7,8 @@ by the benchmark suite, which exercises the same pilots).
 import runpy
 import sys
 
+import pytest
+
 
 def run_example(path, capsys):
     # Execute the script as __main__, exactly as a user would.
@@ -31,3 +33,11 @@ class TestExamples:
         assert "fog deployment" in out
         # The story the example exists to tell: fog skips nothing.
         assert "decisions skipped (stale/no-data): 0" in out
+
+    def test_fault_smoke(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_example("examples/fault_smoke.py", capsys)
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "fault smoke passed" in out
+        assert "FAIL" not in out

@@ -1,0 +1,300 @@
+"""Unit tests for the fault-injection subsystem (plans + injector).
+
+The end-to-end behavior (a pilot run under a fault plan) lives in
+``test_fault_injection.py``; here the plan format and the injector's
+target binding, scheduling and telemetry are exercised in isolation.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.devices.battery import Battery
+from repro.faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan, FaultPlanError
+from repro.network import LinkState, Network, NetworkNode, RadioModel
+from repro.simkernel import Simulator
+
+
+def lossless():
+    return RadioModel("t", latency_s=0.01, bandwidth_bps=1e6, loss_rate=0.0)
+
+
+class Sink(NetworkNode):
+    def __init__(self, address):
+        super().__init__(address)
+        self.received = []
+
+    def on_packet(self, packet):
+        self.received.append(packet)
+
+
+class StubDevice:
+    """The attribute surface the injector touches on a field device."""
+
+    def __init__(self, device_id, capacity_j=1000.0):
+        self.config = SimpleNamespace(device_id=device_id)
+        self.failed = False
+        self.tamper_hooks = []
+        self.battery = Battery(capacity_j)
+
+
+class StubBroker:
+    def __init__(self, address="broker"):
+        self.address = address
+        self.restarts = 0
+
+    def restart(self):
+        self.restarts += 1
+
+
+def linked_pair(sim):
+    net = Network(sim)
+    a, b = Sink("a"), Sink("b")
+    net.add_node(a)
+    net.add_node(b)
+    net.connect("a", "b", lossless())
+    return net, a, b
+
+
+class TestFaultPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan().add("meteor_strike", "farm", at_s=10.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(FaultPlanError, match="needs a target"):
+            FaultPlan().add("link_partition", "", at_s=10.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match="at_s"):
+            FaultPlan().add("link_partition", "wan", at_s=-1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(FaultPlanError, match="duration_s"):
+            FaultPlan().add("link_partition", "wan", at_s=0.0, duration_s=0.0)
+
+    def test_one_shot_kind_rejects_duration(self):
+        with pytest.raises(FaultPlanError, match="one-shot"):
+            FaultPlan().add("battery_brownout", "p1", at_s=5.0, duration_s=60.0)
+
+    def test_recovers_property(self):
+        assert FaultEvent("link_partition", "wan", 0.0, duration_s=10.0).recovers
+        assert not FaultEvent("link_partition", "wan", 0.0).recovers
+        assert not FaultEvent("battery_brownout", "p1", 0.0).recovers
+
+    def test_sorted_events_stable_for_equal_times(self):
+        plan = (
+            FaultPlan("p")
+            .add("sensor_dropout", "d2", at_s=50.0)
+            .add("link_partition", "wan", at_s=10.0)
+            .add("sensor_dropout", "d1", at_s=50.0)
+        )
+        ordered = plan.sorted_events()
+        assert [e.at_s for e in ordered] == [10.0, 50.0, 50.0]
+        # Equal times keep insertion order: d2 was added before d1.
+        assert [e.target for e in ordered[1:]] == ["d2", "d1"]
+
+
+class TestFaultPlanSerialization:
+    def plan(self):
+        return (
+            FaultPlan("storm-day")
+            .add("link_partition", "wan", at_s=3600.0, duration_s=1800.0)
+            .add("radio_jam", "a|b", at_s=4000.0, duration_s=600.0, loss=0.75)
+            .add("battery_brownout", "pump-1", at_s=5000.0, fraction=0.3)
+            .add("sensor_dropout", "probe-0-0", at_s=6000.0)
+        )
+
+    def test_json_round_trip(self):
+        plan = self.plan()
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        plan.dump(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_optional_fields_omitted_from_dict(self):
+        data = FaultEvent("sensor_dropout", "p", 1.0).to_dict()
+        assert "duration_s" not in data
+        assert "params" not in data
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault event fields"):
+            FaultEvent.from_dict(
+                {"kind": "sensor_dropout", "target": "p", "at_s": 1.0, "severity": 3}
+            )
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="missing required field"):
+            FaultEvent.from_dict({"kind": "sensor_dropout", "target": "p"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_non_object_plan_rejected(self):
+        with pytest.raises(FaultPlanError, match="must be an object"):
+            FaultPlan.from_json("[1, 2]")
+
+
+class TestInjectorTargetBinding:
+    def test_unknown_link_alias_fails_at_apply_time(self):
+        sim = Simulator(seed=1)
+        net, _, _ = linked_pair(sim)
+        injector = FaultInjector(sim, net)
+        plan = FaultPlan().add("link_partition", "wan", at_s=10.0, duration_s=5.0)
+        with pytest.raises(FaultPlanError, match="unknown link target 'wan'"):
+            injector.apply(plan)
+        assert injector.injected == 0
+
+    def test_unknown_broker_and_device_fail_with_registered_listing(self):
+        sim = Simulator(seed=1)
+        injector = FaultInjector(sim)
+        injector.register_broker("fog", StubBroker())
+        with pytest.raises(FaultPlanError, match=r"registered: \['fog'\]"):
+            injector.apply(FaultPlan().add("broker_restart", "cloud", at_s=1.0))
+        with pytest.raises(FaultPlanError, match="unknown device"):
+            injector.apply(FaultPlan().add("sensor_dropout", "ghost", at_s=1.0))
+
+    def test_pair_syntax_bypasses_alias_registry(self):
+        sim = Simulator(seed=1)
+        net, _, _ = linked_pair(sim)
+        injector = FaultInjector(sim, net)
+        injector.apply(FaultPlan().add("link_partition", "a|b", at_s=1.0, duration_s=5.0))
+        sim.run(until=2.0)
+        assert net.links[("a", "b")].state is LinkState.DOWN
+
+    def test_bad_pair_syntax_rejected(self):
+        sim = Simulator(seed=1)
+        injector = FaultInjector(sim, Network(sim))
+        with pytest.raises(FaultPlanError, match="expected 'a|b'"):
+            injector.apply(FaultPlan().add("link_partition", "a|", at_s=1.0))
+
+    def test_link_fault_requires_a_network(self):
+        sim = Simulator(seed=1)
+        injector = FaultInjector(sim)  # no network
+        injector.register_pair("wan", "a", "b")
+        with pytest.raises(FaultPlanError, match="needs a network"):
+            injector.apply(FaultPlan().add("link_partition", "wan", at_s=1.0))
+
+
+class TestInjectorExecution:
+    def test_partition_then_heal_with_telemetry(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        sim = Simulator(seed=1, metrics=MetricsRegistry())
+        net, a, b = linked_pair(sim)
+        injector = FaultInjector(sim, net)
+        injector.register_pair("wan", "a", "b")
+        injector.apply(FaultPlan("p").add("link_partition", "wan", at_s=10.0, duration_s=20.0))
+        sim.run(until=5.0)
+        assert injector.active_count == 0
+        sim.run(until=15.0)
+        assert net.links[("a", "b")].state is LinkState.DOWN
+        assert net.links[("b", "a")].state is LinkState.DOWN
+        assert injector.active_count == 1
+        assert sim.metrics.value("faults.active") == 1.0
+        sim.run(until=60.0)
+        assert net.links[("a", "b")].state is LinkState.UP
+        assert injector.injected == 1
+        assert injector.recovered == 1
+        assert injector.active_count == 0
+        assert sim.metrics.value("faults.injected", {"kind": "link_partition"}) == 1.0
+        assert sim.metrics.value("faults.recovered", {"kind": "link_partition"}) == 1.0
+        histogram = sim.metrics.value("faults.recovery_time_s", {"kind": "link_partition"})
+        assert histogram["count"] == 1
+        assert histogram["sum"] == pytest.approx(20.0)
+
+    def test_jam_applies_loss_and_unjams(self):
+        sim = Simulator(seed=1)
+        net, a, b = linked_pair(sim)
+        injector = FaultInjector(sim, net)
+        injector.apply(
+            FaultPlan().add("radio_jam", "a|b", at_s=10.0, duration_s=10.0, loss=1.0)
+        )
+        sim.run(until=15.0)
+        assert net.links[("a", "b")].state is LinkState.JAMMED
+        a.send("b", "jammed", 100)
+        sim.run(until=25.0)
+        assert net.links[("a", "b")].state is LinkState.UP
+        a.send("b", "clear", 100)
+        sim.run(until=30.0)
+        payloads = [p.payload for p in b.received]
+        assert "jammed" not in payloads  # loss=1.0 ate it
+        assert "clear" in payloads
+
+    def test_broker_restart_without_outage_window(self):
+        sim = Simulator(seed=1)
+        broker = StubBroker()
+        injector = FaultInjector(sim)
+        injector.register_broker("broker", broker)
+        injector.apply(FaultPlan().add("broker_restart", "broker", at_s=5.0))
+        sim.run(until=10.0)
+        assert broker.restarts == 1
+        # No duration: never recovers, so it must not linger in the gauge.
+        assert injector.active_count == 0
+        assert injector.injected == 1
+        assert injector.recovered == 0
+
+    def test_sensor_dropout_toggles_failed_flag(self):
+        sim = Simulator(seed=1)
+        device = StubDevice("probe-1")
+        injector = FaultInjector(sim)
+        injector.register_device(device)
+        injector.apply(FaultPlan().add("sensor_dropout", "probe-1", at_s=10.0, duration_s=30.0))
+        sim.run(until=20.0)
+        assert device.failed is True
+        sim.run(until=50.0)
+        assert device.failed is False
+
+    def test_sensor_stuck_freezes_first_reading_then_unfreezes(self):
+        sim = Simulator(seed=1)
+        device = StubDevice("probe-2")
+        injector = FaultInjector(sim)
+        injector.register_device(device)
+        injector.apply(FaultPlan().add("sensor_stuck", "probe-2", at_s=10.0, duration_s=30.0))
+        sim.run(until=20.0)
+        assert len(device.tamper_hooks) == 1
+
+        def through_hooks(measures):
+            for hook in device.tamper_hooks:
+                measures = hook(measures)
+            return measures
+
+        assert through_hooks({"soilMoisture": 0.30}) == {"soilMoisture": 0.30}
+        # Later, different readings keep coming out frozen at the first one.
+        assert through_hooks({"soilMoisture": 0.12}) == {"soilMoisture": 0.30}
+        sim.run(until=50.0)
+        assert device.tamper_hooks == []
+
+    def test_battery_brownout_drains_fraction_of_remaining(self):
+        sim = Simulator(seed=1)
+        device = StubDevice("pump-1", capacity_j=1000.0)
+        injector = FaultInjector(sim)
+        injector.register_device(device)
+        injector.apply(FaultPlan().add("battery_brownout", "pump-1", at_s=5.0, fraction=0.25))
+        sim.run(until=10.0)
+        assert device.battery.remaining_j == pytest.approx(750.0)
+        assert injector.active_count == 0  # one-shot: nothing stays active
+
+    def test_never_healing_fault_stays_out_of_active_gauge(self):
+        sim = Simulator(seed=1)
+        device = StubDevice("probe-3")
+        injector = FaultInjector(sim)
+        injector.register_device(device)
+        injector.apply(FaultPlan().add("sensor_dropout", "probe-3", at_s=5.0))
+        sim.run(until=10.0)
+        assert device.failed is True
+        assert injector.active_count == 0
+        assert injector.recovered == 0
+
+    def test_plan_application_is_recorded(self):
+        sim = Simulator(seed=1)
+        injector = FaultInjector(sim)
+        device = StubDevice("d")
+        injector.register_device(device)
+        injector.apply(FaultPlan("chaos-day").add("sensor_dropout", "d", at_s=1.0))
+        assert injector.plans_applied == ["chaos-day"]

@@ -120,6 +120,100 @@ class TestReplication:
         rig.sim.run(until=25.0)
         assert rig.cloud_context.entity_count() == 50
 
+    def test_lost_ack_retransmit_is_counted_duplicate(self):
+        """Deterministic ack-loss path: drop exactly the first _SyncAck.
+        The fog retransmits the batch after retry_timeout_s, the cloud
+        recognizes the replayed sequence number, counts a duplicate and
+        re-acks without double-applying."""
+        from repro.fog.replication import _SyncAck
+
+        rig = ReplicationRig(retry_timeout_s=15.0)
+        dropped = []
+
+        def drop_first_ack(packet, hop_src, hop_dst):
+            if isinstance(packet.payload, _SyncAck) and not dropped:
+                dropped.append(packet.payload.seq)
+                return False
+            return True
+
+        rig.net.add_firewall(drop_first_ack)
+        rig.update("e1", v=1)
+        rig.sim.run(until=120.0)
+        assert dropped == [1]
+        assert rig.target.batches_duplicate == 1
+        assert rig.target.batches_applied == 1  # applied exactly once
+        assert rig.replicator.batches_acked == 1
+        assert rig.replicator.backlog_depth == 0
+        assert rig.cloud_context.get_entity("e1").get("v") == 1
+
+    def test_gap_after_lost_batches_accepts_and_advances(self):
+        """Deterministic gap path: when whole batches are lost on the fog
+        side (the overflow/log-truncation scenario the protocol anticipates)
+        the cloud sees seq jump past last+1.  It must accept the batch,
+        advance its per-source cursor and ack — a cursor that waited for
+        the missing seq would deadlock the stream forever."""
+        rig = ReplicationRig()
+        rig.update("first", v=1)
+        rig.sim.run(until=30.0)
+        source = rig.replicator.node.address
+        assert rig.target._applied_seq[source] == 1
+        # Model batches 2-4 lost wholesale before transmission.
+        rig.replicator._next_seq = 5
+        rig.update("late", v=2)
+        rig.sim.run(until=60.0)
+        assert rig.target._applied_seq[source] == 5  # advanced past the gap
+        assert rig.target.batches_applied == 2
+        assert rig.target.batches_duplicate == 0
+        assert rig.cloud_context.has_entity("late")
+        assert rig.replicator.backlog_depth == 0  # the gap batch was acked
+
+
+class TestReplicatorCrashRestart:
+    def test_crash_keeps_backlog_and_restart_drains_it(self):
+        rig = ReplicationRig()
+        rig.update("before", v=1)
+        rig.sim.run(until=30.0)
+        assert rig.cloud_context.has_entity("before")
+        rig.replicator.crash()
+        assert not rig.replicator.running
+        # Captures continue into the durable backlog while the daemon is down.
+        for i in range(8):
+            rig.update(f"down{i}", v=i)
+        rig.sim.run(until=120.0)
+        assert not rig.cloud_context.has_entity("down0")
+        assert rig.replicator.backlog_depth == 8
+        rig.replicator.restart()
+        assert rig.replicator.running
+        rig.sim.run(until=240.0)
+        assert rig.cloud_context.entity_count() == 9
+        assert rig.replicator.backlog_depth == 0
+
+    def test_restart_retransmits_the_in_flight_batch(self):
+        """A batch stuck in flight across a crash must go out again via the
+        retry path once the loop is re-armed."""
+        rig = ReplicationRig(retry_timeout_s=15.0)
+        rig.net.partition("fog:sync", "cloud:sync")
+        rig.update("e1", v=1)
+        rig.sim.run(until=11.0)  # pumped once: batch 1 in flight, unacked
+        assert rig.replicator.backlog_depth == 1
+        rig.replicator.crash()
+        rig.net.heal("fog:sync", "cloud:sync")
+        rig.sim.run(until=60.0)
+        assert not rig.cloud_context.has_entity("e1")  # daemon still down
+        rig.replicator.restart()
+        rig.sim.run(until=200.0)
+        assert rig.cloud_context.has_entity("e1")
+        assert rig.replicator.backlog_depth == 0
+
+    def test_crash_and_restart_are_idempotent(self):
+        rig = ReplicationRig()
+        rig.replicator.crash()
+        rig.replicator.crash()  # second kill is a no-op
+        rig.replicator.restart()
+        first = rig.replicator._process
+        rig.replicator.restart()  # already running: no second process
+        assert rig.replicator._process is first
+
 
 class TestNodes:
     def test_fog_node_composition(self):

@@ -388,6 +388,136 @@ class TestAuthorization:
         assert "farmA/yield" not in spy.granted
 
 
+class TestBrokerRestart:
+    def test_restart_drops_sessions_and_counts_abandoned_flights(self):
+        sim = Simulator(seed=1)
+        net, broker, (pub, sub) = build(sim)
+        got = []
+        pub.connect()
+        sub.connect()
+        sub.subscribe("t/#", qos=1, handler=lambda *a: got.append(a))
+        sim.run(until=2.0)
+        # Partition the subscriber so a QoS 1 flight to it stays unacked.
+        net.partition("c1", "broker")
+        pub.publish("t/x", b"hello", qos=1)
+        sim.run(until=3.0)
+        session = broker.sessions["c1"]
+        assert session.outbox.in_flight_count == 1
+        broker.restart()
+        assert broker.stats.restarts == 1
+        assert broker.sessions == {}
+        assert broker.connected_clients() == []
+        # The abandoned flight landed in the outbox's expired count.
+        assert session.outbox.expired == 1
+
+    def test_restart_preserves_retained_messages(self):
+        sim = Simulator(seed=1)
+        net, broker, (pub, sub) = build(sim)
+        pub.connect()
+        sim.run(until=1.0)
+        pub.publish("t/state", b"42", retain=True)
+        sim.run(until=2.0)
+        broker.restart()
+        got = []
+        sub.connect()
+        sub.subscribe("t/#", handler=lambda t, p, q, r: got.append(p))
+        sim.run(until=4.0)
+        assert got == [b"42"]
+
+    def test_client_learns_of_restart_from_disconnect_and_reconnects(self):
+        """The broker answers packets from unknown peers with a DISCONNECT
+        (the TCP RST of the model); the client must tear down, back off and
+        re-establish its session — including its subscriptions."""
+        sim = Simulator(seed=1)
+        net, broker, (c, other) = build(sim)
+        got = []
+        c.connect()
+        c.subscribe("t/#", handler=lambda t, p, q, r: got.append(p))
+        sim.run(until=2.0)
+        assert c.connected
+        broker.restart()
+        # The client's next keepalive ping hits an unknown-peer DISCONNECT.
+        c._ping()
+        sim.run(until=120.0)
+        assert c.connected
+        assert c.stats.connects == 2
+        assert broker.connected_clients() == ["c0"]
+        # Subscriptions were re-established on the fresh session.
+        other.connect()
+        sim.run(until=125.0)
+        other.publish("t/y", b"post-restart")
+        sim.run(until=130.0)
+        assert got == [b"post-restart"]
+
+
+class TestReconnectBackoff:
+    def test_backoff_grows_and_is_jittered(self):
+        sim = Simulator(seed=1)
+        net, broker, (c,) = build(sim, 1)
+        delays = []
+        original_schedule = sim.schedule
+
+        def spy(delay, callback, args=(), **kwargs):
+            if kwargs.get("label") == "c0:reconnect":
+                delays.append(delay)
+            return original_schedule(delay, callback, args, **kwargs)
+
+        sim.schedule = spy
+        net.partition("c0", "broker")  # every CONNECT times out
+        c.connect()
+        sim.run(until=300.0)
+        assert len(delays) >= 4
+        # Base doubles 1 → 2 → 4 → 8...; jitter adds up to +25% on top.
+        for i, delay in enumerate(delays):
+            base = min(2.0 ** i, c.reconnect_backoff_max_s)
+            assert base <= delay <= base * 1.25
+        # Jitter actually engaged (a plain doubling would sit on the base).
+        assert any(delay > min(2.0 ** i, 60.0) for i, delay in enumerate(delays))
+
+    def test_backoff_caps_at_maximum(self):
+        sim = Simulator(seed=2)
+        net, broker, (c,) = build(sim, 1)
+        net.partition("c0", "broker")
+        c.connect()
+        sim.run(until=1200.0)
+        assert c._reconnect_backoff_s <= c.reconnect_backoff_max_s
+
+    def test_backoff_resets_after_successful_connect(self):
+        sim = Simulator(seed=3)
+        net, broker, (c,) = build(sim, 1)
+        net.partition("c0", "broker")
+        c.connect()
+        sim.run(until=100.0)
+        assert c._reconnect_backoff_s > c.reconnect_backoff_initial_s
+        net.heal("c0", "broker")
+        sim.run(until=300.0)
+        assert c.connected
+        assert c._reconnect_backoff_s == c.reconnect_backoff_initial_s
+
+    def test_two_clients_draw_independent_jitter(self):
+        """Backoff jitter comes from per-client streams: a shared outage
+        must not produce lockstep reconnect storms."""
+        sim = Simulator(seed=4)
+        net, broker, clients = build(sim)
+        delays = {"c0": [], "c1": []}
+        original_schedule = sim.schedule
+
+        def spy(delay, callback, args=(), **kwargs):
+            label = kwargs.get("label", "")
+            if label.endswith(":reconnect"):
+                delays[label.split(":")[0]].append(delay)
+            return original_schedule(delay, callback, args, **kwargs)
+
+        sim.schedule = spy
+        net.partition("c0", "broker")
+        net.partition("c1", "broker")
+        for c in clients:
+            c.connect()
+        sim.run(until=200.0)
+        assert delays["c0"] and delays["c1"]
+        assert delays["c0"] != delays["c1"]
+
+
 class TestWireSizes:
     def test_publish_size_scales_with_payload(self):
         from repro.mqtt.packets import Publish

@@ -386,3 +386,54 @@ class TestDutyCycle:
 
     def test_lora_profile_has_one_percent_duty(self):
         assert LORA_FIELD.duty_cycle == pytest.approx(0.01)
+
+    def test_window_origin_advances_by_whole_windows(self):
+        """Regression: the duty window must roll over on fixed hour
+        boundaries, not re-anchor at whichever packet happens to arrive
+        after the window lapsed.  The old code set
+        ``_duty_window_start = now``, so a burst at t=4000 pushed the next
+        refresh to t=7600 — starving a burst at t=7300 that the fixed
+        window (7200–10800) should admit — and then wrongly admitted a
+        burst at t=7650 against the drifted budget."""
+        sim, net, a, b = self.make_duty_pair(duty=0.001)
+        link = net.link("a", "b")
+        link.max_backlog_s = 100.0  # isolate duty accounting from queueing
+        # 600 B at 5500 bps ≈ 0.873 s airtime; budget 3.6 s ≈ 4 frames/window.
+        for at_s, marker in ((4000.0, "w1"), (7300.0, "w2"), (7650.0, "w3")):
+            sim.schedule_at(
+                at_s, lambda m=marker: [a.send("b", m, 600) for _ in range(5)]
+            )
+        sim.run(until=8000.0)
+        payloads = [p.payload for p in b.received]
+        # Window 3600–7200 admits 4 of the w1 burst; window 7200–10800 has
+        # its budget consumed by w2, so every w3 frame is duty-dropped.
+        assert payloads == ["w1"] * 4 + ["w2"] * 4
+        assert link.stats.dropped_duty == 7
+
+
+class TestFifoOrdering:
+    def test_high_jitter_cannot_reorder_a_fifo_link(self):
+        """Regression: per-packet jitter used to let a later frame overtake
+        an earlier one on the same link.  Arrivals must stay monotone."""
+        sim = Simulator(seed=5)
+        model = RadioModel("jittery", latency_s=0.01, bandwidth_bps=1e6,
+                           loss_rate=0.0, jitter_s=5.0)
+        net, a, b = make_pair(sim, model)
+        arrivals = []
+        original = b.on_packet
+        b.on_packet = lambda p: (arrivals.append(sim.now), original(p))
+        for i in range(50):
+            a.send("b", i, 100)
+        sim.run()
+        assert [p.payload for p in b.received] == list(range(50))
+        assert arrivals == sorted(arrivals)
+
+    def test_jitter_still_delays_beyond_nominal_latency(self):
+        sim = Simulator(seed=5)
+        model = RadioModel("jittery", latency_s=0.01, bandwidth_bps=1e6,
+                           loss_rate=0.0, jitter_s=5.0)
+        net, a, b = make_pair(sim, model)
+        a.send("b", "x", 100)
+        sim.run()
+        nominal = 0.01 + 100 * 8 / 1e6
+        assert sim.now >= nominal

@@ -116,6 +116,76 @@ class TestInboxQos2:
         assert inbox.duplicates_suppressed == 0
 
 
+class TestInboxPendingReleaseExpiry:
+    """Regression: a sender that gives up (flight expired after
+    max_retries) never sends the PUBREL, which used to leave the packet id
+    in ``_pending_release`` forever — a leak that falsely suppressed the
+    next message reusing that id after 16-bit wrap."""
+
+    def test_abandoned_flow_expires_and_id_is_reusable(self):
+        sim = Simulator(seed=1)
+        sent = []
+        inbox = Inbox(sent.append, sim=sim, pending_release_timeout_s=60.0)
+        publish = Publish(topic="t", payload=b"x", qos=2, packet_id=42)
+        assert inbox.on_publish_qos2(publish) is True
+        # Sender abandons the flow; 61 s later another message legitimately
+        # reuses id 42.  It must be treated as fresh, not as a duplicate.
+        sim.run(until=61.0)
+        reused = Publish(topic="t", payload=b"y", qos=2, packet_id=42)
+        assert inbox.on_publish_qos2(reused) is True
+        assert inbox.duplicates_suppressed == 0
+        assert inbox.pending_expired == 1
+
+    def test_duplicate_refreshes_the_entry(self):
+        """While the sender is still retrying, each DUP PUBLISH re-stamps
+        the entry so dedup holds across the whole retry horizon."""
+        sim = Simulator(seed=1)
+        inbox = Inbox(lambda p: None, sim=sim, pending_release_timeout_s=60.0)
+        publish = Publish(topic="t", payload=b"x", qos=2, packet_id=9)
+        assert inbox.on_publish_qos2(publish) is True
+        sim.run(until=50.0)
+        assert inbox.on_publish_qos2(publish) is False  # refreshed at t=50
+        sim.run(until=100.0)  # 50 s after the refresh: still within timeout
+        assert inbox.on_publish_qos2(publish) is False
+        assert inbox.duplicates_suppressed == 2
+
+    def test_pubrel_still_releases_promptly(self):
+        sim = Simulator(seed=1)
+        sent = []
+        inbox = Inbox(sent.append, sim=sim)
+        inbox.on_publish_qos2(Publish(topic="t", payload=b"x", qos=2, packet_id=3))
+        inbox.on_pubrel(PubRel(packet_id=3))
+        assert inbox.on_publish_qos2(
+            Publish(topic="t", payload=b"y", qos=2, packet_id=3)
+        ) is True
+        assert inbox.pending_expired == 0
+
+    def test_without_sim_entries_never_expire(self):
+        # Legacy construction (no clock): behavior is the old one, minus
+        # the leak only a clock can fix.
+        inbox = Inbox(lambda p: None)
+        publish = Publish(topic="t", payload=b"x", qos=2, packet_id=1)
+        assert inbox.on_publish_qos2(publish) is True
+        assert inbox.on_publish_qos2(publish) is False
+
+
+class TestOutboxClearAccounting:
+    def test_clear_counts_abandoned_flights_as_expired(self):
+        """Regression: teardown used to silently forget in-flight QoS
+        messages; they are losses and must land in ``expired``."""
+        sim = Simulator(seed=1)
+        outbox = Outbox(sim, lambda p: None)
+        for payload in (b"a", b"b", b"c"):
+            outbox.send_publish(Publish(topic="t", payload=payload, qos=1))
+        assert outbox.in_flight_count == 3
+        outbox.clear()
+        assert outbox.in_flight_count == 0
+        assert outbox.expired == 3
+        # A second clear with nothing in flight adds nothing.
+        outbox.clear()
+        assert outbox.expired == 3
+
+
 class TestOutboxQos2Flow:
     def test_full_handshake(self):
         sim = Simulator(seed=1)

@@ -189,6 +189,26 @@ class TestSchedule:
         sim.run(max_events=3)
         assert sim.events_executed == 3
 
+    def test_stopping_event_is_counted(self):
+        """Regression: the event that raises StopSimulation executed, so it
+        must count toward events_executed (it used to be dropped)."""
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+
+        def boom():
+            raise StopSimulation("enough")
+
+        sim.schedule(2.0, boom)
+        sim.run()
+        assert sim.stopped_reason == "enough"
+        assert sim.events_executed == 2
+
+    def test_stop_method_event_is_counted(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.stop("done"))
+        sim.run()
+        assert sim.events_executed == 1
+
     def test_events_scheduled_during_run_execute(self):
         sim = Simulator()
         seen = []
