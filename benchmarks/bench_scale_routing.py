@@ -1,0 +1,253 @@
+"""E14 — broker routing at scale: indexed vs linear-scan hot paths.
+
+The ROADMAP's north star ("serves heavy traffic ... as fast as the
+hardware allows") turns on the two broker hot paths: MQTT publish
+routing and context-broker subscription dispatch.  Both historically
+scanned every subscription per message — O(subscriptions × messages) —
+and both now route through indexes (the topic-segment
+:class:`~repro.mqtt.topics.TopicTrie` and the context
+:class:`~repro.context.subscriptions.SubscriptionIndex`).
+
+Workload: synthetic fleets of 10 / 100 / 1k / 10k subscriptions in the
+shapes the platform actually creates (per-device command filters,
+per-farm ``+`` wildcards, a few ``#`` taps; exact-id context
+subscriptions with per-type and regex minorities), driving a fixed
+message stream through the linear-scan reference and through the index.
+Every routed message is checked for *identical delivery decisions* (same
+clients, same granted QoS / same subscriptions, same order).
+
+Expected shape: indexed throughput roughly flat in subscription count;
+linear throughput decaying ~1/N; speedup ≥ 5× at 10k subscriptions.
+
+Run standalone (CI smoke, small sizes, equivalence only):
+
+    python benchmarks/bench_scale_routing.py --smoke
+
+or the full sweep under pytest-benchmark:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale_routing.py -s
+"""
+
+import argparse
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_scale_routing.py`
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+else:
+    from _harness import print_table, record_rows
+
+from repro.context import ContextEntity, Subscription, SubscriptionIndex
+from repro.mqtt import TopicTrie, topic_matches
+
+SIZES = (10, 100, 1000, 10000)
+SMOKE_SIZES = (10, 100)
+MESSAGES = 100
+TARGET_SPEEDUP_AT_10K = 5.0
+
+
+# -- corpus ------------------------------------------------------------------
+
+
+def mqtt_corpus(n_subscribers):
+    """(client_id -> [(filter, qos)]) in the shapes pilots create."""
+    n_farms = max(1, n_subscribers // 20)
+    subscriptions = {}
+    for i in range(n_subscribers):
+        farm = f"farm{i % n_farms}"
+        client_id = f"c{i:05d}"
+        if i % 10 < 7:  # per-device command subscription
+            filters = [(f"swamp/{farm}/cmd/dev{i}", 1)]
+        elif i % 10 < 9:  # per-farm agent-style wildcard
+            filters = [(f"swamp/{farm}/attrs/+", 0), (f"swamp/{farm}/cmdexe/+", 1)]
+        else:  # audit tap
+            filters = [(f"swamp/{farm}/#", 0)]
+        subscriptions[client_id] = filters
+    return subscriptions
+
+
+def mqtt_topics(n_subscribers, count):
+    n_farms = max(1, n_subscribers // 20)
+    return [
+        f"swamp/farm{i % n_farms}/attrs/dev{(i * 7) % max(1, n_subscribers)}"
+        for i in range(count)
+    ]
+
+
+def route_linear(subscriptions, topic):
+    """The pre-index broker loop: scan every filter of every client."""
+    granted = {}
+    for client_id, filters in subscriptions.items():
+        best = None
+        for topic_filter, qos in filters:
+            if topic_matches(topic_filter, topic):
+                if best is None or qos > best:
+                    best = qos
+        if best is not None:
+            granted[client_id] = best
+    return granted
+
+
+def route_indexed(trie, topic):
+    granted = {}
+    for client_id, qos in trie.match(topic):
+        best = granted.get(client_id)
+        if best is None or qos > best:
+            granted[client_id] = qos
+    return granted
+
+
+def context_corpus(n_subscriptions):
+    """SubscriptionIndex + the same subscriptions as a flat list."""
+    index = SubscriptionIndex()
+    subs = []
+    sink = lambda notification: None  # noqa: E731 - delivery is not measured
+    for i in range(n_subscriptions):
+        if i % 20 < 16:
+            sub = Subscription(sink, entity_id=f"urn:zone:{i}")
+        elif i % 20 < 19:
+            sub = Subscription(sink, entity_type=f"Type{i % 7}")
+        else:
+            sub = Subscription(sink, id_pattern=rf"^urn:zone:{i % 100}\d$")
+        subs.append(sub)
+        index.add(sub)
+    return index, subs
+
+
+def context_entities(n_subscriptions, count):
+    return [
+        ContextEntity(f"urn:zone:{(i * 13) % max(1, n_subscriptions)}", f"Type{i % 7}")
+        for i in range(count)
+    ]
+
+
+def dispatch_linear(subs, entity, changed):
+    return [
+        s.subscription_id
+        for s in sorted(subs, key=lambda s: s.subscription_id)
+        if s.active and s.matches_entity(entity) and s.triggered_by(changed)
+    ]
+
+
+def dispatch_indexed(index, entity, changed):
+    return [
+        s.subscription_id
+        for s in sorted(index.candidates(entity), key=lambda s: s.subscription_id)
+        if s.active and s.matches_entity(entity) and s.triggered_by(changed)
+    ]
+
+
+# -- measurement -------------------------------------------------------------
+
+
+def _throughput(fn, work_items):
+    started = time.perf_counter()
+    for item in work_items:
+        fn(item)
+    elapsed = time.perf_counter() - started
+    return len(work_items) / elapsed if elapsed > 0 else float("inf")
+
+
+def run_mqtt_scale(sizes, messages=MESSAGES):
+    rows = []
+    for size in sizes:
+        subscriptions = mqtt_corpus(size)
+        trie = TopicTrie()
+        for client_id, filters in subscriptions.items():
+            for topic_filter, qos in filters:
+                trie.insert(topic_filter, client_id, qos)
+        topics = mqtt_topics(size, messages)
+        for topic in topics:  # equivalence gate, off the clock
+            linear = route_linear(subscriptions, topic)
+            indexed = route_indexed(trie, topic)
+            if linear != indexed:
+                raise AssertionError(
+                    f"mqtt routing divergence at {size} subs for {topic!r}: "
+                    f"linear={linear} indexed={indexed}"
+                )
+        linear_tput = _throughput(lambda t: route_linear(subscriptions, t), topics)
+        indexed_tput = _throughput(lambda t: route_indexed(trie, t), topics)
+        rows.append((size, linear_tput, indexed_tput, indexed_tput / linear_tput))
+    return rows
+
+
+def run_context_scale(sizes, messages=MESSAGES):
+    rows = []
+    for size in sizes:
+        index, subs = context_corpus(size)
+        entities = context_entities(size, messages)
+        changed = ["theta"]
+        for entity in entities:  # equivalence gate, off the clock
+            linear = dispatch_linear(subs, entity, changed)
+            indexed = dispatch_indexed(index, entity, changed)
+            if linear != indexed:
+                raise AssertionError(
+                    f"context dispatch divergence at {size} subs for "
+                    f"{entity.entity_id}: linear={linear} indexed={indexed}"
+                )
+        linear_tput = _throughput(lambda e: dispatch_linear(subs, e, changed), entities)
+        indexed_tput = _throughput(lambda e: dispatch_indexed(index, e, changed), entities)
+        rows.append((size, linear_tput, indexed_tput, indexed_tput / linear_tput))
+    return rows
+
+
+HEADERS = ("subscriptions", "linear msg/s", "indexed msg/s", "speedup")
+
+
+def test_e14_routing_scale(benchmark):
+    from _harness import run_once
+
+    def experiment():
+        return run_mqtt_scale(SIZES), run_context_scale(SIZES)
+
+    mqtt_rows, context_rows = run_once(benchmark, experiment)
+    print_table("E14a MQTT publish routing", HEADERS, mqtt_rows)
+    print_table("E14b context subscription dispatch", HEADERS, context_rows)
+    record_rows(benchmark, HEADERS, [("mqtt",) + r for r in mqtt_rows]
+                + [("context",) + r for r in context_rows])
+    # Shape: indexed routing wins and the win grows with subscription count.
+    for rows in (mqtt_rows, context_rows):
+        speedups = [r[3] for r in rows]
+        assert speedups[-1] >= TARGET_SPEEDUP_AT_10K, (
+            f"expected ≥{TARGET_SPEEDUP_AT_10K}x at {rows[-1][0]} subscriptions, "
+            f"got {speedups[-1]:.1f}x"
+        )
+        assert speedups[-1] > speedups[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, equivalence checks only (CI gate)")
+    parser.add_argument("--messages", type=int, default=MESSAGES)
+    args = parser.parse_args()
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+
+    def show(title, rows):
+        print(f"\n=== {title} ===")
+        print(f"{'subs':>8} {'linear msg/s':>14} {'indexed msg/s':>14} {'speedup':>8}")
+        for size, linear, indexed, speedup in rows:
+            print(f"{size:>8} {linear:>14.0f} {indexed:>14.0f} {speedup:>7.1f}x")
+
+    try:
+        mqtt_rows = run_mqtt_scale(sizes, args.messages)
+        context_rows = run_context_scale(sizes, args.messages)
+    except AssertionError as divergence:
+        print(f"FAIL: {divergence}")
+        return 1
+    show("E14a MQTT publish routing (trie vs linear scan)", mqtt_rows)
+    show("E14b context dispatch (index vs full scan)", context_rows)
+    if not args.smoke:
+        for rows in (mqtt_rows, context_rows):
+            if rows[-1][3] < TARGET_SPEEDUP_AT_10K:
+                print(f"FAIL: speedup {rows[-1][3]:.1f}x below target "
+                      f"{TARGET_SPEEDUP_AT_10K}x at {rows[-1][0]} subscriptions")
+                return 1
+    print("\nequivalence checks passed"
+          + ("" if args.smoke else "; speedup targets met"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

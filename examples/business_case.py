@@ -10,7 +10,7 @@ Run:  python examples/business_case.py              (~1-2 min)
 """
 
 from repro.analytics import Tariffs, deployment_benefit_eur, price_season
-from repro.core import build_matopiba_pilot
+from repro.api import build_matopiba_pilot
 
 TARIFFS = Tariffs(water_eur_m3=0.10, energy_eur_kwh=0.16, crop_price_eur_t=390.0)
 

@@ -9,7 +9,7 @@ prints each farm's satisfaction.
 Run:  python examples/cbec_water_distribution.py    (fast)
 """
 
-from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
+from repro.api import Canal, DistributionNetwork, FarmOfftake, Reservoir
 
 
 def build(stock_m3: float) -> DistributionNetwork:

@@ -14,10 +14,15 @@ Exits non-zero when any check fails, so CI can gate on it.
 import os
 import sys
 
-from repro.core import DeploymentKind, PilotConfig, PilotRunner
-from repro.faults import FaultPlan
-from repro.physics import LOAM, SOYBEAN
-from repro.physics.weather import BARREIRAS_MATOPIBA
+from repro.api import (
+    BARREIRAS_MATOPIBA,
+    LOAM,
+    SOYBEAN,
+    DeploymentKind,
+    FaultPlan,
+    PilotConfig,
+    PilotRunner,
+)
 
 PLAN_PATH = os.path.join(os.path.dirname(__file__), "plans", "partition_heal.json")
 

@@ -11,10 +11,15 @@ example runs the same farm twice through a 5-day WAN outage:
 Run:  python examples/fog_disconnection.py          (~30 s)
 """
 
-from repro.core import DeploymentKind, PilotConfig, PilotRunner
-from repro.physics import LOAM, SOYBEAN
-from repro.physics.weather import BARREIRAS_MATOPIBA
-from repro.simkernel.clock import DAY
+from repro.api import (
+    BARREIRAS_MATOPIBA,
+    DAY,
+    LOAM,
+    SOYBEAN,
+    DeploymentKind,
+    PilotConfig,
+    PilotRunner,
+)
 
 
 def run(deployment: DeploymentKind):

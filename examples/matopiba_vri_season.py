@@ -9,7 +9,7 @@ yield.
 Run:  python examples/matopiba_vri_season.py        (~1-2 min)
 """
 
-from repro.core import build_matopiba_pilot
+from repro.api import build_matopiba_pilot
 
 
 def run(label: str, scheduler_kind: str):

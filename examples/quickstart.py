@@ -8,9 +8,14 @@ broker → scheduler → actuator → soil).
 Run:  python examples/quickstart.py
 """
 
-from repro.core import DeploymentKind, PilotConfig, PilotRunner
-from repro.physics import LOAM, SOYBEAN
-from repro.physics.weather import BARREIRAS_MATOPIBA
+from repro.api import (
+    BARREIRAS_MATOPIBA,
+    LOAM,
+    SOYBEAN,
+    DeploymentKind,
+    PilotConfig,
+    PilotRunner,
+)
 
 
 def main() -> None:

@@ -12,11 +12,17 @@ The storyline of the paper's §III, executed end to end:
 Run:  python examples/security_attack_demo.py       (~30 s)
 """
 
-from repro.core import DeploymentKind, PilotConfig, PilotRunner, SecurityConfig
-from repro.physics import LOAM, SOYBEAN
-from repro.physics.weather import BARREIRAS_MATOPIBA
+from repro.api import (
+    BARREIRAS_MATOPIBA,
+    DAY,
+    LOAM,
+    SOYBEAN,
+    DeploymentKind,
+    PilotConfig,
+    PilotRunner,
+    SecurityConfig,
+)
 from repro.security.attacks import SensorTamper, TamperMode
-from repro.simkernel.clock import DAY
 
 
 def main() -> None:

@@ -1,0 +1,122 @@
+"""The stable public API of the SWAMP reproduction.
+
+``repro.api`` is the *supported* surface: everything re-exported here (the
+``__all__`` list) keeps its name and semantics across releases, while the
+subpackages behind it refactor freely — routing indexes, runtime stages
+and broker internals have all changed under these names without breaking
+callers.  Import from here in examples, notebooks and downstream code:
+
+    from repro.api import PilotConfig, DeploymentKind, run_pilot
+    report = run_pilot(PilotConfig(name="demo", ...))
+
+Deprecation policy (see DESIGN.md): names leave this module only after at
+least one release in which their use emits a ``DeprecationWarning``
+pointing at the replacement; internal modules may change at any time.
+"""
+
+from repro.context import (
+    Attribute,
+    AttrFilter,
+    ContextBroker,
+    ContextEntity,
+    ContextError,
+    NotFoundError,
+    Notification,
+    Query,
+    QueryError,
+    ShortTermHistory,
+    Subscription,
+    SubscriptionIndex,
+)
+from repro.core import (
+    DeploymentKind,
+    PilotConfig,
+    PilotReport,
+    PilotRunner,
+    SecurityConfig,
+    build_cbec_pilot,
+    build_guaspari_pilot,
+    build_intercrop_pilot,
+    build_matopiba_pilot,
+)
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, FaultPlanError
+from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
+from repro.mqtt import (
+    MqttBroker,
+    MqttClient,
+    RoutingMismatchError,
+    TopicError,
+    TopicTrie,
+    topic_matches,
+)
+from repro.physics import (
+    BARREIRAS_MATOPIBA,
+    LOAM,
+    SANDY_LOAM,
+    SOYBEAN,
+    ClimateProfile,
+    Crop,
+    Field,
+    SoilProperties,
+)
+from repro.simkernel import ReproError, Simulator, StopSimulation
+from repro.simkernel.clock import DAY, HOUR
+from repro.telemetry import MetricsRegistry
+
+__all__ = [
+    "AttrFilter",
+    "Attribute",
+    "BARREIRAS_MATOPIBA",
+    "Canal",
+    "ClimateProfile",
+    "ContextBroker",
+    "ContextEntity",
+    "ContextError",
+    "Crop",
+    "DAY",
+    "DeploymentKind",
+    "DistributionNetwork",
+    "FarmOfftake",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "Field",
+    "HOUR",
+    "LOAM",
+    "MetricsRegistry",
+    "MqttBroker",
+    "MqttClient",
+    "NotFoundError",
+    "Notification",
+    "PilotConfig",
+    "PilotReport",
+    "PilotRunner",
+    "Query",
+    "QueryError",
+    "ReproError",
+    "Reservoir",
+    "RoutingMismatchError",
+    "SANDY_LOAM",
+    "SOYBEAN",
+    "SecurityConfig",
+    "ShortTermHistory",
+    "Simulator",
+    "SoilProperties",
+    "StopSimulation",
+    "Subscription",
+    "SubscriptionIndex",
+    "TopicError",
+    "TopicTrie",
+    "build_cbec_pilot",
+    "build_guaspari_pilot",
+    "build_intercrop_pilot",
+    "build_matopiba_pilot",
+    "run_pilot",
+    "topic_matches",
+]
+
+
+def run_pilot(config: PilotConfig) -> PilotReport:
+    """Build a pilot from ``config``, run the full season, return its report."""
+    return PilotRunner(config).run_season()

@@ -15,18 +15,25 @@ Fog and cloud tiers each host a broker instance; :mod:`repro.fog`
 replicates between them.
 """
 
-from repro.context.broker import ContextBroker, ContextError, NotFoundError
+from repro.context.broker import ContextBroker
 from repro.context.entities import Attribute, ContextEntity
+from repro.context.errors import AlreadyExistsError, ContextError, NotFoundError, QueryError
 from repro.context.history import ShortTermHistory
-from repro.context.subscriptions import Notification, Subscription
+from repro.context.query import AttrFilter, Query
+from repro.context.subscriptions import Notification, Subscription, SubscriptionIndex
 
 __all__ = [
+    "AlreadyExistsError",
+    "AttrFilter",
     "Attribute",
     "ContextBroker",
     "ContextEntity",
     "ContextError",
     "NotFoundError",
     "Notification",
+    "Query",
+    "QueryError",
     "ShortTermHistory",
     "Subscription",
+    "SubscriptionIndex",
 ]

@@ -10,79 +10,52 @@ Query filters use the small predicate language of NGSIv2's ``q`` parameter:
 """
 
 import re
-from typing import Any, Callable, Dict, List, Optional
+import warnings
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.context.entities import Attribute, ContextEntity
-from repro.context.subscriptions import Notification, Subscription
+from repro.context.errors import AlreadyExistsError, ContextError, NotFoundError, QueryError
+from repro.context.query import AttrFilter, Query, apply_op, parse_filter_expression
+from repro.context.subscriptions import Notification, Subscription, SubscriptionIndex
 from repro.simkernel.simulator import Simulator
 
+__all__ = [
+    "AlreadyExistsError",
+    "AttrFilter",
+    "ContextBroker",
+    "ContextError",
+    "NotFoundError",
+    "Query",
+    "QueryError",
+]
 
-class ContextError(Exception):
-    """Base error for context operations."""
-
-
-class NotFoundError(ContextError):
-    """Entity does not exist."""
-
-
-class AlreadyExistsError(ContextError):
-    """Entity id already registered."""
-
-
-_OPS = ("<=", ">=", "==", "!=", "<", ">")
+# Back-compat shims for the pre-typed-query private helpers.
+_apply_op = apply_op
 
 
 def _parse_filter(expression: str):
-    # Split on the *earliest* operator occurrence by position (an operator
-    # appearing inside the value, e.g. ``label<a==b``, must not win just
-    # because it sorts earlier in _OPS), preferring the longest operator at
-    # that position so ``a<=1`` parses as ``<=`` rather than ``<``.
-    best_pos = -1
-    best_op = None
-    for op in _OPS:
-        pos = expression.find(op)
-        if pos < 0:
-            continue
-        if best_op is None or pos < best_pos or (pos == best_pos and len(op) > len(best_op)):
-            best_pos, best_op = pos, op
-    if best_op is None:
-        raise ContextError(f"cannot parse filter expression {expression!r}")
-    attr = expression[:best_pos].strip()
-    raw = expression[best_pos + len(best_op):].strip()
-    try:
-        value: Any = float(raw)
-    except ValueError:
-        value = raw
-    return attr, best_op, value
+    parsed = parse_filter_expression(expression)
+    return parsed.attr, parsed.op, parsed.value
 
 
-def _apply_op(actual: Any, op: str, expected: Any) -> bool:
-    if actual is None:
-        return False
-    if isinstance(expected, float) and isinstance(actual, bool):
-        return False
-    try:
-        if op == "==":
-            if isinstance(expected, float):
-                return float(actual) == expected
-            return str(actual) == expected
-        if op == "!=":
-            if isinstance(expected, float):
-                return float(actual) != expected
-            return str(actual) != expected
-        numeric_actual = float(actual)
-        numeric_expected = float(expected)
-    except (TypeError, ValueError):
-        return False
-    if op == "<":
-        return numeric_actual < numeric_expected
-    if op == "<=":
-        return numeric_actual <= numeric_expected
-    if op == ">":
-        return numeric_actual > numeric_expected
-    if op == ">=":
-        return numeric_actual >= numeric_expected
-    return False
+def _coerce_filters(filters: Optional[List[Union[str, AttrFilter]]]) -> List[AttrFilter]:
+    """Normalize a mixed filter list; string expressions are deprecated."""
+    coerced: List[AttrFilter] = []
+    for item in filters or []:
+        if isinstance(item, AttrFilter):
+            coerced.append(item)
+        elif isinstance(item, str):
+            warnings.warn(
+                "string filter expressions are deprecated; use "
+                "Query(...).where(attr, op, value) or AttrFilter(attr, op, value)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            coerced.append(parse_filter_expression(item))
+        else:
+            raise QueryError(f"unsupported filter {item!r}; expected AttrFilter or str")
+    return coerced
 
 
 class BrokerMetrics:
@@ -102,6 +75,19 @@ class ContextBroker:
         self.name = name
         self.entities: Dict[str, ContextEntity] = {}
         self.subscriptions: Dict[str, Subscription] = {}
+        self._sub_index = SubscriptionIndex()
+        # Query narrowing: entity ids by type, and by attribute presence.
+        # Maintained through the entity write-through hook so attributes
+        # set directly on the entity (the IoT agent provisions that way)
+        # still index; an id listed here may therefore be a superset of
+        # the ids a predicate accepts, never a subset.
+        self._type_index: Dict[str, Dict[str, None]] = {}
+        self._attr_index: Dict[str, Dict[str, None]] = {}
+        # Batched dispatch: while a ``with broker.batch():`` block is
+        # open, per-entity changed-attribute sets coalesce here and fire
+        # one notification per subscription per entity at block exit.
+        self._batch_depth = 0
+        self._pending_dispatch: Dict[str, List[str]] = {}
         self.metrics = BrokerMetrics()
         # Hook called on every applied update: (entity, changed_attrs).
         # The replicator and audit layers attach here.
@@ -114,6 +100,9 @@ class ContextBroker:
         self._m_queries = registry.counter("context.queries", labels)
         self._m_notifications = registry.counter("context.notifications", labels)
         self._m_throttled = registry.counter("context.notifications_throttled", labels)
+        # Candidate subscriptions the index yielded per dispatch; a full
+        # scan would examine every subscription instead.
+        self._m_dispatch_candidates = registry.counter("context.dispatch_candidates", labels)
         self._m_query_latency = registry.timer("context.query_latency_s", labels)
         registry.register_callback(
             "context.entities", lambda: float(len(self.entities)), labels
@@ -130,12 +119,22 @@ class ContextBroker:
         if entity_id in self.entities:
             raise AlreadyExistsError(f"entity {entity_id!r} already exists")
         entity = ContextEntity(entity_id, entity_type)
+        entity.on_set_attribute = self._note_attribute
         self.entities[entity_id] = entity
+        self._type_index.setdefault(entity_type, {})[entity_id] = None
         self.metrics.creates += 1
         self._m_creates.inc()
         if attrs:
             self.update_attributes(entity_id, attrs)
+        else:
+            # Attribute-less creation still notifies condition-less
+            # subscribers (changed = []), so a subscription registered
+            # before the entity's first attribute set observes creation.
+            self._dispatch_or_defer(entity, [])
         return entity
+
+    def _note_attribute(self, entity_id: str, name: str) -> None:
+        self._attr_index.setdefault(name, {})[entity_id] = None
 
     def ensure_entity(
         self, entity_id: str, entity_type: str, attrs: Optional[Dict[str, Any]] = None
@@ -158,9 +157,22 @@ class ContextBroker:
         return entity_id in self.entities
 
     def delete_entity(self, entity_id: str) -> None:
-        if entity_id not in self.entities:
+        entity = self.entities.pop(entity_id, None)
+        if entity is None:
             raise NotFoundError(f"entity {entity_id!r} not found")
-        del self.entities[entity_id]
+        entity.on_set_attribute = None
+        bucket = self._type_index.get(entity.entity_type)
+        if bucket is not None:
+            bucket.pop(entity_id, None)
+            if not bucket:
+                del self._type_index[entity.entity_type]
+        for name in entity.attributes:
+            ids = self._attr_index.get(name)
+            if ids is not None:
+                ids.pop(entity_id, None)
+                if not ids:
+                    del self._attr_index[name]
+        self._pending_dispatch.pop(entity_id, None)
         self.metrics.deletes += 1
         self._m_deletes.inc()
 
@@ -193,32 +205,91 @@ class ContextBroker:
             self._m_updates.inc()
             for hook in self.update_hooks:
                 hook(entity, changed)
-            self._dispatch(entity, changed)
+            self._dispatch_or_defer(entity, changed)
         return changed
+
+    @contextmanager
+    def batch(self) -> Iterator["ContextBroker"]:
+        """Coalesce subscription notifications across several updates.
+
+        Inside the block, updates apply immediately (entity state, update
+        hooks, history) but subscription dispatch is deferred; when the
+        outermost block closes, each touched entity fires *one*
+        notification per matching subscription, carrying the merged
+        changed-attribute list in first-write order — instead of one
+        callback per ``update_attributes`` call.  Entities flush in the
+        order they were first touched, so batching stays deterministic.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0:
+                pending, self._pending_dispatch = self._pending_dispatch, {}
+                for entity_id, changed in pending.items():
+                    entity = self.entities.get(entity_id)
+                    if entity is not None:
+                        self._dispatch(entity, changed)
+
+    def _dispatch_or_defer(self, entity: ContextEntity, changed: List[str]) -> None:
+        if self._batch_depth == 0:
+            self._dispatch(entity, changed)
+            return
+        merged = self._pending_dispatch.setdefault(entity.entity_id, [])
+        for name in changed:
+            if name not in merged:
+                merged.append(name)
 
     # -- queries -----------------------------------------------------------
 
     def query(
         self,
-        entity_type: Optional[str] = None,
+        entity_type: Optional[Union[str, Query]] = None,
         id_pattern: Optional[str] = None,
-        filters: Optional[List[str]] = None,
+        filters: Optional[List[Union[str, AttrFilter]]] = None,
         limit: Optional[int] = None,
     ) -> List[ContextEntity]:
-        """Filtered entity listing, deterministic order (by id)."""
+        """Filtered entity listing, deterministic order (by id).
+
+        Accepts either a :class:`Query` as the first argument
+        (``broker.query(Query(type="SoilProbe").where("soilMoisture", "<", 0.2))``)
+        or the individual keyword arguments.  ``filters`` items are
+        :class:`AttrFilter` objects; plain ``q`` strings still work but
+        emit a ``DeprecationWarning``.
+        """
+        if isinstance(entity_type, Query):
+            q = entity_type
+            entity_type = q.type
+            id_pattern = id_pattern if id_pattern is not None else q.id_pattern
+            limit = limit if limit is not None else q.limit
+            filters = list(q.filters) + list(filters or [])
         self.metrics.queries += 1
         self._m_queries.inc()
         with self._m_query_latency:
             regex = re.compile(id_pattern) if id_pattern else None
-            parsed = [_parse_filter(f) for f in (filters or [])]
+            parsed = _coerce_filters(filters)
+            # Narrow the scan through the type and attribute-presence
+            # indexes: a predicate on an absent attribute never matches
+            # (apply_op treats None as no-match), so intersecting presence
+            # buckets cannot drop a qualifying entity.
+            candidate_ids: Optional[set] = None
+            if entity_type is not None:
+                candidate_ids = set(self._type_index.get(entity_type, ()))
+            for parsed_filter in parsed:
+                ids = set(self._attr_index.get(parsed_filter.attr, ()))
+                candidate_ids = ids if candidate_ids is None else candidate_ids & ids
+            ordered = sorted(self.entities) if candidate_ids is None else sorted(candidate_ids)
             results: List[ContextEntity] = []
-            for entity_id in sorted(self.entities):
-                entity = self.entities[entity_id]
+            for entity_id in ordered:
+                entity = self.entities.get(entity_id)
+                if entity is None:
+                    continue
                 if entity_type is not None and entity.entity_type != entity_type:
                     continue
                 if regex is not None and not regex.search(entity_id):
                     continue
-                if not all(_apply_op(entity.get(attr), op, value) for attr, op, value in parsed):
+                if not all(f.matches(entity) for f in parsed):
                     continue
                 results.append(entity)
                 if limit is not None and len(results) >= limit:
@@ -232,14 +303,21 @@ class ContextBroker:
 
     def subscribe(self, subscription: Subscription) -> str:
         self.subscriptions[subscription.subscription_id] = subscription
+        self._sub_index.add(subscription)
         return subscription.subscription_id
 
     def unsubscribe(self, subscription_id: str) -> None:
         self.subscriptions.pop(subscription_id, None)
+        self._sub_index.remove(subscription_id)
 
     def _dispatch(self, entity: ContextEntity, changed: List[str]) -> None:
         now = self.sim.now
-        for subscription in sorted(self.subscriptions.values(), key=lambda s: s.subscription_id):
+        # The index yields a superset of the matching subscriptions in
+        # O(candidates); sorting the small candidate set by subscription
+        # id reproduces the old sorted-full-scan delivery order exactly.
+        candidates = self._sub_index.candidates(entity)
+        self._m_dispatch_candidates.inc(len(candidates))
+        for subscription in sorted(candidates, key=lambda s: s.subscription_id):
             if not subscription.active:
                 continue
             if not subscription.matches_entity(entity):

@@ -1,7 +1,7 @@
 """NGSIv2 context entities and attributes."""
 
 import re
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 _ID_PATTERN = re.compile(r"^[A-Za-z0-9_\-:.]+$")
 
@@ -53,6 +53,10 @@ class ContextEntity:
         self.entity_id = entity_id
         self.entity_type = entity_type
         self.attributes: Dict[str, Attribute] = {}
+        # Write-through hook set by the owning broker so attributes set
+        # directly on the entity (not via update_attributes) still reach
+        # the broker's query indexes.  Snapshots (copy()) never carry it.
+        self.on_set_attribute: Optional[Callable[[str, str], None]] = None
 
     def set_attribute(
         self,
@@ -64,6 +68,8 @@ class ContextEntity:
     ) -> Attribute:
         attribute = Attribute(name, value, attr_type, metadata, timestamp)
         self.attributes[name] = attribute
+        if self.on_set_attribute is not None:
+            self.on_set_attribute(self.entity_id, name)
         return attribute
 
     def get(self, name: str, default: Any = None) -> Any:

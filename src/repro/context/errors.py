@@ -1,0 +1,19 @@
+"""Context-broker exceptions, rooted in the platform-wide hierarchy."""
+
+from repro.simkernel.errors import ReproError
+
+
+class ContextError(ReproError):
+    """Base error for context operations."""
+
+
+class NotFoundError(ContextError):
+    """Entity does not exist."""
+
+
+class AlreadyExistsError(ContextError):
+    """Entity id already registered."""
+
+
+class QueryError(ContextError):
+    """Malformed query filter (bad operator, unparseable expression)."""

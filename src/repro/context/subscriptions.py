@@ -74,8 +74,12 @@ class Subscription:
         return True
 
     def triggered_by(self, changed_attrs: List[str]) -> bool:
+        # Condition-less subscriptions fire on *any* entity event,
+        # including attribute-less creation (empty ``changed_attrs``) —
+        # a subscriber registered before the entity's first attribute set
+        # must still learn the entity exists.
         if not self.condition_attrs:
-            return bool(changed_attrs)
+            return True
         return any(attr in self.condition_attrs for attr in changed_attrs)
 
     def build_notification(
@@ -89,3 +93,78 @@ class Subscription:
                 if name in self.notify_attrs
             }
         return Notification(self.subscription_id, snapshot, list(changed_attrs), now)
+
+
+class SubscriptionIndex:
+    """Dispatch index bucketing subscriptions by their selector.
+
+    The broker's hot path asks "which subscriptions could match this
+    entity?"; answering by scanning every subscription is
+    O(subscriptions) per update.  The index buckets each subscription
+    once, by its most selective constraint:
+
+    * exact ``entity_id``  -> the ``by id`` bucket for that id;
+    * else ``entity_type`` -> the ``by type`` bucket for that type;
+    * else (``id_pattern`` only) -> the residual list, scanned always.
+
+    :meth:`candidates` returns a superset of the matching subscriptions
+    (``Subscription.matches_entity`` is still applied by the dispatcher,
+    so a subscription constraining both id and type is bucketed by id and
+    type-checked at dispatch).  Buckets preserve insertion order; the
+    dispatcher re-sorts the small candidate set by subscription id, which
+    reproduces the full scan's delivery order bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, Dict[str, Subscription]] = {}
+        self._by_type: Dict[str, Dict[str, Subscription]] = {}
+        self._residual: Dict[str, Subscription] = {}
+        self._all: Dict[str, Subscription] = {}
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def add(self, subscription: Subscription) -> None:
+        self._all[subscription.subscription_id] = subscription
+        bucket = self._bucket_for(subscription)
+        bucket[subscription.subscription_id] = subscription
+
+    def remove(self, subscription_id: str) -> Optional[Subscription]:
+        subscription = self._all.pop(subscription_id, None)
+        if subscription is None:
+            return None
+        if subscription.entity_id is not None:
+            bucket = self._by_id.get(subscription.entity_id)
+            if bucket is not None:
+                bucket.pop(subscription_id, None)
+                if not bucket:
+                    del self._by_id[subscription.entity_id]
+        elif subscription.entity_type is not None:
+            bucket = self._by_type.get(subscription.entity_type)
+            if bucket is not None:
+                bucket.pop(subscription_id, None)
+                if not bucket:
+                    del self._by_type[subscription.entity_type]
+        else:
+            self._residual.pop(subscription_id, None)
+        return subscription
+
+    def _bucket_for(self, subscription: Subscription) -> Dict[str, Subscription]:
+        if subscription.entity_id is not None:
+            return self._by_id.setdefault(subscription.entity_id, {})
+        if subscription.entity_type is not None:
+            return self._by_type.setdefault(subscription.entity_type, {})
+        return self._residual
+
+    def candidates(self, entity: ContextEntity) -> List[Subscription]:
+        """Superset of subscriptions whose selector can match ``entity``."""
+        out: List[Subscription] = []
+        bucket = self._by_id.get(entity.entity_id)
+        if bucket:
+            out.extend(bucket.values())
+        bucket = self._by_type.get(entity.entity_type)
+        if bucket:
+            out.extend(bucket.values())
+        if self._residual:
+            out.extend(self._residual.values())
+        return out

@@ -42,6 +42,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.simkernel.errors import ReproError
+
 FAULT_KINDS = (
     "link_partition",
     "radio_jam",
@@ -56,7 +58,7 @@ FAULT_KINDS = (
 ONE_SHOT_KINDS = ("battery_brownout",)
 
 
-class FaultPlanError(ValueError):
+class FaultPlanError(ReproError, ValueError):
     """A plan failed validation (unknown kind, bad times, ...)."""
 
 

@@ -14,7 +14,7 @@ Clients and broker exchange MQTT control packets as payloads on the
 :mod:`repro.network` substrate.
 """
 
-from repro.mqtt.broker import MqttBroker
+from repro.mqtt.broker import MqttBroker, RoutingMismatchError
 from repro.mqtt.client import MqttClient
 from repro.mqtt.packets import (
     ConnAck,
@@ -33,7 +33,7 @@ from repro.mqtt.packets import (
     UnsubAck,
     Unsubscribe,
 )
-from repro.mqtt.topics import TopicError, topic_matches, validate_filter, validate_topic
+from repro.mqtt.topics import TopicError, TopicTrie, topic_matches, validate_filter, validate_topic
 
 __all__ = [
     "ConnAck",
@@ -49,9 +49,11 @@ __all__ = [
     "PubRec",
     "PubRel",
     "Publish",
+    "RoutingMismatchError",
     "SubAck",
     "Subscribe",
     "TopicError",
+    "TopicTrie",
     "UnsubAck",
     "Unsubscribe",
     "topic_matches",

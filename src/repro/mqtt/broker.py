@@ -33,12 +33,21 @@ from repro.mqtt.packets import (
     Unsubscribe,
 )
 from repro.mqtt.qos import Inbox, Outbox
-from repro.mqtt.topics import TopicError, topic_matches, validate_filter, validate_topic
+from repro.mqtt.topics import TopicError, TopicTrie, topic_matches, validate_filter, validate_topic
 from repro.network.node import NetworkNode
 from repro.network.packet import Packet
+from repro.simkernel.errors import ReproError
 from repro.simkernel.simulator import Simulator
 
 SUBACK_FAILURE = 0x80
+
+
+class RoutingMismatchError(ReproError):
+    """Indexed routing diverged from the linear-scan reference.
+
+    Only raised when ``MqttBroker.verify_routing`` is enabled (property
+    tests and the CI routing smoke); production paths trust the index.
+    """
 
 
 class BrokerSession:
@@ -119,6 +128,14 @@ class MqttBroker(NetworkNode):
         self.max_inflight_per_session = max_inflight_per_session
         self.sessions: Dict[str, BrokerSession] = {}
         self._address_index: Dict[str, str] = {}  # network address -> client_id
+        # Routing index: filter-trie entries are client_id -> granted qos.
+        # Mirrors the union of every session's ``subscriptions`` dict (for
+        # connected *and* offline persistent sessions — the latter still
+        # route into their offline queues).
+        self._routes = TopicTrie()
+        # When True every publish cross-checks the trie against the linear
+        # scan and raises RoutingMismatchError on divergence (tests/CI).
+        self.verify_routing = False
         self.retained: Dict[str, Publish] = {}
         self.stats = BrokerStats()
         labels = {"broker": address}
@@ -130,6 +147,9 @@ class MqttBroker(NetworkNode):
         self._m_denied = registry.counter("mqtt.denied", labels)
         self._m_dropped = registry.counter("mqtt.dropped_overload", labels)
         self._m_expired = registry.counter("mqtt.session_expirations", labels)
+        # Candidate (filter, client) pairs the index yielded per publish;
+        # with linear scan this would grow with total subscription count.
+        self._m_route_candidates = registry.counter("mqtt.route_candidates", labels)
         registry.register_callback(
             "mqtt.connected_clients",
             lambda: float(sum(1 for s in self.sessions.values() if s.connected)),
@@ -181,6 +201,11 @@ class MqttBroker(NetworkNode):
         self._address_index.pop(session.address, None)
         if session.clean_session:
             self.sessions.pop(session.client_id, None)
+            self._drop_session_routes(session)
+
+    def _drop_session_routes(self, session: BrokerSession) -> None:
+        for topic_filter in session.subscriptions:
+            self._routes.discard(topic_filter, session.client_id)
 
     def _send_to(self, session: BrokerSession, packet: MqttPacket) -> None:
         self.send(session.address, packet, packet.wire_size(), flow="mqtt")
@@ -253,6 +278,9 @@ class MqttBroker(NetworkNode):
             existing = self.sessions.get(connect.client_id)
 
         if connect.clean_session or existing is None:
+            if existing is not None:
+                # A clean connect discards the persistent session it replaces.
+                self._drop_session_routes(existing)
             session = BrokerSession(self, connect.client_id, src_address, connect)
             self.sessions[connect.client_id] = session
         else:
@@ -330,11 +358,25 @@ class MqttBroker(NetworkNode):
             else:
                 # Zero-byte retained payload clears the retained message.
                 self.retained.pop(publish.topic, None)
-        for session in sorted(self.sessions.values(), key=lambda s: s.client_id):
-            qos = session.granted_qos(publish.topic)
-            if qos is None:
+        # Indexed hot path: the trie yields only the (client, filter) pairs
+        # whose filter matches, in O(topic depth); the old code scanned
+        # every filter of every session.  Delivery order is unchanged —
+        # the matched client set is sorted by client_id exactly as the
+        # full sorted-session scan produced it.
+        matched = self._routes.match(publish.topic)
+        self._m_route_candidates.inc(len(matched))
+        granted: Dict[str, int] = {}
+        for client_id, qos in matched:
+            best = granted.get(client_id)
+            if best is None or qos > best:
+                granted[client_id] = qos
+        if self.verify_routing:
+            self._check_routing_equivalence(publish.topic, granted)
+        for client_id in sorted(granted):
+            session = self.sessions.get(client_id)
+            if session is None:
                 continue
-            effective_qos = min(qos, publish.qos)
+            effective_qos = min(granted[client_id], publish.qos)
             if not session.connected:
                 if not session.clean_session and effective_qos > 0:
                     if len(session.offline_queue) < self.max_offline_queue:
@@ -345,6 +387,19 @@ class MqttBroker(NetworkNode):
                         self.stats.dropped_overload += 1; self._m_dropped.inc()
                 continue
             self._deliver_to(session, publish, effective_qos)
+
+    def _check_routing_equivalence(self, topic: str, granted: Dict[str, int]) -> None:
+        """Compare the trie's routing decision with the linear reference."""
+        reference = {
+            client_id: session.granted_qos(topic)
+            for client_id, session in self.sessions.items()
+            if session.granted_qos(topic) is not None
+        }
+        if reference != granted:
+            raise RoutingMismatchError(
+                f"indexed routing diverged for topic {topic!r}: "
+                f"trie={dict(sorted(granted.items()))} scan={dict(sorted(reference.items()))}"
+            )
 
     def _deliver_to(self, session: BrokerSession, publish: Publish, qos: int) -> None:
         outbound = Publish(topic=publish.topic, payload=publish.payload, qos=qos, retain=False)
@@ -377,6 +432,7 @@ class MqttBroker(NetworkNode):
                 continue
             qos = min(qos, 2)
             session.subscriptions[topic_filter] = qos
+            self._routes.insert(topic_filter, session.client_id, qos)
             return_codes.append(qos)
             granted.append((topic_filter, qos))
         self._send_to(session, SubAck(packet_id=subscribe.packet_id, return_codes=tuple(return_codes)))
@@ -399,7 +455,8 @@ class MqttBroker(NetworkNode):
 
     def _on_unsubscribe(self, session: BrokerSession, unsubscribe: Unsubscribe) -> None:
         for topic_filter in unsubscribe.filters:
-            session.subscriptions.pop(topic_filter, None)
+            if session.subscriptions.pop(topic_filter, None) is not None:
+                self._routes.discard(topic_filter, session.client_id)
         self._send_to(session, UnsubAck(packet_id=unsubscribe.packet_id))
 
     # -- fault injection -----------------------------------------------------------
@@ -428,6 +485,7 @@ class MqttBroker(NetworkNode):
             session.offline_queue.clear()
         self.sessions.clear()
         self._address_index.clear()
+        self._routes.clear()
 
     # -- inspection -----------------------------------------------------------
 

@@ -9,10 +9,12 @@ Implements the MQTT 3.1.1 matching rules:
 * empty levels are legal (``a//b`` has three levels).
 """
 
-from typing import List
+from typing import Any, Dict, List, Tuple
+
+from repro.simkernel.errors import ReproError
 
 
-class TopicError(ValueError):
+class TopicError(ReproError, ValueError):
     """Invalid topic name or filter."""
 
 
@@ -72,3 +74,114 @@ def topic_matches(topic_filter: str, topic: str) -> bool:
     # handled above.  Here the filter is exhausted; match only if the topic
     # is too.
     return len(topic_levels) == len(filter_levels)
+
+
+class _TrieNode:
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        # key -> value, insertion-ordered; one node per distinct filter.
+        self.entries: Dict[Any, Any] = {}
+
+
+class TopicTrie:
+    """Topic-segment routing index over MQTT subscription filters.
+
+    Each filter is one path through the trie (wildcard levels ``+`` and
+    ``#`` are ordinary edge labels — concrete topics can never contain
+    them, so there is no collision); the node at the end of the path holds
+    the ``key -> value`` entries registered for that exact filter (the
+    broker stores ``client_id -> granted qos``).
+
+    :meth:`match` resolves a concrete topic against every stored filter in
+    O(topic depth × branching) instead of O(filters): at each level the
+    walk can only continue along the literal child, the ``+`` child and
+    terminate in a ``#`` child.  Matching follows :func:`topic_matches`
+    exactly, including the two spec subtleties — ``sport/#`` matches the
+    parent ``sport``, and wildcard-leading filters never match ``$``
+    topics.
+    """
+
+    __slots__ = ("_root", "_size")
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of (filter, key) entries currently stored."""
+        return self._size
+
+    def insert(self, topic_filter: str, key: Any, value: Any = None) -> None:
+        """Register ``key`` under ``topic_filter`` (validated); upserts value."""
+        validate_filter(topic_filter)
+        node = self._root
+        for level in topic_filter.split("/"):
+            node = node.children.setdefault(level, _TrieNode())
+        if key not in node.entries:
+            self._size += 1
+        node.entries[key] = value
+
+    def discard(self, topic_filter: str, key: Any) -> bool:
+        """Remove one entry; prunes empty branches.  True when found."""
+        path: List[Tuple[_TrieNode, str]] = []
+        node = self._root
+        for level in topic_filter.split("/"):
+            child = node.children.get(level)
+            if child is None:
+                return False
+            path.append((node, level))
+            node = child
+        if key not in node.entries:
+            return False
+        del node.entries[key]
+        self._size -= 1
+        for parent, level in reversed(path):
+            child = parent.children[level]
+            if child.entries or child.children:
+                break
+            del parent.children[level]
+        return True
+
+    def clear(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def match(self, topic: str) -> List[Tuple[Any, Any]]:
+        """All (key, value) entries whose filter matches ``topic``.
+
+        One pair per matching (filter, key); a key subscribed through
+        several matching filters appears once per filter — callers
+        aggregate (the broker takes the max granted QoS).
+        """
+        levels = topic.split("/")
+        out: List[Tuple[Any, Any]] = []
+        root = self._root
+        if levels[0].startswith("$"):
+            # Wildcard-leading filters must not match $-topics: skip the
+            # root's '+'/'#' children entirely and walk only the literal
+            # first level.
+            child = root.children.get(levels[0])
+            if child is not None:
+                self._collect(child, levels, 1, out)
+            return out
+        self._collect(root, levels, 0, out)
+        return out
+
+    def _collect(
+        self, node: _TrieNode, levels: List[str], i: int, out: List[Tuple[Any, Any]]
+    ) -> None:
+        hash_child = node.children.get("#")
+        if hash_child is not None:
+            # '#' matches the remainder *including* the parent level.
+            out.extend(hash_child.entries.items())
+        if i == len(levels):
+            out.extend(node.entries.items())
+            return
+        child = node.children.get(levels[i])
+        if child is not None:
+            self._collect(child, levels, i + 1, out)
+        plus_child = node.children.get("+")
+        if plus_child is not None:
+            self._collect(plus_child, levels, i + 1, out)

@@ -20,10 +20,11 @@ beyond what the dependency graph requires.
 import enum
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.simkernel.errors import ReproError
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 
-class PlatformError(Exception):
+class PlatformError(ReproError):
     """Base error for runtime/registry misuse."""
 
 

@@ -13,7 +13,7 @@ reproducible bit-for-bit from a seed), so:
 """
 
 from repro.simkernel.clock import SimClock
-from repro.simkernel.errors import SimulationError, StopSimulation
+from repro.simkernel.errors import ReproError, SimulationError, StopSimulation
 from repro.simkernel.events import Event, EventQueue
 from repro.simkernel.process import Process, ProcessState
 from repro.simkernel.rng import RngRegistry, SeededStream
@@ -25,6 +25,7 @@ __all__ = [
     "EventQueue",
     "Process",
     "ProcessState",
+    "ReproError",
     "RngRegistry",
     "SeededStream",
     "SimClock",

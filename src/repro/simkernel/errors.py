@@ -1,7 +1,20 @@
-"""Exception types raised by the simulation kernel."""
+"""Exception types raised by the simulation kernel.
+
+This module also hosts :class:`ReproError`, the root of the repository's
+unified exception hierarchy: topic validation errors, context-broker
+lookup errors, fault-plan validation errors and platform lifecycle errors
+all derive from it, so ``except ReproError`` catches any failure raised by
+the platform's own code (as opposed to plain Python bugs).  Subsystems
+keep their historical secondary bases (``ValueError``, ``RuntimeError``)
+so existing ``except`` clauses continue to work.
+"""
 
 
-class SimulationError(RuntimeError):
+class ReproError(Exception):
+    """Root of every exception raised by the repro platform."""
+
+
+class SimulationError(ReproError, RuntimeError):
     """Base class for kernel-level failures (bad schedule, reversed clock...)."""
 
 

@@ -1,0 +1,74 @@
+"""The ``repro.api`` façade: stable names, unified errors, run_pilot."""
+
+import pytest
+
+import repro.api as api
+from repro.api import (
+    BARREIRAS_MATOPIBA,
+    LOAM,
+    SOYBEAN,
+    DeploymentKind,
+    PilotConfig,
+    ReproError,
+    run_pilot,
+)
+
+
+class TestFacadeSurface:
+    def test_every_exported_name_resolves(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert missing == []
+
+    def test_all_is_sorted_and_unique(self):
+        assert list(api.__all__) == sorted(set(api.__all__))
+
+    def test_run_pilot_convenience(self):
+        config = PilotConfig(
+            name="facade-smoke", farm="f", climate=BARREIRAS_MATOPIBA,
+            crop=SOYBEAN, soil=LOAM, rows=1, cols=1, season_days=2,
+            start_day_of_year=150, deployment=DeploymentKind.CLOUD_ONLY,
+            irrigation_kind="valves", scheduler_kind="smart", seed=5,
+        )
+        report = run_pilot(config)
+        assert report.name == "facade-smoke"
+        assert report.season_days == 2
+
+
+class TestUnifiedErrorHierarchy:
+    def test_topic_errors_are_repro_errors(self):
+        from repro.mqtt import TopicError, validate_topic
+
+        with pytest.raises(ReproError):
+            validate_topic("bad/+/topic")
+        assert issubclass(TopicError, ValueError)  # legacy base kept
+
+    def test_context_lookup_errors_are_repro_errors(self):
+        from repro.context import ContextBroker, NotFoundError
+        from repro.simkernel import Simulator
+
+        broker = ContextBroker(Simulator(seed=0))
+        with pytest.raises(ReproError):
+            broker.get_entity("nope")
+        assert issubclass(NotFoundError, ReproError)
+
+    def test_fault_plan_errors_are_repro_errors(self):
+        from repro.faults import FaultPlan, FaultPlanError
+
+        with pytest.raises(ReproError):
+            FaultPlan.from_dict({"name": "x", "events": [{"kind": "martian_invasion", "at_s": 1}]})
+        assert issubclass(FaultPlanError, ValueError)  # legacy base kept
+
+    def test_simulation_and_platform_errors_are_repro_errors(self):
+        from repro.platform.registry import PlatformError
+        from repro.simkernel import SimulationError
+
+        assert issubclass(SimulationError, ReproError)
+        assert issubclass(PlatformError, ReproError)
+
+    def test_query_errors_are_repro_errors(self):
+        from repro.context import QueryError
+        from repro.context.query import parse_filter_expression
+
+        with pytest.raises(ReproError):
+            parse_filter_expression("nonsense")
+        assert issubclass(QueryError, ReproError)

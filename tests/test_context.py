@@ -335,3 +335,179 @@ class TestHistory:
         tolerance = 1e-9 * max(1.0, abs(agg["mean"]))
         assert agg["min"] - tolerance <= agg["mean"] <= agg["max"] + tolerance
         assert agg["count"] == len(values)
+
+
+class TestCreateThenNotify:
+    """Regression: condition-less subscriptions must observe entity
+    creation even when the entity has no attributes yet (empty
+    ``changed_attrs``), preserving create-then-notify ordering."""
+
+    def test_creation_without_attrs_notifies_conditionless_sub(self):
+        broker = make_broker()
+        received = []
+        broker.subscribe(Subscription(received.append, entity_type="SoilProbe"))
+        broker.create_entity("e1", "SoilProbe")
+        assert len(received) == 1
+        assert received[0].changed_attrs == []
+        assert received[0].entity.entity_id == "e1"
+
+    def test_create_then_first_update_ordering(self):
+        broker = make_broker()
+        events = []
+        broker.subscribe(
+            Subscription(lambda n: events.append(list(n.changed_attrs)), entity_id="e1")
+        )
+        broker.create_entity("e1", "T")
+        broker.update_attributes("e1", {"theta": 0.3})
+        assert events == [[], ["theta"]]
+
+    def test_condition_attr_subs_ignore_bare_creation(self):
+        broker = make_broker()
+        received = []
+        broker.subscribe(
+            Subscription(received.append, entity_type="T", condition_attrs=["alarm"])
+        )
+        broker.create_entity("e1", "T")
+        assert received == []
+
+    def test_creation_with_attrs_notifies_once(self):
+        broker = make_broker()
+        received = []
+        broker.subscribe(Subscription(received.append, entity_type="T"))
+        broker.create_entity("e1", "T", {"a": 1})
+        assert len(received) == 1
+        assert received[0].changed_attrs == ["a"]
+
+
+class TestBatchedDispatch:
+    def test_batch_coalesces_to_one_notification(self):
+        broker = make_broker()
+        broker.create_entity("e1", "T")
+        received = []
+        broker.subscribe(Subscription(received.append, entity_id="e1"))
+        with broker.batch():
+            broker.update_attributes("e1", {"a": 1})
+            broker.update_attributes("e1", {"b": 2})
+            broker.update_attributes("e1", {"a": 3})
+            assert received == []  # deferred until the batch closes
+        assert len(received) == 1
+        assert received[0].changed_attrs == ["a", "b"]
+        assert received[0].entity.get("a") == 3
+
+    def test_batch_flushes_entities_in_first_touch_order(self):
+        broker = make_broker()
+        broker.create_entity("e1", "T")
+        broker.create_entity("e2", "T")
+        order = []
+        broker.subscribe(Subscription(lambda n: order.append(n.entity.entity_id), entity_type="T"))
+        with broker.batch():
+            broker.update_attributes("e2", {"a": 1})
+            broker.update_attributes("e1", {"a": 1})
+            broker.update_attributes("e2", {"b": 1})
+        assert order == ["e2", "e1"]
+
+    def test_update_hooks_still_fire_per_update_inside_batch(self):
+        broker = make_broker()
+        broker.create_entity("e1", "T")
+        hook_calls = []
+        broker.update_hooks.append(lambda entity, changed: hook_calls.append(list(changed)))
+        with broker.batch():
+            broker.update_attributes("e1", {"a": 1})
+            broker.update_attributes("e1", {"b": 2})
+        assert hook_calls == [["a"], ["b"]]
+
+    def test_nested_batches_flush_at_outermost_exit(self):
+        broker = make_broker()
+        broker.create_entity("e1", "T")
+        received = []
+        broker.subscribe(Subscription(received.append, entity_id="e1"))
+        with broker.batch():
+            with broker.batch():
+                broker.update_attributes("e1", {"a": 1})
+            assert received == []
+        assert len(received) == 1
+
+
+class TestTypedQuery:
+    def setup_broker(self):
+        broker = make_broker()
+        broker.create_entity("soil-1", "SoilProbe", {"soilMoisture": 0.15, "farm": "A"})
+        broker.create_entity("soil-2", "SoilProbe", {"soilMoisture": 0.32, "farm": "B"})
+        broker.create_entity("valve-1", "Valve", {"open": True})
+        return broker
+
+    def test_query_builder(self):
+        from repro.context import Query
+
+        broker = self.setup_broker()
+        dry = broker.query(Query(type="SoilProbe").where("soilMoisture", "<", 0.2))
+        assert [e.entity_id for e in dry] == ["soil-1"]
+
+    def test_attr_filter_objects_in_filters_list(self):
+        from repro.context import AttrFilter
+
+        broker = self.setup_broker()
+        result = broker.query(filters=[AttrFilter("farm", "==", "A")])
+        assert [e.entity_id for e in result] == ["soil-1"]
+
+    def test_typed_path_emits_no_deprecation_warning(self):
+        import warnings
+
+        from repro.context import Query
+
+        broker = self.setup_broker()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            broker.query(Query(type="SoilProbe").where("soilMoisture", "<", 0.2))
+
+    def test_string_filters_emit_deprecation_warning(self):
+        broker = self.setup_broker()
+        with pytest.warns(DeprecationWarning):
+            result = broker.query(filters=["soilMoisture<0.2"])
+        assert [e.entity_id for e in result] == ["soil-1"]
+
+    def test_query_with_int_value_matches_numbers(self):
+        from repro.context import Query
+
+        broker = make_broker()
+        broker.create_entity("e1", "T", {"count": 5})
+        assert [e.entity_id for e in broker.query(Query(type="T").where("count", "==", 5))] == ["e1"]
+
+    def test_bad_operator_rejected(self):
+        from repro.context import AttrFilter, QueryError
+
+        with pytest.raises(QueryError):
+            AttrFilter("a", "~=", 1)
+
+    def test_directly_set_attributes_are_queryable(self):
+        # The IoT agent sets provisioning attributes straight on the
+        # entity object; the write-through hook must index them.
+        broker = make_broker()
+        broker.create_entity("e1", "T")
+        broker.get_entity("e1").set_attribute("deviceId", "dev-1", "Text")
+        from repro.context import AttrFilter
+
+        result = broker.query(filters=[AttrFilter("deviceId", "==", "dev-1")])
+        assert [e.entity_id for e in result] == ["e1"]
+
+    def test_delete_entity_cleans_indexes(self):
+        from repro.context import Query
+
+        broker = self.setup_broker()
+        broker.delete_entity("soil-1")
+        assert broker.query(Query(type="SoilProbe").where("farm", "==", "A")) == []
+        assert "soil-1" not in broker._type_index.get("SoilProbe", {})
+
+    def test_dispatch_candidates_counter(self):
+        from repro.telemetry import MetricsRegistry
+
+        sim = Simulator(seed=0, metrics=MetricsRegistry())
+        broker = ContextBroker(sim)
+        broker.create_entity("e1", "T")
+        for i in range(5):
+            broker.subscribe(Subscription(lambda n: None, entity_id=f"other-{i}"))
+        broker.subscribe(Subscription(lambda n: None, entity_id="e1"))
+        before = sim.metrics.total("context.dispatch_candidates")
+        broker.update_attributes("e1", {"a": 1})
+        # Only the one matching-id bucket is examined, not all six subs.
+        assert sim.metrics.total("context.dispatch_candidates") - before == 1
