@@ -39,7 +39,17 @@ from repro.core import (
     build_intercrop_pilot,
     build_matopiba_pilot,
 )
-from repro.faults import FaultEvent, FaultInjector, FaultPlan, FaultPlanError
+from repro.faults import (
+    ChaosPlanGenerator,
+    ChaosRunResult,
+    ChaosTargets,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    check_invariants,
+    run_chaos,
+)
 from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
 from repro.mqtt import (
     MqttBroker,
@@ -59,6 +69,18 @@ from repro.physics import (
     Field,
     SoilProperties,
 )
+from repro.resilience import (
+    BackpressureError,
+    BoundedQueue,
+    BreakerState,
+    CircuitBreaker,
+    DegradedModePolicy,
+    DropPolicy,
+    RateLimiter,
+    ResilienceConfig,
+    ServiceHealth,
+    Supervisor,
+)
 from repro.simkernel import ReproError, Simulator, StopSimulation
 from repro.simkernel.clock import DAY, HOUR
 from repro.telemetry import MetricsRegistry
@@ -67,15 +89,24 @@ __all__ = [
     "AttrFilter",
     "Attribute",
     "BARREIRAS_MATOPIBA",
+    "BackpressureError",
+    "BoundedQueue",
+    "BreakerState",
     "Canal",
+    "ChaosPlanGenerator",
+    "ChaosRunResult",
+    "ChaosTargets",
+    "CircuitBreaker",
     "ClimateProfile",
     "ContextBroker",
     "ContextEntity",
     "ContextError",
     "Crop",
     "DAY",
+    "DegradedModePolicy",
     "DeploymentKind",
     "DistributionNetwork",
+    "DropPolicy",
     "FarmOfftake",
     "FaultEvent",
     "FaultInjector",
@@ -94,24 +125,30 @@ __all__ = [
     "PilotRunner",
     "Query",
     "QueryError",
+    "RateLimiter",
     "ReproError",
     "Reservoir",
+    "ResilienceConfig",
     "RoutingMismatchError",
     "SANDY_LOAM",
     "SOYBEAN",
     "SecurityConfig",
+    "ServiceHealth",
     "ShortTermHistory",
     "Simulator",
     "SoilProperties",
     "StopSimulation",
     "Subscription",
     "SubscriptionIndex",
+    "Supervisor",
     "TopicError",
     "TopicTrie",
     "build_cbec_pilot",
     "build_guaspari_pilot",
     "build_intercrop_pilot",
     "build_matopiba_pilot",
+    "check_invariants",
+    "run_chaos",
     "run_pilot",
     "topic_matches",
 ]

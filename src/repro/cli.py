@@ -27,16 +27,17 @@ from repro.core.pilots import (
 )
 from repro.core.security_profile import SecurityConfig
 from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.resilience import ResilienceConfig
 
 PILOTS = {
-    "cbec": lambda seed, security, faults: build_cbec_pilot(
-        seed=seed, security=security, fault_plan=faults)[0],
-    "intercrop": lambda seed, security, faults: build_intercrop_pilot(
-        seed=seed, security=security, fault_plan=faults)[0],
-    "guaspari": lambda seed, security, faults: build_guaspari_pilot(
-        seed=seed, security=security, fault_plan=faults),
-    "matopiba": lambda seed, security, faults: build_matopiba_pilot(
-        seed=seed, security=security, fault_plan=faults),
+    "cbec": lambda seed, security, faults, resilience=None: build_cbec_pilot(
+        seed=seed, security=security, fault_plan=faults, resilience=resilience)[0],
+    "intercrop": lambda seed, security, faults, resilience=None: build_intercrop_pilot(
+        seed=seed, security=security, fault_plan=faults, resilience=resilience)[0],
+    "guaspari": lambda seed, security, faults, resilience=None: build_guaspari_pilot(
+        seed=seed, security=security, fault_plan=faults, resilience=resilience),
+    "matopiba": lambda seed, security, faults, resilience=None: build_matopiba_pilot(
+        seed=seed, security=security, fault_plan=faults, resilience=resilience),
 }
 
 SECURITY_FLAGS = ("auth", "encryption", "detection", "ledger", "command_rhythm")
@@ -102,6 +103,19 @@ def _print_metrics_summary(runner, out) -> None:
         f"{metrics.total('context.notifications'):.0f} notifications delivered",
         file=out,
     )
+    if runner.supervisor is not None:
+        states = runner.supervisor.states()
+        healthy = sum(1 for s in states.values() if s == "healthy")
+        report = runner.report()
+        print(
+            "resilience: "
+            f"{healthy}/{len(states)} services healthy, "
+            f"{report.resilience_restarts} restarts, "
+            f"{report.breaker_opens} breaker opens, "
+            f"{report.degraded_episodes} degraded episodes, "
+            f"{report.reconciled_decisions} decisions reconciled",
+            file=out,
+        )
 
 
 def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
@@ -118,7 +132,8 @@ def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
 def cmd_run(args, out) -> int:
     security = _parse_security(args.security)
     fault_plan = _load_fault_plan(args.faults)
-    runner = PILOTS[args.pilot](args.seed, security, fault_plan)
+    resilience = ResilienceConfig() if args.resilience else None
+    runner = PILOTS[args.pilot](args.seed, security, fault_plan, resilience)
     if args.days is not None:
         runner.run_days(args.days)
         report = runner.report()
@@ -189,6 +204,8 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write a JSON metrics snapshot to PATH")
     run_parser.add_argument("--faults", default=None, metavar="PATH",
                             help="run under the fault plan in this JSON file")
+    run_parser.add_argument("--resilience", action="store_true",
+                            help="enable the supervision/backpressure/degraded-mode layer")
 
     compare_parser = sub.add_parser("compare", help="smart vs fixed-calendar business case")
     compare_parser.add_argument("pilot", choices=["matopiba"])

@@ -18,6 +18,7 @@ from repro.context.entities import Attribute, ContextEntity
 from repro.context.errors import AlreadyExistsError, ContextError, NotFoundError, QueryError
 from repro.context.query import AttrFilter, Query, apply_op, parse_filter_expression
 from repro.context.subscriptions import Notification, Subscription, SubscriptionIndex
+from repro.resilience.backpressure import BackpressureError, DropPolicy
 from repro.simkernel.simulator import Simulator
 
 __all__ = [
@@ -92,6 +93,10 @@ class ContextBroker:
         # Hook called on every applied update: (entity, changed_attrs).
         # The replicator and audit layers attach here.
         self.update_hooks: List[Callable[[ContextEntity, List[str]], None]] = []
+        # Optional admission gate on the update hot path (installed by the
+        # resilience stage): a closed window sheds the update before any
+        # entity work, hooks or dispatch run.
+        self.update_limit = None
         labels = {"broker": name}
         registry = sim.metrics
         self._m_creates = registry.counter("context.creates", labels)
@@ -103,6 +108,7 @@ class ContextBroker:
         # Candidate subscriptions the index yielded per dispatch; a full
         # scan would examine every subscription instead.
         self._m_dispatch_candidates = registry.counter("context.dispatch_candidates", labels)
+        self._m_shed = registry.counter("context.backpressure_shed", labels)
         self._m_query_latency = registry.timer("context.query_latency_s", labels)
         registry.register_callback(
             "context.entities", lambda: float(len(self.entities)), labels
@@ -187,7 +193,19 @@ class ContextBroker:
 
         ``attrs`` maps name -> value.  Types default to a guess from the
         Python value; metadata is per-attribute.
+
+        When an admission gate is installed (``update_limit``) and its
+        window is closed, the update is shed *before* the entity is
+        touched: DROP policies return an empty changed list, REJECT
+        raises :class:`~repro.resilience.backpressure.BackpressureError`.
         """
+        if self.update_limit is not None and not self.update_limit.admit(self.sim.now):
+            self._m_shed.inc()
+            if self.update_limit.policy is DropPolicy.REJECT:
+                raise BackpressureError(
+                    f"context broker {self.name!r} shedding load"
+                )
+            return []
         entity = self.get_entity(entity_id)
         changed: List[str] = []
         for name, value in attrs.items():

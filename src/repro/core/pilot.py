@@ -21,7 +21,7 @@ from typing import Callable, Dict, Optional
 
 from repro.core.deployment import DeploymentKind
 from repro.core.security_profile import SecurityConfig, SecurityStack
-from repro.core.stages import FaultInjectionStage, default_stages
+from repro.core.stages import FaultInjectionStage, ResilienceStage, default_stages
 from repro.devices.actuators import CenterPivot, Valve
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -36,6 +36,7 @@ from repro.physics.crop import Crop
 from repro.physics.soil import LOAM, SoilProperties
 from repro.physics.weather import ClimateProfile
 from repro.platform.registry import PlatformRuntime
+from repro.resilience import CircuitBreaker, DegradedModePolicy, ResilienceConfig, Supervisor
 from repro.simkernel.clock import DAY, HOUR
 from repro.simkernel.simulator import Simulator
 from repro.telemetry.metrics import MetricsRegistry
@@ -80,6 +81,10 @@ class PilotConfig:
     # FaultInjector service (see repro/faults/).  None keeps the service
     # graph — and seed-pinned event sequences — exactly fault-free.
     fault_plan: Optional[FaultPlan] = None
+    # The resilience layer (supervision, backpressure, uplink breaker,
+    # degraded-mode autonomy — see repro/resilience/).  Same contract as
+    # fault_plan: None keeps the pinned service graph untouched.
+    resilience: Optional[ResilienceConfig] = None
     seed: int = 0
 
     @property
@@ -112,6 +117,13 @@ class PilotReport:
     replicator_dropped: int
     alerts: int
     quarantined_devices: int
+    # Resilience layer (all zero when PilotConfig.resilience is None —
+    # and *must* stay zero for supervised fault-free runs, the idle-path
+    # determinism contract the pinned fixtures enforce).
+    resilience_restarts: int = 0
+    breaker_opens: int = 0
+    degraded_episodes: int = 0
+    reconciled_decisions: int = 0
 
     @property
     def total_energy_kwh(self) -> float:
@@ -138,6 +150,9 @@ class PilotRunner:
     drone: Optional[Drone]
     scheduler: Optional[PlatformScheduler]
     fault_injector: Optional[FaultInjector]
+    supervisor: Optional[Supervisor]
+    uplink_breaker: Optional[CircuitBreaker]
+    degraded_mode: Optional[DegradedModePolicy]
 
     def __init__(self, config: PilotConfig) -> None:
         self.config = config
@@ -146,9 +161,14 @@ class PilotRunner:
         self.net = Network(self.sim, name=config.name)
         self.runtime = PlatformRuntime(metrics=metrics)
         self.fault_injector = None
+        self.supervisor = None
+        self.uplink_breaker = None
+        self.degraded_mode = None
         self.stages = default_stages()
         if config.fault_plan is not None:
             self.stages.append(FaultInjectionStage())
+        if config.resilience is not None:
+            self.stages.append(ResilienceStage())
         for stage in self.stages:
             stage.register(self)
         self.runtime.start()
@@ -309,4 +329,8 @@ class PilotRunner:
             replicator_dropped=self.replicator.updates_dropped_overflow if self.replicator else 0,
             alerts=alerts,
             quarantined_devices=quarantined,
+            resilience_restarts=self.supervisor.total_restarts if self.supervisor else 0,
+            breaker_opens=self.uplink_breaker.opens if self.uplink_breaker else 0,
+            degraded_episodes=self.degraded_mode.episodes if self.degraded_mode else 0,
+            reconciled_decisions=self.degraded_mode.reconciled if self.degraded_mode else 0,
         )

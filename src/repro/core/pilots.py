@@ -31,10 +31,12 @@ from repro.irrigation.sources import DesalinationPlant, SourceMixOptimizer, Wate
 from repro.physics.crop import GUASPARI_GRAPE, LETTUCE, SOYBEAN, TOMATO_PROCESSING
 from repro.physics.soil import CLAY, LOAM, SANDY_LOAM, SILTY_CLAY
 from repro.physics.weather import BARREIRAS_MATOPIBA, CARTAGENA, EMILIA_ROMAGNA, PINHAL
+from repro.resilience import ResilienceConfig
 
 
 def build_cbec_pilot(
-    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
+    resilience: ResilienceConfig = None,
 ) -> Tuple[PilotRunner, DistributionNetwork]:
     """CBEC: tomato on the Emilia plain, canal-fed, cloud deployment."""
     reservoir = Reservoir("po-offtake", capacity_m3=60_000.0)
@@ -66,13 +68,15 @@ def build_cbec_pilot(
         supply_gate=supply_gate,
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
+        resilience=resilience,
         seed=seed,
     )
     return PilotRunner(config), network
 
 
 def build_intercrop_pilot(
-    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
+    resilience: ResilienceConfig = None,
 ) -> Tuple[PilotRunner, SourceMixOptimizer]:
     """Intercrop: lettuce near Cartagena, desalination-backed source mix."""
     well = WaterSource("well", capacity_m3_day=220.0, cost_eur_m3=0.09, energy_kwh_m3=0.6)
@@ -103,13 +107,15 @@ def build_intercrop_pilot(
         supply_gate=supply_gate,
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
+        resilience=resilience,
         seed=seed,
     )
     return PilotRunner(config), optimizer
 
 
 def build_guaspari_pilot(
-    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None
+    seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
+    resilience: ResilienceConfig = None,
 ) -> PilotRunner:
     """Guaspari: winter wine grapes under regulated deficit irrigation."""
     config = PilotConfig(
@@ -130,6 +136,7 @@ def build_guaspari_pilot(
         pump_head_m=60.0,  # hillside vineyard
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
+        resilience=resilience,
         seed=seed,
     )
     return PilotRunner(config)
@@ -148,6 +155,7 @@ def build_matopiba_pilot(
     probe_interval_s: float = 1800.0,
     season_days: int = None,
     fault_plan: FaultPlan = None,
+    resilience: ResilienceConfig = None,
 ) -> PilotRunner:
     """MATOPIBA: VRI soybean under a center pivot in the dry season.
 
@@ -176,6 +184,7 @@ def build_matopiba_pilot(
         uniform_pivot=uniform_pivot,
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
+        resilience=resilience,
         seed=seed,
     )
     return PilotRunner(config)

@@ -39,10 +39,17 @@ from repro.fog.node import CloudNode, FogNode
 from repro.fog.replication import CloudSyncTarget, Replicator
 from repro.irrigation.policy import SoilMoisturePolicy
 from repro.irrigation.scheduler import PlatformScheduler
+from repro.network.link import LinkState
 from repro.network.radio import ETHERNET_LAN, LORA_FIELD, WAN_BACKHAUL
 from repro.physics.field import Field
 from repro.physics.ndvi import NdviTracker
 from repro.physics.weather import WeatherGenerator
+from repro.resilience import (
+    CircuitBreaker,
+    DegradedModePolicy,
+    RateLimiter,
+    Supervisor,
+)
 
 
 class BuildStage:
@@ -472,6 +479,146 @@ class FaultInjectionStage(BuildStage):
             yield runner.pivot
         if runner.drone is not None:
             yield runner.drone
+
+
+class ResilienceStage(BuildStage):
+    """Supervision, admission control, uplink breaking, degraded autonomy.
+
+    Appended to the stage list only when ``config.resilience`` is set —
+    the same contract as :class:`FaultInjectionStage`: pilots without it
+    keep their exact service graph and bit-pinned event sequence.
+    """
+
+    def register(self, runner) -> None:
+        def start(runtime):
+            self._start(runner)
+            service.provides = runner.supervisor
+
+        service = runner.runtime.register(
+            "resilience.supervisor",
+            depends_on=("platform.tiers", "decision.scheduler"),
+            start=start,
+        )
+
+    def _start(self, runner) -> None:
+        cfg = runner.config.resilience
+        sim = runner.sim
+        supervisor = Supervisor(
+            sim,
+            check_interval_s=cfg.check_interval_s,
+            restart_backoff_initial_s=cfg.restart_backoff_initial_s,
+            restart_backoff_max_s=cfg.restart_backoff_max_s,
+            degraded_after_restarts=cfg.degraded_after_restarts,
+            failed_after_restarts=cfg.failed_after_restarts,
+        )
+        runner.supervisor = supervisor
+
+        # MQTT broker: the sweeper doubles as a liveness heartbeat, and a
+        # wedged sweeper is restartable by re-arming it.
+        broker = runner.fog.mqtt if runner.fog is not None else runner.cloud.mqtt
+        if broker is not None:
+            stale_after = 3.0 * broker._sweep_interval_s
+
+            def rearm_sweeper(b=broker):
+                b._sweeping = False
+                b._start_sweeper()
+
+            supervisor.watch(
+                "mqtt.broker",
+                probe=lambda now, b=broker, s=stale_after: now - b.last_sweep_at <= s,
+                restart=rearm_sweeper,
+            )
+            if cfg.broker_inbound_limit_per_s:
+                broker.inbound_limit = RateLimiter(
+                    cfg.broker_inbound_limit_per_s, policy=cfg.broker_inbound_policy
+                )
+
+        # Context broker: heartbeat fed by the update hot path — a healthy
+        # fleet updates context continuously, so silence means the path
+        # from devices through the agent has wedged.  In-process, so there
+        # is nothing to restart: unhealthy surfaces as ``degraded``.
+        context_watch = supervisor.watch(
+            "context.broker",
+            heartbeat_timeout_s=cfg.context_heartbeat_timeout_s,
+        )
+        runner.context.update_hooks.append(
+            lambda entity, changed, w=context_watch: w.beat()
+        )
+        if cfg.context_update_limit_per_s:
+            runner.context.update_limit = RateLimiter(
+                cfg.context_update_limit_per_s, policy=cfg.context_update_policy
+            )
+
+        # Replicator: the one genuinely crashable daemon (fault plans kill
+        # it); the supervisor restarts it under seeded backoff.
+        if runner.replicator is not None:
+            supervisor.watch(
+                "fog.replicator",
+                probe=lambda now, r=runner.replicator: r.running,
+                restart=runner.replicator.restart,
+            )
+            breaker = CircuitBreaker(
+                "cloud-uplink",
+                failure_threshold=cfg.breaker_failure_threshold,
+                open_timeout_s=cfg.breaker_open_timeout_s,
+                metrics=sim.metrics,
+            )
+            runner.uplink_breaker = breaker
+            runner.replicator.breaker = breaker
+            supervisor.attach_breaker("cloud.uplink", breaker)
+
+        # Fog node: a roll-up view over its constituent services plus link
+        # reachability — a crashed node's restarted daemons look healthy
+        # from inside, so the probe also checks that the node's incident
+        # links are up (the signal that lets degraded-mode autonomy engage
+        # even when there is no uplink traffic for the breaker to fail on).
+        if runner.fog is not None:
+
+            def fog_reachable(now, r=runner, addr=runner.fog.mqtt_address):
+                return all(
+                    link.state is not LinkState.DOWN
+                    for (src, dst), link in r.net.links.items()
+                    if addr in (src, dst)
+                )
+
+            supervisor.watch(
+                "fog.node",
+                probe=lambda now, r=runner, reachable=fog_reachable: (
+                    (r.replicator is None or r.replicator.running)
+                    and now - r.fog.mqtt.last_sweep_at
+                    <= 3.0 * r.fog.mqtt._sweep_interval_s
+                    and reachable(now)
+                ),
+            )
+
+        # Irrigation scheduler: probe catches a dead loop, the per-cycle
+        # heartbeat catches a live-but-wedged one.
+        if runner.scheduler is not None:
+            scheduler_watch = supervisor.watch(
+                "irrigation.scheduler",
+                probe=lambda now, s=runner.scheduler: (
+                    s._process is not None and s._process.alive
+                ),
+                restart=runner.scheduler.start,
+                heartbeat_timeout_s=2.5 * runner.scheduler.cycle_interval_s,
+            )
+            runner.scheduler.heartbeat = scheduler_watch.beat
+            # Degraded-mode autonomy needs both a scheduler to steer and a
+            # breaker to listen to.
+            if runner.uplink_breaker is not None:
+                degraded = DegradedModePolicy(
+                    sim, runner.scheduler, runner.context, runner.config.farm,
+                    degraded_max_data_age_s=cfg.degraded_max_data_age_s,
+                    journal_limit=cfg.journal_limit,
+                )
+                runner.degraded_mode = degraded
+                runner.scheduler.on_decision.append(degraded.record_decision)
+                runner.uplink_breaker.on_state_change.append(degraded.on_breaker_state)
+                if runner.fog is not None:
+                    degraded.isolation_services.add("fog.node")
+                    supervisor.on_state_change.append(degraded.on_service_state)
+
+        supervisor.start()
 
 
 def default_stages() -> List[BuildStage]:

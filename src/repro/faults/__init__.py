@@ -1,16 +1,32 @@
 """Deterministic fault injection for SWAMP pilots.
 
 ``plan`` holds the declarative schedule format (:class:`FaultPlan`,
-:class:`FaultEvent`); ``injector`` executes plans against a live pilot.
+:class:`FaultEvent`); ``injector`` executes plans against a live pilot;
+``chaos`` composes seeded random campaigns and audits platform
+invariants after each run (E15).
 """
 
+from repro.faults.chaos import (
+    ChaosPlanGenerator,
+    ChaosRunResult,
+    ChaosTargets,
+    InvariantResult,
+    check_invariants,
+    run_chaos,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, FaultPlanError
 
 __all__ = [
     "FAULT_KINDS",
+    "ChaosPlanGenerator",
+    "ChaosRunResult",
+    "ChaosTargets",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "InvariantResult",
+    "check_invariants",
+    "run_chaos",
 ]

@@ -129,6 +129,12 @@ class Replicator:
         self._next_seq = 1
         self._in_flight: Optional[SyncBatch] = None
         self._in_flight_since = 0.0
+        # Optional half-open circuit breaker on the uplink (installed by
+        # the resilience stage; duck-typed — see repro.resilience.breaker).
+        # When OPEN, the pump stops transmitting: the backlog keeps
+        # absorbing captures under its own overflow policy instead of the
+        # retry loop hammering a dead WAN.
+        self.breaker = None
         self.updates_captured = 0
         self.updates_synced = 0
         self.updates_dropped_overflow = 0
@@ -184,11 +190,21 @@ class Replicator:
     def _pump(self) -> None:
         now = self.sim.now
         if self._in_flight is not None:
-            if now - self._in_flight_since < self.retry_timeout_s:
+            # "<=" not "<": an ACK processed at *exactly* retry_timeout_s
+            # (the ack handler runs in the same sim instant as a pump
+            # tick) must win over the retransmission, or the batch is
+            # double-sent and counted twice.
+            if now - self._in_flight_since <= self.retry_timeout_s:
                 return
+            if self.breaker is not None:
+                self.breaker.record_failure(now)
+                if not self.breaker.allow(now):
+                    return
             self._transmit(self._in_flight)  # retransmit
             return
         if not self._backlog:
+            return
+        if self.breaker is not None and not self.breaker.allow(now):
             return
         updates = [self._backlog.popleft() for _ in range(min(self.batch_size, len(self._backlog)))]
         batch = SyncBatch(self._next_seq, updates, self.node.address)
@@ -216,6 +232,8 @@ class Replicator:
                 for update in self._in_flight.updates:
                     self._m_lag.observe(now - update.get("captured_at", now))
             self._in_flight = None
+            if self.breaker is not None:
+                self.breaker.record_success(self.sim.now)
             # Keep draining immediately while there's backlog (fast resync
             # after a healed partition instead of one batch per interval).
             self._pump()

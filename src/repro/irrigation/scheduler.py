@@ -76,6 +76,11 @@ class PlatformScheduler:
         self._valve_bindings: List[dict] = []
         self._pivot_bindings: List[dict] = []
         self.decision_log: List[dict] = []
+        # Called with every decision-log entry as it is appended; the
+        # resilience layer journals degraded-mode decisions through this.
+        self.on_decision: List[Callable[[dict], None]] = []
+        # Optional supervisor heartbeat, called once per cycle.
+        self.heartbeat: Optional[Callable[[], None]] = None
         self._process = None
         registry = sim.metrics
         self._m_cycles = registry.counter("scheduler.cycles")
@@ -134,6 +139,8 @@ class PlatformScheduler:
     def run_cycle(self) -> None:
         self.stats.cycles += 1
         self._m_cycles.inc()
+        if self.heartbeat is not None:
+            self.heartbeat()
         forecast = self.forecast_provider() if self.forecast_provider else 0.0
         valve_plans = [
             plan for plan in
@@ -207,14 +214,15 @@ class PlatformScheduler:
         decision = self.policy.decide(depletion, self._raw_mm(binding), forecast)
         self.stats.decisions += 1
         self._m_decisions.inc()
-        self.decision_log.append(
-            {
-                "t": self.sim.now,
-                "entity": binding["entity_id"],
-                "depth_mm": decision.depth_mm,
-                "reason": decision.reason,
-            }
-        )
+        entry = {
+            "t": self.sim.now,
+            "entity": binding["entity_id"],
+            "depth_mm": decision.depth_mm,
+            "reason": decision.reason,
+        }
+        self.decision_log.append(entry)
+        for hook in self.on_decision:
+            hook(entry)
         if not decision.irrigate:
             return None
         return (binding, decision.depth_mm)
@@ -247,9 +255,12 @@ class PlatformScheduler:
                 prescription[zone_binding["zone_id"]] = round(decision.depth_mm, 2)
         if not any_data:
             return None
-        self.decision_log.append(
-            {"t": self.sim.now, "pivot": binding["device_id"], "prescription": dict(prescription)}
-        )
+        entry = {
+            "t": self.sim.now, "pivot": binding["device_id"], "prescription": dict(prescription)
+        }
+        self.decision_log.append(entry)
+        for hook in self.on_decision:
+            hook(entry)
         if not prescription:
             return None
         if self.uniform_pivot:

@@ -36,6 +36,7 @@ from repro.mqtt.qos import Inbox, Outbox
 from repro.mqtt.topics import TopicError, TopicTrie, topic_matches, validate_filter, validate_topic
 from repro.network.node import NetworkNode
 from repro.network.packet import Packet
+from repro.resilience.backpressure import BoundedQueue, DropPolicy, RateLimiter
 from repro.simkernel.errors import ReproError
 from repro.simkernel.simulator import Simulator
 
@@ -67,8 +68,15 @@ class BrokerSession:
             self.will = (connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain)
         self.outbox = Outbox(broker.sim, lambda pkt: broker._send_to(self, pkt))
         self.inbox = Inbox(lambda pkt: broker._send_to(self, pkt), sim=broker.sim)
-        # Messages queued while a persistent session is offline.
-        self.offline_queue: List[Publish] = []
+        # Messages queued while a persistent session is offline.  Bounded:
+        # a long partition must not grow broker memory without limit, and
+        # when the cap bites the *freshest* telemetry survives
+        # (oldest-first eviction, counted by ``mqtt.offline_dropped``).
+        self.offline_queue = BoundedQueue(
+            broker.max_offline_queue,
+            DropPolicy.DROP_OLDEST,
+            on_evict=broker._on_offline_evict,
+        )
 
     def granted_qos(self, topic: str) -> Optional[int]:
         """Highest subscription QoS matching ``topic``, or None."""
@@ -89,6 +97,8 @@ class BrokerStats:
         "denied_publish",
         "denied_subscribe",
         "dropped_overload",
+        "offline_dropped",
+        "shed_backpressure",
         "session_expirations",
         "wills_published",
         "restarts",
@@ -102,6 +112,8 @@ class BrokerStats:
         self.denied_publish = 0
         self.denied_subscribe = 0
         self.dropped_overload = 0
+        self.offline_dropped = 0
+        self.shed_backpressure = 0
         self.session_expirations = 0
         self.wills_published = 0
         self.restarts = 0
@@ -146,6 +158,8 @@ class MqttBroker(NetworkNode):
         self._m_pub_out = registry.counter("mqtt.publishes_out", labels)
         self._m_denied = registry.counter("mqtt.denied", labels)
         self._m_dropped = registry.counter("mqtt.dropped_overload", labels)
+        self._m_offline_dropped = registry.counter("mqtt.offline_dropped", labels)
+        self._m_shed = registry.counter("mqtt.backpressure_shed", labels)
         self._m_expired = registry.counter("mqtt.session_expirations", labels)
         # Candidate (filter, client) pairs the index yielded per publish;
         # with linear scan this would grow with total subscription count.
@@ -155,8 +169,14 @@ class MqttBroker(NetworkNode):
             lambda: float(sum(1 for s in self.sessions.values() if s.connected)),
             labels,
         )
+        # Optional inbound admission gate (installed by the resilience
+        # stage): a closed window sheds PUBLISHes before any routing work.
+        self.inbound_limit: Optional[RateLimiter] = None
         self._sweep_interval_s = sweep_interval_s
         self._sweeping = False
+        # Heartbeat for the resilience supervisor: a broker whose sweeper
+        # stopped ticking is wedged even if its socket still answers.
+        self.last_sweep_at = sim.now
         self._start_sweeper()
 
     # -- plumbing -----------------------------------------------------------
@@ -167,9 +187,14 @@ class MqttBroker(NetworkNode):
         self._sweeping = True
         self.sim.schedule(self._sweep_interval_s, self._sweep, label=f"{self.address}:sweep")
 
+    def _on_offline_evict(self, publish: Publish) -> None:
+        self.stats.offline_dropped += 1
+        self._m_offline_dropped.inc()
+
     def _sweep(self) -> None:
         """Expire sessions whose keepalive lapsed (publishes their will)."""
         now = self.sim.now
+        self.last_sweep_at = now
         for session in list(self.sessions.values()):
             if not session.connected:
                 continue
@@ -308,8 +333,7 @@ class MqttBroker(NetworkNode):
             self._flush_offline_queue(session)
 
     def _flush_offline_queue(self, session: BrokerSession) -> None:
-        queued, session.offline_queue = session.offline_queue, []
-        for publish in queued:
+        for publish in session.offline_queue.drain():
             self._deliver_to(session, publish, publish.qos)
 
     # -- PUBLISH in -----------------------------------------------------------
@@ -318,6 +342,21 @@ class MqttBroker(NetworkNode):
         try:
             validate_topic(publish.topic)
         except TopicError:
+            return
+        if self.inbound_limit is not None and not self.inbound_limit.admit(self.sim.now):
+            # Backpressure: shed before authorization and routing so a
+            # flood (E4) costs the broker O(1) per excess packet.  REJECT
+            # still completes the QoS handshake — a well-behaved client
+            # must not amplify the flood with retransmissions — while
+            # DROP_NEWEST models a truly saturated listener (flights
+            # dangle, the sender retries into the same closed window).
+            self.stats.shed_backpressure += 1
+            self._m_shed.inc()
+            if self.inbound_limit.policy is DropPolicy.REJECT:
+                if publish.qos == 1:
+                    self._send_to(session, PubAck(packet_id=publish.packet_id))
+                elif publish.qos == 2:
+                    session.inbox.on_publish_qos2(publish)
             return
         if self.authorizer is not None and not self.authorizer(session, "publish", publish.topic):
             self.stats.denied_publish += 1
@@ -379,12 +418,9 @@ class MqttBroker(NetworkNode):
             effective_qos = min(granted[client_id], publish.qos)
             if not session.connected:
                 if not session.clean_session and effective_qos > 0:
-                    if len(session.offline_queue) < self.max_offline_queue:
-                        session.offline_queue.append(
-                            Publish(topic=publish.topic, payload=publish.payload, qos=effective_qos)
-                        )
-                    else:
-                        self.stats.dropped_overload += 1; self._m_dropped.inc()
+                    session.offline_queue.push(
+                        Publish(topic=publish.topic, payload=publish.payload, qos=effective_qos)
+                    )
                 continue
             self._deliver_to(session, publish, effective_qos)
 

@@ -91,6 +91,7 @@ class MqttClient(NetworkNode):
         self.reconnect_backoff_initial_s = 1.0
         self.reconnect_backoff_max_s = 60.0
         self._reconnect_backoff_s = self.reconnect_backoff_initial_s
+        self._reconnect_timer = None
         # Jitter source for reconnect backoff: a dedicated per-client stream
         # so a fleet of clients dropped by the same outage does not stampede
         # the broker in lockstep — and so backoff draws never perturb any
@@ -144,14 +145,28 @@ class MqttClient(NetworkNode):
             self._schedule_reconnect()
 
     def _schedule_reconnect(self) -> None:
+        if self._reconnect_timer is not None:
+            # A reconnect is already pending.  A second trigger in the
+            # same window (e.g. a stale broker RST racing the CONNACK
+            # timeout) must not fork a second reconnect chain — duplicate
+            # chains double-escalate the backoff (1, 4, 16, ... instead
+            # of 1, 2, 4, ...) and double the connect load on a broker
+            # that is already struggling.
+            return
         # Exponential backoff, capped, with up to +25% jitter drawn from this
         # client's own stream (decorrelates reconnect storms after a shared
         # fault without breaking run determinism).
         delay = self._reconnect_backoff_s * (1.0 + self._backoff_rng.uniform(0.0, 0.25))
-        self.sim.schedule(delay, self.connect, label=f"{self.client_id}:reconnect")
+        self._reconnect_timer = self.sim.schedule(
+            delay, self._reconnect_fire, label=f"{self.client_id}:reconnect"
+        )
         self._reconnect_backoff_s = min(
             self._reconnect_backoff_s * 2.0, self.reconnect_backoff_max_s
         )
+
+    def _reconnect_fire(self) -> None:
+        self._reconnect_timer = None
+        self.connect()
 
     def disconnect(self) -> None:
         if not self.connected:
@@ -297,6 +312,13 @@ class MqttClient(NetworkNode):
         self.connected = True
         self.stats.connects += 1
         self._reconnect_backoff_s = self.reconnect_backoff_initial_s
+        if self._reconnect_timer is not None:
+            # Connected through another path while a retry was pending
+            # (e.g. an explicit connect() racing the backoff timer): the
+            # stale retry would hit the broker as a session takeover of
+            # ourselves.  Cancel it.
+            self._reconnect_timer.cancel()
+            self._reconnect_timer = None
         self._unanswered_pings = 0
         self._arm_ping()
         # A fresh (non-resumed) session has no server-side subscription

@@ -1,0 +1,142 @@
+"""Typed load-shedding primitives: bounded queues and admission windows.
+
+DoS-class stress (E4) and long partitions (E9) both turn into unbounded
+queues somewhere unless every buffering point has a cap *and a stated
+policy* for what happens at the cap.  This module provides the two shapes
+used across the platform:
+
+* :class:`BoundedQueue` — a FIFO with a hard capacity and a
+  :class:`DropPolicy` deciding which end loses (the MQTT broker's
+  per-client offline queue uses ``DROP_OLDEST``: during a long partition
+  the freshest telemetry survives, matching the replicator's own
+  oldest-first overflow).
+* :class:`RateLimiter` — a fixed-window admission gate computed lazily
+  from the caller-supplied sim time.  It never schedules events and never
+  draws randomness, so enabling one perturbs nothing about a run's event
+  sequence; a closed window is decided entirely at the arrival that hits
+  it.
+"""
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.simkernel.errors import ReproError
+
+
+class BackpressureError(ReproError):
+    """Raised by a ``REJECT``-policy admission point when shedding load."""
+
+
+class DropPolicy(enum.Enum):
+    """What a full queue or closed admission window does with new work."""
+
+    #: Evict from the head to make room: the newest item always gets in.
+    DROP_OLDEST = "drop_oldest"
+    #: Silently discard the arrival (the classic tail-drop).
+    DROP_NEWEST = "drop_newest"
+    #: Refuse loudly so the producer can react (error / nack / retry).
+    REJECT = "reject"
+
+
+class BoundedQueue:
+    """FIFO with a hard capacity and a typed overflow policy.
+
+    ``on_evict`` (if given) is called with every item lost to the policy —
+    callers hook their drop counters there instead of wrapping ``push``.
+    """
+
+    __slots__ = ("capacity", "policy", "on_evict", "dropped", "_items")
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: DropPolicy = DropPolicy.DROP_OLDEST,
+        on_evict: Optional[Callable[[object], None]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.policy = policy
+        self.on_evict = on_evict
+        self.dropped = 0
+        self._items: Deque[object] = deque()
+
+    def push(self, item: object) -> bool:
+        """Append ``item``; returns False when the policy refused it."""
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return True
+        self.dropped += 1
+        if self.policy is DropPolicy.DROP_OLDEST:
+            evicted = self._items.popleft()
+            if self.on_evict is not None:
+                self.on_evict(evicted)
+            self._items.append(item)
+            return True
+        if self.on_evict is not None:
+            self.on_evict(item)
+        if self.policy is DropPolicy.REJECT:
+            return False
+        return False  # DROP_NEWEST: silently discarded
+
+    def popleft(self) -> object:
+        return self._items.popleft()
+
+    def drain(self) -> List[object]:
+        """Remove and return everything, oldest first."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class RateLimiter:
+    """Fixed-window admission gate driven by the sim clock.
+
+    The window index is ``floor(now / window_s)``, recomputed at each
+    ``admit`` call — no timers, no background resets, so an idle limiter
+    is free and a run's event schedule is identical with or without one
+    (only *deliveries* change, and only on the paths that consult it).
+    """
+
+    __slots__ = ("max_per_window", "window_s", "policy", "shed", "_window", "_count")
+
+    def __init__(
+        self,
+        max_per_window: int,
+        window_s: float = 1.0,
+        policy: DropPolicy = DropPolicy.DROP_NEWEST,
+    ) -> None:
+        if max_per_window <= 0:
+            raise ValueError(f"max_per_window must be positive, got {max_per_window}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.max_per_window = max_per_window
+        self.window_s = window_s
+        self.policy = policy
+        self.shed = 0
+        self._window = -1
+        self._count = 0
+
+    def admit(self, now: float) -> bool:
+        window = int(now // self.window_s)
+        if window != self._window:
+            self._window = window
+            self._count = 0
+        if self._count >= self.max_per_window:
+            self.shed += 1
+            return False
+        self._count += 1
+        return True

@@ -22,6 +22,18 @@ class TestFacadeSurface:
     def test_all_is_sorted_and_unique(self):
         assert list(api.__all__) == sorted(set(api.__all__))
 
+    def test_resilience_and_chaos_surface_is_exported(self):
+        for name in (
+            "Supervisor", "CircuitBreaker", "DegradedModePolicy",
+            "ResilienceConfig", "BreakerState", "ServiceHealth",
+            "BoundedQueue", "RateLimiter", "DropPolicy", "BackpressureError",
+            "ChaosPlanGenerator", "ChaosTargets", "ChaosRunResult",
+            "run_chaos", "check_invariants",
+        ):
+            assert name in api.__all__, name
+        plan = api.ChaosPlanGenerator(seed=0).generate()
+        assert plan.events  # generator usable straight off the façade
+
     def test_run_pilot_convenience(self):
         config = PilotConfig(
             name="facade-smoke", farm="f", climate=BARREIRAS_MATOPIBA,

@@ -1,0 +1,174 @@
+"""Tests for the chaos harness: generator structure, invariant auditing,
+and the same-seed bit-identity contract (E15)."""
+
+import pytest
+
+from repro.faults import (
+    ChaosPlanGenerator,
+    ChaosTargets,
+    FaultPlan,
+    check_invariants,
+    run_chaos,
+)
+from repro.faults.chaos import degraded_mode_scenario_plan, standard_targets
+from repro.simkernel.clock import DAY, HOUR
+
+SEEDS = range(40)
+
+
+def plans(**kwargs):
+    for seed in SEEDS:
+        yield seed, ChaosPlanGenerator(seed, **kwargs).generate()
+
+
+class TestGeneratorStructure:
+    def test_same_seed_same_plan_fresh_generator(self):
+        for seed in (0, 1, 17):
+            a = ChaosPlanGenerator(seed).generate()
+            b = ChaosPlanGenerator(seed).generate()
+            assert a.to_dict() == b.to_dict()
+
+    def test_different_seeds_differ(self):
+        dicts = [ChaosPlanGenerator(s).generate().to_dict() for s in range(8)]
+        assert len({str(d) for d in dicts}) > 1
+
+    def test_every_plan_has_an_anchor_outage(self):
+        for seed, plan in plans():
+            anchors = [
+                e for e in plan.events
+                if e.kind in ("link_partition", "fog_crash")
+                and e.duration_s is not None and e.duration_s >= DAY
+            ]
+            assert anchors, f"seed {seed}: no anchor in {plan.to_dict()}"
+
+    def test_every_window_ends_inside_the_recovery_margin(self):
+        for seed, plan in plans():
+            for e in plan.events:
+                end = e.at_s + (e.duration_s or 0.0)
+                assert end <= 0.85 * 6 * DAY + 1e-9, f"seed {seed}: {e}"
+
+    def test_same_target_windows_never_overlap(self):
+        for seed, plan in plans():
+            by_target = {}
+            for e in plan.events:
+                if e.duration_s is None:
+                    continue
+                by_target.setdefault(e.target, []).append(
+                    (e.at_s, e.at_s + e.duration_s)
+                )
+            for target, windows in by_target.items():
+                windows.sort()
+                for (_, end_a), (start_b, _) in zip(windows, windows[1:]):
+                    assert end_a <= start_b, f"seed {seed}: overlap on {target}"
+
+    def test_at_most_one_extra_infrastructure_event(self):
+        """Beyond the anchor, at most one fog crash / broker restart —
+        their recovery paths contend for the same replicator state."""
+        for seed, plan in plans():
+            infra = [
+                e for e in plan.events
+                if e.kind in ("fog_crash", "broker_restart")
+            ]
+            anchor_crashes = [
+                e for e in infra
+                if e.kind == "fog_crash" and e.duration_s >= DAY
+            ]
+            assert len(infra) - len(anchor_crashes[:1]) <= 1, f"seed {seed}"
+
+    def test_protected_devices_are_never_targeted(self):
+        targets = standard_targets()
+        assert targets.protected_devices
+        protected = set(targets.protected_devices)
+        for seed, plan in plans(targets=targets):
+            hit = {e.target for e in plan.events} & protected
+            assert not hit, f"seed {seed}: faulted protected device {hit}"
+
+    def test_event_count_within_bounds(self):
+        for seed, plan in plans(min_events=3, max_events=7):
+            assert 1 <= len(plan.events) <= 7, f"seed {seed}"
+
+    def test_plans_validate(self):
+        for _, plan in plans():
+            plan.validate()  # raises on malformed events
+
+    def test_targets_without_fogs_never_crash_one(self):
+        targets = ChaosTargets(fogs=(), devices=("d0", "d1"))
+        for seed, plan in plans(targets=targets):
+            assert all(e.kind != "fog_crash" for e in plan.events)
+
+    def test_faultable_devices_excludes_protected(self):
+        targets = ChaosTargets(
+            devices=("a", "b", "c"), protected_devices=("b",)
+        )
+        assert targets.faultable_devices == ("a", "c")
+
+
+class TestDegradedScenarioPlan:
+    def test_shape(self):
+        plan = degraded_mode_scenario_plan()
+        (event,) = plan.events
+        assert event.kind == "fog_crash"
+        assert event.at_s == 22.0 * HOUR
+        assert event.duration_s == 2 * DAY
+
+    def test_rejects_too_short_season(self):
+        with pytest.raises(ValueError):
+            degraded_mode_scenario_plan(season_days=3)
+
+
+class TestInvariantAudit:
+    """check_invariants against a real (cheap, 3-day) supervised run."""
+
+    @pytest.fixture(scope="class")
+    def finished(self):
+        from repro.faults.chaos import build_chaos_runner
+
+        plan = FaultPlan(name="audit").add(
+            "link_partition", "wan", 6 * HOUR, 4 * HOUR
+        )
+        runner = build_chaos_runner(plan, seed=2, season_days=3)
+        runner.run_season()
+        return runner, plan
+
+    def test_clean_run_passes_every_invariant(self, finished):
+        runner, plan = finished
+        results = check_invariants(runner, plan)
+        assert results and all(r.ok for r in results), [
+            (r.name, r.detail) for r in results if not r.ok
+        ]
+
+    def test_audit_catches_a_plan_the_run_never_executed(self, finished):
+        runner, _ = finished
+        bigger = FaultPlan(name="phantom").add(
+            "link_partition", "wan", 6 * HOUR, 4 * HOUR
+        ).add("sensor_dropout", "chaosfarm-probe-0-1", 10 * HOUR, 2 * HOUR)
+        results = {r.name: r for r in check_invariants(runner, bigger)}
+        assert not results["all faults injected"].ok
+
+    def test_audit_catches_a_missed_anchor_window(self, finished):
+        runner, _ = finished
+        # Pretend the plan had a day-long partition the run never saw:
+        # no decisions can fall inside a window past the 3-day horizon.
+        phantom = FaultPlan(name="late-anchor").add(
+            "link_partition", "wan", 6 * HOUR, 4 * HOUR
+        ).add("link_partition", "wan", 2.4 * DAY, 1.2 * DAY)
+        results = [
+            r for r in check_invariants(runner, phantom)
+            if r.name == "irrigation continues through outage"
+        ]
+        assert results and not all(r.ok for r in results)
+
+
+class TestRunChaosBitIdentity:
+    def test_pinned_seed_is_bit_identical_across_invocations(self):
+        first = run_chaos(11, season_days=3, max_events=4)
+        second = run_chaos(11, season_days=3, max_events=4)
+        assert first.fingerprint == second.fingerprint
+        assert first.plan.to_dict() == second.plan.to_dict()
+        assert first.ok, [(r.name, r.detail) for r in first.failures()]
+
+    def test_result_accessors(self):
+        result = run_chaos(11, season_days=3, max_events=4)
+        assert result.seed == 11
+        assert result.failures() == []
+        assert len(result.fingerprint) == 64

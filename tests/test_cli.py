@@ -68,6 +68,30 @@ class TestCommands:
         assert "messages published" in summary[0]
         assert "notifications delivered" in summary[0]
 
+    def test_run_without_resilience_prints_no_resilience_line(self):
+        out = io.StringIO()
+        assert main(["run", "guaspari", "--days", "2", "--seed", "2"], out=out) == 0
+        assert "resilience:" not in out.getvalue()
+
+    def test_run_with_resilience_prints_summary_and_metrics(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "guaspari", "--days", "2", "--seed", "2",
+             "--resilience", "--metrics", str(path)],
+            out=out,
+        ) == 0
+        summary = [line for line in out.getvalue().splitlines()
+                   if line.startswith("resilience:")]
+        assert len(summary) == 1
+        assert "services healthy" in summary[0]
+        assert "restarts" in summary[0]
+        snapshot = json.loads(path.read_text())
+        health = {name: value for name, value in snapshot["gauges"].items()
+                  if name.startswith("resilience.health")}
+        assert len(health) >= 5
+        assert all(value == 1.0 for value in health.values())
+
     def test_run_writes_metrics_snapshot(self, tmp_path):
         out = io.StringIO()
         path = tmp_path / "metrics.json"

@@ -349,4 +349,4 @@ class TestBrokerOverloadRecovery:
         sim.run(until=30.0)
         session = broker.sessions["sleepy"]
         assert len(session.offline_queue) <= 50
-        assert broker.stats.dropped_overload > 0
+        assert broker.stats.offline_dropped > 0

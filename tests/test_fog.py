@@ -146,6 +146,44 @@ class TestReplication:
         assert rig.replicator.backlog_depth == 0
         assert rig.cloud_context.get_entity("e1").get("v") == 1
 
+    def test_ack_at_exactly_retry_timeout_wins_over_retransmit(self):
+        """The retry-expiry boundary is inclusive: a pump tick landing at
+        *exactly* ``retry_timeout_s`` after transmission, with the ACK
+        arriving at the same instant, must not retransmit.  A strict ``<``
+        here double-sent the batch (a duplicate on the wire, an extra WAN
+        round-trip and a spurious breaker failure) whenever the pump
+        cadence divided the timeout."""
+        from repro.fog.replication import _SyncAck
+        from repro.network.packet import Packet
+
+        rig = ReplicationRig(retry_timeout_s=5.0)
+        # Swallow the cloud's real ACK so we control the delivery instant.
+        rig.net.add_firewall(
+            lambda packet, hop_src, hop_dst: not isinstance(packet.payload, _SyncAck)
+        )
+        rig.update("e1", v=1)
+        rig.sim.run(until=10.0)  # first pump: batch 1 in flight since t=10
+        assert rig.replicator.batches_sent == 1
+        assert rig.replicator._in_flight is not None
+
+        def pump_then_ack():
+            # Worst-case ordering at t = 15.0 == in-flight + retry_timeout:
+            # the pump fires *first*, then the ACK lands.  The inclusive
+            # boundary means the pump must treat the batch as still live.
+            rig.replicator.flush_now()
+            rig.replicator._on_packet(Packet(
+                src="cloud:sync", dst="fog:sync",
+                payload=_SyncAck(seq=1, source=rig.replicator.node.address),
+                size_bytes=16, created_at=rig.sim.now,
+            ))
+
+        rig.sim.schedule(5.0, pump_then_ack)
+        rig.sim.run(until=30.0)
+        assert rig.replicator.batches_sent == 1  # no double-send
+        assert rig.replicator.batches_acked == 1
+        assert rig.replicator._in_flight is None
+        assert rig.replicator.backlog_depth == 0
+
     def test_gap_after_lost_batches_accepts_and_advances(self):
         """Deterministic gap path: when whole batches are lost on the fog
         side (the overflow/log-truncation scenario the protocol anticipates)

@@ -517,6 +517,73 @@ class TestReconnectBackoff:
         assert delays["c0"] and delays["c1"]
         assert delays["c0"] != delays["c1"]
 
+    def test_delay_sequence_restarts_from_initial_after_connack(self):
+        """Pin the escalation across two outages: the CONNACK between them
+        resets the whole sequence (1, 2, 4, ... twice over), it does not
+        resume where the first outage left off (..., 8, 16)."""
+        sim = Simulator(seed=5)
+        net, broker, (c,) = build(sim, 1)
+        delays = []
+        original_schedule = sim.schedule
+
+        def spy(delay, callback, args=(), **kwargs):
+            if kwargs.get("label") == "c0:reconnect":
+                delays.append(delay)
+            return original_schedule(delay, callback, args, **kwargs)
+
+        sim.schedule = spy
+        net.partition("c0", "broker")
+        c.connect()
+        sim.run(until=60.0)  # CONNECT timeouts are 10 s: ~3 retries escalate
+        assert len(delays) >= 2
+        net.heal("c0", "broker")
+        sim.run(until=120.0)
+        assert c.connected
+        # Everything scheduled before the session came back (including the
+        # in-flight retry that straddled the heal) belongs to chain #1.
+        first_outage = len(delays)
+        net.partition("c0", "broker")
+        sim.run(until=300.0)
+        second = delays[first_outage:]
+        assert len(second) >= 2
+        # Both sequences follow base-2^i × jitter from delay #0 again.
+        for sequence in (delays[:first_outage], second):
+            for i, delay in enumerate(sequence):
+                base = min(2.0 ** i, c.reconnect_backoff_max_s)
+                assert base <= delay <= base * 1.25, (sequence, i)
+
+    def test_concurrent_triggers_do_not_fork_reconnect_chains(self):
+        """A CONNACK timeout racing a broker Disconnect must leave exactly
+        one pending reconnect chain — duplicates double-escalate the
+        backoff and double the CONNECT load on a struggling broker."""
+        sim = Simulator(seed=6)
+        net, broker, (c,) = build(sim, 1)
+        fired = []
+        original_schedule = sim.schedule
+
+        def spy(delay, callback, args=(), **kwargs):
+            if kwargs.get("label") == "c0:reconnect":
+                fired.append((sim.now, delay))
+            return original_schedule(delay, callback, args, **kwargs)
+
+        sim.schedule = spy
+        net.partition("c0", "broker")
+        c.connect()
+        sim.run(until=5.0)
+        # Simulate the race: a second failure signal lands while the first
+        # retry is already pending.
+        c._schedule_reconnect()
+        c._schedule_reconnect()
+        sim.run(until=100.0)
+        # Never two live timers: consecutive schedules are spaced by at
+        # least the earlier delay (a forked chain would interleave).
+        for (t0, d0), (t1, _) in zip(fired, fired[1:]):
+            assert t1 >= t0 + d0
+        # And the escalation stayed single-chain (2^i, not 4^i).
+        for i, (_, delay) in enumerate(fired):
+            base = min(2.0 ** i, c.reconnect_backoff_max_s)
+            assert base <= delay <= base * 1.25
+
 
 class TestWireSizes:
     def test_publish_size_scales_with_payload(self):
