@@ -148,8 +148,11 @@ class IoTAgent:
         if attrs:
             self.stats.measures_processed += 1
             self._m_measures.inc()
-            self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
-            self.context_broker.update_attributes(provision.entity_id, attrs, metadata=metadata)
+            with self.sim.tracer.span(
+                "iota.measure", "iota", farm=self.farm, device=device_id
+            ):
+                self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
+                self.context_broker.update_attributes(provision.entity_id, attrs, metadata=metadata)
 
     # -- north -> south (commands) ---------------------------------------------
 
@@ -166,19 +169,22 @@ class IoTAgent:
             )
             return False
         name = command.get("cmd", "cmd")
-        sent = self.client.publish(
-            f"swamp/{self.farm}/cmd/{device_id}", encode_payload(command), qos=1
-        )
-        if sent:
-            self.stats.commands_sent += 1
-            self._m_commands.inc()
-            for observer in self.command_observers:
-                observer(device_id, command, self.sim.now)
-            self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
-            self.context_broker.update_attributes(
-                provision.entity_id, {f"{name}_status": "PENDING"},
-                attr_types={f"{name}_status": "commandStatus"},
+        with self.sim.tracer.span(
+            "iota.command", "iota", farm=self.farm, device=device_id, cmd=name
+        ):
+            sent = self.client.publish(
+                f"swamp/{self.farm}/cmd/{device_id}", encode_payload(command), qos=1
             )
+            if sent:
+                self.stats.commands_sent += 1
+                self._m_commands.inc()
+                for observer in self.command_observers:
+                    observer(device_id, command, self.sim.now)
+                self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
+                self.context_broker.update_attributes(
+                    provision.entity_id, {f"{name}_status": "PENDING"},
+                    attr_types={f"{name}_status": "commandStatus"},
+                )
         return sent
 
     def _on_command_ack(self, topic: str, payload: bytes, qos: int, retain: bool) -> None:
@@ -194,9 +200,12 @@ class IoTAgent:
         self._m_acks.inc()
         name = ack.get("cmd", "cmd")
         result = ack.get("result", "OK")
-        self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
-        self.context_broker.update_attributes(
-            provision.entity_id,
-            {f"{name}_status": "OK" if result == "ok" else str(result)},
-            attr_types={f"{name}_status": "commandStatus"},
-        )
+        with self.sim.tracer.span(
+            "iota.command_ack", "iota", farm=self.farm, device=device_id, cmd=name
+        ):
+            self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
+            self.context_broker.update_attributes(
+                provision.entity_id,
+                {f"{name}_status": "OK" if result == "ok" else str(result)},
+                attr_types={f"{name}_status": "commandStatus"},
+            )

@@ -39,6 +39,7 @@ from repro.core import (
     build_intercrop_pilot,
     build_matopiba_pilot,
 )
+from repro.core.run import RunOptions, RunResult, run
 from repro.faults import (
     ChaosPlanGenerator,
     ChaosRunResult,
@@ -48,7 +49,6 @@ from repro.faults import (
     FaultPlan,
     FaultPlanError,
     check_invariants,
-    run_chaos,
 )
 from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
 from repro.mqtt import (
@@ -83,7 +83,16 @@ from repro.resilience import (
 )
 from repro.simkernel import ReproError, Simulator, StopSimulation
 from repro.simkernel.clock import DAY, HOUR
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import (
+    KernelProfiler,
+    MetricsRegistry,
+    Span,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    validate_chrome_trace,
+    validate_span_trees,
+)
 
 __all__ = [
     "AttrFilter",
@@ -114,6 +123,7 @@ __all__ = [
     "FaultPlanError",
     "Field",
     "HOUR",
+    "KernelProfiler",
     "LOAM",
     "MetricsRegistry",
     "MqttBroker",
@@ -130,6 +140,8 @@ __all__ = [
     "Reservoir",
     "ResilienceConfig",
     "RoutingMismatchError",
+    "RunOptions",
+    "RunResult",
     "SANDY_LOAM",
     "SOYBEAN",
     "SecurityConfig",
@@ -137,23 +149,147 @@ __all__ = [
     "ShortTermHistory",
     "Simulator",
     "SoilProperties",
+    "Span",
     "StopSimulation",
     "Subscription",
     "SubscriptionIndex",
     "Supervisor",
     "TopicError",
     "TopicTrie",
+    "TraceConfig",
+    "TraceContext",
+    "Tracer",
     "build_cbec_pilot",
     "build_guaspari_pilot",
     "build_intercrop_pilot",
     "build_matopiba_pilot",
     "check_invariants",
+    "run",
     "run_chaos",
     "run_pilot",
     "topic_matches",
+    "validate_chrome_trace",
+    "validate_span_trees",
 ]
+
+# One-line documentation per exported name.  The facade contract test
+# asserts this stays in lockstep with ``__all__`` — adding an export
+# without documenting it fails CI.
+DOCS = {
+    "AttrFilter": "Attribute-level filter for context subscriptions.",
+    "Attribute": "One typed attribute of a context entity, with timestamp.",
+    "BARREIRAS_MATOPIBA": "Climate profile for the MATOPIBA pilot site.",
+    "BackpressureError": "Raised when a bounded queue rejects under pressure.",
+    "BoundedQueue": "Fixed-capacity queue with selectable overflow policy.",
+    "BreakerState": "Circuit-breaker state machine states (closed/open/half-open).",
+    "Canal": "One canal segment of an irrigation distribution network.",
+    "ChaosPlanGenerator": "Seeded random fault-plan generator for chaos runs.",
+    "ChaosRunResult": "Outcome of a chaos run: report, invariants, fingerprint.",
+    "ChaosTargets": "Which subsystems a chaos plan is allowed to break.",
+    "CircuitBreaker": "Half-open circuit breaker guarding an unreliable dependency.",
+    "ClimateProfile": "Seasonal weather statistics driving the weather generator.",
+    "ContextBroker": "NGSI-style entity store with queries and subscriptions.",
+    "ContextEntity": "One entity (device, zone, ...) in the context broker.",
+    "ContextError": "Base error for context-broker operations.",
+    "Crop": "Crop parameters: Kc curve, root depth, yield response.",
+    "DAY": "Seconds per simulated day.",
+    "DegradedModePolicy": "Rules for local autonomy when the uplink is down.",
+    "DeploymentKind": "Where platform services run: cloud, fog or mobile fog.",
+    "DistributionNetwork": "Canal network allocating water to farm offtakes.",
+    "DropPolicy": "What a bounded queue drops when full (oldest/newest/reject).",
+    "FarmOfftake": "A farm's connection point on the distribution network.",
+    "FaultEvent": "One scheduled fault: target, kind, start and duration.",
+    "FaultInjector": "Applies fault events to live services and recovers them.",
+    "FaultPlan": "An ordered, serializable collection of fault events.",
+    "FaultPlanError": "Raised for malformed or unsatisfiable fault plans.",
+    "Field": "Spatial grid of soil zones under one farm.",
+    "HOUR": "Seconds per simulated hour.",
+    "KernelProfiler": "Per-event-key sim/wall-time accounting for the kernel loop.",
+    "LOAM": "Loam soil property preset.",
+    "MetricsRegistry": "Counter/gauge/histogram registry with JSON snapshots.",
+    "MqttBroker": "Topic-trie MQTT broker with QoS and retained messages.",
+    "MqttClient": "MQTT client with outbox, retransmission and subscriptions.",
+    "NotFoundError": "Raised when a context entity or attribute is missing.",
+    "Notification": "One subscription notification delivered to a subscriber.",
+    "PilotConfig": "Complete configuration of one pilot scenario.",
+    "PilotReport": "End-of-season results: water, energy, yield, telemetry.",
+    "PilotRunner": "Builds and runs one pilot: services, devices, season loop.",
+    "Query": "Context-broker query: entity/type patterns plus attr filters.",
+    "QueryError": "Raised for malformed context queries.",
+    "RateLimiter": "Token-bucket limiter for command and sync flows.",
+    "ReproError": "Base exception for the whole reproduction.",
+    "Reservoir": "Source reservoir feeding a distribution network.",
+    "ResilienceConfig": "Toggles and budgets for the resilience subsystem.",
+    "RoutingMismatchError": "Raised when trie and linear-scan routing disagree.",
+    "RunOptions": "All knobs for one run; pass to run().",
+    "RunResult": "Return of run(): report plus runner and chaos handles.",
+    "SANDY_LOAM": "Sandy-loam soil property preset.",
+    "SOYBEAN": "Soybean crop preset (MATOPIBA pilot).",
+    "SecurityConfig": "Which security countermeasures are enabled for a run.",
+    "ServiceHealth": "Supervisor's per-service liveness/restart bookkeeping.",
+    "ShortTermHistory": "Bounded per-attribute history ring in the context broker.",
+    "Simulator": "Discrete-event kernel: clock, event queue, RNGs, metrics.",
+    "SoilProperties": "Soil water-holding parameters.",
+    "Span": "One timed operation in a trace, with parent and links.",
+    "StopSimulation": "Raise inside an event to end the run cleanly.",
+    "Subscription": "A context subscription: query, attrs, notify endpoint.",
+    "SubscriptionIndex": "Inverted index matching updates to subscriptions.",
+    "Supervisor": "Restarts crashed services with exponential backoff.",
+    "TopicError": "Raised for invalid MQTT topic or filter syntax.",
+    "TopicTrie": "Prefix trie matching topics against wildcard filters.",
+    "TraceConfig": "Tracing knobs: sample rates and span cap.",
+    "TraceContext": "Immutable (trace_id, span_id) pair propagated across hops.",
+    "Tracer": "Causal tracer: spans, head sampling, Chrome-trace export.",
+    "build_cbec_pilot": "Factory for the CBEC pilot (canal-fed tomato).",
+    "build_guaspari_pilot": "Factory for the Guaspari pilot (deficit-irrigated grapes).",
+    "build_intercrop_pilot": "Factory for the Intercrop pilot (desalination mix).",
+    "build_matopiba_pilot": "Factory for the MATOPIBA pilot (VRI center pivot).",
+    "check_invariants": "Post-run invariant checks over a finished runner.",
+    "run": "Single entrypoint: build and run one pilot per RunOptions.",
+    "run_chaos": "Deprecated: use run(RunOptions(chaos=True)).",
+    "run_pilot": "Deprecated: use run(RunOptions(config=...)).",
+    "topic_matches": "True if an MQTT topic matches a wildcard filter.",
+    "validate_chrome_trace": "Check an exported Chrome trace for invariant violations.",
+    "validate_span_trees": "Check span trees are rooted, acyclic and nested.",
+}
+
+# -- deprecated shims --------------------------------------------------------
+
+_DEPRECATION_WARNED = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    """Emit the one-per-process DeprecationWarning for a legacy entrypoint."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    import warnings
+
+    warnings.warn(
+        f"repro.api.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_pilot(config: PilotConfig) -> PilotReport:
-    """Build a pilot from ``config``, run the full season, return its report."""
-    return PilotRunner(config).run_season()
+    """Deprecated: use ``run(RunOptions(config=config)).report``.
+
+    Kept as a thin shim per the deprecation policy above; behaviour is
+    bit-identical to the historical implementation.
+    """
+    _warn_deprecated("run_pilot", "repro.api.run(RunOptions(config=...))")
+    return run(RunOptions(config=config)).report
+
+
+def run_chaos(seed, **kwargs):
+    """Deprecated: use ``run(RunOptions(chaos=True, seed=...))``.
+
+    Forwards verbatim to :func:`repro.faults.chaos.run_chaos`, which stays
+    the non-deprecated implementation for chaos-specific knobs (targets,
+    season_days, generator kwargs) that RunOptions does not model.
+    """
+    _warn_deprecated("run_chaos", "repro.api.run(RunOptions(chaos=True))")
+    from repro.faults.chaos import run_chaos as _run_chaos
+
+    return _run_chaos(seed, **kwargs)

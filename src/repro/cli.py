@@ -5,58 +5,82 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run matopiba --seed 3 --days 30
     python -m repro.cli run guaspari --security auth,encryption
-    python -m repro.cli compare matopiba --seed 3        # smart vs fixed
+    python -m repro.cli run matopiba --days 5 --trace trace.json --profile-top 10
+    python -m repro.cli compare guaspari --seed 3        # smart vs fixed
 
 ``run`` executes a pilot (optionally truncated to ``--days``) and prints
 the season report; ``compare`` runs the smart scheduler against the
 fixed-calendar baseline on the same field and weather and prints the
 business case (water, energy, money).
+
+Both subcommands share one options block built from
+:class:`repro.core.run.RunOptions` — every knob the programmatic
+entrypoint accepts has exactly one flag here, and both paths execute
+through :func:`repro.core.run.run`.
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analytics.economics import Tariffs, deployment_benefit_eur, price_season
 from repro.core.pilot import PilotReport
-from repro.core.pilots import (
-    build_cbec_pilot,
-    build_guaspari_pilot,
-    build_intercrop_pilot,
-    build_matopiba_pilot,
-)
+from repro.core.pilots import PILOT_BUILDERS
+from repro.core.run import RunOptions, run
 from repro.core.security_profile import SecurityConfig
 from repro.faults.plan import FaultPlan, FaultPlanError
 from repro.resilience import ResilienceConfig
 
-PILOTS = {
-    "cbec": lambda seed, security, faults, resilience=None: build_cbec_pilot(
-        seed=seed, security=security, fault_plan=faults, resilience=resilience)[0],
-    "intercrop": lambda seed, security, faults, resilience=None: build_intercrop_pilot(
-        seed=seed, security=security, fault_plan=faults, resilience=resilience)[0],
-    "guaspari": lambda seed, security, faults, resilience=None: build_guaspari_pilot(
-        seed=seed, security=security, fault_plan=faults, resilience=resilience),
-    "matopiba": lambda seed, security, faults, resilience=None: build_matopiba_pilot(
-        seed=seed, security=security, fault_plan=faults, resilience=resilience),
-}
-
 SECURITY_FLAGS = ("auth", "encryption", "detection", "ledger", "command_rhythm")
+
+# Pilot-specific factory kwargs applied by ``compare``: the full-size
+# MATOPIBA grid at the default probe cadence is too slow for a paired
+# A/B run, so it keeps the coarse benchmark preset.
+COMPARE_PRESETS = {
+    "matopiba": {"rows": 4, "cols": 4, "probe_interval_s": 3600.0},
+}
 
 
 def _parse_security(spec: Optional[str]) -> SecurityConfig:
-    config = SecurityConfig()
-    if not spec:
-        return config
-    for flag in spec.split(","):
-        flag = flag.strip()
-        if not flag:
-            continue
-        if flag not in SECURITY_FLAGS:
-            raise SystemExit(
-                f"unknown security flag {flag!r}; choose from {', '.join(SECURITY_FLAGS)}"
-            )
-        setattr(config, flag, True)
-    return config
+    # Delegates to the API-level parser; the CLI's contract is the
+    # SystemExit (same message) rather than ValueError.
+    from repro.core.run import parse_security_spec
+
+    try:
+        return parse_security_spec(spec)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
+    if not path:
+        return None
+    try:
+        return FaultPlan.load(path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read fault plan {path!r}: {exc}")
+    except FaultPlanError as exc:
+        raise SystemExit(f"invalid fault plan {path!r}: {exc}")
+
+
+def _options_from_args(
+    args, scheduler_kind: Optional[str] = None, pilot_kwargs: Optional[dict] = None
+) -> RunOptions:
+    """Map the shared CLI options block onto one :class:`RunOptions`."""
+    return RunOptions(
+        pilot=args.pilot,
+        seed=args.seed,
+        days=args.days,
+        security=_parse_security(args.security),
+        faults=_load_fault_plan(args.faults),
+        resilience=ResilienceConfig() if args.resilience else None,
+        trace=args.trace is not None,
+        profile=args.profile_top is not None,
+        profile_top=args.profile_top if args.profile_top is not None else 10,
+        scheduler_kind=scheduler_kind,
+        pilot_kwargs=dict(pilot_kwargs or {}),
+    )
 
 
 def _print_report(report: PilotReport, out) -> None:
@@ -87,7 +111,7 @@ def cmd_list(args, out) -> int:
         "guaspari": "Pinhal wine grape, regulated deficit, fog deployment",
         "matopiba": "Barreiras soybean, VRI center pivot, mobile-fog deployment",
     }
-    for name in sorted(PILOTS):
+    for name in sorted(PILOT_BUILDERS):
         print(f"  {name.ljust(10)} {descriptions[name]}", file=out)
     return 0
 
@@ -118,35 +142,20 @@ def _print_metrics_summary(runner, out) -> None:
         )
 
 
-def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
-    if not path:
-        return None
-    try:
-        return FaultPlan.load(path)
-    except OSError as exc:
-        raise SystemExit(f"cannot read fault plan {path!r}: {exc}")
-    except FaultPlanError as exc:
-        raise SystemExit(f"invalid fault plan {path!r}: {exc}")
-
-
-def cmd_run(args, out) -> int:
-    security = _parse_security(args.security)
-    fault_plan = _load_fault_plan(args.faults)
-    resilience = ResilienceConfig() if args.resilience else None
-    runner = PILOTS[args.pilot](args.seed, security, fault_plan, resilience)
-    if args.days is not None:
-        runner.run_days(args.days)
-        report = runner.report()
-    else:
-        report = runner.run_season()
-    _print_report(report, out)
-    _print_metrics_summary(runner, out)
-    if runner.fault_injector is not None:
-        injector = runner.fault_injector
+def _write_run_artifacts(args, runner, out) -> None:
+    """Profiler summary, Chrome-trace export and metrics snapshot."""
+    if runner.profiler is not None:
+        for line in runner.profiler.summary_lines(args.profile_top):
+            print(line, file=out)
+    if args.trace:
+        try:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                json.dump(runner.tracer.chrome_trace(), fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace to {args.trace!r}: {exc}")
         print(
-            f"faults: plan {fault_plan.name!r}, "
-            f"{injector.injected} injected, {injector.recovered} recovered, "
-            f"{injector.active_count} still active",
+            f"trace written to {args.trace} ({len(runner.tracer.spans())} spans)",
             file=out,
         )
     if args.metrics:
@@ -157,18 +166,36 @@ def cmd_run(args, out) -> int:
         except OSError as exc:
             raise SystemExit(f"cannot write metrics snapshot to {args.metrics!r}: {exc}")
         print(f"metrics snapshot written to {args.metrics}", file=out)
+
+
+def cmd_run(args, out) -> int:
+    options = _options_from_args(args)
+    result = run(options)
+    runner = result.runner
+    _print_report(result.report, out)
+    _print_metrics_summary(runner, out)
+    if runner.fault_injector is not None:
+        injector = runner.fault_injector
+        fault_plan = options.faults
+        print(
+            f"faults: plan {fault_plan.name!r}, "
+            f"{injector.injected} injected, {injector.recovered} recovered, "
+            f"{injector.active_count} still active",
+            file=out,
+        )
+    _write_run_artifacts(args, runner, out)
     return 0
 
 
 def cmd_compare(args, out) -> int:
-    if args.pilot != "matopiba":
-        raise SystemExit("compare currently supports the matopiba pilot")
-    smart = build_matopiba_pilot(
-        seed=args.seed, rows=4, cols=4, probe_interval_s=3600.0, scheduler_kind="smart"
-    ).run_season()
-    fixed = build_matopiba_pilot(
-        seed=args.seed, rows=4, cols=4, probe_interval_s=3600.0, scheduler_kind="fixed"
-    ).run_season()
+    preset = COMPARE_PRESETS.get(args.pilot, {})
+    results = {}
+    for kind in ("smart", "fixed"):
+        results[kind] = run(
+            _options_from_args(args, scheduler_kind=kind, pilot_kwargs=preset)
+        )
+    smart = results["smart"].report
+    fixed = results["fixed"].report
     for report in (fixed, smart):
         _print_report(report, out)
         print(file=out)
@@ -176,13 +203,44 @@ def cmd_compare(args, out) -> int:
     smart_economics = price_season(smart, tariffs)
     fixed_economics = price_season(fixed, tariffs)
     benefit = deployment_benefit_eur(smart_economics, fixed_economics)
-    water_saving = 1.0 - smart.irrigation_m3 / fixed.irrigation_m3
+    water_saving = (
+        1.0 - smart.irrigation_m3 / fixed.irrigation_m3 if fixed.irrigation_m3 else 0.0
+    )
     print("--- business case: smart vs fixed calendar ---", file=out)
     print(f"water saved            : {water_saving:.1%}", file=out)
     print(f"input cost fixed       : EUR {fixed_economics.input_cost_eur:,.0f}", file=out)
     print(f"input cost smart       : EUR {smart_economics.input_cost_eur:,.0f}", file=out)
     print(f"season benefit (margin): EUR {benefit:,.0f}", file=out)
+    # The smart arm carries the shared artifact flags (trace, profile,
+    # metrics snapshot) so an A/B run can also be inspected span by span.
+    _write_run_artifacts(args, results["smart"].runner, out)
     return 0
+
+
+def _options_parent() -> argparse.ArgumentParser:
+    """The options block shared by ``run`` and ``compare``.
+
+    One flag per :class:`RunOptions` knob, so the subcommands cannot
+    drift apart — new run options land in both by construction.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--days", type=float, default=None,
+                        help="truncate the season to N days")
+    common.add_argument("--security", default="",
+                        help=f"comma list of {','.join(SECURITY_FLAGS)}")
+    common.add_argument("--metrics", default=None, metavar="PATH",
+                        help="write a JSON metrics snapshot to PATH")
+    common.add_argument("--faults", default=None, metavar="PATH",
+                        help="run under the fault plan in this JSON file")
+    common.add_argument("--resilience", action="store_true",
+                        help="enable the supervision/backpressure/degraded-mode layer")
+    common.add_argument("--trace", default=None, metavar="PATH",
+                        help="trace the run and export Chrome-trace JSON to PATH")
+    common.add_argument("--profile-top", dest="profile_top", type=int, default=None,
+                        metavar="K",
+                        help="profile the kernel and print the K hottest event keys")
+    return common
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,23 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available pilots")
 
-    run_parser = sub.add_parser("run", help="run one pilot season")
-    run_parser.add_argument("pilot", choices=sorted(PILOTS))
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--days", type=float, default=None,
-                            help="truncate the season to N days")
-    run_parser.add_argument("--security", default="",
-                            help=f"comma list of {','.join(SECURITY_FLAGS)}")
-    run_parser.add_argument("--metrics", default=None, metavar="PATH",
-                            help="write a JSON metrics snapshot to PATH")
-    run_parser.add_argument("--faults", default=None, metavar="PATH",
-                            help="run under the fault plan in this JSON file")
-    run_parser.add_argument("--resilience", action="store_true",
-                            help="enable the supervision/backpressure/degraded-mode layer")
+    common = _options_parent()
+    run_parser = sub.add_parser("run", parents=[common],
+                                help="run one pilot season")
+    run_parser.add_argument("pilot", choices=sorted(PILOT_BUILDERS))
 
-    compare_parser = sub.add_parser("compare", help="smart vs fixed-calendar business case")
-    compare_parser.add_argument("pilot", choices=["matopiba"])
-    compare_parser.add_argument("--seed", type=int, default=0)
+    compare_parser = sub.add_parser("compare", parents=[common],
+                                    help="smart vs fixed-calendar business case")
+    compare_parser.add_argument("pilot", choices=sorted(PILOT_BUILDERS))
     return parser
 
 

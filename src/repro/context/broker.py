@@ -207,23 +207,37 @@ class ContextBroker:
                 )
             return []
         entity = self.get_entity(entity_id)
+        tracer = self.sim.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "context.update", "context", broker=self.name, entity=entity_id
+            )
         changed: List[str] = []
         for name, value in attrs.items():
             attr_type = (attr_types or {}).get(name) or _guess_type(value)
-            entity.set_attribute(
+            attribute = entity.set_attribute(
                 name,
                 value,
                 attr_type,
                 (metadata or {}).get(name),
                 timestamp=self.sim.now,
             )
+            if span is not None:
+                # Stamp the written attribute with this update's context so
+                # downstream readers (the scheduler) can link decisions back
+                # to the sensor reading that produced the value.
+                attribute.trace_ctx = span.ctx
             changed.append(name)
         if changed:
             self.metrics.updates += 1
             self._m_updates.inc()
-            for hook in self.update_hooks:
-                hook(entity, changed)
-            self._dispatch_or_defer(entity, changed)
+            with tracer.activate(span):
+                for hook in self.update_hooks:
+                    hook(entity, changed)
+                self._dispatch_or_defer(entity, changed)
+        if span is not None:
+            tracer.end_span(span)
         return changed
 
     @contextmanager

@@ -9,7 +9,7 @@ _ID_PATTERN = re.compile(r"^[A-Za-z0-9_\-:.]+$")
 class Attribute:
     """One attribute of an entity: value + NGSI type + metadata."""
 
-    __slots__ = ("name", "value", "attr_type", "metadata", "timestamp")
+    __slots__ = ("name", "value", "attr_type", "metadata", "timestamp", "trace_ctx")
 
     def __init__(
         self,
@@ -26,6 +26,10 @@ class Attribute:
         self.attr_type = attr_type
         self.metadata = metadata or {}
         self.timestamp = timestamp
+        # Causal-trace context of the update that wrote this value (set by
+        # the broker when tracing is on).  Deliberately excluded from
+        # copy()/to_dict(): snapshots and NGSI payloads are wire artifacts.
+        self.trace_ctx: Optional[Any] = None
 
     def copy(self) -> "Attribute":
         return Attribute(self.name, self.value, self.attr_type, dict(self.metadata), self.timestamp)

@@ -40,6 +40,8 @@ from repro.resilience import CircuitBreaker, DegradedModePolicy, ResilienceConfi
 from repro.simkernel.clock import DAY, HOUR
 from repro.simkernel.simulator import Simulator
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profile import KernelProfiler
+from repro.telemetry.tracing import NULL_TRACER, TraceConfig, Tracer, log_sampler
 
 
 @dataclass
@@ -85,6 +87,15 @@ class PilotConfig:
     # degraded-mode autonomy — see repro/resilience/).  Same contract as
     # fault_plan: None keeps the pinned service graph untouched.
     resilience: Optional[ResilienceConfig] = None
+    # End-to-end causal tracing (see repro/telemetry/tracing.py).  Same
+    # contract again: None installs the shared NULL_TRACER, so the pinned
+    # service graph and event sequences are untouched; a TraceConfig —
+    # even TraceConfig() — enables span collection.
+    tracing: Optional[TraceConfig] = None
+    # Kernel profiling: wall/sim-time accounting per event key (see
+    # repro/telemetry/profile.py).  Reads perf_counter only; never
+    # perturbs determinism, but off by default to keep the hot loop bare.
+    profile: bool = False
     seed: int = 0
 
     @property
@@ -157,7 +168,24 @@ class PilotRunner:
     def __init__(self, config: PilotConfig) -> None:
         self.config = config
         metrics = MetricsRegistry(enabled=config.metrics_enabled)
-        self.sim = Simulator(seed=config.seed, metrics=metrics)
+        if config.tracing is not None:
+            self.tracer = Tracer(
+                seed=config.seed,
+                sample_rate=config.tracing.sample_rate,
+                max_spans=config.tracing.max_spans,
+            )
+        else:
+            self.tracer = NULL_TRACER
+        self.profiler = KernelProfiler() if config.profile else None
+        self.sim = Simulator(
+            seed=config.seed, metrics=metrics, tracer=self.tracer, profiler=self.profiler
+        )
+        if config.tracing is not None and config.tracing.log_sample_rate < 1.0:
+            self.sim.trace.set_sampler(
+                log_sampler(config.seed, config.tracing.log_sample_rate)
+            )
+        if self.profiler is not None:
+            self.profiler.install_metrics(metrics)
         self.net = Network(self.sim, name=config.name)
         self.runtime = PlatformRuntime(metrics=metrics)
         self.fault_injector = None

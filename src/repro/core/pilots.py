@@ -32,11 +32,13 @@ from repro.physics.crop import GUASPARI_GRAPE, LETTUCE, SOYBEAN, TOMATO_PROCESSI
 from repro.physics.soil import CLAY, LOAM, SANDY_LOAM, SILTY_CLAY
 from repro.physics.weather import BARREIRAS_MATOPIBA, CARTAGENA, EMILIA_ROMAGNA, PINHAL
 from repro.resilience import ResilienceConfig
+from repro.telemetry.tracing import TraceConfig
 
 
 def build_cbec_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
-    resilience: ResilienceConfig = None,
+    resilience: ResilienceConfig = None, tracing: TraceConfig = None,
+    profile: bool = False, scheduler_kind: str = "smart",
 ) -> Tuple[PilotRunner, DistributionNetwork]:
     """CBEC: tomato on the Emilia plain, canal-fed, cloud deployment."""
     reservoir = Reservoir("po-offtake", capacity_m3=60_000.0)
@@ -64,11 +66,13 @@ def build_cbec_pilot(
         start_day_of_year=121,  # transplant early May
         deployment=DeploymentKind.CLOUD_ONLY,
         irrigation_kind="valves",
-        scheduler_kind="smart",
+        scheduler_kind=scheduler_kind,
         supply_gate=supply_gate,
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
         resilience=resilience,
+        tracing=tracing,
+        profile=profile,
         seed=seed,
     )
     return PilotRunner(config), network
@@ -76,7 +80,8 @@ def build_cbec_pilot(
 
 def build_intercrop_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
-    resilience: ResilienceConfig = None,
+    resilience: ResilienceConfig = None, tracing: TraceConfig = None,
+    profile: bool = False, scheduler_kind: str = "smart",
 ) -> Tuple[PilotRunner, SourceMixOptimizer]:
     """Intercrop: lettuce near Cartagena, desalination-backed source mix."""
     well = WaterSource("well", capacity_m3_day=220.0, cost_eur_m3=0.09, energy_kwh_m3=0.6)
@@ -100,7 +105,7 @@ def build_intercrop_pilot(
         start_day_of_year=274,  # autumn planting
         deployment=DeploymentKind.CLOUD_ONLY,
         irrigation_kind="valves",
-        scheduler_kind="smart",
+        scheduler_kind=scheduler_kind,
         policy=SoilMoisturePolicy(trigger_fraction=0.8, max_application_mm=15.0),
         valve_rate_mm_h=12.0,  # drip lines
         pump_head_m=25.0,
@@ -108,6 +113,8 @@ def build_intercrop_pilot(
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
         resilience=resilience,
+        tracing=tracing,
+        profile=profile,
         seed=seed,
     )
     return PilotRunner(config), optimizer
@@ -115,7 +122,8 @@ def build_intercrop_pilot(
 
 def build_guaspari_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
-    resilience: ResilienceConfig = None,
+    resilience: ResilienceConfig = None, tracing: TraceConfig = None,
+    profile: bool = False, scheduler_kind: str = "smart",
 ) -> PilotRunner:
     """Guaspari: winter wine grapes under regulated deficit irrigation."""
     config = PilotConfig(
@@ -129,7 +137,7 @@ def build_guaspari_pilot(
         start_day_of_year=91,  # April budbreak for the June-August harvest
         deployment=DeploymentKind.FOG,
         irrigation_kind="valves",
-        scheduler_kind="smart",
+        scheduler_kind=scheduler_kind,
         policy=DeficitPolicy(deficit_stages=("veraison", "ripening"), deficit_target=0.6,
                              trigger_fraction=0.85),
         valve_rate_mm_h=6.0,
@@ -137,6 +145,8 @@ def build_guaspari_pilot(
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
         resilience=resilience,
+        tracing=tracing,
+        profile=profile,
         seed=seed,
     )
     return PilotRunner(config)
@@ -156,6 +166,8 @@ def build_matopiba_pilot(
     season_days: int = None,
     fault_plan: FaultPlan = None,
     resilience: ResilienceConfig = None,
+    tracing: TraceConfig = None,
+    profile: bool = False,
 ) -> PilotRunner:
     """MATOPIBA: VRI soybean under a center pivot in the dry season.
 
@@ -185,6 +197,8 @@ def build_matopiba_pilot(
         security=security or SecurityConfig(),
         fault_plan=fault_plan,
         resilience=resilience,
+        tracing=tracing,
+        profile=profile,
         seed=seed,
     )
     return PilotRunner(config)
@@ -195,4 +209,15 @@ ALL_PILOTS = {
     "intercrop": lambda seed=0: build_intercrop_pilot(seed)[0],
     "guaspari": lambda seed=0: build_guaspari_pilot(seed),
     "matopiba": lambda seed=0: build_matopiba_pilot(seed),
+}
+
+# Uniform builder surface for the run() entrypoint: every pilot accepts
+# the same keyword set (builders that also return water infrastructure
+# strip it here — callers needing the infrastructure use the build_*
+# functions directly).
+PILOT_BUILDERS = {
+    "cbec": lambda **kw: build_cbec_pilot(**kw)[0],
+    "intercrop": lambda **kw: build_intercrop_pilot(**kw)[0],
+    "guaspari": lambda **kw: build_guaspari_pilot(**kw),
+    "matopiba": lambda **kw: build_matopiba_pilot(**kw),
 }

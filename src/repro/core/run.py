@@ -1,0 +1,213 @@
+"""The single run entrypoint: one typed options object, one function.
+
+Four PRs of organic growth left three overlapping ways to start a run —
+``run_pilot(config)``, the ``build_*_pilot`` factories and the CLI's own
+argument plumbing, plus ``run_chaos`` with its separate signature.  This
+module consolidates them: :class:`RunOptions` carries every knob (pilot,
+seed, days, security, faults, resilience, tracing, profiling, metrics)
+and :func:`run` interprets it, so the CLI, notebooks and tests all drive
+the same code path.
+
+Bit-identity contract: ``run(RunOptions(config=cfg))`` builds exactly
+``PilotRunner(cfg)`` — no option is folded into an explicit config
+unless the caller set it, so reports reproduce ``run_pilot`` outputs bit
+for bit.  The deprecated shims in :mod:`repro.api` delegate here.
+"""
+
+import dataclasses
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Dict, Optional, Union
+
+from repro.core.pilot import PilotConfig, PilotReport, PilotRunner
+from repro.core.security_profile import SecurityConfig
+from repro.faults.plan import FaultPlan
+from repro.resilience import ResilienceConfig
+from repro.telemetry.tracing import TraceConfig
+
+__all__ = ["RunOptions", "RunResult", "parse_security_spec", "run"]
+
+SECURITY_FLAGS = ("auth", "encryption", "detection", "ledger", "command_rhythm")
+
+
+def parse_security_spec(spec: Optional[str]) -> SecurityConfig:
+    """Parse a comma-separated flag list (``"auth,encryption"``).
+
+    Raises :class:`ValueError` on unknown flags; the CLI converts that to
+    a ``SystemExit`` with the same message.
+    """
+    config = SecurityConfig()
+    if not spec:
+        return config
+    for flag in spec.split(","):
+        flag = flag.strip()
+        if not flag:
+            continue
+        if flag not in SECURITY_FLAGS:
+            raise ValueError(
+                f"unknown security flag {flag!r}; choose from {', '.join(SECURITY_FLAGS)}"
+            )
+        setattr(config, flag, True)
+    return config
+
+
+@dataclass
+class RunOptions:
+    """Everything a run needs, in one typed object.
+
+    Exactly one of two modes applies:
+
+    * ``config`` set — run that :class:`PilotConfig` as-is (the
+      ``run_pilot`` replacement).  Tracing/profiling options are applied
+      as config overrides *only when explicitly enabled*, so a bare
+      ``RunOptions(config=cfg)`` reproduces ``run_pilot(cfg)``
+      bit-identically.
+    * ``pilot`` named — build the pilot through its factory with the
+      seed/security/faults/resilience/tracing knobs below (the CLI path).
+
+    ``chaos=True`` switches to the seeded chaos harness
+    (:func:`repro.faults.chaos.run_chaos`) instead of a plain season.
+    """
+
+    pilot: str = "matopiba"
+    config: Optional[PilotConfig] = None
+    seed: int = 0
+    # Truncate the season to N days (None = full season).
+    days: Optional[float] = None
+    # SecurityConfig, a "auth,encryption" spec string, or None (defaults).
+    security: Union[SecurityConfig, str, None] = None
+    # FaultPlan, a path to a fault-plan JSON file, or None.
+    faults: Union[FaultPlan, str, None] = None
+    # ResilienceConfig, True (defaults), or None/False (off).
+    resilience: Union[ResilienceConfig, bool, None] = None
+    metrics: bool = True
+    metrics_path: Optional[str] = None
+    # Tracing: ``trace=True`` (or a trace_path) enables span collection;
+    # the exported Chrome-trace JSON is written to ``trace_path``.
+    trace: bool = False
+    trace_path: Optional[str] = None
+    trace_sample_rate: float = 1.0
+    trace_max_spans: int = 200_000
+    trace_log_sample_rate: float = 1.0
+    # Kernel profiling (top-K hottest event keys; ``profile.*`` metrics).
+    profile: bool = False
+    profile_top: int = 10
+    # Builder-path extras: scheduler policy arm and any pilot-specific
+    # factory kwargs (e.g. matopiba's rows/cols/probe_interval_s).
+    scheduler_kind: Optional[str] = None
+    pilot_kwargs: Dict[str, Any] = dataclass_field(default_factory=dict)
+    # Chaos mode (see repro.faults.chaos).
+    chaos: bool = False
+    chaos_supervised: bool = True
+
+    def trace_config(self) -> Optional[TraceConfig]:
+        if not (self.trace or self.trace_path):
+            return None
+        return TraceConfig(
+            sample_rate=self.trace_sample_rate,
+            max_spans=self.trace_max_spans,
+            log_sample_rate=self.trace_log_sample_rate,
+        )
+
+    def resolved_security(self) -> Optional[SecurityConfig]:
+        if isinstance(self.security, str):
+            return parse_security_spec(self.security)
+        return self.security
+
+    def resolved_faults(self) -> Optional[FaultPlan]:
+        if isinstance(self.faults, str):
+            return FaultPlan.load(self.faults)
+        return self.faults
+
+    def resolved_resilience(self) -> Optional[ResilienceConfig]:
+        if self.resilience is True:
+            return ResilienceConfig()
+        if self.resilience is False:
+            return None
+        return self.resilience
+
+
+@dataclass
+class RunResult:
+    """What :func:`run` hands back: the report plus live handles."""
+
+    report: PilotReport
+    # The finished PilotRunner — tracer, profiler, metrics, services.
+    runner: Any = None
+    # The ChaosRunResult when options.chaos was set (invariants, plan,
+    # fingerprint); None for plain runs.
+    chaos: Any = None
+
+
+def run(options: RunOptions) -> RunResult:
+    """Build, run and post-process one run per ``options``."""
+    tracing = options.trace_config()
+
+    if options.chaos:
+        from repro.faults.chaos import run_chaos as _run_chaos
+
+        result = _run_chaos(
+            options.seed,
+            supervised=options.chaos_supervised,
+            plan=options.resolved_faults(),
+            tracing=tracing,
+            profile=options.profile,
+        )
+        _write_outputs(options, result.runner)
+        return RunResult(report=result.report, runner=result.runner, chaos=result)
+
+    if options.config is not None:
+        config = options.config
+        # Apply overrides only when explicitly enabled: the untouched path
+        # must construct exactly PilotRunner(config) for bit-identity with
+        # the deprecated run_pilot shim.
+        if tracing is not None or options.profile:
+            config = dataclasses.replace(
+                config,
+                tracing=tracing if tracing is not None else config.tracing,
+                profile=options.profile or config.profile,
+            )
+        runner = PilotRunner(config)
+    else:
+        from repro.core.pilots import PILOT_BUILDERS
+
+        builder = PILOT_BUILDERS.get(options.pilot)
+        if builder is None:
+            raise ValueError(
+                f"unknown pilot {options.pilot!r}; choose from {sorted(PILOT_BUILDERS)}"
+            )
+        kwargs: Dict[str, Any] = {
+            "seed": options.seed,
+            "security": options.resolved_security(),
+            "fault_plan": options.resolved_faults(),
+            "resilience": options.resolved_resilience(),
+            "tracing": tracing,
+            "profile": options.profile,
+        }
+        if options.scheduler_kind is not None:
+            kwargs["scheduler_kind"] = options.scheduler_kind
+        kwargs.update(options.pilot_kwargs)
+        runner = builder(**kwargs)
+
+    if options.days is not None:
+        runner.run_days(options.days)
+        report = runner.report()
+    else:
+        report = runner.run_season()
+    _write_outputs(options, runner)
+    return RunResult(report=report, runner=runner)
+
+
+def _write_outputs(options: RunOptions, runner) -> None:
+    """Write the metrics snapshot and Chrome-trace export, if requested."""
+    if runner is None:
+        return
+    if options.metrics_path:
+        with open(options.metrics_path, "w", encoding="utf-8") as fh:
+            fh.write(runner.sim.metrics.to_json())
+            fh.write("\n")
+    if options.trace_path:
+        import json
+
+        with open(options.trace_path, "w", encoding="utf-8") as fh:
+            json.dump(runner.tracer.chrome_trace(), fh, indent=1)
+            fh.write("\n")

@@ -162,7 +162,17 @@ class Device:
             return False
         if self.security_energy_j_per_msg:
             self.battery.draw(0.0, "crypto")  # category registration only
-        sent = self.client.publish(self.attrs_topic, payload, qos=self.config.qos)
+        # Each report starts a new causal chain: the trace root every
+        # downstream hop (publish, route, context update, decision) hangs
+        # from.  Head sampling happens here, once per reading.
+        with self.sim.tracer.span(
+            "device.report",
+            "device",
+            root=True,
+            device=self.config.device_id,
+            topic=self.attrs_topic,
+        ):
+            sent = self.client.publish(self.attrs_topic, payload, qos=self.config.qos)
         if sent:
             self.sent_reports += 1
         return sent
@@ -187,9 +197,15 @@ class Device:
         if command is None:
             return
         self.commands_handled += 1
-        result = self.on_command(command)
-        ack = {"cmd": command.get("cmd", "?"), "result": result, "ts": round(self.sim.now, 3)}
-        self.client.publish(self.command_ack_topic, encode_payload(ack), qos=1)
+        with self.sim.tracer.span(
+            "device.command",
+            "device",
+            device=self.config.device_id,
+            cmd=command.get("cmd", "?"),
+        ):
+            result = self.on_command(command)
+            ack = {"cmd": command.get("cmd", "?"), "result": result, "ts": round(self.sim.now, 3)}
+            self.client.publish(self.command_ack_topic, encode_payload(ack), qos=1)
 
     def on_command(self, command: Dict[str, Any]) -> str:
         """Subclass hook; return a result string for the ack."""

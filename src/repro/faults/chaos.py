@@ -264,6 +264,8 @@ def build_chaos_runner(
     cols: int = 2,
     farm: str = "chaosfarm",
     supervised: bool = True,
+    tracing=None,
+    profile: bool = False,
 ):
     """A small fog pilot under ``plan``; ``supervised=False`` is the naive
     baseline arm (no resilience layer at all)."""
@@ -291,6 +293,8 @@ def build_chaos_runner(
         seed=seed,
         fault_plan=plan,
         resilience=ResilienceConfig() if supervised else None,
+        tracing=tracing,
+        profile=profile,
     ))
 
 
@@ -373,6 +377,9 @@ class ChaosRunResult:
     report: Any
     invariants: List[InvariantResult] = field(default_factory=list)
     fingerprint: str = ""
+    # The finished PilotRunner, for post-run inspection (trace export,
+    # metrics snapshots).  Excluded from the fingerprint.
+    runner: Any = None
 
     @property
     def ok(self) -> bool:
@@ -417,6 +424,8 @@ def run_chaos(
     cols: int = 2,
     supervised: bool = True,
     plan: Optional[FaultPlan] = None,
+    tracing=None,
+    profile: bool = False,
     **generator_kwargs: Any,
 ) -> ChaosRunResult:
     """Generate (or accept) a plan, run it, audit it, fingerprint it."""
@@ -430,7 +439,7 @@ def run_chaos(
         plan = generator.generate()
     runner = build_chaos_runner(
         plan, seed=seed, season_days=season_days, rows=rows, cols=cols,
-        supervised=supervised,
+        supervised=supervised, tracing=tracing, profile=profile,
     )
     report = runner.run_season()
     invariants = check_invariants(runner, plan, supervised=supervised)
@@ -440,4 +449,5 @@ def run_chaos(
         report=report,
         invariants=invariants,
         fingerprint=_fingerprint(runner, plan, report),
+        runner=runner,
     )

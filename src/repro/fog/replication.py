@@ -172,6 +172,12 @@ class Replicator:
             "attrs": {name: entity.get(name) for name in changed},
             "captured_at": self.sim.now,
         }
+        if self.sim.tracer.enabled:
+            # Capture runs inside the context broker's update hooks, so the
+            # active span is the originating context.update; the key is
+            # added only when tracing is on to keep untraced update dicts
+            # bit-identical.
+            update["trace_ctx"] = self.sim.tracer.current()
         self.updates_captured += 1
         self._m_captured.inc()
         if len(self._backlog) >= self.max_backlog:
@@ -231,6 +237,18 @@ class Replicator:
                 now = self.sim.now
                 for update in self._in_flight.updates:
                     self._m_lag.observe(now - update.get("captured_at", now))
+            if self.sim.tracer.enabled:
+                now = self.sim.now
+                for update in self._in_flight.updates:
+                    ctx = update.get("trace_ctx")
+                    if ctx is not None:
+                        self.sim.tracer.record_span(
+                            "fog.synced",
+                            "fog",
+                            parent=ctx,
+                            entity=update["entity_id"],
+                            lag_s=now - update.get("captured_at", now),
+                        )
             self._in_flight = None
             if self.breaker is not None:
                 self.breaker.record_success(self.sim.now)

@@ -81,6 +81,9 @@ class PlatformScheduler:
         self.on_decision: List[Callable[[dict], None]] = []
         # Optional supervisor heartbeat, called once per cycle.
         self.heartbeat: Optional[Callable[[], None]] = None
+        # Trace context of the last context attribute read (see
+        # _sensed_depletion); None when tracing is off or data missing.
+        self._last_reading_ctx = None
         self._process = None
         registry = sim.metrics
         self._m_cycles = registry.counter("scheduler.cycles")
@@ -141,32 +144,38 @@ class PlatformScheduler:
         self._m_cycles.inc()
         if self.heartbeat is not None:
             self.heartbeat()
-        forecast = self.forecast_provider() if self.forecast_provider else 0.0
-        valve_plans = [
-            plan for plan in
-            (self._plan_valve(binding, forecast) for binding in self._valve_bindings)
-            if plan is not None
-        ]
-        pivot_plans = [
-            plan for plan in
-            (self._plan_pivot(binding, forecast) for binding in self._pivot_bindings)
-            if plan is not None
-        ]
-        fraction = self._granted_fraction(valve_plans, pivot_plans)
-        for binding, depth in valve_plans:
-            self._send_valve(binding, depth * fraction)
-        for binding, prescription in pivot_plans:
-            if fraction < 1.0:
-                prescription = {k: v * fraction for k, v in prescription.items()}
-            self._send_pivot(binding, prescription)
+        # Each cycle is its own trace root; per-zone decision spans hang
+        # from it and *link* to the sensor-reading traces whose context
+        # attributes fed the decision (cross-trace causality).
+        with self.sim.tracer.span(
+            "scheduler.cycle", "scheduler", root=True, cycle=self.stats.cycles
+        ):
+            forecast = self.forecast_provider() if self.forecast_provider else 0.0
+            valve_plans = [
+                plan for plan in
+                (self._plan_valve(binding, forecast) for binding in self._valve_bindings)
+                if plan is not None
+            ]
+            pivot_plans = [
+                plan for plan in
+                (self._plan_pivot(binding, forecast) for binding in self._pivot_bindings)
+                if plan is not None
+            ]
+            fraction = self._granted_fraction(valve_plans, pivot_plans)
+            for binding, depth, span in valve_plans:
+                self._send_valve(binding, depth * fraction, span)
+            for binding, prescription, span in pivot_plans:
+                if fraction < 1.0:
+                    prescription = {k: v * fraction for k, v in prescription.items()}
+                self._send_pivot(binding, prescription, span)
 
     def _granted_fraction(self, valve_plans, pivot_plans) -> float:
         if self.supply_gate is None:
             return 1.0
         total_m3 = sum(
-            depth * binding["area_ha"] * 10.0 for binding, depth in valve_plans
+            depth * binding["area_ha"] * 10.0 for binding, depth, _span in valve_plans
         )
-        for binding, prescription in pivot_plans:
+        for binding, prescription, _span in pivot_plans:
             areas = {z["zone_id"]: z.get("area_ha", 1.0) for z in binding["zones"]}
             total_m3 += sum(
                 depth * areas.get(zone_id, 1.0) * 10.0
@@ -180,7 +189,13 @@ class PlatformScheduler:
 
     def _sensed_depletion(self, binding: dict) -> Optional[float]:
         """Depletion (mm) from the context broker's view, or None if the
-        data is missing/stale."""
+        data is missing/stale.
+
+        Side channel for tracing: ``_last_reading_ctx`` holds the trace
+        context the context broker stamped on the attribute it read —
+        the link from "this decision" back to "that sensor reading".
+        """
+        self._last_reading_ctx = None
         try:
             entity = self.context.get_entity(binding["entity_id"])
         except Exception:
@@ -196,6 +211,7 @@ class PlatformScheduler:
             self.stats.skipped_stale += 1
             self._m_skipped_stale.inc()
             return None
+        self._last_reading_ctx = attribute.trace_ctx
         theta = float(attribute.value)
         depletion = max(0.0, (binding["theta_fc"] - theta) * binding["root_depth_m"] * 1000.0)
         return depletion
@@ -207,11 +223,18 @@ class PlatformScheduler:
     # -- actuation -----------------------------------------------------------
 
     def _plan_valve(self, binding: dict, forecast: float):
-        """Decide one valve zone; returns (binding, depth) or None."""
+        """Decide one valve zone; returns (binding, depth, span) or None."""
+        tracer = self.sim.tracer
         depletion = self._sensed_depletion(binding)
         if depletion is None:
             return None
         decision = self.policy.decide(depletion, self._raw_mm(binding), forecast)
+        span = tracer.start_span(
+            "scheduler.decision", "scheduler", entity=binding["entity_id"],
+            irrigate=decision.irrigate, reason=decision.reason,
+        )
+        if span is not None:
+            span.add_link(self._last_reading_ctx)
         self.stats.decisions += 1
         self._m_decisions.inc()
         entry = {
@@ -224,29 +247,43 @@ class PlatformScheduler:
         for hook in self.on_decision:
             hook(entry)
         if not decision.irrigate:
+            tracer.end_span(span)
             return None
-        return (binding, decision.depth_mm)
+        # The open span rides to the send phase so the actuator command
+        # nests under the decision that caused it.
+        return (binding, decision.depth_mm, span)
 
-    def _send_valve(self, binding: dict, depth_mm: float) -> None:
-        if depth_mm <= 0:
-            return
-        sent = self.agent.send_command(
-            binding["device_id"], {"cmd": "open", "depth_mm": round(depth_mm, 2)}
-        )
-        if sent:
-            self.stats.commands_sent += 1
-            self._m_commands.inc()
-            self._m_requested_mm.inc(depth_mm)
-            self._m_requested_m3.inc(depth_mm * binding.get("area_ha", 1.0) * 10.0)
+    def _send_valve(self, binding: dict, depth_mm: float, span=None) -> None:
+        tracer = self.sim.tracer
+        try:
+            if depth_mm <= 0:
+                return
+            with tracer.activate(span):
+                sent = self.agent.send_command(
+                    binding["device_id"], {"cmd": "open", "depth_mm": round(depth_mm, 2)}
+                )
+            if sent:
+                self.stats.commands_sent += 1
+                self._m_commands.inc()
+                self._m_requested_mm.inc(depth_mm)
+                self._m_requested_m3.inc(depth_mm * binding.get("area_ha", 1.0) * 10.0)
+        finally:
+            tracer.end_span(span)
 
     def _plan_pivot(self, binding: dict, forecast: float):
-        """Decide one pivot's prescription; returns (binding, map) or None."""
+        """Decide one pivot's prescription; returns (binding, map, span) or None."""
+        tracer = self.sim.tracer
+        span = tracer.start_span(
+            "scheduler.decision", "scheduler", pivot=binding["device_id"]
+        )
         prescription: Dict[str, float] = {}
         any_data = False
         for zone_binding in binding["zones"]:
             depletion = self._sensed_depletion(zone_binding)
             if depletion is None:
                 continue
+            if span is not None:
+                span.add_link(self._last_reading_ctx)
             any_data = True
             decision = self.policy.decide(depletion, self._raw_mm(zone_binding), forecast)
             self.stats.decisions += 1
@@ -254,6 +291,7 @@ class PlatformScheduler:
             if decision.irrigate:
                 prescription[zone_binding["zone_id"]] = round(decision.depth_mm, 2)
         if not any_data:
+            tracer.end_span(span)
             return None
         entry = {
             "t": self.sim.now, "pivot": binding["device_id"], "prescription": dict(prescription)
@@ -262,23 +300,29 @@ class PlatformScheduler:
         for hook in self.on_decision:
             hook(entry)
         if not prescription:
+            tracer.end_span(span)
             return None
         if self.uniform_pivot:
             worst = max(prescription.values())
             prescription = {z["zone_id"]: worst for z in binding["zones"]}
-        return (binding, prescription)
+        return (binding, prescription, span)
 
-    def _send_pivot(self, binding: dict, prescription: Dict[str, float]) -> None:
-        prescription = {k: round(v, 2) for k, v in prescription.items() if v > 0}
-        if not prescription:
-            return
-        sent = self.agent.send_command(
-            binding["device_id"], {"cmd": "start_pass", "prescription": prescription}
-        )
-        if sent:
-            self.stats.commands_sent += 1
-            self._m_commands.inc()
-            areas = {z["zone_id"]: z.get("area_ha", 1.0) for z in binding["zones"]}
-            for zone_id, depth in prescription.items():
-                self._m_requested_mm.inc(depth)
-                self._m_requested_m3.inc(depth * areas.get(zone_id, 1.0) * 10.0)
+    def _send_pivot(self, binding: dict, prescription: Dict[str, float], span=None) -> None:
+        tracer = self.sim.tracer
+        try:
+            prescription = {k: round(v, 2) for k, v in prescription.items() if v > 0}
+            if not prescription:
+                return
+            with tracer.activate(span):
+                sent = self.agent.send_command(
+                    binding["device_id"], {"cmd": "start_pass", "prescription": prescription}
+                )
+            if sent:
+                self.stats.commands_sent += 1
+                self._m_commands.inc()
+                areas = {z["zone_id"]: z.get("area_ha", 1.0) for z in binding["zones"]}
+                for zone_id, depth in prescription.items():
+                    self._m_requested_mm.inc(depth)
+                    self._m_requested_m3.inc(depth * areas.get(zone_id, 1.0) * 10.0)
+        finally:
+            tracer.end_span(span)

@@ -389,6 +389,23 @@ class MqttBroker(NetworkNode):
     # -- routing -----------------------------------------------------------
 
     def _route_publish(self, publish: Publish, origin: Optional[BrokerSession]) -> None:
+        tracer = self.sim.tracer
+        route_span = None
+        route_ctx = publish.trace_ctx
+        if tracer.enabled and publish.trace_ctx is not None:
+            # Never mutate the inbound publish: in the simulated network it
+            # is the *same object* the sender's outbox holds for QoS
+            # retransmission.  The route span's context travels only on the
+            # fresh outbound copies built below.
+            route_span = tracer.start_span(
+                "broker.route",
+                "mqtt",
+                parent=publish.trace_ctx,
+                broker=self.address,
+                topic=publish.topic,
+            )
+            if route_span is not None:
+                route_ctx = route_span.ctx
         if publish.retain:
             if publish.payload:
                 self.retained[publish.topic] = Publish(
@@ -419,10 +436,17 @@ class MqttBroker(NetworkNode):
             if not session.connected:
                 if not session.clean_session and effective_qos > 0:
                     session.offline_queue.push(
-                        Publish(topic=publish.topic, payload=publish.payload, qos=effective_qos)
+                        Publish(
+                            topic=publish.topic,
+                            payload=publish.payload,
+                            qos=effective_qos,
+                            trace_ctx=route_ctx,
+                        )
                     )
                 continue
-            self._deliver_to(session, publish, effective_qos)
+            self._deliver_to(session, publish, effective_qos, ctx=route_ctx)
+        if route_span is not None:
+            tracer.end_span(route_span)
 
     def _check_routing_equivalence(self, topic: str, granted: Dict[str, int]) -> None:
         """Compare the trie's routing decision with the linear reference."""
@@ -437,8 +461,16 @@ class MqttBroker(NetworkNode):
                 f"trie={dict(sorted(granted.items()))} scan={dict(sorted(reference.items()))}"
             )
 
-    def _deliver_to(self, session: BrokerSession, publish: Publish, qos: int) -> None:
-        outbound = Publish(topic=publish.topic, payload=publish.payload, qos=qos, retain=False)
+    def _deliver_to(
+        self, session: BrokerSession, publish: Publish, qos: int, ctx: Optional[object] = None
+    ) -> None:
+        outbound = Publish(
+            topic=publish.topic,
+            payload=publish.payload,
+            qos=qos,
+            retain=False,
+            trace_ctx=ctx if ctx is not None else publish.trace_ctx,
+        )
         self.stats.publishes_out += 1; self._m_pub_out.inc()
         if qos == 0:
             self._send_to(session, outbound)

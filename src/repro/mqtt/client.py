@@ -222,14 +222,29 @@ class MqttClient(NetworkNode):
         if self.payload_encoder is not None:
             payload, wire_bytes = self.payload_encoder(topic, payload)
         publish = Publish(topic=topic, payload=payload, qos=qos, retain=retain)
+        tracer = self.sim.tracer
+        span = None
+        if tracer.enabled:
+            span = tracer.start_span(
+                "mqtt.publish", "mqtt", topic=topic, qos=qos, client=self.client_id
+            )
+            if span is not None:
+                # The context rides the packet object through the simulated
+                # network; QoS retransmissions re-send the same object, so
+                # retries stay inside the original publish's trace.
+                publish.trace_ctx = span.ctx
         self.stats.published += 1
-        if qos == 0:
-            self._send_packet(publish, wire_bytes=wire_bytes)
-            return True
-        # The retransmission path re-sends through _send_packet without the
-        # wire_bytes tag; acceptable because retransmissions carry the same
-        # ciphertext in the real system.
-        return self.outbox.send_publish(publish) is not None
+        try:
+            if qos == 0:
+                self._send_packet(publish, wire_bytes=wire_bytes)
+                return True
+            # The retransmission path re-sends through _send_packet without the
+            # wire_bytes tag; acceptable because retransmissions carry the same
+            # ciphertext in the real system.
+            return self.outbox.send_publish(publish) is not None
+        finally:
+            if span is not None:
+                tracer.end_span(span)
 
     def subscribe(self, topic_filter: str, qos: int = 0, handler: Optional[MessageHandler] = None) -> None:
         validate_filter(topic_filter)
@@ -373,6 +388,19 @@ class MqttClient(NetworkNode):
         self.stats.received += 1
         from repro.mqtt.topics import topic_matches
 
+        tracer = self.sim.tracer
+        if tracer.enabled and publish.trace_ctx is not None:
+            with tracer.span(
+                "mqtt.deliver",
+                "mqtt",
+                parent=publish.trace_ctx,
+                client=self.client_id,
+                topic=publish.topic,
+            ):
+                for topic_filter, handler in list(self._handlers):
+                    if topic_matches(topic_filter, publish.topic):
+                        handler(publish.topic, payload, publish.qos, publish.retain)
+            return
         for topic_filter, handler in list(self._handlers):
             if topic_matches(topic_filter, publish.topic):
                 handler(publish.topic, payload, publish.qos, publish.retain)

@@ -7,7 +7,7 @@ backlog computations are realistic without bit-level serialization.
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 
 class ConnectReturnCode(enum.IntEnum):
@@ -75,6 +75,10 @@ class Publish(MqttPacket):
     retain: bool = False
     dup: bool = False
     packet_id: Optional[int] = None
+    # Causal-trace context (a TraceContext when tracing is on).  Out-of-band
+    # observability metadata: excluded from wire_size so bandwidth, energy
+    # and DoS backlog sums are identical with tracing on or off.
+    trace_ctx: Optional[Any] = None
 
     def _body_size(self) -> int:
         size = _string_size(self.topic) + len(self.payload)

@@ -10,6 +10,7 @@ from repro.simkernel.process import Process, Signal
 from repro.simkernel.rng import RngRegistry
 from repro.simkernel.trace import TraceLog
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.telemetry.tracing import NULL_TRACER, Tracer
 
 
 class Simulator:
@@ -31,12 +32,17 @@ class Simulator:
         seed: int = 0,
         trace_capacity: int = 200_000,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         self.clock = SimClock()
         self.queue = EventQueue()
         self.rng = RngRegistry(seed)
         self.trace = TraceLog(max_records=trace_capacity)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(self.clock)
+        self.profiler = profiler
         self.processes: List[Process] = []
         self._running = False
         self._stop_reason: Optional[str] = None
@@ -134,11 +140,17 @@ class Simulator:
                     break
                 event = self.queue.pop()
                 self.clock.advance_to(event.time)
+                profiler = self.profiler
+                if profiler is not None:
+                    _event_started = time.perf_counter()
                 try:
                     event.callback(*event.args)
                 except StopSimulation as stop:
                     self._stop_reason = stop.reason
                     self.trace.emit(self.now, "kernel", "simulation stopped", reason=stop.reason)
+                finally:
+                    if profiler is not None:
+                        profiler.record(event, time.perf_counter() - _event_started)
                 # The event ran (fully or up to its StopSimulation), so it
                 # counts toward throughput and max_events either way.
                 self.events_executed += 1

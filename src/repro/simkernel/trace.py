@@ -3,7 +3,15 @@
 Components emit trace records (``category``, ``message``, payload dict); the
 experiments and tests query them afterwards.  The trace is bounded so a
 multi-season run cannot exhaust memory: when full, the oldest records are
-dropped and a counter records how many were lost.
+dropped and counters record how many were lost — in total *and per
+category of the evicted record*, so a flood in one category that evicts
+another's history is attributable after the run.
+
+An optional deterministic sampler (see
+:func:`repro.telemetry.tracing.log_sampler`) thins records *before*
+storage: sampled-out records still count toward the per-category totals
+(``count()`` stays exact) but are neither stored nor delivered to
+listeners.
 """
 
 from collections import Counter, deque
@@ -32,15 +40,34 @@ class TraceLog:
         self.max_records = max_records
         self._records: Deque[TraceRecord] = deque(maxlen=max_records)
         self.dropped = 0
+        self.dropped_by_category: Counter = Counter()
+        self.sampled_out: Counter = Counter()
         self.counts: Counter = Counter()
+        # Optional (category, sequence) -> bool admission decision.
+        self.sampler: Optional[Callable[[str, int], bool]] = None
         self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def set_sampler(self, sampler: Optional[Callable[[str, int], bool]]) -> None:
+        """Install a deterministic per-record admission sampler."""
+        self.sampler = sampler
 
     def emit(self, time: float, category: str, message: str, **data: Any) -> TraceRecord:
         record = TraceRecord(time, category, message, data)
-        if len(self._records) == self.max_records:
-            self.dropped += 1
-        self._records.append(record)
         self.counts[category] += 1
+        if self.sampler is not None and not self.sampler(category, self.counts[category]):
+            self.sampled_out[category] += 1
+            return record
+        if self.max_records == 0:
+            # Storage disabled entirely: every record is a drop of itself.
+            self.dropped += 1
+            self.dropped_by_category[category] += 1
+        elif len(self._records) == self.max_records:
+            # The deque evicts its *oldest* entry on append; attribute the
+            # drop to the evicted record's category, not the incoming one.
+            evicted = self._records[0]
+            self.dropped += 1
+            self.dropped_by_category[evicted.category] += 1
+        self._records.append(record)
         for listener in self._listeners:
             listener(record)
         return record

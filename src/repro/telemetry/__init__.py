@@ -1,4 +1,4 @@
-"""Unified telemetry/metrics core shared by every platform subsystem."""
+"""Unified telemetry core: metrics, causal tracing and kernel profiling."""
 
 from repro.telemetry.metrics import (
     Counter,
@@ -9,13 +9,36 @@ from repro.telemetry.metrics import (
     NULL_REGISTRY,
     Timer,
 )
+from repro.telemetry.profile import KernelProfiler, ProfileEntry
+from repro.telemetry.tracing import (
+    DeterministicSampler,
+    NULL_TRACER,
+    Span,
+    TraceConfig,
+    TraceContext,
+    Tracer,
+    log_sampler,
+    validate_chrome_trace,
+    validate_span_trees,
+)
 
 __all__ = [
     "Counter",
+    "DeterministicSampler",
     "Gauge",
     "Histogram",
+    "KernelProfiler",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "NULL_REGISTRY",
+    "NULL_TRACER",
+    "ProfileEntry",
+    "Span",
+    "TraceConfig",
+    "TraceContext",
+    "Tracer",
     "Timer",
+    "log_sampler",
+    "validate_chrome_trace",
+    "validate_span_trees",
 ]

@@ -1,4 +1,7 @@
-"""The ``repro.api`` façade: stable names, unified errors, run_pilot."""
+"""The ``repro.api`` façade: stable names, docs lockstep, deprecations."""
+
+import dataclasses
+import warnings
 
 import pytest
 
@@ -10,8 +13,18 @@ from repro.api import (
     DeploymentKind,
     PilotConfig,
     ReproError,
-    run_pilot,
+    RunOptions,
+    run,
 )
+
+
+def _smoke_config(seed=5):
+    return PilotConfig(
+        name="facade-smoke", farm="f", climate=BARREIRAS_MATOPIBA,
+        crop=SOYBEAN, soil=LOAM, rows=1, cols=1, season_days=2,
+        start_day_of_year=150, deployment=DeploymentKind.CLOUD_ONLY,
+        irrigation_kind="valves", scheduler_kind="smart", seed=seed,
+    )
 
 
 class TestFacadeSurface:
@@ -21,6 +34,12 @@ class TestFacadeSurface:
 
     def test_all_is_sorted_and_unique(self):
         assert list(api.__all__) == sorted(set(api.__all__))
+
+    def test_docs_cover_exactly_the_exports(self):
+        # Every export has a one-line doc and no doc is stale.
+        assert set(api.DOCS) == set(api.__all__)
+        for name, doc in api.DOCS.items():
+            assert isinstance(doc, str) and doc.strip(), name
 
     def test_resilience_and_chaos_surface_is_exported(self):
         for name in (
@@ -34,16 +53,43 @@ class TestFacadeSurface:
         plan = api.ChaosPlanGenerator(seed=0).generate()
         assert plan.events  # generator usable straight off the façade
 
-    def test_run_pilot_convenience(self):
-        config = PilotConfig(
-            name="facade-smoke", farm="f", climate=BARREIRAS_MATOPIBA,
-            crop=SOYBEAN, soil=LOAM, rows=1, cols=1, season_days=2,
-            start_day_of_year=150, deployment=DeploymentKind.CLOUD_ONLY,
-            irrigation_kind="valves", scheduler_kind="smart", seed=5,
-        )
-        report = run_pilot(config)
-        assert report.name == "facade-smoke"
-        assert report.season_days == 2
+    def test_tracing_and_run_surface_is_exported(self):
+        for name in (
+            "RunOptions", "RunResult", "run", "Tracer", "TraceConfig",
+            "TraceContext", "Span", "KernelProfiler",
+            "validate_span_trees", "validate_chrome_trace",
+        ):
+            assert name in api.__all__, name
+
+    def test_run_entrypoint(self):
+        result = run(RunOptions(config=_smoke_config()))
+        assert result.report.name == "facade-smoke"
+        assert result.report.season_days == 2
+        assert result.runner is not None
+        assert result.chaos is None
+
+
+class TestDeprecatedShims:
+    def test_run_pilot_warns_exactly_once_and_matches_run(self):
+        api._DEPRECATION_WARNED.discard("run_pilot")
+        with pytest.warns(DeprecationWarning, match="run_pilot is deprecated"):
+            legacy = api.run_pilot(_smoke_config())
+        # Second call: the warning must not repeat.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repeat = api.run_pilot(_smoke_config())
+        modern = run(RunOptions(config=_smoke_config())).report
+        assert dataclasses.asdict(legacy) == dataclasses.asdict(modern)
+        assert dataclasses.asdict(repeat) == dataclasses.asdict(modern)
+
+    def test_run_chaos_warns_exactly_once(self):
+        api._DEPRECATION_WARNED.discard("run_chaos")
+        with pytest.warns(DeprecationWarning, match="run_chaos is deprecated"):
+            first = api.run_chaos(7, season_days=4, min_events=1, max_events=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            second = api.run_chaos(7, season_days=4, min_events=1, max_events=2)
+        assert first.fingerprint == second.fingerprint
 
 
 class TestUnifiedErrorHierarchy:

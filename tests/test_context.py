@@ -150,19 +150,25 @@ class TestQueries:
     def test_query_numeric_filter(self):
         broker = make_broker()
         self.setup_entities(broker)
-        dry = broker.query(entity_type="SoilProbe", filters=["soilMoisture<0.25"])
+        # String filter expressions are the deprecated legacy form.
+        with pytest.warns(DeprecationWarning):
+            dry = broker.query(entity_type="SoilProbe", filters=["soilMoisture<0.25"])
         assert {e.entity_id for e in dry} == {"soil-2", "soil-3"}
 
     def test_query_string_filter(self):
         broker = make_broker()
         self.setup_entities(broker)
-        farm_a = broker.query(filters=["farm==A"])
+        with pytest.warns(DeprecationWarning):
+            farm_a = broker.query(filters=["farm==A"])
         assert len(farm_a) == 3
 
     def test_query_combined_filters(self):
         broker = make_broker()
         self.setup_entities(broker)
-        result = broker.query(entity_type="SoilProbe", filters=["farm==A", "soilMoisture>=0.2"])
+        with pytest.warns(DeprecationWarning):
+            result = broker.query(
+                entity_type="SoilProbe", filters=["farm==A", "soilMoisture>=0.2"]
+            )
         assert [e.entity_id for e in result] == ["soil-1"]
 
     def test_query_limit(self):
