@@ -1,0 +1,164 @@
+"""E17 — fleet sharding: does the multi-farm runner scale, deterministically?
+
+SWAMP is pitched as a *platform* serving many farms at once (§I, §III);
+everything before this PR simulated farms one at a time.  The fleet
+runner shards a multi-farm scenario across worker processes and merges
+the results deterministically.  This experiment measures both halves of
+that promise on a 4-farm MATOPIBA fleet:
+
+* **arms**: in-process execution, then multiprocessing with 1, 2 and 4
+  workers — same seed, same farms;
+* **measurement**: wall-clock and aggregate kernel throughput
+  (``events_per_sec`` summed over shards) per shard-count arm;
+* **contract checks**: every arm's merged-report fingerprint is
+  identical (worker count is a throughput knob, never a semantics
+  knob), and a mid-run checkpoint of one shard restores to the same
+  end state (the fleet-smoke CI gate).
+
+Expected shape: multiprocessing with N>1 workers beats 1 worker on
+multi-core hosts (each shard is an independent kernel), while the
+fingerprint never moves.  Spawn-process startup costs mean tiny smoke
+fleets may not show speedup — the assertion is on determinism, the
+speedup column is informative.
+
+Run standalone (CI smoke, tiny fleet, contract checks only):
+
+    python benchmarks/bench_fleet_scale.py --smoke
+
+or under pytest-benchmark:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet_scale.py -s
+"""
+
+import argparse
+import os
+import sys
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_fleet_scale.py`
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+else:
+    from _harness import print_table, record_rows, run_once
+
+from repro.fleet import FarmSpec, FleetOptions, run_fleet
+
+SEED = 17
+FARM_KWARGS = {"rows": 3, "cols": 3, "season_days": 6, "probe_interval_s": 3600.0}
+SMOKE_KWARGS = {"rows": 2, "cols": 2, "season_days": 2, "probe_interval_s": 14400.0}
+HEADERS = ("arm", "workers", "wall_s", "events", "events_per_sec", "fingerprint")
+
+
+def _options(executor: str, workers: int, farm_kwargs) -> FleetOptions:
+    farms = [FarmSpec("matopiba", kwargs=dict(farm_kwargs)) for _ in range(4)]
+    return FleetOptions(farms=farms, seed=SEED, workers=workers,
+                        executor=executor)
+
+
+def run_arms(farm_kwargs):
+    """Run every shard-count arm; return (rows, results)."""
+    arms = [
+        ("inprocess", 1),
+        ("multiprocessing", 1),
+        ("multiprocessing", 2),
+        ("multiprocessing", 4),
+    ]
+    rows, results = [], []
+    for executor, workers in arms:
+        result = run_fleet(_options(executor, workers, farm_kwargs))
+        events_per_sec = (
+            result.events_executed / result.wall_time_s
+            if result.wall_time_s > 0 else 0.0
+        )
+        rows.append((
+            executor, workers, round(result.wall_time_s, 3),
+            result.events_executed, round(events_per_sec, 1),
+            result.fingerprint[:12],
+        ))
+        results.append(result)
+    return rows, results
+
+
+def check_contracts(results, farm_kwargs) -> list:
+    """The invariants every arm must satisfy; returns failure strings."""
+    failures = []
+    fingerprints = {r.fingerprint for r in results}
+    if len(fingerprints) != 1:
+        failures.append(f"fingerprints diverge across arms: {sorted(fingerprints)}")
+    reference = results[0].report
+    for result in results[1:]:
+        if result.report != reference:
+            failures.append(f"{result.executor} merged report differs")
+
+    # Checkpoint/restore leg of the smoke gate: pause one shard mid-run,
+    # checkpoint, restore, run to the end — same report as the shard that
+    # ran uninterrupted inside the fleet.
+    import dataclasses
+    import tempfile
+
+    from repro.core import checkpoint as cp
+    from repro.fleet.shard import make_tasks
+    from repro.simkernel.clock import DAY
+
+    from repro.core.pilots import PILOT_BUILDERS
+
+    task = make_tasks(_options("inprocess", 1, farm_kwargs))[0]
+    runner_kwargs = dict(farm_kwargs)
+    runner = PILOT_BUILDERS["matopiba"](seed=task.seed, **runner_kwargs)
+    runner.run_until(1 * DAY)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "shard.ck")
+        cp.save_checkpoint(
+            cp.snapshot(
+                runner,
+                recipe=cp.RunRecipe(
+                    pilot="matopiba",
+                    builder_kwargs=dict(seed=task.seed, **runner_kwargs),
+                ),
+            ),
+            path,
+        )
+        restored_report = cp.restore_and_resume(path)
+    fleet_shard_report = results[0].shards[0].report
+    if restored_report != fleet_shard_report:
+        failures.append("checkpointed shard did not restore to the fleet's state")
+    return failures
+
+
+def test_e17_fleet_scale(benchmark):
+    rows, results = run_once(benchmark, lambda: run_arms(FARM_KWARGS))
+    failures = check_contracts(results, FARM_KWARGS)
+    assert failures == [], failures
+    print_table("E17 fleet scaling", HEADERS, rows)
+    record_rows(benchmark, HEADERS, rows)
+    benchmark.extra_info["fingerprint"] = results[0].fingerprint
+    benchmark.extra_info["shards"] = len(results[0].shards)
+    # Shape assertion: one fingerprint across every worker count.
+    assert len({r.fingerprint for r in results}) == 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny fleet, contract checks only (CI gate)")
+    args = parser.parse_args()
+    farm_kwargs = SMOKE_KWARGS if args.smoke else FARM_KWARGS
+
+    rows, results = run_arms(farm_kwargs)
+    print(f"\n=== E17 fleet scaling (4 farms, seed {SEED}) ===")
+    print(f"{'arm':<16} {'workers':>7} {'wall_s':>8} {'events':>10} "
+          f"{'events/s':>10}  fingerprint")
+    for executor, workers, wall, events, eps, fp in rows:
+        print(f"{executor:<16} {workers:>7} {wall:>8.3f} {events:>10,} "
+              f"{eps:>10,.0f}  {fp}")
+
+    failures = check_contracts(results, farm_kwargs)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    print("\ncontract checks passed: one fingerprint across every worker "
+          "count; mid-run checkpoint restores to the fleet's state")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

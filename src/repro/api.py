@@ -39,6 +39,12 @@ from repro.core import (
     build_intercrop_pilot,
     build_matopiba_pilot,
 )
+from repro.core.checkpoint import (
+    CheckpointError,
+    RunCheckpoint,
+    restore,
+    snapshot,
+)
 from repro.core.run import RunOptions, RunResult, run
 from repro.faults import (
     ChaosPlanGenerator,
@@ -50,6 +56,7 @@ from repro.faults import (
     FaultPlanError,
     check_invariants,
 )
+from repro.fleet import FarmSpec, FleetOptions, FleetResult, run_fleet
 from repro.irrigation import Canal, DistributionNetwork, FarmOfftake, Reservoir
 from repro.mqtt import (
     MqttBroker,
@@ -81,7 +88,7 @@ from repro.resilience import (
     ServiceHealth,
     Supervisor,
 )
-from repro.simkernel import ReproError, Simulator, StopSimulation
+from repro.simkernel import KernelSnapshot, ReproError, Simulator, StopSimulation
 from repro.simkernel.clock import DAY, HOUR
 from repro.telemetry import (
     KernelProfiler,
@@ -105,6 +112,7 @@ __all__ = [
     "ChaosPlanGenerator",
     "ChaosRunResult",
     "ChaosTargets",
+    "CheckpointError",
     "CircuitBreaker",
     "ClimateProfile",
     "ContextBroker",
@@ -117,13 +125,17 @@ __all__ = [
     "DistributionNetwork",
     "DropPolicy",
     "FarmOfftake",
+    "FarmSpec",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
     "Field",
+    "FleetOptions",
+    "FleetResult",
     "HOUR",
     "KernelProfiler",
+    "KernelSnapshot",
     "LOAM",
     "MetricsRegistry",
     "MqttBroker",
@@ -140,6 +152,7 @@ __all__ = [
     "Reservoir",
     "ResilienceConfig",
     "RoutingMismatchError",
+    "RunCheckpoint",
     "RunOptions",
     "RunResult",
     "SANDY_LOAM",
@@ -164,9 +177,12 @@ __all__ = [
     "build_intercrop_pilot",
     "build_matopiba_pilot",
     "check_invariants",
+    "restore",
     "run",
     "run_chaos",
+    "run_fleet",
     "run_pilot",
+    "snapshot",
     "topic_matches",
     "validate_chrome_trace",
     "validate_span_trees",
@@ -186,6 +202,7 @@ DOCS = {
     "ChaosPlanGenerator": "Seeded random fault-plan generator for chaos runs.",
     "ChaosRunResult": "Outcome of a chaos run: report, invariants, fingerprint.",
     "ChaosTargets": "Which subsystems a chaos plan is allowed to break.",
+    "CheckpointError": "A run checkpoint could not be written, read or rebuilt.",
     "CircuitBreaker": "Half-open circuit breaker guarding an unreliable dependency.",
     "ClimateProfile": "Seasonal weather statistics driving the weather generator.",
     "ContextBroker": "NGSI-style entity store with queries and subscriptions.",
@@ -198,13 +215,17 @@ DOCS = {
     "DistributionNetwork": "Canal network allocating water to farm offtakes.",
     "DropPolicy": "What a bounded queue drops when full (oldest/newest/reject).",
     "FarmOfftake": "A farm's connection point on the distribution network.",
+    "FarmSpec": "One farm in a fleet: pilot name plus builder overrides.",
     "FaultEvent": "One scheduled fault: target, kind, start and duration.",
     "FaultInjector": "Applies fault events to live services and recovers them.",
     "FaultPlan": "An ordered, serializable collection of fault events.",
     "FaultPlanError": "Raised for malformed or unsatisfiable fault plans.",
     "Field": "Spatial grid of soil zones under one farm.",
+    "FleetOptions": "All knobs for a sharded multi-farm fleet run.",
+    "FleetResult": "Merged fleet outcome: per-farm reports, totals, fingerprint.",
     "HOUR": "Seconds per simulated hour.",
     "KernelProfiler": "Per-event-key sim/wall-time accounting for the kernel loop.",
+    "KernelSnapshot": "Versioned picklable capture of the kernel's state.",
     "LOAM": "Loam soil property preset.",
     "MetricsRegistry": "Counter/gauge/histogram registry with JSON snapshots.",
     "MqttBroker": "Topic-trie MQTT broker with QoS and retained messages.",
@@ -221,6 +242,7 @@ DOCS = {
     "Reservoir": "Source reservoir feeding a distribution network.",
     "ResilienceConfig": "Toggles and budgets for the resilience subsystem.",
     "RoutingMismatchError": "Raised when trie and linear-scan routing disagree.",
+    "RunCheckpoint": "A run frozen at a barrier: rebuild recipe plus kernel fingerprint.",
     "RunOptions": "All knobs for one run; pass to run().",
     "RunResult": "Return of run(): report plus runner and chaos handles.",
     "SANDY_LOAM": "Sandy-loam soil property preset.",
@@ -245,9 +267,12 @@ DOCS = {
     "build_intercrop_pilot": "Factory for the Intercrop pilot (desalination mix).",
     "build_matopiba_pilot": "Factory for the MATOPIBA pilot (VRI center pivot).",
     "check_invariants": "Post-run invariant checks over a finished runner.",
+    "restore": "Rebuild a checkpointed run, replay to its barrier and verify.",
     "run": "Single entrypoint: build and run one pilot per RunOptions.",
     "run_chaos": "Deprecated: use run(RunOptions(chaos=True)).",
+    "run_fleet": "Run a sharded multi-farm fleet and merge deterministically.",
     "run_pilot": "Deprecated: use run(RunOptions(config=...)).",
+    "snapshot": "Freeze a paused runner into a picklable RunCheckpoint.",
     "topic_matches": "True if an MQTT topic matches a wildcard filter.",
     "validate_chrome_trace": "Check an exported Chrome trace for invariant violations.",
     "validate_span_trees": "Check span trees are rooted, acyclic and nested.",

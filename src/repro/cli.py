@@ -6,7 +6,10 @@ Usage::
     python -m repro.cli run matopiba --seed 3 --days 30
     python -m repro.cli run guaspari --security auth,encryption
     python -m repro.cli run matopiba --days 5 --trace trace.json --profile-top 10
+    python -m repro.cli run matopiba --checkpoint run.ck --checkpoint-every 432000
+    python -m repro.cli run --restore run.ck             # resume a checkpoint
     python -m repro.cli compare guaspari --seed 3        # smart vs fixed
+    python -m repro.cli fleet --farms matopiba:2,guaspari --workers 2
 
 ``run`` executes a pilot (optionally truncated to ``--days``) and prints
 the season report; ``compare`` runs the smart scheduler against the
@@ -27,6 +30,7 @@ from typing import List, Optional
 from repro.analytics.economics import Tariffs, deployment_benefit_eur, price_season
 from repro.core.pilot import PilotReport
 from repro.core.pilots import PILOT_BUILDERS
+from repro.core.checkpoint import CheckpointError
 from repro.core.run import RunOptions, run
 from repro.core.security_profile import SecurityConfig
 from repro.faults.plan import FaultPlan, FaultPlanError
@@ -80,6 +84,9 @@ def _options_from_args(
         profile_top=args.profile_top if args.profile_top is not None else 10,
         scheduler_kind=scheduler_kind,
         pilot_kwargs=dict(pilot_kwargs or {}),
+        checkpoint=getattr(args, "checkpoint", None),
+        checkpoint_every_s=getattr(args, "checkpoint_every", None),
+        restore=getattr(args, "restore", None),
     )
 
 
@@ -169,9 +176,18 @@ def _write_run_artifacts(args, runner, out) -> None:
 
 
 def cmd_run(args, out) -> int:
+    if args.checkpoint is not None and args.restore is not None:
+        raise SystemExit("--checkpoint and --restore are mutually exclusive")
     options = _options_from_args(args)
-    result = run(options)
+    try:
+        result = run(options)
+    except CheckpointError as exc:
+        raise SystemExit(str(exc))
     runner = result.runner
+    if args.restore is not None:
+        print(f"restored from {args.restore}", file=out)
+    elif args.checkpoint is not None:
+        print(f"checkpoint written to {args.checkpoint}", file=out)
     _print_report(result.report, out)
     _print_metrics_summary(runner, out)
     if runner.fault_injector is not None:
@@ -217,6 +233,50 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def cmd_fleet(args, out) -> int:
+    from repro.fleet import FleetOptions, run_fleet
+    from repro.fleet.options import FleetError, parse_farm_specs
+
+    try:
+        options = FleetOptions(
+            farms=parse_farm_specs(args.farms),
+            seed=args.seed,
+            days=args.days,
+            epoch_days=args.epoch_days,
+            workers=args.workers,
+            executor=args.executor,
+        )
+        result = run_fleet(options)
+    except FleetError as exc:
+        raise SystemExit(str(exc))
+    report = result.report
+    print(f"--- fleet: {len(report.farms)} farms, {result.executor}, "
+          f"{args.workers} worker(s) ---", file=out)
+    for shard, farm in zip(result.shards, report.farms):
+        print(
+            f"  {shard.name.ljust(14)} yield {farm['relative_yield']:.3f}  "
+            f"irrigation {farm['irrigation_m3']:.1f} m3  "
+            f"telemetry {farm['measures_processed']}",
+            file=out,
+        )
+    totals = report.totals
+    print(
+        f"totals: irrigation {totals['irrigation_m3']:.1f} m3, "
+        f"mean yield {totals['relative_yield']:.3f}, "
+        f"telemetry {totals['measures_processed']}, "
+        f"{len(report.batches)} sync batches over "
+        f"{len(report.cloud_epochs)} epochs",
+        file=out,
+    )
+    print(
+        f"kernel: {result.events_executed:,} events in "
+        f"{result.wall_time_s:.1f}s wall",
+        file=out,
+    )
+    print(f"fingerprint: {result.fingerprint}", file=out)
+    return 0
+
+
 def _options_parent() -> argparse.ArgumentParser:
     """The options block shared by ``run`` and ``compare``.
 
@@ -254,11 +314,36 @@ def build_parser() -> argparse.ArgumentParser:
     common = _options_parent()
     run_parser = sub.add_parser("run", parents=[common],
                                 help="run one pilot season")
-    run_parser.add_argument("pilot", choices=sorted(PILOT_BUILDERS))
+    run_parser.add_argument("pilot", nargs="?", default="matopiba",
+                            choices=sorted(PILOT_BUILDERS))
+    run_parser.add_argument("--checkpoint", default=None, metavar="PATH",
+                            help="write a restorable checkpoint to PATH during the run")
+    run_parser.add_argument("--checkpoint-every", dest="checkpoint_every",
+                            type=float, default=None, metavar="SECS",
+                            help="checkpoint every SECS sim-seconds "
+                                 "(default: once at mid-run)")
+    run_parser.add_argument("--restore", default=None, metavar="PATH",
+                            help="resume the run checkpointed at PATH "
+                                 "(ignores the pilot/build flags)")
 
     compare_parser = sub.add_parser("compare", parents=[common],
                                     help="smart vs fixed-calendar business case")
     compare_parser.add_argument("pilot", choices=sorted(PILOT_BUILDERS))
+
+    fleet_parser = sub.add_parser("fleet", help="run a sharded multi-farm fleet")
+    fleet_parser.add_argument("--farms", default="matopiba:2", metavar="SPEC",
+                              help="comma list of pilot[:count] entries "
+                                   "(default: matopiba:2)")
+    fleet_parser.add_argument("--seed", type=int, default=0)
+    fleet_parser.add_argument("--days", type=float, default=None,
+                              help="truncate every farm's season to N days")
+    fleet_parser.add_argument("--epoch-days", dest="epoch_days", type=float,
+                              default=1.0,
+                              help="epoch barrier spacing in days (default 1)")
+    fleet_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (default 1)")
+    fleet_parser.add_argument("--executor", default="auto",
+                              choices=("auto", "inprocess", "multiprocessing"))
     return parser
 
 
@@ -271,6 +356,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
+    if args.command == "fleet":
+        return cmd_fleet(args, out)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -165,7 +165,7 @@ class PilotRunner:
     uplink_breaker: Optional[CircuitBreaker]
     degraded_mode: Optional[DegradedModePolicy]
 
-    def __init__(self, config: PilotConfig) -> None:
+    def __init__(self, config: PilotConfig, *, rebuilding: bool = False) -> None:
         self.config = config
         metrics = MetricsRegistry(enabled=config.metrics_enabled)
         if config.tracing is not None:
@@ -199,12 +199,15 @@ class PilotRunner:
             self.stages.append(ResilienceStage())
         for stage in self.stages:
             stage.register(self)
-        self.runtime.start()
+        self.runtime.start(rebuilding=rebuilding)
         # Wind the services down when the simulation run ends.
         self.sim.add_shutdown_hook(self.runtime.shutdown)
         self.season_day = 0
         self._daily_process = None
         self._report_cache: Optional[PilotReport] = None
+        # The season driver is the runner's own process; registering its
+        # factory makes the runner rebuildable for checkpoint restore.
+        self.sim.register_process_factory("season", self._daily_loop)
 
     # -- metrics -----------------------------------------------------------
 
@@ -303,15 +306,33 @@ class PilotRunner:
 
     # -- run & report -----------------------------------------------------------
 
+    @property
+    def season_end_s(self) -> float:
+        """The simulation time at which :meth:`run_season` stops."""
+        return self.config.effective_season_days * DAY + HOUR
+
+    def start_season(self) -> None:
+        """Spawn the season driver process.  Idempotent."""
+        if self._daily_process is None:
+            self._daily_process = self.sim.spawn_registered("season")
+
     def run_season(self) -> PilotReport:
-        self._daily_process = self.sim.spawn(self._daily_loop(), "season")
-        self.sim.run(until=self.config.effective_season_days * DAY + HOUR)
+        self.start_season()
+        self.sim.run(until=self.season_end_s)
         return self.report()
 
     def run_days(self, days: float) -> None:
-        if self._daily_process is None:
-            self._daily_process = self.sim.spawn(self._daily_loop(), "season")
+        self.start_season()
         self.sim.run(until=self.sim.now + days * DAY)
+
+    def run_until(self, t: float) -> float:
+        """Advance to the barrier ``t`` without firing shutdown hooks.
+
+        Segmented execution for checkpointing: a later :meth:`run_days` /
+        ``sim.run`` continues bit-identically from the barrier.
+        """
+        self.start_season()
+        return self.sim.run_until(t)
 
     def report(self) -> PilotReport:
         config = self.config

@@ -39,6 +39,7 @@ def build_cbec_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
     resilience: ResilienceConfig = None, tracing: TraceConfig = None,
     profile: bool = False, scheduler_kind: str = "smart",
+    rebuilding: bool = False,
 ) -> Tuple[PilotRunner, DistributionNetwork]:
     """CBEC: tomato on the Emilia plain, canal-fed, cloud deployment."""
     reservoir = Reservoir("po-offtake", capacity_m3=60_000.0)
@@ -75,13 +76,14 @@ def build_cbec_pilot(
         profile=profile,
         seed=seed,
     )
-    return PilotRunner(config), network
+    return PilotRunner(config, rebuilding=rebuilding), network
 
 
 def build_intercrop_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
     resilience: ResilienceConfig = None, tracing: TraceConfig = None,
     profile: bool = False, scheduler_kind: str = "smart",
+    rebuilding: bool = False,
 ) -> Tuple[PilotRunner, SourceMixOptimizer]:
     """Intercrop: lettuce near Cartagena, desalination-backed source mix."""
     well = WaterSource("well", capacity_m3_day=220.0, cost_eur_m3=0.09, energy_kwh_m3=0.6)
@@ -117,13 +119,14 @@ def build_intercrop_pilot(
         profile=profile,
         seed=seed,
     )
-    return PilotRunner(config), optimizer
+    return PilotRunner(config, rebuilding=rebuilding), optimizer
 
 
 def build_guaspari_pilot(
     seed: int = 0, security: SecurityConfig = None, fault_plan: FaultPlan = None,
     resilience: ResilienceConfig = None, tracing: TraceConfig = None,
     profile: bool = False, scheduler_kind: str = "smart",
+    rebuilding: bool = False,
 ) -> PilotRunner:
     """Guaspari: winter wine grapes under regulated deficit irrigation."""
     config = PilotConfig(
@@ -149,7 +152,7 @@ def build_guaspari_pilot(
         profile=profile,
         seed=seed,
     )
-    return PilotRunner(config)
+    return PilotRunner(config, rebuilding=rebuilding)
 
 
 def build_matopiba_pilot(
@@ -168,6 +171,7 @@ def build_matopiba_pilot(
     resilience: ResilienceConfig = None,
     tracing: TraceConfig = None,
     profile: bool = False,
+    rebuilding: bool = False,
 ) -> PilotRunner:
     """MATOPIBA: VRI soybean under a center pivot in the dry season.
 
@@ -201,7 +205,7 @@ def build_matopiba_pilot(
         profile=profile,
         seed=seed,
     )
-    return PilotRunner(config)
+    return PilotRunner(config, rebuilding=rebuilding)
 
 
 ALL_PILOTS = {

@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional, Union
 
 from repro.core.pilot import PilotConfig, PilotReport, PilotRunner
 from repro.core.security_profile import SecurityConfig
+from repro.simkernel.clock import DAY
 from repro.faults.plan import FaultPlan
 from repro.resilience import ResilienceConfig
 from repro.telemetry.tracing import TraceConfig
@@ -98,6 +99,13 @@ class RunOptions:
     # Chaos mode (see repro.faults.chaos).
     chaos: bool = False
     chaos_supervised: bool = True
+    # Checkpoint/restore (see repro.core.checkpoint).  ``checkpoint``
+    # writes a restorable checkpoint file during the run (every
+    # ``checkpoint_every_s`` sim-seconds, or once at mid-run); ``restore``
+    # ignores the build knobs above and resumes the checkpointed run.
+    checkpoint: Optional[str] = None
+    checkpoint_every_s: Optional[float] = None
+    restore: Optional[str] = None
 
     def trace_config(self) -> Optional[TraceConfig]:
         if not (self.trace or self.trace_path):
@@ -142,6 +150,20 @@ def run(options: RunOptions) -> RunResult:
     """Build, run and post-process one run per ``options``."""
     tracing = options.trace_config()
 
+    if options.restore is not None:
+        from repro.core import checkpoint as _checkpoint
+
+        restored = _checkpoint.restore(options.restore)
+        report = _checkpoint.resume(restored)
+        _write_outputs(options, restored.runner)
+        return RunResult(report=report, runner=restored.runner)
+
+    if options.checkpoint is not None and options.chaos:
+        raise ValueError(
+            "checkpointing is not supported in chaos mode (the chaos "
+            "harness owns the run loop)"
+        )
+
     if options.chaos:
         from repro.faults.chaos import run_chaos as _run_chaos
 
@@ -155,6 +177,7 @@ def run(options: RunOptions) -> RunResult:
         _write_outputs(options, result.runner)
         return RunResult(report=result.report, runner=result.runner, chaos=result)
 
+    recipe = None
     if options.config is not None:
         config = options.config
         # Apply overrides only when explicitly enabled: the untouched path
@@ -167,6 +190,10 @@ def run(options: RunOptions) -> RunResult:
                 profile=options.profile or config.profile,
             )
         runner = PilotRunner(config)
+        if options.checkpoint is not None:
+            from repro.core.checkpoint import RunRecipe
+
+            recipe = RunRecipe(config=config)
     else:
         from repro.core.pilots import PILOT_BUILDERS
 
@@ -187,8 +214,27 @@ def run(options: RunOptions) -> RunResult:
             kwargs["scheduler_kind"] = options.scheduler_kind
         kwargs.update(options.pilot_kwargs)
         runner = builder(**kwargs)
+        if options.checkpoint is not None:
+            from repro.core.checkpoint import RunRecipe
 
-    if options.days is not None:
+            # The kwargs are resolved values (dataclasses, not spec
+            # strings), all picklable — the recipe rebuilds through the
+            # same builder with the same inputs.
+            recipe = RunRecipe(pilot=options.pilot, builder_kwargs=kwargs)
+
+    if options.checkpoint is not None:
+        from repro.core.checkpoint import run_with_checkpoints
+
+        horizon_s = (
+            runner.sim.now + options.days * DAY
+            if options.days is not None
+            else runner.season_end_s
+        )
+        report = run_with_checkpoints(
+            runner, recipe, horizon_s,
+            options.checkpoint, every_s=options.checkpoint_every_s,
+        )
+    elif options.days is not None:
         runner.run_days(options.days)
         report = runner.report()
     else:

@@ -357,7 +357,13 @@ class DecisionLayerStage(BuildStage):
         if config.scheduler_kind == "none" or config.irrigation_kind == "none":
             return
         if config.scheduler_kind == "fixed":
-            runner.sim.spawn(runner._fixed_schedule_loop(), "fixed-scheduler")
+            # Registered as a factory so a checkpoint rebuild can respawn
+            # it: generators don't pickle, factories replay (see
+            # repro.core.checkpoint).
+            runner.sim.register_process_factory(
+                "fixed-scheduler", runner._fixed_schedule_loop
+            )
+            runner.sim.spawn_registered("fixed-scheduler")
             return
         runner.scheduler = PlatformScheduler(
             runner.sim, runner.context, runner.agent,

@@ -1,0 +1,34 @@
+"""Sharded multi-site fleet runner.
+
+SWAMP is a *platform* story: many farms, each with its own fog tier,
+feeding one cloud.  A single :class:`~repro.core.pilot.PilotRunner`
+simulates one farm; this package runs a whole fleet of them by
+partitioning the scenario into per-farm shards, executing the shards in
+worker processes (or in-process, for tests and small fleets), draining
+each shard's fog→cloud sync traffic at epoch barriers and merging the
+results deterministically.
+
+Determinism contract: a fleet run is a pure function of
+(:class:`FleetOptions`, code).  Each shard's kernel seed is derived from
+the fleet seed and the shard's index+name, every shard pauses at the
+same epoch barriers, and the merge orders everything by ``(epoch, shard
+index)`` — so the merged report and its fingerprint are bit-identical
+whether the fleet ran on one worker, four workers or in-process.
+"""
+
+from repro.fleet.options import FarmSpec, FleetOptions, parse_farm_specs
+from repro.fleet.runner import FleetReport, FleetResult, run_fleet
+from repro.fleet.shard import ShardResult, ShardSyncBatch, ShardTask, run_shard
+
+__all__ = [
+    "FarmSpec",
+    "FleetOptions",
+    "FleetReport",
+    "FleetResult",
+    "ShardResult",
+    "ShardSyncBatch",
+    "ShardTask",
+    "parse_farm_specs",
+    "run_fleet",
+    "run_shard",
+]

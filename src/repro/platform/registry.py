@@ -60,12 +60,14 @@ class Service:
         start: Optional[Callable[["PlatformRuntime"], None]] = None,
         shutdown: Optional[Callable[["PlatformRuntime"], None]] = None,
         provides: Optional[object] = None,
+        rebuild: Optional[Callable[["PlatformRuntime"], None]] = None,
     ) -> None:
         self.name = name
         self.depends_on = tuple(depends_on)
         self._configure = configure
         self._start = start
         self._shutdown = shutdown
+        self._rebuild = rebuild
         self.state = ServiceState.REGISTERED
         #: The domain object this service manages (broker, agent, ...);
         #: populated by the lifecycle hooks or passed up-front.
@@ -80,6 +82,21 @@ class Service:
     def on_start(self, runtime: "PlatformRuntime") -> None:
         if self._start is not None:
             self._start(runtime)
+
+    def on_rebuild(self, runtime: "PlatformRuntime") -> None:
+        """Start hook used when the runner is rebuilt for a checkpoint restore.
+
+        The default is :meth:`on_start` — a service that schedules its
+        initial events deterministically needs nothing special, because
+        factory replay re-executes the run from time zero anyway.  A
+        service may pass a distinct ``rebuild`` callable when restore-time
+        wiring must differ from cold-start wiring (e.g. skipping external
+        side effects that are not part of kernel state).
+        """
+        if self._rebuild is not None:
+            self._rebuild(runtime)
+        else:
+            self.on_start(runtime)
 
     def on_shutdown(self, runtime: "PlatformRuntime") -> None:
         if self._shutdown is not None:
@@ -170,6 +187,9 @@ class PlatformRuntime:
         self._started_order: List[Service] = []
         self._started = False
         self._shut_down = False
+        #: True while/after :meth:`start` ran in rebuild mode (checkpoint
+        #: restore) — services can consult this from their hooks.
+        self.rebuilding = False
 
     # -- registration ------------------------------------------------------------
 
@@ -181,13 +201,15 @@ class PlatformRuntime:
         start: Optional[Callable[["PlatformRuntime"], None]] = None,
         shutdown: Optional[Callable[["PlatformRuntime"], None]] = None,
         provides: Optional[object] = None,
+        rebuild: Optional[Callable[["PlatformRuntime"], None]] = None,
     ) -> Service:
         """Convenience wrapper building and registering a :class:`Service`."""
         if self._started:
             raise LifecycleError("cannot register services after start()")
         return self.registry.register(
             Service(name, depends_on=depends_on, configure=configure,
-                    start=start, shutdown=shutdown, provides=provides)
+                    start=start, shutdown=shutdown, provides=provides,
+                    rebuild=rebuild)
         )
 
     def service(self, name: str) -> Service:
@@ -199,10 +221,17 @@ class PlatformRuntime:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def start(self) -> None:
-        """configure() then start() every service in dependency order."""
+    def start(self, rebuilding: bool = False) -> None:
+        """configure() then start() every service in dependency order.
+
+        With ``rebuilding=True`` (checkpoint restore) each service's
+        :meth:`~Service.on_rebuild` hook runs in place of
+        :meth:`~Service.on_start` — identical by default, so the rebuilt
+        runner schedules the same initial events in the same order.
+        """
         if self._started:
             return
+        self.rebuilding = rebuilding
         order = self.registry.start_order()
         for service in order:
             if service.state is ServiceState.REGISTERED:
@@ -211,7 +240,10 @@ class PlatformRuntime:
         for service in order:
             if service.state is ServiceState.CONFIGURED:
                 try:
-                    service.on_start(self)
+                    if rebuilding:
+                        service.on_rebuild(self)
+                    else:
+                        service.on_start(self)
                 except Exception:
                     service.state = ServiceState.FAILED
                     raise

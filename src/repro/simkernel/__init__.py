@@ -13,25 +13,39 @@ reproducible bit-for-bit from a seed), so:
 """
 
 from repro.simkernel.clock import SimClock
-from repro.simkernel.errors import ReproError, SimulationError, StopSimulation
+from repro.simkernel.errors import (
+    ReproError,
+    SimulationError,
+    SnapshotError,
+    StopSimulation,
+)
 from repro.simkernel.events import Event, EventQueue
 from repro.simkernel.process import Process, ProcessState
 from repro.simkernel.rng import RngRegistry, SeededStream
 from repro.simkernel.simulator import Simulator
+from repro.simkernel.snapshot import (
+    SNAPSHOT_VERSION,
+    KernelSnapshot,
+    compare_fingerprints,
+)
 from repro.simkernel.trace import TraceLog, TraceRecord
 
 __all__ = [
     "Event",
     "EventQueue",
+    "KernelSnapshot",
     "Process",
     "ProcessState",
     "ReproError",
     "RngRegistry",
+    "SNAPSHOT_VERSION",
     "SeededStream",
     "SimClock",
     "SimulationError",
     "Simulator",
+    "SnapshotError",
     "StopSimulation",
     "TraceLog",
     "TraceRecord",
+    "compare_fingerprints",
 ]

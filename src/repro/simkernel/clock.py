@@ -50,5 +50,20 @@ class SimClock:
             )
         self._now = t
 
+    def snapshot(self) -> float:
+        """The clock's serializable state: just the current time."""
+        return self._now
+
+    def restore(self, t: float) -> None:
+        """Set the clock from a snapshot (restore use only).
+
+        Unlike :meth:`advance_to` this may move the clock in either
+        direction — a restore target is typically a *fresh* clock at 0,
+        but re-restoring an older snapshot onto a used kernel is legal.
+        """
+        if t < 0:
+            raise SimulationError(f"cannot restore clock to negative time {t!r}")
+        self._now = float(t)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimClock(now={self._now:.6f})"

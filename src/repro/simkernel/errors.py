@@ -36,3 +36,7 @@ class ScheduleInPastError(SimulationError):
 
 class ProcessError(SimulationError):
     """A simulation process misbehaved (yielded a bad value, double-started...)."""
+
+
+class SnapshotError(SimulationError):
+    """A kernel snapshot could not be taken, restored or verified."""

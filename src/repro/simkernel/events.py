@@ -8,10 +8,9 @@ subscribers at the same instant).
 """
 
 import heapq
-import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.simkernel.errors import SimulationError
+from repro.simkernel.errors import SimulationError, SnapshotError
 
 # Priority bands.  Lower runs first at equal timestamps.
 PRIORITY_KERNEL = 0
@@ -66,7 +65,10 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list = []
-        self._counter = itertools.count()
+        # Plain int, not itertools.count: the tie-break counter is part of
+        # the kernel's snapshot state and must be readable/restorable so
+        # same-timestamp ordering survives a checkpoint boundary.
+        self._seq_next = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -83,7 +85,8 @@ class EventQueue:
         priority: int = PRIORITY_NORMAL,
         label: str = "",
     ) -> Event:
-        event = Event(time, priority, next(self._counter), callback, args, label)
+        event = Event(time, priority, self._seq_next, callback, args, label)
+        self._seq_next += 1
         heapq.heappush(self._heap, event)
         self._live += 1
         return event
@@ -112,3 +115,51 @@ class EventQueue:
     def note_cancelled(self) -> None:
         """Bookkeeping hook: an event in the heap was cancelled externally."""
         self._live -= 1
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def _live_sorted(self) -> List[Event]:
+        """Live events in execution order (cancelled ones excluded)."""
+        return sorted(e for e in self._heap if not e.cancelled)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable queue state: the tie-break counter plus every live
+        event as a ``(time, priority, seq, callback, args, label)`` tuple.
+
+        The tuples pickle only when the callbacks do (module-level
+        functions, bound methods of picklable objects).  Run-level
+        checkpoints therefore skip event capture and rebuild the queue by
+        factory replay — see ``repro.core.checkpoint``.
+        """
+        return {
+            "seq_next": self._seq_next,
+            "events": [
+                (e.time, e.priority, e.seq, e.callback, e.args, e.label)
+                for e in self._live_sorted()
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild the queue from :meth:`snapshot` output."""
+        try:
+            seq_next = state["seq_next"]
+            events = state["events"]
+        except (KeyError, TypeError) as exc:
+            raise SnapshotError(f"malformed event-queue snapshot: {exc!r}")
+        heap = [Event(*fields) for fields in events]
+        heapq.heapify(heap)
+        self._heap = heap
+        self._live = len(heap)
+        self._seq_next = seq_next
+
+    def signature(self) -> Tuple[Tuple[float, int, int, str], ...]:
+        """Order-defining fingerprint of the pending schedule.
+
+        ``(time, priority, seq, label)`` per live event, in execution
+        order, plus nothing about the callbacks — two kernels whose
+        signatures match will pop the same schedule in the same order.
+        Used by checkpoint restore to verify a replay reconverged.
+        """
+        return tuple(
+            (e.time, e.priority, e.seq, e.label) for e in self._live_sorted()
+        )

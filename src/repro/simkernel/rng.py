@@ -10,7 +10,7 @@ comparable across code revisions.
 
 import hashlib
 import random
-from typing import Dict, Sequence, TypeVar
+from typing import Any, Dict, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -65,6 +65,14 @@ class SeededStream:
         """Deterministic pseudo-random bytes (for simulated keys/nonces)."""
         return bytes(self._rng.getrandbits(8) for _ in range(n))
 
+    def getstate(self) -> tuple:
+        """The underlying :meth:`random.Random.getstate` tuple (picklable)."""
+        return self._rng.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore the draw position captured by :meth:`getstate`."""
+        self._rng.setstate(state)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SeededStream(name={self.name!r}, seed={self.seed})"
 
@@ -95,3 +103,34 @@ class RngRegistry:
 
     def stream_names(self) -> list:
         return sorted(self._streams)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable registry state: master seed plus every created
+        stream's :meth:`random.Random.getstate` tuple, keyed by name."""
+        return {
+            "master_seed": self.master_seed,
+            "streams": {
+                name: stream.getstate()
+                for name, stream in sorted(self._streams.items())
+            },
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore stream states captured by :meth:`snapshot`.
+
+        Streams are re-derived by name from the master seed (the same
+        lazy path as normal use), then fast-forwarded with ``setstate``;
+        streams first touched *after* the snapshot was taken start from
+        their derived seed exactly as in the original run.
+        """
+        from repro.simkernel.errors import SnapshotError
+
+        if state["master_seed"] != self.master_seed:
+            raise SnapshotError(
+                f"snapshot master seed {state['master_seed']} does not match "
+                f"registry master seed {self.master_seed}"
+            )
+        for name, rng_state in state["streams"].items():
+            self.stream(name).setstate(rng_state)

@@ -4,10 +4,16 @@ import time
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.simkernel.clock import SimClock
-from repro.simkernel.errors import ScheduleInPastError, SimulationError, StopSimulation
+from repro.simkernel.errors import (
+    ScheduleInPastError,
+    SimulationError,
+    SnapshotError,
+    StopSimulation,
+)
 from repro.simkernel.events import PRIORITY_NORMAL, Event, EventQueue
 from repro.simkernel.process import Process, Signal
 from repro.simkernel.rng import RngRegistry
+from repro.simkernel.snapshot import SNAPSHOT_VERSION, KernelSnapshot, check_version
 from repro.simkernel.trace import TraceLog
 from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 from repro.telemetry.tracing import NULL_TRACER, Tracer
@@ -50,6 +56,7 @@ class Simulator:
         self.wall_time_s = 0.0
         self.fail_fast = True
         self._shutdown_hooks: List[Callable[[], None]] = []
+        self._process_factories: Dict[str, Callable[[], Generator]] = {}
         self.metrics.register_callback(
             "simkernel.events_executed", lambda: float(self.events_executed)
         )
@@ -104,6 +111,31 @@ class Simulator:
     def signal(self, name: str = "") -> Signal:
         return Signal(name)
 
+    # -- process factories --------------------------------------------------------
+
+    def register_process_factory(
+        self, name: str, factory: Callable[[], Generator]
+    ) -> None:
+        """Declare how to (re)create the named process's generator.
+
+        Factories are the restore contract for generator-based processes:
+        a live generator cannot be pickled, so a checkpoint restore
+        rebuilds the kernel by calling the registered factories again and
+        replaying deterministically (see ``repro.core.checkpoint``).
+        Registration is pure bookkeeping — it schedules nothing.
+        """
+        self._process_factories[name] = factory
+
+    def spawn_registered(self, name: str) -> Process:
+        """Spawn (or respawn) the process registered under ``name``."""
+        factory = self._process_factories.get(name)
+        if factory is None:
+            raise SimulationError(f"no process factory registered for {name!r}")
+        return self.spawn(factory(), name)
+
+    def process_factory_names(self) -> List[str]:
+        return sorted(self._process_factories)
+
     def add_shutdown_hook(self, hook: Callable[[], None]) -> None:
         """Run ``hook()`` once when the run ends (normally or via stop())."""
         self._shutdown_hooks.append(hook)
@@ -124,6 +156,26 @@ class Simulator:
         idempotent, so hooks registered before the first of several
         back-to-back ``run`` calls fire exactly once.
         """
+        return self._execute(until, max_events, barrier=False)
+
+    def run_until(self, t: float, max_events: Optional[int] = None) -> float:
+        """Advance to the barrier ``t`` without ending the run.
+
+        Segmented execution: events at or before ``t`` execute exactly as
+        they would inside a single longer :meth:`run` call, the clock
+        lands on ``t``, and shutdown hooks are *withheld* — reaching a
+        barrier is a pause (snapshot point), not an end.  The run ends —
+        and hooks fire — when a later plain :meth:`run` finishes, or at a
+        :meth:`stop`/:class:`StopSimulation` or escaping exception inside
+        any segment.  A sequence of ``run_until`` segments followed by
+        ``run`` is bit-identical to one uninterrupted ``run``, and
+        ``wall_time_s``/``events_executed`` accumulate across segments.
+        """
+        return self._execute(t, max_events, barrier=True)
+
+    def _execute(
+        self, until: Optional[float], max_events: Optional[int], barrier: bool
+    ) -> float:
         if self._running:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
         self._running = True
@@ -170,6 +222,10 @@ class Simulator:
                 self.finish()
         if self._stop_reason is None and until is not None and self.clock.now < until:
             self.clock.advance_to(until)
+        if barrier and self._stop_reason is None:
+            # Reaching a barrier is a pause, not an end: withhold hooks so
+            # the run can continue (or be snapshotted) from here.
+            invoke_hooks = False
         if invoke_hooks:
             self.finish()
         return self.clock.now
@@ -220,4 +276,69 @@ class Simulator:
             "trace_records": len(self.trace),
             "wall_time_s": self.wall_time_s,
             "events_per_sec": self.events_per_sec(),
+        }
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(
+        self, include_events: bool = True, include_trace: bool = True
+    ) -> KernelSnapshot:
+        """Capture the kernel's state as a versioned :class:`KernelSnapshot`.
+
+        With ``include_events`` the snapshot carries the pending events and
+        pickles only when their callbacks do; without it, the snapshot
+        carries the queue :meth:`~repro.simkernel.events.EventQueue.signature`
+        instead, for factory-replay restore (``repro.core.checkpoint``).
+        """
+        return KernelSnapshot(
+            version=SNAPSHOT_VERSION,
+            time=self.clock.now,
+            events_executed=self.events_executed,
+            wall_time_s=self.wall_time_s,
+            stop_reason=self._stop_reason,
+            queue=self.queue.snapshot() if include_events else None,
+            queue_signature=self.queue.signature(),
+            rng=self.rng.snapshot(),
+            trace=self.trace.snapshot() if include_trace else None,
+            trace_counts=dict(self.trace.counts),
+        )
+
+    def restore(self, snap: KernelSnapshot) -> None:
+        """Restore clock, queue, RNG streams, trace and accounting.
+
+        Requires a full snapshot (``include_events=True``); replay-restore
+        snapshots carry no events and go through ``repro.core.checkpoint``
+        instead.  Callbacks, processes, metrics wiring and trace listeners
+        are code, not state — they stay exactly as this kernel has them.
+        """
+        check_version(snap.version)
+        if self._running:
+            raise SnapshotError("cannot restore while the simulator is running")
+        if snap.queue is None:
+            raise SnapshotError(
+                "snapshot carries no events (taken with include_events=False); "
+                "use repro.core.checkpoint factory replay to restore it"
+            )
+        self.clock.restore(snap.time)
+        self.queue.restore(snap.queue)
+        self.rng.restore(snap.rng)
+        if snap.trace is not None:
+            self.trace.restore(snap.trace)
+        self.events_executed = snap.events_executed
+        self.wall_time_s = snap.wall_time_s
+        self._stop_reason = snap.stop_reason
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The live kernel's deterministic-state digest.
+
+        Comparable against :meth:`KernelSnapshot.fingerprint` to verify a
+        factory replay reconverged on the captured state.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "time": self.clock.now,
+            "events_executed": self.events_executed,
+            "queue_signature": self.queue.signature(),
+            "rng": self.rng.snapshot()["streams"],
+            "trace_counts": dict(self.trace.counts),
         }

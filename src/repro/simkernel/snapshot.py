@@ -1,0 +1,145 @@
+"""Versioned, picklable snapshots of the simulation kernel.
+
+A :class:`KernelSnapshot` captures everything the kernel itself owns —
+virtual clock, the event queue *including its tie-break sequence
+counter*, every named RNG stream's ``random.Random.getstate`` tuple, the
+trace log and the run accounting (``events_executed``, ``wall_time_s``).
+What it deliberately does **not** capture is behaviour: callbacks,
+generator-based processes, metrics lambdas and trace listeners are code,
+not state, and generators cannot be pickled at all.  Two restore modes
+follow from that split:
+
+* **Full kernel restore** (``include_events=True``): the snapshot carries
+  the pending events themselves.  This pickles only when every scheduled
+  callback does (module-level functions, bound methods of picklable
+  objects) — the mode kernel-level tests and in-process forking use.
+* **Replay restore** (``include_events=False``): the snapshot carries a
+  :meth:`fingerprint` of the schedule instead of the schedule.  A fresh
+  kernel is rebuilt by re-running the registered service/process
+  factories from time zero (deterministic, so it reconverges exactly),
+  and the fingerprint proves it did — see :mod:`repro.core.checkpoint`.
+
+``version`` gates compatibility: a snapshot written by a different
+snapshot-format version refuses to restore rather than silently
+misbehaving.  Bump :data:`SNAPSHOT_VERSION` whenever the captured shape
+changes.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.simkernel.errors import SnapshotError
+
+#: Format version stamped into every snapshot.  Restore refuses other
+#: versions (see :func:`check_version`).
+SNAPSHOT_VERSION = 1
+
+#: The fingerprint keys every snapshot captures, whether or not it also
+#: captured the full event/trace payloads.
+_FINGERPRINT_KEYS = (
+    "version",
+    "time",
+    "events_executed",
+    "queue_signature",
+    "rng",
+    "trace_counts",
+)
+
+
+@dataclass
+class KernelSnapshot:
+    """One kernel's serializable state at a single simulation instant."""
+
+    version: int
+    time: float
+    events_executed: int
+    wall_time_s: float
+    stop_reason: Optional[str]
+    #: ``EventQueue.snapshot()`` output, or None for replay-restore
+    #: snapshots (the queue is then rebuilt by factory replay).
+    queue: Optional[Dict[str, Any]]
+    #: ``EventQueue.signature()`` — always captured, the replay check.
+    queue_signature: Tuple[Tuple[float, int, int, str], ...]
+    #: ``RngRegistry.snapshot()`` output.
+    rng: Dict[str, Any]
+    #: ``TraceLog.snapshot()`` output, or None when records were skipped.
+    trace: Optional[Dict[str, Any]]
+    #: Per-category emission totals — cheap, always captured, and part of
+    #: the fingerprint even when the records themselves are not.
+    trace_counts: Dict[str, int] = field(default_factory=dict)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The deterministic-state digest used to verify a replay."""
+        return {
+            "version": self.version,
+            "time": self.time,
+            "events_executed": self.events_executed,
+            "queue_signature": self.queue_signature,
+            "rng": self.rng["streams"],
+            "trace_counts": dict(self.trace_counts),
+        }
+
+
+def check_version(version: int) -> None:
+    """Raise :class:`SnapshotError` unless ``version`` is the current one."""
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {version} is not supported "
+            f"(this kernel writes version {SNAPSHOT_VERSION})"
+        )
+
+
+def compare_fingerprints(
+    expected: Dict[str, Any], actual: Dict[str, Any]
+) -> List[str]:
+    """Describe every way two kernel fingerprints differ.
+
+    Returns an empty list when they match.  Messages are written for the
+    checkpoint-restore failure mode: the snapshot said the kernel should
+    look like X at the barrier, the factory replay produced Y — usually
+    meaning the code changed between snapshot and restore.
+    """
+    problems: List[str] = []
+    for key in _FINGERPRINT_KEYS:
+        if key not in expected or key not in actual:
+            if (key in expected) != (key in actual):
+                problems.append(f"fingerprint key {key!r} present on one side only")
+            continue
+        exp, act = expected[key], actual[key]
+        if exp == act:
+            continue
+        if key == "queue_signature":
+            problems.append(_describe_queue_divergence(exp, act))
+        elif key == "rng":
+            problems.append(_describe_rng_divergence(exp, act))
+        elif key == "trace_counts":
+            drifted = sorted(
+                cat
+                for cat in set(exp) | set(act)
+                if exp.get(cat, 0) != act.get(cat, 0)
+            )
+            problems.append(f"trace counts differ for categories {drifted}")
+        else:
+            problems.append(f"{key} differs: expected {exp!r}, got {act!r}")
+    return problems
+
+
+def _describe_queue_divergence(expected: tuple, actual: tuple) -> str:
+    if len(expected) != len(actual):
+        return (
+            f"pending event count differs: expected {len(expected)}, "
+            f"got {len(actual)}"
+        )
+    for i, (exp, act) in enumerate(zip(expected, actual)):
+        if exp != act:
+            return f"pending event #{i} differs: expected {exp!r}, got {act!r}"
+    return "queue signatures differ"
+
+
+def _describe_rng_divergence(expected: dict, actual: dict) -> str:
+    missing = sorted(set(expected) - set(actual))
+    extra = sorted(set(actual) - set(expected))
+    if missing or extra:
+        return f"rng stream sets differ: missing {missing}, unexpected {extra}"
+    drifted = sorted(name for name in expected if expected[name] != actual[name])
+    return f"rng stream states differ: {drifted}"

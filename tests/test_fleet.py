@@ -1,0 +1,185 @@
+"""Fleet sharding: determinism across worker counts and executors.
+
+The acceptance criterion pinned here: a same-seed 4-farm fleet produces
+identical merged reports (and fingerprints) with 1, 2 and 4 workers, and
+the in-process executor agrees with multiprocessing.
+"""
+
+import io
+
+import pytest
+
+from repro.fleet import FarmSpec, FleetOptions, parse_farm_specs, run_fleet
+from repro.fleet.options import FleetError
+from repro.fleet.shard import make_tasks, run_shard
+from repro.simkernel.clock import DAY
+from repro.simkernel.rng import derive_seed
+
+TINY = dict(rows=2, cols=2, season_days=2, probe_interval_s=14400.0)
+
+
+def tiny_fleet(n=4, seed=0, **overrides):
+    farms = [FarmSpec("matopiba", kwargs=dict(TINY)) for _ in range(n)]
+    return FleetOptions(farms=farms, seed=seed, **overrides)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_across_worker_counts_and_executors(self):
+        """1, 2 and 4 multiprocessing workers and in-process all agree."""
+        results = {
+            "inprocess": run_fleet(tiny_fleet(executor="inprocess")),
+            "mp-1": run_fleet(tiny_fleet(workers=1, executor="multiprocessing")),
+            "mp-2": run_fleet(tiny_fleet(workers=2, executor="multiprocessing")),
+            "mp-4": run_fleet(tiny_fleet(workers=4, executor="multiprocessing")),
+        }
+        fingerprints = {k: r.fingerprint for k, r in results.items()}
+        assert len(set(fingerprints.values())) == 1, fingerprints
+        reference = results["inprocess"].report
+        for result in results.values():
+            assert result.report == reference
+
+    def test_different_seed_changes_fingerprint(self):
+        a = run_fleet(tiny_fleet(seed=1, executor="inprocess"))
+        b = run_fleet(tiny_fleet(seed=2, executor="inprocess"))
+        assert a.fingerprint != b.fingerprint
+
+    def test_shards_get_independent_derived_seeds(self):
+        tasks = make_tasks(tiny_fleet())
+        seeds = [t.seed for t in tasks]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds[0] == derive_seed(0, "shard:0:matopiba-0")
+
+    def test_same_pilot_shards_differ_only_by_seed(self):
+        result = run_fleet(tiny_fleet(n=2, executor="inprocess"))
+        a, b = result.report.farms
+        assert a != b  # different derived seeds → different runs
+
+
+class TestMerge:
+    def test_totals_are_sum_of_farms(self):
+        result = run_fleet(tiny_fleet(n=3, executor="inprocess"))
+        farms = result.report.farms
+        totals = result.report.totals
+        assert totals["farms"] == 3
+        assert totals["irrigation_m3"] == pytest.approx(
+            sum(f["irrigation_m3"] for f in farms)
+        )
+        assert totals["measures_processed"] == sum(
+            f["measures_processed"] for f in farms
+        )
+        assert totals["relative_yield"] == pytest.approx(
+            sum(f["relative_yield"] for f in farms) / 3
+        )
+        assert totals["season_days"] == max(f["season_days"] for f in farms)
+
+    def test_sync_batches_cover_every_epoch_and_shard(self):
+        result = run_fleet(tiny_fleet(n=2, executor="inprocess"))
+        # 2-day season (+1h), daily epochs: barriers at day 1 and 2 plus
+        # the final drain → 3 batches per shard.
+        per_shard = {}
+        for batch in result.report.batches:
+            per_shard.setdefault(batch["shard"], []).append(batch)
+        assert set(per_shard) == {0, 1}
+        for batches in per_shard.values():
+            assert [b["epoch"] for b in batches] == [0, 1, 2]
+
+    def test_batch_deltas_fold_to_report_totals(self):
+        result = run_fleet(tiny_fleet(n=2, executor="inprocess"))
+        for shard in result.shards:
+            synced = sum(b.updates_synced for b in shard.batches)
+            assert synced == shard.report["replicator_synced"]
+            measured = sum(b.measures_processed for b in shard.batches)
+            assert measured == shard.report["measures_processed"]
+        epoch_total = sum(
+            e["updates_synced"] for e in result.report.cloud_epochs
+        )
+        assert epoch_total == sum(
+            s.report["replicator_synced"] for s in result.shards
+        )
+
+    def test_batches_ordered_by_epoch_then_shard(self):
+        result = run_fleet(tiny_fleet(n=3, executor="inprocess"))
+        keys = [(b["epoch"], b["shard"]) for b in result.report.batches]
+        assert keys == sorted(keys)
+
+    def test_mixed_pilots(self):
+        options = FleetOptions(
+            farms=[
+                FarmSpec("matopiba", kwargs=dict(TINY)),
+                FarmSpec("guaspari"),
+            ],
+            seed=7, days=2.0, executor="inprocess",
+        )
+        result = run_fleet(options)
+        assert [s.name for s in result.shards] == ["matopiba-0", "guaspari-1"]
+        assert all(f["measures_processed"] > 0 for f in result.report.farms)
+
+    def test_single_shard_runs_like_run_shard(self):
+        options = tiny_fleet(n=1, executor="inprocess")
+        fleet = run_fleet(options)
+        direct = run_shard(make_tasks(options)[0])
+        assert fleet.shards[0].report == direct.report
+        assert fleet.shards[0].batches == direct.batches
+
+
+class TestOptions:
+    def test_parse_farm_specs_with_counts(self):
+        farms = parse_farm_specs("matopiba:2, guaspari")
+        assert [f.pilot for f in farms] == ["matopiba", "matopiba", "guaspari"]
+
+    def test_parse_rejects_unknown_pilot(self):
+        with pytest.raises(FleetError, match="unknown pilot"):
+            parse_farm_specs("atlantis")
+
+    def test_parse_rejects_bad_count(self):
+        with pytest.raises(FleetError, match="count"):
+            parse_farm_specs("matopiba:0")
+        with pytest.raises(FleetError, match="count"):
+            parse_farm_specs("matopiba:two")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(FleetError, match="no farms"):
+            parse_farm_specs(" , ")
+
+    def test_validate_rejects_bad_options(self):
+        with pytest.raises(FleetError, match="at least one farm"):
+            run_fleet(FleetOptions(farms=[]))
+        with pytest.raises(FleetError, match="epoch_days"):
+            run_fleet(tiny_fleet(epoch_days=0.0))
+        with pytest.raises(FleetError, match="workers"):
+            run_fleet(tiny_fleet(workers=0))
+        with pytest.raises(FleetError, match="executor"):
+            run_fleet(tiny_fleet(executor="quantum"))
+        with pytest.raises(FleetError, match="days"):
+            run_fleet(tiny_fleet(days=-1.0))
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["fleet"])
+        assert args.farms == "matopiba:2"
+        assert args.workers == 1
+        assert args.executor == "auto"
+
+    def test_fleet_command_prints_summary(self):
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["fleet", "--farms", "guaspari:2", "--days", "2",
+             "--executor", "inprocess"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "2 farms" in text
+        assert "guaspari-0" in text and "guaspari-1" in text
+        assert "fingerprint:" in text
+
+    def test_fleet_command_rejects_bad_spec(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown pilot"):
+            main(["fleet", "--farms", "atlantis"], out=io.StringIO())

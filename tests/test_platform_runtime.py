@@ -137,3 +137,37 @@ class TestPlatformRuntime:
     def test_runtime_defaults_to_null_metrics(self):
         runtime = PlatformRuntime()
         assert runtime.metrics.enabled is False
+
+
+class TestRebuildHooks:
+    def test_rebuild_defaults_to_start_hook(self):
+        calls = []
+        runtime = PlatformRuntime()
+        runtime.register("a", start=lambda rt: calls.append("start:a"))
+        runtime.start(rebuilding=True)
+        assert calls == ["start:a"]
+        assert runtime.rebuilding is True
+
+    def test_explicit_rebuild_hook_replaces_start(self):
+        calls = []
+        runtime = PlatformRuntime()
+        runtime.register(
+            "a",
+            start=lambda rt: calls.append("start:a"),
+            rebuild=lambda rt: calls.append("rebuild:a"),
+        )
+        runtime.start(rebuilding=True)
+        assert calls == ["rebuild:a"]
+        assert runtime.service("a").state is ServiceState.STARTED
+
+    def test_rebuild_hook_not_used_on_cold_start(self):
+        calls = []
+        runtime = PlatformRuntime()
+        runtime.register(
+            "a",
+            start=lambda rt: calls.append("start:a"),
+            rebuild=lambda rt: calls.append("rebuild:a"),
+        )
+        runtime.start()
+        assert calls == ["start:a"]
+        assert runtime.rebuilding is False
