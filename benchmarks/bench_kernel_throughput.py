@@ -1,0 +1,131 @@
+"""E18 — Kernel throughput on the MATOPIBA season workload.
+
+The ROADMAP's north star is production scale: a season must run as fast
+as the hardware allows.  This benchmark pins that down as a single
+number — ``events_per_sec`` over the full MATOPIBA pilot (6×6 VRI
+soybean, 36 probes at 30-minute sampling, mobile-fog deployment) — and
+carries the profiler's top-K breakdown so a regression names its hot
+path instead of just tripping a threshold.
+
+Two entry points:
+
+* pytest-benchmark (``python -m pytest benchmarks/bench_kernel_throughput.py -s``):
+  runs the full season once, files kernel stats and the top-K profile
+  into ``extra_info``, and asserts the workload shape (event volume,
+  decision cadence) rather than absolute speed — CI hardware varies.
+* CLI (``python benchmarks/bench_kernel_throughput.py [--smoke]``):
+  ``--smoke`` runs a short season and enforces EVENTS_PER_SEC_FLOOR, a
+  deliberately conservative gate (~5× below the tuned number on the
+  development host) that catches order-of-magnitude regressions — an
+  accidentally quadratic queue, a de-vectorized soil loop — without
+  flaking on slower runners.
+
+History (development host, full season, seed 42): the pre-campaign
+kernel ran ~57,400 events/s; after the hot-path campaign (batched
+device sweeps, vectorized soil/ET0 memoization, MQTT dispatch/topic
+caches, inlined kernel loop) the same workload runs at ≥2× that rate —
+the before/after profiler tables live in EXPERIMENTS.md E18.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_kernel_throughput.py`
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+else:
+    from _harness import print_table, record_kernel_stats, record_rows, run_once
+
+from repro.core.pilots import build_matopiba_pilot
+
+SEED = 42
+TOP_K = 12
+#: Conservative CI floor (events/second) for --smoke: an order of
+#: magnitude below the tuned development-host rate, so only structural
+#: regressions trip it, not runner jitter.
+EVENTS_PER_SEC_FLOOR = 15_000.0
+SMOKE_DAYS = 8
+PROFILE_HEADERS = ("key", "events", "wall_ms", "ev_per_sim_hour")
+
+
+def run_workload(season_days=None, profile=False, seed=SEED):
+    """Build and run the MATOPIBA workload; returns the finished runner."""
+    runner = build_matopiba_pilot(
+        seed=seed, season_days=season_days, profile=profile
+    )
+    runner.run_season()
+    return runner
+
+
+def profile_rows(runner, k=TOP_K):
+    if runner.profiler is None:
+        return []
+    return [
+        (e.key, e.count, round(e.wall_s * 1e3, 2), round(e.events_per_sim_hour, 1))
+        for e in runner.profiler.top(k)
+    ]
+
+
+def test_kernel_throughput_season(benchmark):
+    runner = run_once(benchmark, lambda: run_workload(profile=True))
+    sim = runner.sim
+    record_kernel_stats(benchmark, sim)
+    rows = profile_rows(runner)
+    record_rows(benchmark, PROFILE_HEADERS, rows)
+    print_table(
+        f"E18 kernel throughput: {sim.events_executed:,} events, "
+        f"{sim.wall_time_s:.2f}s wall, {sim.events_per_sec():,.0f} ev/s",
+        PROFILE_HEADERS, rows,
+    )
+    # Shape, not speed: the workload itself must not silently shrink —
+    # a "faster" kernel that dropped the device fleet proves nothing.
+    assert sim.events_executed > 1_000_000
+    assert runner.report().decision_cycles >= 100
+    assert runner.sweep_scheduler is not None
+    assert runner.sweep_scheduler.total_enrolled() >= 36
+    assert sim.events_per_sec() > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"short run ({SMOKE_DAYS} days) gated at "
+             f"{EVENTS_PER_SEC_FLOOR:,.0f} events/s",
+    )
+    parser.add_argument("--days", type=int, default=None,
+                        help="override season length (days)")
+    parser.add_argument("--top", type=int, default=TOP_K,
+                        help="profiler keys to print")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    days = args.days if args.days is not None else (
+        SMOKE_DAYS if args.smoke else None
+    )
+    started = time.perf_counter()
+    runner = run_workload(season_days=days, profile=True, seed=args.seed)
+    wall = time.perf_counter() - started
+    sim = runner.sim
+    eps = sim.events_per_sec()
+
+    print(f"workload: matopiba seed={args.seed} "
+          f"days={days if days is not None else 'full-season'}")
+    print(f"events={sim.events_executed:,} kernel_wall={sim.wall_time_s:.2f}s "
+          f"total_wall={wall:.2f}s events_per_sec={eps:,.0f}")
+    for key, count, wall_ms, rate in profile_rows(runner, args.top):
+        print(f"  {key:<44s} {count:>9,} events {wall_ms:>10.2f} ms "
+              f"{rate:>9,.1f} ev/simh")
+
+    if args.smoke:
+        if eps < EVENTS_PER_SEC_FLOOR:
+            print(f"FAIL: {eps:,.0f} events/s below the pinned floor "
+                  f"{EVENTS_PER_SEC_FLOOR:,.0f}")
+            return 1
+        print(f"smoke gate passed: {eps:,.0f} >= {EVENTS_PER_SEC_FLOOR:,.0f} events/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

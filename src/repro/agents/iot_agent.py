@@ -138,7 +138,7 @@ class IoTAgent:
         if measures is None:
             self.stats.decode_failures += 1
             return
-        timestamp = measures.pop("ts", self.sim.now)
+        timestamp = measures.pop("ts", self.sim.clock.now)
         attrs: Dict[str, Any] = {}
         metadata: Dict[str, Dict[str, Any]] = {}
         for device_attr, value in measures.items():
@@ -148,9 +148,16 @@ class IoTAgent:
         if attrs:
             self.stats.measures_processed += 1
             self._m_measures.inc()
-            with self.sim.tracer.span(
-                "iota.measure", "iota", farm=self.farm, device=device_id
-            ):
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                with tracer.span(
+                    "iota.measure", "iota", farm=self.farm, device=device_id
+                ):
+                    self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
+                    self.context_broker.update_attributes(provision.entity_id, attrs, metadata=metadata)
+            else:
+                # Fast path: span() allocates a generator context manager
+                # even when tracing is off, once per measure.
                 self.context_broker.ensure_entity(provision.entity_id, provision.entity_type)
                 self.context_broker.update_attributes(provision.entity_id, attrs, metadata=metadata)
 

@@ -199,7 +199,8 @@ class ContextBroker:
         touched: DROP policies return an empty changed list, REJECT
         raises :class:`~repro.resilience.backpressure.BackpressureError`.
         """
-        if self.update_limit is not None and not self.update_limit.admit(self.sim.now):
+        now = self.sim.clock.now
+        if self.update_limit is not None and not self.update_limit.admit(now):
             self._m_shed.inc()
             if self.update_limit.policy is DropPolicy.REJECT:
                 raise BackpressureError(
@@ -214,14 +215,15 @@ class ContextBroker:
                 "context.update", "context", broker=self.name, entity=entity_id
             )
         changed: List[str] = []
+        set_attribute = entity.set_attribute
         for name, value in attrs.items():
-            attr_type = (attr_types or {}).get(name) or _guess_type(value)
-            attribute = entity.set_attribute(
+            attr_type = (attr_types.get(name) if attr_types else None) or _guess_type(value)
+            attribute = set_attribute(
                 name,
                 value,
                 attr_type,
-                (metadata or {}).get(name),
-                timestamp=self.sim.now,
+                metadata.get(name) if metadata else None,
+                timestamp=now,
             )
             if span is not None:
                 # Stamp the written attribute with this update's context so
@@ -232,10 +234,17 @@ class ContextBroker:
         if changed:
             self.metrics.updates += 1
             self._m_updates.inc()
-            with tracer.activate(span):
+            if span is None:
+                # Fast path: activate(None) would still allocate a
+                # generator context manager on every update.
                 for hook in self.update_hooks:
                     hook(entity, changed)
                 self._dispatch_or_defer(entity, changed)
+            else:
+                with tracer.activate(span):
+                    for hook in self.update_hooks:
+                        hook(entity, changed)
+                    self._dispatch_or_defer(entity, changed)
         if span is not None:
             tracer.end_span(span)
         return changed

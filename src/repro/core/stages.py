@@ -34,6 +34,7 @@ from repro.devices.actuators import CenterPivot, Pump, Valve
 from repro.devices.base import DeviceConfig
 from repro.devices.drone import Drone
 from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
+from repro.devices.sweep import SweepScheduler
 from repro.faults.injector import FaultInjector
 from repro.fog.node import CloudNode, FogNode
 from repro.fog.replication import CloudSyncTarget, Replicator
@@ -216,6 +217,7 @@ class DeviceNetworkStage(BuildStage):
         runner.net.connect(device.client.address, runner._device_uplink,
                            runner._device_radio)
         runner.security.enroll_device(device, device_key=f"key-{device.config.device_id}")
+        device.sweeper = runner.sweep_scheduler
         device.start()
 
     def _build_devices(self, runner) -> None:
@@ -225,6 +227,11 @@ class DeviceNetworkStage(BuildStage):
         runner.valves = {}
         runner.pivot = None
         runner.drone = None
+        # Batched sampling: one SweepScheduler per farm; devices enroll in
+        # start() instead of spawning a firmware-loop process each.
+        runner.sweep_scheduler = (
+            SweepScheduler(runner.sim, farm) if config.batched_sampling else None
+        )
 
         # Shared irrigation plant.
         runner.pump = Pump(

@@ -8,6 +8,11 @@ MQTT over constrained field radio.  Each device owns
 * a battery and per-operation energy accounting (radio TX dominates, which
   is why the paper insists security mechanisms be energy-efficient — E13),
 * failure and tamper hooks used by the dependability and attack layers.
+
+Sampling runs in one of two modes: the classic per-device firmware loop,
+or batched enrollment in a per-farm :class:`SweepScheduler` (one kernel
+event sweeps every device sharing a report interval — see ``sweep.py``),
+which is the pilot default.
 """
 
 from repro.devices.base import Device, DeviceConfig
@@ -16,6 +21,7 @@ from repro.devices.codec import decode_payload, encode_payload
 from repro.devices.sensors import SoilMoistureProbe, WaterFlowMeter, WeatherStation
 from repro.devices.actuators import CenterPivot, Pump, Valve
 from repro.devices.drone import Drone
+from repro.devices.sweep import SweepGroup, SweepScheduler
 
 __all__ = [
     "Battery",
@@ -25,6 +31,8 @@ __all__ = [
     "Drone",
     "Pump",
     "SoilMoistureProbe",
+    "SweepGroup",
+    "SweepScheduler",
     "Valve",
     "WaterFlowMeter",
     "WeatherStation",

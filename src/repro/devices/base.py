@@ -34,6 +34,12 @@ class Device:
 
     Subclasses implement :meth:`read_measures` (returning the attribute
     dict to report) and may override :meth:`on_command`.
+
+    Sampling runs in one of two modes.  Legacy mode spawns a generator
+    process per device (``_firmware_loop``).  When :attr:`sweeper` is set
+    (a :class:`repro.devices.sweep.SweepScheduler`) before :meth:`start`,
+    the device instead enrolls in a per-farm batched sweep group: one
+    kernel event drives every same-interval device on the farm.
     """
 
     def __init__(
@@ -57,6 +63,14 @@ class Device:
         # Security hook: per-message extra CPU cost (crypto, E13).
         self.security_energy_j_per_msg = 0.0
 
+        # Topic strings are fixed for the device's lifetime; build them
+        # once instead of re-formatting on every publish.
+        farm, device_id = config.farm, config.device_id
+        self.attrs_topic = f"swamp/{farm}/attrs/{device_id}"
+        self.command_topic = f"swamp/{farm}/cmd/{device_id}"
+        self.command_ack_topic = f"swamp/{farm}/cmdexe/{device_id}"
+        self.status_topic = f"swamp/{farm}/status/{device_id}"
+
         address = f"dev:{config.device_id}"
         self.client = MqttClient(
             sim,
@@ -72,38 +86,44 @@ class Device:
         self._rng = sim.rng.stream(f"device:{config.device_id}")
         self.client.add_handler(self.command_topic, self._handle_command)
         self._process = None
-
-    # -- topics (FIWARE IoT-Agent south-port convention) ---------------------
-
-    @property
-    def attrs_topic(self) -> str:
-        return f"swamp/{self.config.farm}/attrs/{self.config.device_id}"
-
-    @property
-    def command_topic(self) -> str:
-        return f"swamp/{self.config.farm}/cmd/{self.config.device_id}"
-
-    @property
-    def command_ack_topic(self) -> str:
-        return f"swamp/{self.config.farm}/cmdexe/{self.config.device_id}"
-
-    @property
-    def status_topic(self) -> str:
-        return f"swamp/{self.config.farm}/status/{self.config.device_id}"
+        self._failure_process = None
+        # Batched-sampling wiring: the builder stage sets ``sweeper``
+        # before start() to opt the device into sweep-driven sampling.
+        self.sweeper = None
+        self._sweep_group = None
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Connect and start the firmware loop."""
+        """Connect and start sampling (sweep enrollment or firmware loop)."""
         self.client.connect()
         self.client.subscribe(self.command_topic, qos=1)
-        self._process = self.sim.spawn(self._firmware_loop(), f"fw:{self.config.device_id}")
+        if self.sweeper is not None:
+            self._sweep_group = self.sweeper.enroll(self)
+        else:
+            self._process = self.sim.spawn(
+                self._firmware_loop(), f"fw:{self.config.device_id}"
+            )
         if self.config.mtbf_s > 0:
-            self.sim.spawn(self._failure_loop(), f"fail:{self.config.device_id}")
+            self._failure_process = self.sim.spawn(
+                self._failure_loop(), f"fail:{self.config.device_id}"
+            )
 
     def stop(self) -> None:
+        """Stop sampling and the failure clock, then disconnect.
+
+        Kills *both* spawned loops: a stopped device must neither report
+        nor keep flipping ``failed`` state from a leaked failure process.
+        """
         if self._process is not None:
             self._process.kill("stopped")
+            self._process = None
+        if self._failure_process is not None:
+            self._failure_process.kill("stopped")
+            self._failure_process = None
+        if self._sweep_group is not None:
+            self._sweep_group.remove(self)
+            self._sweep_group = None
         self.client.disconnect()
 
     def _firmware_loop(self):
@@ -139,7 +159,8 @@ class Device:
         """Take one sample and publish it; returns True when sent."""
         if self.dead or self.failed:
             return False
-        if not self.battery.draw(SENSE_ENERGY_J, "sensing"):
+        battery = self.battery
+        if not battery.draw(SENSE_ENERGY_J, "sensing"):
             self._die()
             return False
         measures = self.read_measures()
@@ -150,28 +171,32 @@ class Device:
             if measures is None:
                 return False
         measures = dict(measures)
-        measures["ts"] = round(self.sim.now, 3)
+        measures["ts"] = round(self.sim.clock.now, 3)
         payload = encode_payload(measures)
         energy = (
             len(payload) * CPU_ENERGY_J_PER_BYTE
             + self.security_energy_j_per_msg
             + self._radio_energy(len(payload))
         )
-        if not self.battery.draw(energy, "radio+cpu"):
+        if not battery.draw(energy, "radio+cpu"):
             self._die()
             return False
         if self.security_energy_j_per_msg:
-            self.battery.draw(0.0, "crypto")  # category registration only
+            battery.draw(0.0, "crypto")  # category registration only
         # Each report starts a new causal chain: the trace root every
         # downstream hop (publish, route, context update, decision) hangs
         # from.  Head sampling happens here, once per reading.
-        with self.sim.tracer.span(
-            "device.report",
-            "device",
-            root=True,
-            device=self.config.device_id,
-            topic=self.attrs_topic,
-        ):
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "device.report",
+                "device",
+                root=True,
+                device=self.config.device_id,
+                topic=self.attrs_topic,
+            ):
+                sent = self.client.publish(self.attrs_topic, payload, qos=self.config.qos)
+        else:
             sent = self.client.publish(self.attrs_topic, payload, qos=self.config.qos)
         if sent:
             self.sent_reports += 1

@@ -8,9 +8,56 @@ separators keep the simulated byte counts honest.
 import json
 from typing import Any, Dict, Optional
 
+# One shared encoder: json.dumps with non-default kwargs builds a fresh
+# JSONEncoder (and its C callable) on every call, which at one encode per
+# publish was a visible slice of season profiles.  Output is byte-identical.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
+_encode = _ENCODER.encode
+
+
+def _key_is_plain(key: Any) -> bool:
+    """Keys the fast path can emit without JSON string escaping."""
+    return (
+        type(key) is str
+        and key.isascii()
+        and key.isprintable()
+        and '"' not in key
+        and "\\" not in key
+    )
+
 
 def encode_payload(data: Dict[str, Any]) -> bytes:
-    return json.dumps(data, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    """Encode a payload dict to compact sorted-key JSON bytes.
+
+    Fast path for the flat numeric dicts devices actually send (measure
+    and heartbeat payloads): floats/ints/bools formatted exactly as the
+    stdlib encoder formats them, so the bytes — and therefore the
+    simulated packet sizes and timings — are identical.  Anything else
+    (strings, nesting, non-finite floats) falls back to the encoder.
+    """
+    parts = []
+    append = parts.append
+    try:
+        keys = sorted(data)
+    except TypeError:
+        return _encode(data).encode("utf-8")
+    for key in keys:
+        value = data[key]
+        tv = type(value)
+        if tv is float:
+            if value - value != 0.0:  # inf/nan spell differently in JSON
+                return _encode(data).encode("utf-8")
+            sv = repr(value)
+        elif tv is int:
+            sv = repr(value)
+        elif tv is bool:
+            sv = "true" if value else "false"
+        else:
+            return _encode(data).encode("utf-8")
+        if not _key_is_plain(key):
+            return _encode(data).encode("utf-8")
+        append(f'"{key}":{sv}')
+    return ("{" + ",".join(parts) + "}").encode("utf-8")
 
 
 def decode_payload(raw: bytes) -> Optional[Dict[str, Any]]:

@@ -48,6 +48,7 @@ class Drone(Device):
         self.noise_sigma = noise_sigma
         self.surveys_completed = 0
         self.surveying = False
+        self._survey_process = None
 
     def read_measures(self) -> Optional[Dict[str, Any]]:
         return {"droneState": "surveying" if self.surveying else "idle",
@@ -65,7 +66,16 @@ class Drone(Device):
         if self.surveying or self.dead:
             return
         self.surveying = True
-        self.sim.spawn(self._survey_loop(), f"survey:{self.config.device_id}")
+        self._survey_process = self.sim.spawn(
+            self._survey_loop(), f"survey:{self.config.device_id}"
+        )
+
+    def stop(self) -> None:
+        if self._survey_process is not None:
+            self._survey_process.kill("stopped")
+            self._survey_process = None
+            self.surveying = False
+        super().stop()
 
     def measure_zone(self, zone) -> float:
         tracker = self.trackers.get(zone.zone_id)

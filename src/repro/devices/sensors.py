@@ -64,7 +64,7 @@ class WeatherStation(Device):
         return {
             "tMin": round(day.tmin_c + self._rng.gauss(0, 0.2), 2),
             "tMax": round(day.tmax_c + self._rng.gauss(0, 0.2), 2),
-            "rh": round(day.rh_mean_pct + self._rng.gauss(0, 1.0), 1),
+            "rh": round(min(100.0, max(0.0, day.rh_mean_pct + self._rng.gauss(0, 1.0))), 1),
             "wind": round(max(0.0, day.wind_ms + self._rng.gauss(0, 0.1)), 2),
             "solar": round(max(0.0, day.solar_mj_m2 + self._rng.gauss(0, 0.3)), 2),
             "rain": round(day.rain_mm, 2),
@@ -98,11 +98,11 @@ class WaterFlowMeter(Device):
         self.total_m3 += volume_m3
 
     def read_measures(self) -> Optional[Dict[str, Any]]:
-        elapsed = max(1e-9, self.sim.now - self._last_report_time)
+        elapsed = max(1e-9, self.sim.clock.now - self._last_report_time)
         delta = self.total_m3 - self._last_reported_m3
         rate_m3_h = delta / (elapsed / 3600.0)
         self._last_reported_m3 = self.total_m3
-        self._last_report_time = self.sim.now
+        self._last_report_time = self.sim.clock.now
         return {
             "totalFlow": round(self.total_m3, 3),
             "flowRate": round(rate_m3_h, 3),

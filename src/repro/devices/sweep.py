@@ -1,0 +1,133 @@
+"""Batched device sampling: one kernel event sweeps a whole farm.
+
+Legacy sampling runs one generator process per device, so every report
+costs a timer event plus a generator resume — on a full-season pilot the
+36 probe firmware loops alone contribute ~200k of the most expensive
+events in the schedule.  A :class:`SweepScheduler` replaces them with one
+self-rescheduling callback per distinct report interval per farm: each
+tick walks the enrolled devices in struct-of-arrays order (parallel
+device/reporter arrays, bound methods cached at enrollment) and samples
+every live device in a single event.
+
+Behavioural contract, mirrored from ``Device._firmware_loop``:
+
+* a *failed* device skips the sample but stays enrolled (it resumes
+  reporting after repair, exactly like the legacy loop's ``if not
+  self.failed`` guard);
+* a *dead* device (battery exhausted) is dropped from the group — the
+  legacy loop ``return``-ed on ``dead``;
+* ``Device.stop()`` removes the device immediately via
+  :meth:`SweepGroup.remove`.
+
+Schedule note (Tier B): the legacy mode phase-shifts every device
+individually (one RNG draw per device from its own stream), while a sweep
+group draws a single start phase per (farm, interval) from the dedicated
+``sweep:<farm>`` stream and samples the whole group in one batch.  Event
+timestamps and RNG consumption therefore differ from legacy mode by
+design; pinned pilot fixtures were re-pinned when batched sampling became
+the pilot default (see tests/test_pilot_pinned.py).
+
+Checkpoint/restore follows the same convention as the broker's sweeper:
+the tick is a plain self-rescheduling callback, so a run-level checkpoint
+rebuilds it by replaying the builder (no generator state to capture).
+"""
+
+from typing import Dict, List, Optional
+
+from repro.simkernel.simulator import Simulator
+
+
+class SweepGroup:
+    """All devices of one farm sharing one report interval."""
+
+    __slots__ = ("sim", "interval_s", "label", "_rng", "_devices", "_reporters", "_ticking")
+
+    def __init__(self, sim: Simulator, farm: str, interval_s: float, rng) -> None:
+        self.sim = sim
+        self.interval_s = interval_s
+        self.label = f"sweep:{farm}:{interval_s:g}"
+        self._rng = rng
+        # Struct-of-arrays: parallel device / bound-reporter arrays so the
+        # tick touches one flat list per concern instead of re-binding
+        # device.report_once on every sample.
+        self._devices: List = []
+        self._reporters: List = []
+        self._ticking = False
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def add(self, device) -> None:
+        self._devices.append(device)
+        self._reporters.append(device.report_once)
+        if not self._ticking:
+            self._ticking = True
+            # One phase draw per group (not per device): the whole batch
+            # desynchronizes from other groups, like real fleets whose
+            # gateways poll their attached sensors in one radio round.
+            delay = self._rng.uniform(0.0, self.interval_s)
+            self.sim.schedule(delay, self._tick, label=self.label)
+
+    def remove(self, device) -> bool:
+        """Drop ``device`` from the group; True when it was enrolled."""
+        try:
+            i = self._devices.index(device)
+        except ValueError:
+            return False
+        del self._devices[i]
+        del self._reporters[i]
+        return True
+
+    def _tick(self) -> None:
+        devices = self._devices
+        reporters = self._reporters
+        drop = None
+        for i in range(len(devices)):
+            device = devices[i]
+            if device.dead:
+                if drop is None:
+                    drop = [i]
+                else:
+                    drop.append(i)
+            elif not device.failed:
+                reporters[i]()
+        if drop is not None:
+            for i in reversed(drop):
+                del devices[i]
+                del reporters[i]
+        if not devices:
+            # Empty group: stop ticking.  A later enrollment restarts the
+            # tick with a fresh phase draw.
+            self._ticking = False
+            return
+        self.sim.schedule(self.interval_s, self._tick, label=self.label)
+
+
+class SweepScheduler:
+    """Per-farm registry of sweep groups, keyed by report interval."""
+
+    def __init__(self, sim: Simulator, farm: str) -> None:
+        self.sim = sim
+        self.farm = farm
+        self._groups: Dict[float, SweepGroup] = {}
+        # Dedicated stream: group phase draws must not perturb any other
+        # subsystem's RNG sequence (same isolation rule as reconnect
+        # backoff jitter).
+        self._rng = sim.rng.stream(f"sweep:{farm}")
+
+    def enroll(self, device) -> SweepGroup:
+        """Add ``device`` to the group for its report interval."""
+        interval = device.config.report_interval_s
+        group = self._groups.get(interval)
+        if group is None:
+            group = self._groups[interval] = SweepGroup(
+                self.sim, self.farm, interval, self._rng
+            )
+        group.add(device)
+        return group
+
+    def group_for(self, interval_s: float) -> Optional[SweepGroup]:
+        return self._groups.get(interval_s)
+
+    def total_enrolled(self) -> int:
+        return sum(len(g) for g in self._groups.values())

@@ -173,7 +173,7 @@ class Replicator:
             "entity_id": entity.entity_id,
             "entity_type": entity.entity_type,
             "attrs": {name: entity.get(name) for name in changed},
-            "captured_at": self.sim.now,
+            "captured_at": self.sim.clock.now,
         }
         if self.sim.tracer.enabled:
             # Capture runs inside the context broker's update hooks, so the
@@ -197,7 +197,7 @@ class Replicator:
             self._pump()
 
     def _pump(self) -> None:
-        now = self.sim.now
+        now = self.sim.clock.now
         if self._in_flight is not None:
             # "<=" not "<": an ACK processed at *exactly* retry_timeout_s
             # (the ack handler runs in the same sim instant as a pump
@@ -222,7 +222,7 @@ class Replicator:
         self._transmit(batch)
 
     def _transmit(self, batch: SyncBatch) -> None:
-        self._in_flight_since = self.sim.now
+        self._in_flight_since = self.sim.clock.now
         self.batches_sent += 1
         self._m_batches_sent.inc()
         self.node.send(self.target_address, batch, batch.wire_size(), flow="ngsi-sync")
@@ -237,11 +237,11 @@ class Replicator:
             self.batches_acked += 1
             self._m_batches_acked.inc()
             if self.sim.metrics.enabled:
-                now = self.sim.now
+                now = self.sim.clock.now
                 for update in self._in_flight.updates:
                     self._m_lag.observe(now - update.get("captured_at", now))
             if self.sim.tracer.enabled:
-                now = self.sim.now
+                now = self.sim.clock.now
                 for update in self._in_flight.updates:
                     ctx = update.get("trace_ctx")
                     if ctx is not None:
@@ -254,7 +254,7 @@ class Replicator:
                         )
             self._in_flight = None
             if self.breaker is not None:
-                self.breaker.record_success(self.sim.now)
+                self.breaker.record_success(self.sim.clock.now)
             # Keep draining immediately while there's backlog (fast resync
             # after a healed partition instead of one batch per interval).
             self._pump()

@@ -40,6 +40,10 @@ from repro.resilience.backpressure import BoundedQueue, DropPolicy, RateLimiter
 from repro.simkernel.errors import ReproError
 from repro.simkernel.simulator import Simulator
 
+# PINGRESP is stateless; every keepalive answer shares one instance.
+_PINGRESP = PingResp()
+_PINGRESP_SIZE = _PINGRESP.wire_size()
+
 SUBACK_FAILURE = 0x80
 
 
@@ -174,6 +178,13 @@ class MqttBroker(NetworkNode):
         self.inbound_limit: Optional[RateLimiter] = None
         self._sweep_interval_s = sweep_interval_s
         self._sweeping = False
+        self._sweep_label = f"{address}:sweep"
+        # Earliest instant any currently-known session could lapse.  The
+        # sweep tick only pays the full session scan when the clock has
+        # actually reached this bound; `last_seen` refreshes can only push
+        # real deadlines *later*, so the cached bound stays conservative,
+        # and (re)connects tighten it via _note_session_deadline.
+        self._next_possible_expiry = float("inf")
         # Heartbeat for the resilience supervisor: a broker whose sweeper
         # stopped ticking is wedged even if its socket still answers.
         self.last_sweep_at = sim.now
@@ -185,22 +196,44 @@ class MqttBroker(NetworkNode):
         if self._sweeping:
             return
         self._sweeping = True
-        self.sim.schedule(self._sweep_interval_s, self._sweep, label=f"{self.address}:sweep")
+        self.sim.schedule(self._sweep_interval_s, self._sweep, label=self._sweep_label)
 
     def _on_offline_evict(self, publish: Publish) -> None:
         self.stats.offline_dropped += 1
         self._m_offline_dropped.inc()
 
+    def _note_session_deadline(self, session: "BrokerSession") -> None:
+        if session.keepalive_s:
+            deadline = session.last_seen + 1.5 * session.keepalive_s
+            if deadline < self._next_possible_expiry:
+                self._next_possible_expiry = deadline
+
     def _sweep(self) -> None:
-        """Expire sessions whose keepalive lapsed (publishes their will)."""
-        now = self.sim.now
+        """Expire sessions whose keepalive lapsed (publishes their will).
+
+        The tick cadence is fixed (it doubles as the supervisor heartbeat
+        and keeps expiry times on the same grid as the original
+        scan-every-tick implementation); the O(n) session scan runs only
+        when the cached earliest-possible deadline has been reached.  The
+        small slack absorbs float rounding between ``now - last_seen >
+        1.5*ka`` (the canonical expiry test) and the cached
+        ``last_seen + 1.5*ka`` bound.
+        """
+        now = self.sim.clock.now
         self.last_sweep_at = now
-        for session in list(self.sessions.values()):
-            if not session.connected:
-                continue
-            if session.keepalive_s and now - session.last_seen > 1.5 * session.keepalive_s:
-                self._expire_session(session)
-        self.sim.schedule(self._sweep_interval_s, self._sweep, label=f"{self.address}:sweep")
+        if now >= self._next_possible_expiry - 1e-6:
+            next_deadline = float("inf")
+            for session in list(self.sessions.values()):
+                if not session.connected or not session.keepalive_s:
+                    continue
+                if now - session.last_seen > 1.5 * session.keepalive_s:
+                    self._expire_session(session)
+                else:
+                    deadline = session.last_seen + 1.5 * session.keepalive_s
+                    if deadline < next_deadline:
+                        next_deadline = deadline
+            self._next_possible_expiry = next_deadline
+        self.sim.schedule(self._sweep_interval_s, self._sweep, label=self._sweep_label)
 
     def _expire_session(self, session: BrokerSession) -> None:
         self.stats.session_expirations += 1
@@ -239,7 +272,12 @@ class MqttBroker(NetworkNode):
 
     def on_packet(self, packet: Packet) -> None:
         mqtt_packet = packet.payload
-        if isinstance(mqtt_packet, Connect):
+        # Dispatch on exact class identity, ordered by wire frequency
+        # (PUBLISH and PINGREQ dominate every workload).  Packet classes
+        # are never subclassed, so ``is`` is equivalent to isinstance and
+        # skips the mro walk on every inbound packet.
+        kind = mqtt_packet.__class__
+        if kind is Connect:
             self._on_connect(packet.src, mqtt_packet)
             return
         client_id = self._address_index.get(packet.src)
@@ -251,30 +289,30 @@ class MqttBroker(NetworkNode):
             # clients learn their session is gone without waiting out two
             # keepalive periods.  Still counted for DoS experiments.
             self.stats.dropped_overload += 1; self._m_dropped.inc()
-            if not isinstance(mqtt_packet, Disconnect):
+            if kind is not Disconnect:
                 self.send(packet.src, Disconnect(), Disconnect().wire_size(), flow="mqtt")
             return
-        session.last_seen = self.sim.now
-        if isinstance(mqtt_packet, Publish):
+        session.last_seen = self.sim.clock.now
+        if kind is Publish:
             self._on_publish(session, mqtt_packet)
-        elif isinstance(mqtt_packet, Subscribe):
-            self._on_subscribe(session, mqtt_packet)
-        elif isinstance(mqtt_packet, Unsubscribe):
-            self._on_unsubscribe(session, mqtt_packet)
-        elif isinstance(mqtt_packet, PubAck):
+        elif kind is PingReq:
+            self.send(session.address, _PINGRESP, _PINGRESP_SIZE, flow="mqtt")
+        elif kind is PubAck:
             session.outbox.on_puback(mqtt_packet)
-        elif isinstance(mqtt_packet, PubRec):
+        elif kind is PubRec:
             session.outbox.on_pubrec(mqtt_packet)
-        elif isinstance(mqtt_packet, PubRel):
+        elif kind is PubRel:
             session.inbox.on_pubrel(mqtt_packet)
             release = getattr(session, "_qos2_release", {}).pop(mqtt_packet.packet_id, None)
             if release is not None:
                 self._route_publish(release, origin=session)
-        elif isinstance(mqtt_packet, PubComp):
+        elif kind is PubComp:
             session.outbox.on_pubcomp(mqtt_packet)
-        elif isinstance(mqtt_packet, PingReq):
-            self._send_to(session, PingResp())
-        elif isinstance(mqtt_packet, Disconnect):
+        elif kind is Subscribe:
+            self._on_subscribe(session, mqtt_packet)
+        elif kind is Unsubscribe:
+            self._on_unsubscribe(session, mqtt_packet)
+        elif kind is Disconnect:
             self._disconnect_session(session, drop_will=True)
 
     # -- CONNECT -----------------------------------------------------------
@@ -314,13 +352,14 @@ class MqttBroker(NetworkNode):
             session.address = src_address
             session.connected = True
             session.keepalive_s = connect.keepalive_s
-            session.last_seen = self.sim.now
+            session.last_seen = self.sim.clock.now
             session.username = connect.username
             if connect.will_topic:
                 session.will = (
                     connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain
                 )
         self._address_index[src_address] = connect.client_id
+        self._note_session_deadline(session)
         self.stats.connects += 1
         self._m_connects.inc()
         self.send(
@@ -554,6 +593,7 @@ class MqttBroker(NetworkNode):
         self.sessions.clear()
         self._address_index.clear()
         self._routes.clear()
+        self._next_possible_expiry = float("inf")
 
     # -- inspection -----------------------------------------------------------
 

@@ -32,12 +32,17 @@ from repro.mqtt.packets import (
     Unsubscribe,
 )
 from repro.mqtt.qos import Inbox, Outbox
-from repro.mqtt.topics import validate_filter, validate_topic
+from repro.mqtt.topics import topic_matches, validate_filter, validate_topic
 from repro.network.node import NetworkNode
 from repro.network.packet import Packet
 from repro.simkernel.simulator import Simulator
 
 MessageHandler = Callable[[str, bytes, int, bool], None]
+
+# PINGREQ is stateless, so every keepalive tick can share one instance
+# (~200k allocations per season otherwise).
+_PINGREQ = PingReq()
+_PINGREQ_SIZE = _PINGREQ.wire_size()
 
 
 class ClientStats:
@@ -81,6 +86,11 @@ class MqttClient(NetworkNode):
         self.outbox = Outbox(sim, self._send_packet)
         self.inbox = Inbox(self._send_packet, sim=sim)
         self._handlers: List[Tuple[str, MessageHandler]] = []
+        # topic -> tuple of matching handlers; rebuilt lazily, dropped on
+        # any handler-list mutation.  Device topics are a small fixed set,
+        # so nearly every delivery after warm-up is a dict hit instead of
+        # a topic_matches() scan.
+        self._dispatch_cache: Dict[str, Tuple[MessageHandler, ...]] = {}
         self._next_sub_id = 1
         self._pending_subscribes: Dict[int, Tuple[Tuple[str, int], ...]] = {}
         self._subscribe_timers: Dict[int, object] = {}
@@ -97,6 +107,12 @@ class MqttClient(NetworkNode):
         # the broker in lockstep — and so backoff draws never perturb any
         # other subsystem's RNG sequence.
         self._backoff_rng = sim.rng.stream(f"mqtt:{self.client_id}:backoff")
+        # Fixed event labels (formatting them per schedule call shows up on
+        # season-scale profiles: the ping timer alone fires ~200k times).
+        self._ping_label = f"{self.client_id}:ping"
+        self._connack_label = f"{self.client_id}:connack-timeout"
+        self._reconnect_label = f"{self.client_id}:reconnect"
+        self._sub_retry_label = f"{self.client_id}:sub-retry"
         # Liveness: consecutive PINGREQs without a PINGRESP.  Two misses
         # mean the connection is dead (the TCP-break signal a real client
         # gets for free); tear down and let auto-reconnect take over.
@@ -132,7 +148,7 @@ class MqttClient(NetworkNode):
             connect.will_topic, connect.will_payload, connect.will_qos, connect.will_retain = self.will
         self._send_packet(connect)
         self._connack_timer = self.sim.schedule(
-            10.0, self._on_connect_timeout, label=f"{self.client_id}:connack-timeout"
+            10.0, self._on_connect_timeout, label=self._connack_label
         )
 
     def _on_connect_timeout(self) -> None:
@@ -158,7 +174,7 @@ class MqttClient(NetworkNode):
         # fault without breaking run determinism).
         delay = self._reconnect_backoff_s * (1.0 + self._backoff_rng.uniform(0.0, 0.25))
         self._reconnect_timer = self.sim.schedule(
-            delay, self._reconnect_fire, label=f"{self.client_id}:reconnect"
+            delay, self._reconnect_fire, label=self._reconnect_label
         )
         self._reconnect_backoff_s = min(
             self._reconnect_backoff_s * 2.0, self.reconnect_backoff_max_s
@@ -193,7 +209,7 @@ class MqttClient(NetworkNode):
         if self.keepalive_s <= 0:
             return
         self._ping_timer = self.sim.schedule(
-            self.keepalive_s * 0.8, self._ping, label=f"{self.client_id}:ping"
+            self.keepalive_s * 0.8, self._ping, label=self._ping_label
         )
 
     def _ping(self) -> None:
@@ -208,7 +224,7 @@ class MqttClient(NetworkNode):
             return
         self._unanswered_pings += 1
         self.stats.pings += 1
-        self._send_packet(PingReq())
+        self.send(self.broker_address, _PINGREQ, _PINGREQ_SIZE, flow="mqtt")
         self._arm_ping()
 
     # -- pub/sub API -----------------------------------------------------------
@@ -250,6 +266,7 @@ class MqttClient(NetworkNode):
         validate_filter(topic_filter)
         if handler is not None:
             self._handlers.append((topic_filter, handler))
+            self._dispatch_cache.clear()
         pid = self._next_sub_id
         self._next_sub_id += 1
         subs = ((topic_filter, qos),)
@@ -264,16 +281,18 @@ class MqttClient(NetworkNode):
             return
         self._send_packet(Subscribe(packet_id=pid, subscriptions=subs))
         self._subscribe_timers[pid] = self.sim.schedule(
-            self.subscribe_retry_s, self._send_subscribe, (pid,), label=f"{self.client_id}:sub-retry"
+            self.subscribe_retry_s, self._send_subscribe, (pid,), label=self._sub_retry_label
         )
 
     def add_handler(self, topic_filter: str, handler: MessageHandler) -> None:
         """Attach a handler without (re)subscribing on the wire."""
         self._handlers.append((topic_filter, handler))
+        self._dispatch_cache.clear()
 
     def unsubscribe(self, topic_filter: str) -> None:
         self.granted.pop(topic_filter, None)
         self._handlers = [(f, h) for f, h in self._handlers if f != topic_filter]
+        self._dispatch_cache.clear()
         if self.connected:
             pid = self._next_sub_id
             self._next_sub_id += 1
@@ -283,26 +302,29 @@ class MqttClient(NetworkNode):
 
     def on_packet(self, packet: Packet) -> None:
         mqtt_packet = packet.payload
-        if isinstance(mqtt_packet, ConnAck):
-            self._on_connack(mqtt_packet)
-        elif isinstance(mqtt_packet, Publish):
+        # Exact-class dispatch ordered by wire frequency (PUBLISH and
+        # PINGRESP dominate); packet classes are never subclassed.
+        kind = mqtt_packet.__class__
+        if kind is Publish:
             self._on_publish(mqtt_packet)
-        elif isinstance(mqtt_packet, PubAck):
+        elif kind is PingResp:
+            self._unanswered_pings = 0
+        elif kind is PubAck:
             self.outbox.on_puback(mqtt_packet)
-        elif isinstance(mqtt_packet, PubRec):
+        elif kind is PubRec:
             self.outbox.on_pubrec(mqtt_packet)
-        elif isinstance(mqtt_packet, PubRel):
+        elif kind is PubRel:
             self.inbox.on_pubrel(mqtt_packet)
             pending = getattr(self, "_qos2_pending", {}).pop(mqtt_packet.packet_id, None)
             if pending is not None:
                 self._dispatch(pending)
-        elif isinstance(mqtt_packet, PubComp):
+        elif kind is PubComp:
             self.outbox.on_pubcomp(mqtt_packet)
-        elif isinstance(mqtt_packet, SubAck):
+        elif kind is ConnAck:
+            self._on_connack(mqtt_packet)
+        elif kind is SubAck:
             self._on_suback(mqtt_packet)
-        elif isinstance(mqtt_packet, PingResp):
-            self._unanswered_pings = 0
-        elif isinstance(mqtt_packet, Disconnect):
+        elif kind is Disconnect:
             # Server-side reset: the broker no longer knows this session
             # (restart, takeover, overload shed).  Tear down and let the
             # backoff machinery re-establish the session.
@@ -386,8 +408,14 @@ class MqttClient(NetworkNode):
                 return  # authentication failure: drop silently, but counted upstream
             payload = decoded
         self.stats.received += 1
-        from repro.mqtt.topics import topic_matches
-
+        topic = publish.topic
+        handlers = self._dispatch_cache.get(topic)
+        if handlers is None:
+            handlers = tuple(
+                h for f, h in self._handlers if topic_matches(f, topic)
+            )
+            if len(self._dispatch_cache) < 1024:
+                self._dispatch_cache[topic] = handlers
         tracer = self.sim.tracer
         if tracer.enabled and publish.trace_ctx is not None:
             with tracer.span(
@@ -395,12 +423,10 @@ class MqttClient(NetworkNode):
                 "mqtt",
                 parent=publish.trace_ctx,
                 client=self.client_id,
-                topic=publish.topic,
+                topic=topic,
             ):
-                for topic_filter, handler in list(self._handlers):
-                    if topic_matches(topic_filter, publish.topic):
-                        handler(publish.topic, payload, publish.qos, publish.retain)
+                for handler in handlers:
+                    handler(topic, payload, publish.qos, publish.retain)
             return
-        for topic_filter, handler in list(self._handlers):
-            if topic_matches(topic_filter, publish.topic):
-                handler(publish.topic, payload, publish.qos, publish.retain)
+        for handler in handlers:
+            handler(topic, payload, publish.qos, publish.retain)

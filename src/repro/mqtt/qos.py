@@ -176,12 +176,12 @@ class Inbox:
         self.pending_expired = 0
 
     def _now(self) -> float:
-        return self.sim.now if self.sim is not None else 0.0
+        return self.sim.clock.now if self.sim is not None else 0.0
 
     def _expire_stale(self) -> None:
         if self.sim is None or not self._pending_release:
             return
-        cutoff = self.sim.now - self.pending_release_timeout_s
+        cutoff = self.sim.clock.now - self.pending_release_timeout_s
         stale = [pid for pid, seen in self._pending_release.items() if seen <= cutoff]
         for pid in stale:
             del self._pending_release[pid]

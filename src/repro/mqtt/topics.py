@@ -31,11 +31,23 @@ def _check_common(value: str, what: str) -> List[str]:
     return value.split("/")
 
 
+# Validation is pure and topic names repeat constantly (each device
+# publishes the same handful of topics for the whole run), so remember
+# known-good names.  Bounded so a pathological workload cannot grow it
+# without limit; on overflow new names just take the slow path.
+_VALID_TOPICS: set = set()
+_VALID_TOPICS_MAX = 16384
+
+
 def validate_topic(topic: str) -> str:
     """Validate a concrete topic name (no wildcards allowed)."""
+    if topic in _VALID_TOPICS:
+        return topic
     _check_common(topic, "topic")
     if "+" in topic or "#" in topic:
         raise TopicError(f"topic name {topic!r} must not contain wildcards")
+    if len(_VALID_TOPICS) < _VALID_TOPICS_MAX:
+        _VALID_TOPICS.add(topic)
     return topic
 
 
@@ -103,11 +115,19 @@ class TopicTrie:
     topics.
     """
 
-    __slots__ = ("_root", "_size")
+    __slots__ = ("_root", "_size", "_match_cache")
+
+    # Concrete topics in a deployment are a small, stable set (one per
+    # device endpoint), so match results are cached per topic and the
+    # whole cache is dropped on any mutation.  The cap only guards
+    # against adversarial unbounded topic churn (e.g. a DoS flood of
+    # unique topics).
+    _MATCH_CACHE_MAX = 4096
 
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._size = 0
+        self._match_cache: Dict[str, List[Tuple[Any, Any]]] = {}
 
     def __len__(self) -> int:
         """Number of (filter, key) entries currently stored."""
@@ -122,6 +142,7 @@ class TopicTrie:
         if key not in node.entries:
             self._size += 1
         node.entries[key] = value
+        self._match_cache.clear()
 
     def discard(self, topic_filter: str, key: Any) -> bool:
         """Remove one entry; prunes empty branches.  True when found."""
@@ -137,6 +158,7 @@ class TopicTrie:
             return False
         del node.entries[key]
         self._size -= 1
+        self._match_cache.clear()
         for parent, level in reversed(path):
             child = parent.children[level]
             if child.entries or child.children:
@@ -147,6 +169,7 @@ class TopicTrie:
     def clear(self) -> None:
         self._root = _TrieNode()
         self._size = 0
+        self._match_cache.clear()
 
     def match(self, topic: str) -> List[Tuple[Any, Any]]:
         """All (key, value) entries whose filter matches ``topic``.
@@ -154,7 +177,13 @@ class TopicTrie:
         One pair per matching (filter, key); a key subscribed through
         several matching filters appears once per filter — callers
         aggregate (the broker takes the max granted QoS).
+
+        Results are cached per topic until the next mutation; callers
+        must treat the returned list as read-only.
         """
+        cached = self._match_cache.get(topic)
+        if cached is not None:
+            return cached
         levels = topic.split("/")
         out: List[Tuple[Any, Any]] = []
         root = self._root
@@ -165,8 +194,10 @@ class TopicTrie:
             child = root.children.get(levels[0])
             if child is not None:
                 self._collect(child, levels, 1, out)
-            return out
-        self._collect(root, levels, 0, out)
+        else:
+            self._collect(root, levels, 0, out)
+        if len(self._match_cache) < self._MATCH_CACHE_MAX:
+            self._match_cache[topic] = out
         return out
 
     def _collect(

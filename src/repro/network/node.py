@@ -7,8 +7,9 @@ gateways, fog nodes, cloud hosts, attackers.  A node receives packets via
 
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.network.packet import Packet
+
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.network.packet import Packet
     from repro.network.topology import Network
 
 
@@ -37,12 +38,17 @@ class NetworkNode:
         """Send a packet; returns it, or ``None`` if the node is detached
         or no route exists (callers treat that as a silent drop, like a
         host with no default route)."""
-        if self.network is None:
+        network = self.network
+        if network is None:
             return None
-        packet = self.network.make_packet(
-            self.address, dst, payload, size_bytes, flow=flow, wire_bytes=wire_bytes
+        # Inline of network.make_packet + network.transmit: one packet is
+        # built per simulated send, so the two pass-through frames showed
+        # up at season scale.
+        packet = Packet(
+            self.address, dst, payload, size_bytes,
+            created_at=network.sim.clock.now, flow=flow, wire_bytes=wire_bytes,
         )
-        sent = self.network.transmit(packet)
+        sent = network._forward(packet, self.address)
         if sent:
             self.tx_packets += 1
             self.tx_bytes += size_bytes

@@ -17,6 +17,9 @@ from repro.network.packet import Packet
 from repro.network.radio import RadioModel
 from repro.simkernel.simulator import Simulator
 
+# Sentinel distinguishing "no cached route" from a cached None (unroutable).
+_ROUTE_MISS = object()
+
 
 class Network:
     """Registry of nodes and directional links, with static routing."""
@@ -135,7 +138,7 @@ class Network:
         wire_bytes: Optional[bytes] = None,
     ) -> Packet:
         return Packet(
-            src, dst, payload, size_bytes, created_at=self.sim.now, flow=flow, wire_bytes=wire_bytes
+            src, dst, payload, size_bytes, created_at=self.sim.clock.now, flow=flow, wire_bytes=wire_bytes
         )
 
     def transmit(self, packet: Packet) -> bool:
@@ -143,7 +146,11 @@ class Network:
         return self._forward(packet, packet.src)
 
     def _forward(self, packet: Packet, at: str) -> bool:
-        route = self._route(at, packet.dst)
+        # Cache-hit fast path of _route, inlined: every hop of every
+        # packet resolves a route, and almost all are hits.
+        route = self._routes.get((at, packet.dst), _ROUTE_MISS)
+        if route is _ROUTE_MISS:
+            route = self._route(at, packet.dst)
         if not route or len(route) < 2:
             return False
         next_hop = route[1]

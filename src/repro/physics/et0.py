@@ -10,6 +10,7 @@ All functions take daily values and return mm/day.
 """
 
 import math
+from functools import lru_cache
 
 # Psychrometric and physical constants (FAO-56).
 _SOLAR_CONSTANT = 0.0820  # MJ m-2 min-1
@@ -26,14 +27,25 @@ def slope_vapor_pressure_curve(temp_c: float) -> float:
     return 4098.0 * saturation_vapor_pressure(temp_c) / (temp_c + 237.3) ** 2
 
 
+@lru_cache(maxsize=256)
 def psychrometric_constant(altitude_m: float) -> float:
-    """γ in kPa/°C from site altitude (FAO-56 eq. 7-8)."""
+    """γ in kPa/°C from site altitude (FAO-56 eq. 7-8).
+
+    Memoized: a run uses a handful of site altitudes, and the function is
+    pure, so the cache returns the exact same float the formula would.
+    """
     pressure = 101.3 * ((293.0 - 0.0065 * altitude_m) / 293.0) ** 5.26
     return 0.000665 * pressure
 
 
+@lru_cache(maxsize=4096)
 def extraterrestrial_radiation(latitude_deg: float, day_of_year: int) -> float:
-    """Ra in MJ m-2 day-1 (FAO-56 eq. 21)."""
+    """Ra in MJ m-2 day-1 (FAO-56 eq. 21).
+
+    Memoized on ``(latitude, day-of-year)``: every probe/zone/day at the
+    same site re-asks for the same trigonometric pile.  Pure function, so
+    cached values are bit-identical to recomputation.
+    """
     lat = math.radians(latitude_deg)
     dr = 1.0 + 0.033 * math.cos(2.0 * math.pi * day_of_year / 365.0)
     declination = 0.409 * math.sin(2.0 * math.pi * day_of_year / 365.0 - 1.39)

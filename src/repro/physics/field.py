@@ -160,8 +160,37 @@ class Field:
     # -- bulk dynamics -----------------------------------------------------------
 
     def advance_day(self, et0_mm: float, rain_mm: float) -> None:
-        for zone in self.zones:
-            zone.advance_day(et0_mm, rain_mm)
+        """Advance every zone one day.
+
+        Fast path: all zones share the field's crop and (normally) the same
+        season clock, so the per-day crop lookups — Kc, growth stage, root
+        depth — are hoisted out of the zone loop.  The per-zone arithmetic
+        is exactly :meth:`FieldZone.advance_day`'s, so results are
+        bit-identical to the per-zone path, which remains as the fallback
+        for zones whose clocks were advanced individually.
+        """
+        zones = self.zones
+        if not zones:
+            return
+        crop = self.crop
+        day = zones[0].season_day
+        if any(z.season_day != day or z.crop is not crop for z in zones):
+            for zone in zones:
+                zone.advance_day(et0_mm, rain_mm)
+            return
+        etc_mm = et0_mm * crop.kc_at(day)
+        p = crop.stage_at(day).depletion_fraction_p
+        root_depth = crop.root_depth_at(day)
+        next_day = day + 1
+        for zone in zones:
+            balance = zone.water_balance
+            balance.depletion_fraction_p = p
+            balance.set_root_depth(root_depth)
+            if rain_mm > 0:
+                balance.rain(rain_mm)
+            result = balance.step(etc_mm)
+            zone.yield_tracker.record_day(day, result["et_actual_mm"], etc_mm)
+            zone.season_day = next_day
 
     # -- aggregate accounting -----------------------------------------------------
 

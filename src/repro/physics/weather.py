@@ -17,6 +17,7 @@ water-scarce.  Southern-hemisphere profiles phase-shift the seasonality.
 """
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, List, Optional
 
 from repro.physics.et0 import (
@@ -57,8 +58,14 @@ class ClimateProfile:
 _NORTH_PEAK_DOY = 197.0
 
 
+@lru_cache(maxsize=8192)
 def _seasonal(day_of_year: int, winter_value: float, summer_value: float, phase_shift: float) -> float:
-    """Interpolate between winter and summer endpoints with a sinusoid."""
+    """Interpolate between winter and summer endpoints with a sinusoid.
+
+    Memoized on the full argument tuple: a season revisits the same
+    (day-of-year, profile endpoints) combinations constantly, and the
+    function is pure, so cached values match recomputation bit-for-bit.
+    """
     angle = 2.0 * math.pi * (day_of_year - _NORTH_PEAK_DOY - phase_shift) / 365.0
     # cos(angle)=1 at the summer peak.
     weight = (1.0 + math.cos(angle)) / 2.0

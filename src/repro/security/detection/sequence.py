@@ -141,11 +141,17 @@ class EventSequenceModel:
                 gap = t - previous_t
                 z = abs(gap - gap_stats.mean) / max(gap_stats.std, 1.0)
                 score = max(score, z / 8.0)
-        if self.online_learning and score < 1.0:
-            self._symbols.add(current)
-            self._transitions[previous][current] += 1
-            self._gaps[(previous, current)].add(t - previous_t)
-        self._last = (current, t)
+        if score < 1.0:
+            if self.online_learning:
+                self._symbols.add(current)
+                self._transitions[previous][current] += 1
+                self._gaps[(previous, current)].add(t - previous_t)
+            # Only non-anomalous events become scoring context.  An
+            # anomalous event must not poison the chain: in a pooled model
+            # the *next* legitimate command (often another device's) would
+            # otherwise score as "downstream of an anomaly" and be
+            # misattributed as a second alert.
+            self._last = (current, t)
         return score
 
     def _observe(self, event_type: str, t: float) -> None:

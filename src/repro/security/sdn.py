@@ -68,11 +68,11 @@ class SdnController:
         key = (packet.src, packet.flow)
         stats = self.flows[key]
         if stats.packets == 0:
-            stats.first_seen = self.sim.now
+            stats.first_seen = self.sim.clock.now
         stats.packets += 1
         stats.window_packets += 1
         stats.bytes += packet.size_bytes
-        stats.last_seen = self.sim.now
+        stats.last_seen = self.sim.clock.now
 
     def _window_loop(self):
         while True:

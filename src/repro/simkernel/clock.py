@@ -17,42 +17,43 @@ DAY = 86400.0
 class SimClock:
     """Monotone virtual clock owned by the :class:`~repro.simkernel.simulator.Simulator`.
 
-    Only the simulator advances it; everyone else reads ``now``.
+    Only the simulator advances it; everyone else reads ``now``.  ``now``
+    is a plain attribute, not a property: the kernel and every hot path
+    read it millions of times per season and the descriptor-protocol
+    indirection was a measurable slice of the run loop.  Mutate it only
+    through :meth:`advance_to`/:meth:`restore`.
     """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise SimulationError(f"clock cannot start at negative time {start!r}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        self.now = float(start)
 
     @property
     def now_minutes(self) -> float:
-        return self._now / MINUTE
+        return self.now / MINUTE
 
     @property
     def now_hours(self) -> float:
-        return self._now / HOUR
+        return self.now / HOUR
 
     @property
     def now_days(self) -> float:
-        return self._now / DAY
+        return self.now / DAY
 
     def advance_to(self, t: float) -> None:
         """Move the clock forward to ``t`` (kernel use only)."""
-        if t < self._now:
+        if t < self.now:
             raise SimulationError(
-                f"clock cannot move backwards: now={self._now!r}, target={t!r}"
+                f"clock cannot move backwards: now={self.now!r}, target={t!r}"
             )
-        self._now = t
+        self.now = t
 
     def snapshot(self) -> float:
         """The clock's serializable state: just the current time."""
-        return self._now
+        return self.now
 
     def restore(self, t: float) -> None:
         """Set the clock from a snapshot (restore use only).
@@ -63,7 +64,7 @@ class SimClock:
         """
         if t < 0:
             raise SimulationError(f"cannot restore clock to negative time {t!r}")
-        self._now = float(t)
+        self.now = float(t)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

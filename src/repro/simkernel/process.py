@@ -74,6 +74,7 @@ class Process:
         self._pending_event = None
         self._waiting_signal: Optional[Signal] = None
         self.done_signal = Signal(f"{name}.done")
+        self._timer_label = f"proc:{name}"
 
     # -- kernel interface ---------------------------------------------------
 
@@ -126,7 +127,7 @@ class Process:
                 self._fail(ProcessError(f"process {self.name!r} yielded negative delay {delay}"))
                 return
             self._pending_event = self._sim.schedule(
-                delay, self._on_timer, label=f"proc:{self.name}"
+                delay, self._on_timer, label=self._timer_label
             )
             return
         if isinstance(yielded, Signal):

@@ -1,5 +1,6 @@
 """The discrete-event simulator that drives a SWAMP run."""
 
+import heapq
 import time
 from typing import Any, Callable, Dict, Generator, List, Optional
 
@@ -84,7 +85,18 @@ class Simulator:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise ScheduleInPastError(f"negative delay {delay!r} for {label or callback!r}")
-        return self.queue.push(self.clock.now + delay, callback, args, priority, label)
+        # Inlined EventQueue.push (the canonical implementation): this is
+        # the hottest scheduling entry point — several per simulated packet
+        # — and the extra call frame was measurable at season scale.
+        queue = self.queue
+        at = self.clock.now + delay
+        seq = queue._seq_next
+        event = Event(at, priority, seq, callback, args, label)
+        event._queue = queue
+        queue._seq_next = seq + 1
+        heapq.heappush(queue._heap, (at, priority, seq, event))
+        queue._live += 1
+        return event
 
     def schedule_at(
         self,
@@ -182,39 +194,90 @@ class Simulator:
         executed_this_call = 0
         invoke_hooks = True
         completed = False
-        wall_started = time.perf_counter()
+        # Hot loop: hoist attribute lookups that cannot change mid-run and
+        # keep the executed counter in a local (flushed in the finally so
+        # accounting survives an escaping exception).  The pop itself is
+        # inlined from EventQueue.pop_due — one method call per event was
+        # a measurable slice of season runs — with the heap list re-read
+        # each iteration so a callback that restores the kernel mid-run
+        # cannot leave the loop iterating a stale heap.
+        queue = self.queue
+        clock = self.clock
+        profiler = self.profiler
+        perf_counter = time.perf_counter
+        heappop = heapq.heappop
+        limit = float("inf") if max_events is None else max_events
+        wall_started = perf_counter()
         try:
-            while self.queue:
-                next_time = self.queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                event = self.queue.pop()
-                self.clock.advance_to(event.time)
-                profiler = self.profiler
-                if profiler is not None:
-                    _event_started = time.perf_counter()
-                try:
-                    event.callback(*event.args)
-                except StopSimulation as stop:
-                    self._stop_reason = stop.reason
-                    self.trace.emit(self.now, "kernel", "simulation stopped", reason=stop.reason)
-                finally:
-                    if profiler is not None:
-                        profiler.record(event, time.perf_counter() - _event_started)
-                # The event ran (fully or up to its StopSimulation), so it
-                # counts toward throughput and max_events either way.
-                self.events_executed += 1
-                executed_this_call += 1
-                if self._stop_reason is not None:
-                    break
-                if max_events is not None and executed_this_call >= max_events:
-                    invoke_hooks = False
-                    break
+            if profiler is None:
+                while True:
+                    heap = queue._heap
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    t = entry[0]
+                    if until is not None and t > until:
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    event._queue = None
+                    clock.advance_to(t)
+                    try:
+                        event.callback(*event.args)
+                    except StopSimulation as stop:
+                        self._stop_reason = stop.reason
+                        self.trace.emit(
+                            self.now, "kernel", "simulation stopped", reason=stop.reason
+                        )
+                    # The event ran (fully or up to its StopSimulation), so
+                    # it counts toward throughput and max_events either way.
+                    executed_this_call += 1
+                    if self._stop_reason is not None:
+                        break
+                    if executed_this_call >= limit:
+                        invoke_hooks = False
+                        break
+            else:
+                while True:
+                    heap = queue._heap
+                    if not heap:
+                        break
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    t = entry[0]
+                    if until is not None and t > until:
+                        break
+                    heappop(heap)
+                    queue._live -= 1
+                    event._queue = None
+                    clock.advance_to(t)
+                    _event_started = perf_counter()
+                    try:
+                        event.callback(*event.args)
+                    except StopSimulation as stop:
+                        self._stop_reason = stop.reason
+                        self.trace.emit(
+                            self.now, "kernel", "simulation stopped", reason=stop.reason
+                        )
+                    finally:
+                        profiler.record(event, perf_counter() - _event_started)
+                    executed_this_call += 1
+                    if self._stop_reason is not None:
+                        break
+                    if executed_this_call >= limit:
+                        invoke_hooks = False
+                        break
             completed = True
         finally:
             self._running = False
+            self.events_executed += executed_this_call
             self.wall_time_s += time.perf_counter() - wall_started
             if not completed:
                 # An exception is escaping: the run is over; fire hooks so

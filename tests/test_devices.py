@@ -160,6 +160,71 @@ class TestSoilProbe:
         assert len(h.telemetry("probe1")) >= 3
 
 
+class TestDeviceLifecycle:
+    """stop() must kill *every* loop the device spawned.
+
+    Regression: start() used to discard the `_failure_loop` handle, so a
+    stopped device kept flipping `failed` and emitting trace events
+    forever.
+    """
+
+    def _failure_traces(self, h, device_id):
+        return [
+            r
+            for r in h.sim.trace
+            if r.category == "device"
+            and r.message in ("transient failure", "repaired")
+            and r.data.get("device") == device_id
+        ]
+
+    def test_stop_kills_failure_loop(self):
+        h = Harness()
+        probe = h.add_device(
+            SoilMoistureProbe,
+            DeviceConfig(
+                "probe1", "farmA", "soil-probe",
+                report_interval_s=600, mtbf_s=1800.0, repair_time_s=600.0,
+            ),
+            zone=h.field.zone(0, 0),
+        )
+        assert probe._failure_process is not None and probe._failure_process.alive
+        h.sim.run(until=2 * 3600.0)
+        probe.stop()
+        assert probe._process is None and probe._failure_process is None
+        failures_at_stop = len(self._failure_traces(h, "probe1"))
+        reports_at_stop = len(h.telemetry("probe1"))
+        probe.failed = False
+        h.sim.run(until=24 * 3600.0)
+        assert len(self._failure_traces(h, "probe1")) == failures_at_stop
+        assert len(h.telemetry("probe1")) == reports_at_stop
+        assert probe.failed is False
+
+    def test_stop_without_failure_loop(self):
+        h = Harness()
+        probe = h.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("probe1", "farmA", "soil-probe", report_interval_s=600),
+            zone=h.field.zone(0, 0),
+        )
+        h.sim.run(until=3600.0)
+        probe.stop()  # no failure loop configured: must not blow up
+        count = len(h.telemetry("probe1"))
+        h.sim.run(until=2 * 3600.0)
+        assert len(h.telemetry("probe1")) == count
+
+    def test_stop_is_idempotent(self):
+        h = Harness()
+        probe = h.add_device(
+            SoilMoistureProbe,
+            DeviceConfig("probe1", "farmA", "soil-probe",
+                         report_interval_s=600, mtbf_s=900.0),
+            zone=h.field.zone(0, 0),
+        )
+        h.sim.run(until=1800.0)
+        probe.stop()
+        probe.stop()
+
+
 class TestWeatherStation:
     def test_reports_weather(self):
         h = Harness()
@@ -174,6 +239,27 @@ class TestWeatherStation:
         assert reports
         for key in ("tMin", "tMax", "rh", "wind", "solar", "rain", "et0"):
             assert key in reports[0]
+
+    def test_rh_clamped_to_physical_range(self):
+        # Instrument noise on a near-saturated day must not report >100%.
+        from repro.physics.weather import DailyWeather
+
+        h = Harness()
+        station = h.add_device(
+            WeatherStation,
+            DeviceConfig("ws1", "farmA", "weather-station", report_interval_s=300),
+        )
+        station.today = DailyWeather(
+            day_of_year=180, day_index=0, tmin_c=22.0, tmax_c=30.0,
+            rh_mean_pct=99.9, wind_ms=0.01, solar_mj_m2=0.1,
+            rain_mm=12.0, et0_mm=3.1,
+        )
+        h.sim.run(until=24 * 3600.0)
+        reports = h.telemetry("ws1")
+        assert len(reports) >= 50
+        assert all(0.0 <= r["rh"] <= 100.0 for r in reports)
+        assert any(r["rh"] == 100.0 for r in reports)  # noise did clip
+        assert all(r["wind"] >= 0.0 and r["solar"] >= 0.0 for r in reports)
 
     def test_no_reports_before_first_day(self):
         h = Harness()

@@ -12,6 +12,23 @@ link layer's FIFO bug was fixed — previously a small jitter draw could
 let a later frame overtake an earlier one on the same link, and the
 cloud fixture's WAN happened to deliver one message in reversed order.
 The clamped (correct) arrival order is pinned here.
+
+Re-pin note (batched sampling, Tier B): when ``batched_sampling`` became
+the pilot default, device reports moved from per-device phase-shifted
+firmware-loop events to one sweep event per (farm, report-interval)
+group with a single group phase drawn from the ``sweep:<farm>`` stream
+(see repro/devices/sweep.py).  Event timestamps and RNG consumption
+legitimately changed, which shifted sampling-dependent report fields:
+fog ``irrigation_m3`` 640.79… → 641.49…, ``measures_processed`` 3063 →
+3064, ``broker_publishes_in``/``replicator_synced`` 3079/3078 →
+3082/3082; cloud ``irrigation_m3`` 607.29… → 614.49…,
+``relative_yield`` 1.0 → 0.99814; mobile_fog_pivot ``irrigation_m3``
+1715.1 → 1669.0, ``commands_sent`` 6 → 5, ``relative_yield`` 1.0 →
+0.99973.  The fog fixture's WAN congestion burst (the one that
+deterministically opened the uplink breaker once under supervision) no
+longer occurs with batched report timing, so SUPERVISED_DELTA is now
+empty.  All fields remain within the same agronomic envelope; only the
+schedule changed, not the physics.
 """
 
 import dataclasses
@@ -44,30 +61,31 @@ FIXTURES = {
 PINNED = {
     "fog": {
         "name": "pin", "season_days": 10,
-        "irrigation_m3": 640.7999999999997,
-        "irrigation_mm_per_ha": 16.019999999999992,
+        "irrigation_m3": 641.4999999999998,
+        "irrigation_mm_per_ha": 16.037499999999994,
         "rain_mm": 2.714988640705466,
-        "pump_kwh": 104.7708000000002,
+        "pump_kwh": 104.88525000000017,
         "pivot_move_kwh": 0.0,
         "relative_yield": 1.0, "yield_t": 16.8,
         "decision_cycles": 10, "decisions": 40, "commands_sent": 8,
         "skipped_no_data": 0, "skipped_stale": 0,
-        "measures_processed": 3063, "measures_dropped_unprovisioned": 0,
-        "broker_publishes_in": 3079, "broker_denied": 0,
+        "measures_processed": 3064, "measures_dropped_unprovisioned": 0,
+        "broker_publishes_in": 3082, "broker_denied": 0,
         "devices_dead": 0,
-        "replicator_synced": 3078, "replicator_dropped": 0,
+        "replicator_synced": 3082, "replicator_dropped": 0,
         "alerts": 0, "quarantined_devices": 0,
         "resilience_restarts": 0, "breaker_opens": 0,
         "degraded_episodes": 0, "reconciled_decisions": 0,
     },
     "cloud": {
         "name": "pin", "season_days": 10,
-        "irrigation_m3": 607.2999999999998,
-        "irrigation_mm_per_ha": 15.182499999999996,
+        "irrigation_m3": 614.4999999999999,
+        "irrigation_mm_per_ha": 15.362499999999997,
         "rain_mm": 4.106462029682147,
-        "pump_kwh": 99.2935500000002,
+        "pump_kwh": 100.4707500000002,
         "pivot_move_kwh": 0.0,
-        "relative_yield": 1.0, "yield_t": 16.8,
+        "relative_yield": 0.9981380238299484,
+        "yield_t": 16.768718800343134,
         "decision_cycles": 10, "decisions": 40, "commands_sent": 8,
         "skipped_no_data": 0, "skipped_stale": 0,
         "measures_processed": 3054, "measures_dropped_unprovisioned": 0,
@@ -80,18 +98,19 @@ PINNED = {
     },
     "mobile_fog_pivot": {
         "name": "pin", "season_days": 10,
-        "irrigation_m3": 1715.1,
-        "irrigation_mm_per_ha": 19.056666666666665,
+        "irrigation_m3": 1669.0,
+        "irrigation_mm_per_ha": 18.544444444444444,
         "rain_mm": 0.0,
-        "pump_kwh": 280.41885,
-        "pivot_move_kwh": 32.400000000000034,
-        "relative_yield": 1.0, "yield_t": 37.800000000000004,
-        "decision_cycles": 10, "decisions": 90, "commands_sent": 6,
+        "pump_kwh": 272.8815,
+        "pivot_move_kwh": 27.00000000000002,
+        "relative_yield": 0.9997272912202999,
+        "yield_t": 37.78969160812734,
+        "decision_cycles": 10, "decisions": 90, "commands_sent": 5,
         "skipped_no_data": 0, "skipped_stale": 0,
         "measures_processed": 5215, "measures_dropped_unprovisioned": 0,
-        "broker_publishes_in": 5229, "broker_denied": 0,
+        "broker_publishes_in": 5227, "broker_denied": 0,
         "devices_dead": 0,
-        "replicator_synced": 5229, "replicator_dropped": 0,
+        "replicator_synced": 5227, "replicator_dropped": 0,
         "alerts": 0, "quarantined_devices": 0,
         "resilience_restarts": 0, "breaker_opens": 0,
         "degraded_episodes": 0, "reconciled_decisions": 0,
@@ -125,15 +144,16 @@ def test_reports_bit_identical_to_pre_refactor_baseline(fixture):
 
 
 # What enabling the resilience layer changes about each pinned fault-free
-# fixture: nothing platform-visible.  The fog fixture's WAN does hit one
-# genuine congestion burst (~t=468540: three consecutive sync batches
-# expire), so its uplink breaker deterministically opens once for a single
-# 300 s window — correct behavior, pinned here so any drift is loud.  The
+# fixture: nothing platform-visible.  Under legacy per-device sampling the
+# fog fixture's WAN hit one genuine congestion burst (~t=468540: three
+# consecutive sync batches expired) that deterministically opened the
+# uplink breaker once; batched sampling spreads the sync load differently
+# and the burst no longer occurs, so both deltas are now empty.  The
 # supervisor's own idle path (watchdog checks over healthy services) never
-# perturbs the event schedule, which is why every pre-existing report
-# field must still match PINNED exactly.
+# perturbs the event schedule, which is why every report field must still
+# match PINNED exactly.
 SUPERVISED_DELTA = {
-    "fog": {"breaker_opens": 1, "degraded_episodes": 1},
+    "fog": {},
     "cloud": {},  # no replicator, no uplink breaker
 }
 
@@ -197,10 +217,10 @@ def test_metrics_snapshot_covers_at_least_five_subsystems():
     assert gauges["simkernel.events_executed"] > 0
     assert gauges["simkernel.events_per_sec"] > 0
     # A few spot checks tying instruments to the pinned report.
-    assert runner.metrics.total("iota.measures_processed") == 3063
-    assert runner.metrics.total("mqtt.publishes_in") == 3079
+    assert runner.metrics.total("iota.measures_processed") == 3064
+    assert runner.metrics.total("mqtt.publishes_in") == 3082
     assert runner.metrics.total("scheduler.commands_sent") == 8
-    assert runner.metrics.total("fog.updates_synced") == 3078
+    assert runner.metrics.total("fog.updates_synced") == 3082
 
 
 def test_disabled_metrics_registry_is_inert():

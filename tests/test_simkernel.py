@@ -82,8 +82,8 @@ class TestEventQueue:
         q = EventQueue()
         e1 = q.push(1.0, lambda: None, label="first")
         q.push(2.0, lambda: None, label="second")
-        e1.cancel()
-        q.note_cancelled()
+        e1.cancel()  # routes through the owning queue's accounting
+        assert len(q) == 1
         assert q.pop().label == "second"
 
     def test_pop_empty_raises(self):
@@ -96,7 +96,6 @@ class TestEventQueue:
         e = q.push(1.0, lambda: None)
         q.push(5.0, lambda: None)
         e.cancel()
-        q.note_cancelled()
         assert q.peek_time() == 5.0
 
     def test_peek_empty_returns_none(self):
@@ -110,6 +109,116 @@ class TestEventQueue:
             q.push(t, lambda: None)
         popped = [q.pop().time for _ in range(len(times))]
         assert popped == sorted(popped)
+
+
+class TestCancellationAccounting:
+    """`len(queue)` must equal the number of live events at all times.
+
+    The historical bug: ``Event.cancel()`` only flipped a flag, nothing
+    called ``note_cancelled()``, so the live count overcounted forever and
+    a queue holding only cancelled events kept ``__bool__`` truthy —
+    ``Simulator.run``'s ``while self.queue`` would then ``pop()`` into a
+    ``SimulationError`` crash.
+    """
+
+    def test_cancel_decrements_immediately(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None, label=str(i)) for i in range(5)]
+        assert len(q) == 5
+        events[2].cancel()
+        events[4].cancel()
+        assert len(q) == 3
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e.cancel()
+        e.cancel()
+        e.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_double_decrement(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is e
+        e.cancel()  # already executed: flag only, no accounting
+        assert len(q) == 1
+
+    def test_queue_of_only_cancelled_events_is_falsy(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(3)]
+        for e in events:
+            e.cancel()
+        assert len(q) == 0
+        assert not q
+        assert q.peek_time() is None
+
+    def test_run_survives_fully_cancelled_queue(self):
+        # The crash vector from the bug report: cancel everything pending,
+        # then run — the loop must drain cleanly, not pop into an error.
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        for e in events:
+            e.cancel()
+        sim.run()
+        assert sim.events_executed == 0
+        assert len(sim.queue) == 0
+
+    def test_cancel_after_restore_of_stale_handle_is_harmless(self):
+        # A handle captured before restore() must not corrupt the rebuilt
+        # queue's accounting when cancelled afterwards.
+        q = EventQueue()
+        stale = q.push(1.0, lambda: None, label="stale")
+        q.push(2.0, lambda: None, label="keep")
+        snap = q.snapshot()
+        q.restore(snap)
+        assert len(q) == 2
+        stale.cancel()
+        assert len(q) == 2  # stale handle no longer owned by the queue
+
+    def test_property_live_count_under_random_interleavings(self):
+        """200 seeded interleavings of push/pop/cancel (+ snapshot/restore).
+
+        Before the fix, cancel-then-snapshot/restore silently *corrected*
+        the count (restore recomputes `_live` from the surviving heap), so
+        `queue_depth` metrics diverged between segmented and uninterrupted
+        runs; now both paths agree at every step.
+        """
+        import random
+
+        for trial in range(200):
+            rng = random.Random(0xC0FFEE + trial)
+            q = EventQueue()
+            live = []  # model: handles of events still pending
+            for _ in range(rng.randrange(10, 60)):
+                op = rng.random()
+                if op < 0.45 or not live:
+                    e = q.push(rng.uniform(0.0, 100.0), lambda: None)
+                    live.append(e)
+                elif op < 0.70:
+                    victim = live.pop(rng.randrange(len(live)))
+                    victim.cancel()
+                    if rng.random() < 0.3:
+                        victim.cancel()  # double-cancel must be a no-op
+                elif op < 0.90:
+                    popped = q.pop()
+                    assert popped in live and not popped.cancelled
+                    live.remove(popped)
+                else:
+                    q.restore(q.snapshot())
+                    # restore rebuilds Event objects: refresh the model's
+                    # handles to the queue's own view of what's live.
+                    live = list(q._live_sorted())
+                assert len(q) == len(live), (
+                    f"trial {trial}: len(queue)={len(q)} != live={len(live)}"
+                )
+                assert bool(q) == bool(live)
+            # Drain: exactly the live events come out, in order.
+            drained = [q.pop() for _ in range(len(live))]
+            assert len(q) == 0 and not q
+            assert sorted(e.seq for e in drained) == sorted(e.seq for e in live)
 
 
 class TestSchedule:
