@@ -1,0 +1,161 @@
+"""E19 — Multi-tenant service layer under the standard request load.
+
+The north-facing NGSIv2 layer must hold three properties at once while a
+pilot season runs underneath it: *isolation* (an over-quota tenant is
+rejected with 429 and nobody else notices), *speed* (cache-assisted
+request handling stays cheap), and *determinism* (the same seeded trace
+replays to a bit-identical response log — the property every other
+experiment's pinned fixtures rely on).
+
+Two entry points:
+
+* pytest-benchmark (``python -m pytest benchmarks/bench_service_load.py -s``):
+  runs the standard four-tenant trace against a MATOPIBA season segment,
+  files per-tenant outcome counts, latency percentiles, and cache stats
+  into ``extra_info``, and asserts shape — quota isolation, cache hits,
+  digest stability — rather than absolute speed.
+* CLI (``python benchmarks/bench_service_load.py [--smoke]``): ``--smoke``
+  runs a short trace twice and enforces the three gates (greedy-tenant
+  429s with zero collateral, nonzero cache hit rate, identical response
+  digests across the two runs).
+"""
+
+import argparse
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # allow `python benchmarks/bench_service_load.py`
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+else:
+    from _harness import print_table, record_rows, run_once
+
+from repro.core.run import RunOptions, run
+from repro.service.loadgen import standard_trace
+
+SEED = 42
+PILOT = "matopiba"
+FARM = "matopiba"
+GRID = 6  # matopiba is a 6x6 VRI grid
+SMOKE_DURATION_S = 600.0
+FULL_DURATION_S = 4 * 3600.0
+TENANT_HEADERS = ("tenant", "submitted", "ok", "429", "503", "auth")
+
+#: The greedy tenant's quota admits 10 requests/minute against a
+#: 2 req/s arrival rate, so most of its traffic must bounce.
+GREEDY_MIN_429 = 50
+WELL_BEHAVED = ("dash-a", "dash-b", "ops")
+
+
+def make_trace(seed=SEED, duration_s=SMOKE_DURATION_S):
+    entity_ids = [
+        f"urn:AgriParcel:{FARM}:{r}-{c}" for r in range(GRID) for c in range(GRID)
+    ]
+    return standard_trace(
+        seed=seed, duration_s=duration_s, entity_ids=entity_ids, farm=FARM
+    )
+
+
+def run_service_load(seed=SEED, duration_s=SMOKE_DURATION_S, days=1):
+    """One seeded run: pilot season segment + request trace on top."""
+    result = run(RunOptions(
+        pilot=PILOT, seed=seed, days=days, serve_trace=make_trace(seed, duration_s),
+    ))
+    return result.service
+
+
+def tenant_rows(report):
+    return [
+        (name, s["submitted"], s["completed"], s["rejected_quota"],
+         s["rejected_backlog"], s["rejected_auth"])
+        for name, s in report["tenants"].items()
+    ]
+
+
+def assert_isolation(report):
+    """The greedy tenant bounces; the well-behaved tenants never do."""
+    tenants = report["tenants"]
+    assert len(tenants) >= 4  # three well-behaved + one over-quota
+    assert tenants["greedy"]["rejected_quota"] >= GREEDY_MIN_429
+    for name in WELL_BEHAVED:
+        assert tenants[name]["rejected_quota"] == 0, name
+        assert tenants[name]["completed"] > 0, name
+
+
+def test_service_load(benchmark):
+    service = run_once(benchmark, lambda: run_service_load())
+    report = service.report()
+    rows = tenant_rows(report)
+    record_rows(benchmark, TENANT_HEADERS, rows)
+    latency = report["latency_s"]
+    cache = report["cache"]
+    benchmark.extra_info["latency_s"] = latency
+    benchmark.extra_info["cache_hit_rate"] = cache["hit_rate"]
+    benchmark.extra_info["digest"] = report["digest"]
+    print_table(
+        f"E19 service load: {report['requests']} requests, "
+        f"p50 {latency['p50'] * 1e3:.2f}ms p95 {latency['p95'] * 1e3:.2f}ms "
+        f"p99 {latency['p99'] * 1e3:.2f}ms, "
+        f"cache hit rate {cache['hit_rate']:.1%}",
+        TENANT_HEADERS, rows,
+    )
+    assert_isolation(report)
+    assert cache["hits"] > 0
+    assert report["by_status"].get("200", 0) > 0
+    # Same seed, same trace: the response log digest must not move.
+    assert run_service_load().report()["digest"] == report["digest"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help=f"short trace ({SMOKE_DURATION_S:.0f}s) run twice, "
+             "gated on isolation + cache + digest stability",
+    )
+    parser.add_argument("--duration", type=float, default=None,
+                        help="trace duration in sim seconds")
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    duration = args.duration if args.duration is not None else (
+        SMOKE_DURATION_S if args.smoke else FULL_DURATION_S
+    )
+    started = time.perf_counter()
+    service = run_service_load(seed=args.seed, duration_s=duration)
+    wall = time.perf_counter() - started
+    report = service.report()
+    latency = report["latency_s"]
+    cache = report["cache"]
+
+    print(f"workload: {PILOT} seed={args.seed} trace_duration={duration:.0f}s "
+          f"({report['requests']} requests, {len(report['tenants'])} tenants)")
+    for row in tenant_rows(report):
+        print("  {:<10} submitted {:>5}  ok {:>5}  429 {:>4}  503 {:>4}  "
+              "auth {:>3}".format(*row))
+    print(f"latency: p50 {latency['p50'] * 1e3:.3f}ms  "
+          f"p95 {latency['p95'] * 1e3:.3f}ms  p99 {latency['p99'] * 1e3:.3f}ms  "
+          f"max {latency['max'] * 1e3:.3f}ms")
+    print(f"cache: {cache['hits']} hits / {cache['hits'] + cache['misses']} "
+          f"lookups ({cache['hit_rate']:.1%})")
+    print(f"wall: {wall:.2f}s   digest: {report['digest']}")
+
+    if args.smoke:
+        try:
+            assert_isolation(report)
+        except AssertionError as exc:
+            print(f"FAIL: quota isolation violated ({exc})")
+            return 1
+        if cache["hits"] == 0:
+            print("FAIL: response cache never hit")
+            return 1
+        second = run_service_load(seed=args.seed, duration_s=duration)
+        if second.report()["digest"] != report["digest"]:
+            print("FAIL: same-seed replay produced a different response digest")
+            return 1
+        print("smoke gate passed: isolation + cache + bit-identical replay")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli run --restore run.ck             # resume a checkpoint
     python -m repro.cli compare guaspari --seed 3        # smart vs fixed
     python -m repro.cli fleet --farms matopiba:2,guaspari --workers 2
+    python -m repro.cli serve matopiba --days 1 --record trace.json \
+        --responses responses.jsonl                      # service-layer replay
 
 ``run`` executes a pilot (optionally truncated to ``--days``) and prints
 the season report; ``compare`` runs the smart scheduler against the
@@ -233,6 +235,72 @@ def cmd_compare(args, out) -> int:
     return 0
 
 
+def cmd_serve(args, out) -> int:
+    """Replay (or synthesize) a request trace against a running pilot."""
+    from repro.service.loadgen import RequestTrace, standard_trace
+
+    options = _options_from_args(args)
+    if args.requests:
+        try:
+            trace = RequestTrace.load(args.requests)
+        except (OSError, KeyError, ValueError) as exc:
+            raise SystemExit(f"cannot read request trace {args.requests!r}: {exc}")
+    else:
+        # Synthesize the canonical multi-tenant workload for this pilot.
+        # A probe build (construction only, nothing runs) supplies the
+        # farm name and zone grid the trace's reads should target.
+        probe = PILOT_BUILDERS[args.pilot](seed=args.seed)
+        farm = probe.config.farm
+        entity_ids = [
+            f"urn:AgriParcel:{farm}:{r}-{c}"
+            for r in range(probe.config.rows)
+            for c in range(probe.config.cols)
+        ]
+        trace = standard_trace(
+            seed=args.seed,
+            duration_s=args.serve_duration,
+            entity_ids=entity_ids,
+            farm=farm,
+        )
+    if args.record:
+        trace.save(args.record)
+        print(f"request trace written to {args.record} "
+              f"({len(trace.requests)} requests)", file=out)
+    options.serve_trace = trace
+    options.serve_responses = args.responses
+    result = run(options)
+    service = result.service
+    report = service.report()
+    print(f"--- service: {trace.name} ({len(trace.requests)} requests, "
+          f"{len(trace.tenants)} tenants) ---", file=out)
+    for name, stats in report["tenants"].items():
+        print(
+            f"  {name.ljust(10)} submitted {stats['submitted']:>5}  "
+            f"ok {stats['completed']:>5}  429 {stats['rejected_quota']:>4}  "
+            f"503 {stats['rejected_backlog']:>4}  "
+            f"auth {stats['rejected_auth']:>3}",
+            file=out,
+        )
+    latency = report["latency_s"]
+    print(
+        f"latency: p50 {latency['p50']:.3f}s  p95 {latency['p95']:.3f}s  "
+        f"p99 {latency['p99']:.3f}s",
+        file=out,
+    )
+    if report["cache"] is not None:
+        cache = report["cache"]
+        print(
+            f"cache: {cache['hits']} hits / {cache['hits'] + cache['misses']} "
+            f"lookups ({cache['hit_rate']:.1%}), {cache['invalidated']} invalidated",
+            file=out,
+        )
+    if args.responses:
+        print(f"response log written to {args.responses}", file=out)
+    print(f"response digest: {report['digest']}", file=out)
+    _write_run_artifacts(args, result.runner, out)
+    return 0
+
+
 def cmd_fleet(args, out) -> int:
     from repro.fleet import FleetOptions, run_fleet
     from repro.fleet.options import FleetError, parse_farm_specs
@@ -330,6 +398,23 @@ def build_parser() -> argparse.ArgumentParser:
                                     help="smart vs fixed-calendar business case")
     compare_parser.add_argument("pilot", choices=sorted(PILOT_BUILDERS))
 
+    serve_parser = sub.add_parser(
+        "serve", parents=[common],
+        help="replay a multi-tenant request trace against a running pilot")
+    serve_parser.add_argument("pilot", nargs="?", default="matopiba",
+                              choices=sorted(PILOT_BUILDERS))
+    serve_parser.add_argument("--requests", default=None, metavar="PATH",
+                              help="request-trace JSON to replay "
+                                   "(default: synthesize the standard workload)")
+    serve_parser.add_argument("--record", default=None, metavar="PATH",
+                              help="save the (synthesized or loaded) trace to PATH")
+    serve_parser.add_argument("--responses", default=None, metavar="PATH",
+                              help="write the canonical response log to PATH")
+    serve_parser.add_argument("--serve-duration", dest="serve_duration",
+                              type=float, default=600.0, metavar="SECS",
+                              help="synthesized trace length in sim-seconds "
+                                   "(default 600)")
+
     fleet_parser = sub.add_parser("fleet", help="run a sharded multi-farm fleet")
     fleet_parser.add_argument("--farms", default="matopiba:2", metavar="SPEC",
                               help="comma list of pilot[:count] entries "
@@ -356,6 +441,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "compare":
         return cmd_compare(args, out)
+    if args.command == "serve":
+        return cmd_serve(args, out)
     if args.command == "fleet":
         return cmd_fleet(args, out)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -10,7 +10,6 @@ Query filters use the small predicate language of NGSIv2's ``q`` parameter:
 """
 
 import re
-import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
@@ -41,21 +40,24 @@ def _parse_filter(expression: str):
 
 
 def _coerce_filters(filters: Optional[List[Union[str, AttrFilter]]]) -> List[AttrFilter]:
-    """Normalize a mixed filter list; string expressions are deprecated."""
+    """Validate a filter list: typed :class:`AttrFilter` objects only.
+
+    The string-expression path completed its deprecation cycle and is
+    gone; NGSIv2 ``q`` wire strings are parsed at the service boundary
+    with :func:`repro.context.query.parse_filter_expression`.
+    """
     coerced: List[AttrFilter] = []
     for item in filters or []:
         if isinstance(item, AttrFilter):
             coerced.append(item)
         elif isinstance(item, str):
-            warnings.warn(
-                "string filter expressions are deprecated; use "
-                "Query(...).where(attr, op, value) or AttrFilter(attr, op, value)",
-                DeprecationWarning,
-                stacklevel=3,
+            raise QueryError(
+                f"string filter {item!r} is no longer accepted; use "
+                "Query(...).where(attr, op, value), AttrFilter(attr, op, value) "
+                "or parse_filter_expression() at the wire boundary"
             )
-            coerced.append(parse_filter_expression(item))
         else:
-            raise QueryError(f"unsupported filter {item!r}; expected AttrFilter or str")
+            raise QueryError(f"unsupported filter {item!r}; expected AttrFilter")
     return coerced
 
 
@@ -295,9 +297,9 @@ class ContextBroker:
 
         Accepts either a :class:`Query` as the first argument
         (``broker.query(Query(type="SoilProbe").where("soilMoisture", "<", 0.2))``)
-        or the individual keyword arguments.  ``filters`` items are
-        :class:`AttrFilter` objects; plain ``q`` strings still work but
-        emit a ``DeprecationWarning``.
+        or the individual keyword arguments.  ``filters`` items must be
+        :class:`AttrFilter` objects; plain ``q`` strings raise
+        :class:`QueryError` (parse them with ``parse_filter_expression``).
         """
         if isinstance(entity_type, Query):
             q = entity_type

@@ -7,6 +7,20 @@ and min/max/mean/sum/count over a range.
 
 Series are bounded per (entity, attribute) to keep multi-season runs in
 memory; eviction drops the oldest samples.
+
+**Rollups.**  When enabled (:meth:`ShortTermHistory.enable_rollups`, or
+the ``rollup_periods`` constructor argument), every sample additionally
+folds into time-bucketed aggregates — one sparse bucket map per
+(series, period), the STH-Comet ``aggrPeriod`` shapes (raw → minute →
+hour by default).  Buckets keep ``count/min/max/sum`` so any of the five
+aggregation methods reads in O(buckets in range); empty buckets are
+never materialized.  Folding is pure accounting — no events scheduled,
+no randomness drawn — so enabling rollups never perturbs a run's event
+sequence, and rollup contents are a deterministic function of the raw
+samples (late, out-of-order samples fold into the bucket their own
+timestamp selects, not the newest one).  Rollups are off by default to
+keep the telemetry hot path bare; the north-facing service layer enables
+them when it attaches.
 """
 
 from collections import deque
@@ -14,15 +28,34 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.context.broker import ContextBroker
 from repro.context.entities import ContextEntity
+from repro.context.errors import QueryError
 
 Sample = Tuple[float, float]
 
+#: STH-Comet's sub-day aggregation periods, in seconds.
+MINUTE_S = 60.0
+HOUR_S = 3600.0
+
+#: count/min/max/sum live in one 4-slot bucket list; mean = sum/count.
+ROLLUP_METHODS = ("count", "min", "max", "sum", "mean")
+
 
 class ShortTermHistory:
-    def __init__(self, broker: ContextBroker, max_samples_per_series: int = 50_000) -> None:
+    def __init__(
+        self,
+        broker: ContextBroker,
+        max_samples_per_series: int = 50_000,
+        rollup_periods: Tuple[float, ...] = (),
+        max_buckets_per_series: int = 8192,
+    ) -> None:
         self.broker = broker
         self.max_samples_per_series = max_samples_per_series
+        self.max_buckets_per_series = max_buckets_per_series
         self._series: Dict[Tuple[str, str], Deque[Sample]] = {}
+        # period_s -> series key -> bucket index -> [count, min, max, sum].
+        self._rollups: Dict[float, Dict[Tuple[str, str], Dict[int, List[float]]]] = {}
+        if rollup_periods:
+            self.enable_rollups(rollup_periods)
         broker.update_hooks.append(self._on_update)
 
     def _on_update(self, entity: ContextEntity, changed: List[str]) -> None:
@@ -37,7 +70,121 @@ class ShortTermHistory:
             if series is None:
                 series = deque(maxlen=self.max_samples_per_series)
                 self._series[key] = series
-            series.append((attribute.timestamp, float(attribute.value)))
+            t, v = attribute.timestamp, float(attribute.value)
+            series.append((t, v))
+            if self._rollups:
+                self._fold(key, t, v)
+
+    # -- rollups -----------------------------------------------------------
+
+    @property
+    def rollup_periods(self) -> Tuple[float, ...]:
+        return tuple(self._rollups)
+
+    def enable_rollups(self, periods: Tuple[float, ...] = (MINUTE_S, HOUR_S)) -> None:
+        """Start maintaining bucketed aggregates for ``periods``.
+
+        Idempotent per period.  New periods are **backfilled** from the
+        raw rings, so rollups enabled after samples were recorded cover
+        whatever raw history is still retained — the same truncation STH
+        applies when its raw collection is capped.
+        """
+        for period in periods:
+            if period <= 0:
+                raise QueryError(f"rollup period must be positive, got {period!r}")
+            if period in self._rollups:
+                continue
+            self._rollups[period] = {}
+            for key, series in self._series.items():
+                for t, v in series:
+                    self._fold_one(period, key, t, v)
+
+    def _fold(self, key: Tuple[str, str], t: float, v: float) -> None:
+        for period in self._rollups:
+            self._fold_one(period, key, t, v)
+
+    def _fold_one(self, period: float, key: Tuple[str, str], t: float, v: float) -> None:
+        buckets = self._rollups[period].get(key)
+        if buckets is None:
+            buckets = self._rollups[period][key] = {}
+        index = int(t // period)
+        bucket = buckets.get(index)
+        if bucket is None:
+            if len(buckets) >= self.max_buckets_per_series:
+                oldest = min(buckets)
+                if index < oldest:
+                    # A sample older than the retention horizon would be
+                    # evicted immediately; dropping it keeps eviction
+                    # order-independent for late stragglers.
+                    return
+                del buckets[oldest]
+            buckets[index] = [1.0, v, v, v]
+            return
+        bucket[0] += 1.0
+        if v < bucket[1]:
+            bucket[1] = v
+        if v > bucket[2]:
+            bucket[2] = v
+        bucket[3] += v
+
+    def rollup(
+        self,
+        entity_id: str,
+        attr: str,
+        period_s: float,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        method: str = "mean",
+    ) -> List[Tuple[float, float]]:
+        """Bucketed aggregate series: ``[(bucket_start_s, value), ...]``.
+
+        ``method`` is one of :data:`ROLLUP_METHODS`.  A bucket is listed
+        when its *start* falls in ``[since, until]``; buckets with no
+        samples are skipped (STH's sparse ``occur`` semantics).  Raises
+        :class:`~repro.context.errors.QueryError` for unknown methods or
+        periods that were never enabled.
+        """
+        if method not in ROLLUP_METHODS:
+            raise QueryError(
+                f"unknown rollup method {method!r}; expected one of {ROLLUP_METHODS}"
+            )
+        by_series = self._rollups.get(period_s)
+        if by_series is None:
+            raise QueryError(
+                f"rollup period {period_s!r} not enabled; enabled: {sorted(self._rollups)}"
+            )
+        buckets = by_series.get((entity_id, attr))
+        if not buckets:
+            return []
+        rows: List[Tuple[float, float]] = []
+        for index in sorted(buckets):
+            start = index * period_s
+            if start < since or start > until:
+                continue
+            count, vmin, vmax, vsum = buckets[index]
+            if method == "count":
+                value = count
+            elif method == "min":
+                value = vmin
+            elif method == "max":
+                value = vmax
+            elif method == "sum":
+                value = vsum
+            else:
+                value = vsum / count
+            rows.append((start, value))
+        return rows
+
+    def downsample(
+        self,
+        entity_id: str,
+        attr: str,
+        period_s: float,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[Tuple[float, float]]:
+        """The mean-per-bucket series (the dashboard downsampling shape)."""
+        return self.rollup(entity_id, attr, period_s, since, until, method="mean")
 
     # -- queries -----------------------------------------------------------
 

@@ -5,10 +5,11 @@ The broker historically took NGSIv2 ``q``-style filter *strings*
 
     Query(type="SoilProbe").where("soilMoisture", "<", 0.2)
 
-or a bare list of :class:`AttrFilter`.  String expressions still parse
-through :func:`parse_filter_expression` but emit a ``DeprecationWarning``
-at the broker boundary; the shim will be removed once nothing ships
-strings (see DESIGN.md, "Deprecation policy").
+or a bare list of :class:`AttrFilter`.  The broker no longer accepts
+string expressions (the deprecation cycle is complete — they raise
+:class:`~repro.context.errors.QueryError`); callers holding NGSIv2 ``q``
+wire strings — the north-facing service layer's ``GET /v2/entities`` —
+parse them with :func:`parse_filter_expression` before querying.
 """
 
 from dataclasses import dataclass, field

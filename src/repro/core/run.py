@@ -10,8 +10,13 @@ the same code path.
 
 Bit-identity contract: ``run(RunOptions(config=cfg))`` builds exactly
 ``PilotRunner(cfg)`` — no option is folded into an explicit config
-unless the caller set it, so reports reproduce ``run_pilot`` outputs bit
-for bit.  The deprecated shims in :mod:`repro.api` delegate here.
+unless the caller set it, so reports stay bit-identical to the
+historical ``run_pilot`` outputs (the shim completed its deprecation
+cycle and is gone).  ``serve_trace`` opts the run into the north-facing
+service layer: the trace's tenants are registered and its requests
+replayed against the pilot on the simulation clock.  With the option
+unset nothing service-related is constructed, so pinned fixtures are
+untouched.
 """
 
 import dataclasses
@@ -106,6 +111,11 @@ class RunOptions:
     checkpoint: Optional[str] = None
     checkpoint_every_s: Optional[float] = None
     restore: Optional[str] = None
+    # North-facing service layer (see repro.service): a RequestTrace (or
+    # path to its JSON) replayed against the running pilot, and an
+    # optional path for the canonical response log.
+    serve_trace: Any = None
+    serve_responses: Optional[str] = None
 
     def trace_config(self) -> Optional[TraceConfig]:
         if not (self.trace or self.trace_path):
@@ -126,6 +136,15 @@ class RunOptions:
             return FaultPlan.load(self.faults)
         return self.faults
 
+    def resolved_serve_trace(self):
+        if self.serve_trace is None:
+            return None
+        if isinstance(self.serve_trace, str):
+            from repro.service.loadgen import RequestTrace
+
+            return RequestTrace.load(self.serve_trace)
+        return self.serve_trace
+
     def resolved_resilience(self) -> Optional[ResilienceConfig]:
         if self.resilience is True:
             return ResilienceConfig()
@@ -144,11 +163,21 @@ class RunResult:
     # The ChaosRunResult when options.chaos was set (invariants, plan,
     # fingerprint); None for plain runs.
     chaos: Any = None
+    # The NgsiService when options.serve_trace was set; None otherwise.
+    service: Any = None
 
 
 def run(options: RunOptions) -> RunResult:
     """Build, run and post-process one run per ``options``."""
     tracing = options.trace_config()
+    serve_trace = options.resolved_serve_trace()
+    if serve_trace is not None and (
+        options.chaos or options.checkpoint is not None or options.restore is not None
+    ):
+        raise ValueError(
+            "serve_trace is not supported with chaos, checkpoint or restore "
+            "(the service pump is not part of the rebuild recipe)"
+        )
 
     if options.restore is not None:
         from repro.core import checkpoint as _checkpoint
@@ -222,6 +251,16 @@ def run(options: RunOptions) -> RunResult:
             # same builder with the same inputs.
             recipe = RunRecipe(pilot=options.pilot, builder_kwargs=kwargs)
 
+    service = None
+    if serve_trace is not None:
+        from repro.service.loadgen import schedule_trace
+        from repro.service.app import NgsiService
+
+        service = NgsiService(
+            runner.sim, runner.context, runner.history, runner.security
+        )
+        schedule_trace(service, serve_trace)
+
     if options.checkpoint is not None:
         from repro.core.checkpoint import run_with_checkpoints
 
@@ -240,7 +279,11 @@ def run(options: RunOptions) -> RunResult:
     else:
         report = runner.run_season()
     _write_outputs(options, runner)
-    return RunResult(report=report, runner=runner)
+    if service is not None and options.serve_responses:
+        with open(options.serve_responses, "w", encoding="utf-8") as fh:
+            fh.write(service.response_log())
+            fh.write("\n")
+    return RunResult(report=report, runner=runner, service=service)
 
 
 def _write_outputs(options: RunOptions, runner) -> None:

@@ -1,0 +1,61 @@
+"""North-facing multi-tenant NGSIv2 service layer.
+
+The in-process equivalent of the HTTP front a SWAMP deployment puts
+between consumers (dashboards, analytics, operations tooling) and the
+context platform: NGSIv2 + STH routes, OAuth2 bearer enforcement via the
+existing PEP/PDP, per-tenant namespaces and quotas, a version-invalidated
+response cache, and seeded load generation with replayable request
+traces.  See DESIGN.md ("Service layer").
+"""
+
+from repro.service.app import NgsiService, ServiceConfig, attach_service, percentile
+from repro.service.cache import ResponseCache
+from repro.service.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    QuotaExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+    error_response,
+    has_error_mapping,
+    status_for,
+)
+from repro.service.http import Request, Response, Route, Router
+from repro.service.loadgen import (
+    LoadProfile,
+    RequestTrace,
+    TraceRequest,
+    generate_trace,
+    schedule_trace,
+    standard_trace,
+)
+from repro.service.tenancy import Tenant, TenantQuota, TenantSpec
+
+__all__ = [
+    "AuthenticationError",
+    "AuthorizationError",
+    "LoadProfile",
+    "NgsiService",
+    "QuotaExceededError",
+    "Request",
+    "RequestTrace",
+    "Response",
+    "ResponseCache",
+    "Route",
+    "Router",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "Tenant",
+    "TenantQuota",
+    "TenantSpec",
+    "TraceRequest",
+    "attach_service",
+    "error_response",
+    "generate_trace",
+    "has_error_mapping",
+    "percentile",
+    "schedule_trace",
+    "standard_trace",
+    "status_for",
+]

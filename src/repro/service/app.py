@@ -1,0 +1,632 @@
+"""The north-facing multi-tenant NGSIv2 service.
+
+:class:`NgsiService` is the in-process equivalent of the HTTP stack a
+SWAMP deployment puts in front of Orion + STH-Comet for dashboards and
+analytics consumers: an NGSIv2/STH route table, OAuth2 bearer
+authentication through the existing ``security.auth`` PEP/PDP, per-tenant
+namespace isolation and quotas, a version-invalidated response cache, and
+a pump process that drains admitted requests on the simulation clock.
+
+Request lifecycle (``submit``):
+
+1. **route** — method+path match (404 unknown path, 405 wrong method);
+2. **authenticate** — introspect the bearer token (401), resolve the
+   tenant behind the principal (403);
+3. **authorize** — PEP check of the route's action against the resource
+   (the entity id for entity-scoped routes), then the tenant's own
+   namespace prefix check (403);
+4. **admit** — the tenant's quota window (429) and backlog queue (503);
+5. **execute** — immediately (sync mode) or when the pump drains the
+   backlog (queued mode); cacheable reads consult the response cache;
+   handler errors translate through :mod:`repro.service.errors`.
+
+Every request ends as one *record* — ``(seq, tenant, method, path,
+at_s, done_s, status, cache, body)`` — and the canonical JSON response
+log over those records is the bit-identity artifact: same seed + same
+trace ⇒ byte-identical log (E19 asserts this; wall-clock timings are
+reported separately and never enter the log).
+"""
+
+import hashlib
+import json
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.context.broker import ContextBroker
+from repro.context.entities import ContextEntity
+from repro.context.errors import NotFoundError, QueryError
+from repro.context.history import HOUR_S, MINUTE_S, ShortTermHistory
+from repro.context.query import parse_filter_expression
+from repro.security.auth.oauth import OAuthError
+from repro.security.auth.pdp import Policy
+from repro.service.cache import ResponseCache
+from repro.service.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    QuotaExceededError,
+    ServiceOverloadedError,
+    error_response,
+)
+from repro.service.http import Request, Response, Route, Router
+from repro.service.tenancy import Tenant, TenantSpec
+from repro.simkernel.errors import ReproError
+from repro.simkernel.simulator import Simulator
+
+__all__ = ["NgsiService", "ServiceConfig", "attach_service", "percentile"]
+
+#: STH ``aggrPeriod`` values → rollup period seconds.
+_AGGR_PERIODS = {"minute": MINUTE_S, "hour": HOUR_S}
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs for one :class:`NgsiService` instance."""
+
+    #: Drain admitted requests through a pump process every this many
+    #: sim-seconds (queued mode); False = execute at submit time.
+    queued: bool = True
+    pump_interval_s: float = 1.0
+    max_requests_per_tick: int = 256
+    cache_enabled: bool = True
+    cache_capacity: int = 1024
+    #: Rollup periods enabled on the attached history (() = leave off).
+    rollup_periods: Tuple[float, ...] = (MINUTE_S, HOUR_S)
+    default_page_limit: int = 20
+    max_page_limit: int = 1000
+    #: Cap on retained request records (oldest dropped beyond this).
+    max_records: int = 200_000
+
+
+def percentile(values: List[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), int(round(p / 100.0 * len(ordered) + 0.5))))
+    return ordered[rank - 1]
+
+
+def _render_attribute(attr) -> Dict[str, Any]:
+    return {"value": attr.value, "type": attr.attr_type, "metadata": dict(attr.metadata)}
+
+
+def _render_entity(entity: ContextEntity, key_values: bool = False) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"id": entity.entity_id, "type": entity.entity_type}
+    for name in sorted(entity.attributes):
+        attr = entity.attributes[name]
+        body[name] = attr.value if key_values else _render_attribute(attr)
+    return body
+
+
+def _body_attrs(body: Dict[str, Any]) -> Dict[str, Any]:
+    """NGSIv2 attribute payload → plain values ({"value": v} or bare v)."""
+    attrs: Dict[str, Any] = {}
+    for name, payload in body.items():
+        if name in ("id", "type"):
+            continue
+        if isinstance(payload, dict) and "value" in payload:
+            attrs[name] = payload["value"]
+        else:
+            attrs[name] = payload
+    return attrs
+
+
+def _float_param(request: Request, name: str, default: float) -> float:
+    raw = request.param(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise QueryError(f"parameter {name!r} must be a number, got {raw!r}")
+
+
+def _int_param(request: Request, name: str, default: int, minimum: int = 0) -> int:
+    raw = request.param(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise QueryError(f"parameter {name!r} must be an integer, got {raw!r}")
+    if value < minimum:
+        raise QueryError(f"parameter {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+class NgsiService:
+    """In-process NGSIv2 + STH endpoint over a broker and its history."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        broker: ContextBroker,
+        history: ShortTermHistory,
+        security,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.broker = broker
+        self.history = history
+        self.security = security
+        self.config = config or ServiceConfig()
+        if self.config.rollup_periods:
+            history.enable_rollups(tuple(self.config.rollup_periods))
+        self.cache: Optional[ResponseCache] = (
+            ResponseCache(self.config.cache_capacity) if self.config.cache_enabled else None
+        )
+        if self.cache is not None:
+            broker.update_hooks.append(self._on_broker_write)
+        self._tenants: Dict[str, Tenant] = {}
+        self.records: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._pump = None
+        self.wall_time_s = 0.0
+        metrics = sim.metrics
+        self._m_requests = metrics.counter("service.requests")
+        self._m_rejected = {
+            reason: metrics.counter("service.rejected", {"reason": reason})
+            for reason in ("auth", "quota", "backlog")
+        }
+        self._m_cache = {
+            result: metrics.counter("service.cache", {"result": result})
+            for result in ("hit", "miss")
+        }
+        self.router = Router()
+        self._install_routes()
+
+    # -- wiring -----------------------------------------------------------
+
+    def _install_routes(self) -> None:
+        add = self.router.add
+        add("GET", "/version", self._h_version, action=None)
+        add("GET", "/v2/entities", self._h_list_entities, "ngsi.read", cacheable=True)
+        add("POST", "/v2/entities", self._h_create_entity, "ngsi.write", writes=True)
+        add("GET", "/v2/entities/{entity_id}", self._h_get_entity, "ngsi.read", cacheable=True)
+        add("DELETE", "/v2/entities/{entity_id}", self._h_delete_entity, "ngsi.write",
+            writes=True)
+        add("PATCH", "/v2/entities/{entity_id}/attrs", self._h_update_attrs, "ngsi.write",
+            writes=True)
+        add("GET", "/v2/entities/{entity_id}/attrs/{attr}", self._h_get_attr, "ngsi.read",
+            cacheable=True)
+        add("GET",
+            "/STH/v1/contextEntities/type/{entity_type}/id/{entity_id}/attributes/{attr}",
+            self._h_sth, "sth.read", cacheable=True)
+
+    def _on_broker_write(self, entity: ContextEntity, changed: List[str]) -> None:
+        self.cache.note_write(entity.entity_id)
+
+    def register_tenant(self, spec: TenantSpec) -> Tenant:
+        """Enrol a tenant: IdM principal, OAuth2 token, PDP policies, cache scopes."""
+        if spec.name in self._tenants:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        if not (spec.read_prefixes or spec.write_prefixes):
+            raise ValueError(f"tenant {spec.name!r} has an empty namespace")
+        tenant = Tenant(spec)
+        auth = self.security
+        auth.identity.register(
+            spec.name, spec.secret, kind="service", farm=auth.farm, roles={tenant.role}
+        )
+        readable = tuple(dict.fromkeys(tenant.read_prefixes + tenant.write_prefixes))
+        read_pattern = "^(?:" + "|".join(re.escape(p) for p in readable) + ")"
+        auth.pdp.add_policy(Policy(
+            f"svc:{spec.name}:read", "permit", {"ngsi.read", "sth.read"},
+            read_pattern, roles={tenant.role},
+        ))
+        if tenant.write_prefixes:
+            write_pattern = "^(?:" + "|".join(re.escape(p) for p in tenant.write_prefixes) + ")"
+            auth.pdp.add_policy(Policy(
+                f"svc:{spec.name}:write", "permit", {"ngsi.write"},
+                write_pattern, roles={tenant.role},
+            ))
+        # Collection routes check the *path* as resource; entity scoping
+        # happens in the handler (results filtered to the namespace).
+        auth.pdp.add_policy(Policy(
+            f"svc:{spec.name}:paths", "permit", {"ngsi.read", "sth.read"},
+            r"^/(?:v2|STH)/", roles={tenant.role},
+        ))
+        tenant.token = auth.oauth.client_credentials_grant(
+            spec.name, spec.secret, scope="ngsi"
+        ).access_token
+        if self.cache is not None:
+            for prefix in readable:
+                self.cache.register_scope(prefix)
+        self._tenants[spec.name] = tenant
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        return self._tenants[name]
+
+    def tenants(self) -> List[Tenant]:
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    def tenant_token(self, name: str) -> str:
+        """The tenant's current bearer token, re-granted if expired."""
+        tenant = self._tenants[name]
+        oauth = self.security.oauth
+        if tenant.token is None or oauth.introspect(tenant.token) is None:
+            tenant.token = oauth.client_credentials_grant(
+                tenant.principal_id, tenant.spec.secret, scope="ngsi"
+            ).access_token
+        return tenant.token
+
+    def start(self) -> None:
+        """Spawn the pump process (queued mode; idempotent)."""
+        if self.config.queued and self._pump is None:
+            self._pump = self.sim.spawn(self._pump_loop(), name="service-pump")
+
+    def _pump_loop(self):
+        while True:
+            self._drain_tick()
+            yield self.config.pump_interval_s
+
+    def _drain_tick(self) -> None:
+        budget = self.config.max_requests_per_tick
+        names = sorted(self._tenants)
+        progress = True
+        while budget > 0 and progress:
+            progress = False
+            for name in names:
+                if budget <= 0:
+                    break
+                backlog = self._tenants[name].backlog
+                if not backlog:
+                    continue
+                route, request, params, tenant, at_s = backlog.popleft()
+                self._execute(route, request, params, tenant, at_s)
+                budget -= 1
+                progress = True
+
+    # -- request path -----------------------------------------------------------
+
+    def submit(self, request: Request) -> Optional[Response]:
+        """Admit a request; queued-mode admissions return None (the
+        response lands in the record log when the pump executes them)."""
+        return self._accept(request, queue=self.config.queued and self._pump is not None)
+
+    def handle(self, request: Request) -> Response:
+        """Synchronous path: admit and execute now, regardless of mode."""
+        response = self._accept(request, queue=False)
+        assert response is not None
+        return response
+
+    def _accept(self, request: Request, queue: bool) -> Optional[Response]:
+        at_s = self.sim.now
+        self._m_requests.inc()
+        route, params, path_exists = self.router.match(request.method, request.path)
+        if route is None:
+            if path_exists:
+                response = Response(
+                    405, {"error": "MethodNotAllowed",
+                          "description": f"{request.method} not supported on {request.path}"},
+                )
+            else:
+                response = error_response(NotFoundError(f"no route for {request.path}"))
+            return self._record(request, None, at_s, response, cache_state="")
+        if route.action is None:
+            return self._execute(route, request, params, None, at_s)
+        tenant: Optional[Tenant] = None
+        try:
+            tenant = self._authenticate(request)
+            resource = self._resource_for(route, request, params)
+            self._authorize(tenant, route, request, resource)
+        except (ReproError, OAuthError) as exc:
+            if tenant is not None:
+                tenant.rejected_auth += 1
+            self._m_rejected["auth"].inc()
+            return self._record(request, tenant, at_s, error_response(exc), cache_state="")
+        tenant.submitted += 1
+        if not tenant.limiter.admit(at_s):
+            tenant.rejected_quota += 1
+            self._m_rejected["quota"].inc()
+            response = error_response(QuotaExceededError(
+                f"tenant {tenant.name!r} exceeded "
+                f"{tenant.quota.max_requests_per_window} requests/"
+                f"{tenant.quota.window_s:g}s"
+            ))
+            return self._record(request, tenant, at_s, response, cache_state="")
+        if queue:
+            if tenant.backlog.push((route, request, params, tenant, at_s)):
+                return None
+            tenant.rejected_backlog += 1
+            self._m_rejected["backlog"].inc()
+            response = error_response(ServiceOverloadedError(
+                f"tenant {tenant.name!r} backlog full ({tenant.quota.max_backlog})"
+            ))
+            return self._record(request, tenant, at_s, response, cache_state="")
+        return self._execute(route, request, params, tenant, at_s)
+
+    def _authenticate(self, request: Request) -> Tenant:
+        if not request.token:
+            raise AuthenticationError("missing bearer token")
+        token = self.security.oauth.introspect(request.token)
+        if token is None:
+            raise AuthenticationError("invalid or expired bearer token")
+        tenant = self._tenants.get(token.principal_id)
+        if tenant is None:
+            raise AuthorizationError(
+                f"principal {token.principal_id!r} is not a registered tenant"
+            )
+        return tenant
+
+    def _resource_for(self, route: Route, request: Request, params: Dict[str, str]) -> str:
+        entity_id = params.get("entity_id")
+        if entity_id is not None:
+            return entity_id
+        if route.writes:
+            body = request.body or {}
+            entity_id = body.get("id")
+            if not entity_id:
+                raise QueryError("entity payload must carry an 'id'")
+            return entity_id
+        return request.path
+
+    def _authorize(
+        self, tenant: Tenant, route: Route, request: Request, resource: str
+    ) -> None:
+        if not self.security.pep.check(request.token, route.action, resource):
+            raise AuthorizationError(
+                f"{route.action} on {resource!r} denied for tenant {tenant.name!r}"
+            )
+        if resource != request.path:  # entity-scoped: namespace double-check
+            allowed = tenant.may_write(resource) if route.writes else tenant.may_read(resource)
+            if not allowed:
+                raise AuthorizationError(
+                    f"entity {resource!r} outside tenant {tenant.name!r} namespace"
+                )
+
+    def _execute(
+        self,
+        route: Route,
+        request: Request,
+        params: Dict[str, str],
+        tenant: Optional[Tenant],
+        at_s: float,
+    ) -> Response:
+        started = time.perf_counter()
+        cache_state = ""
+        cache_key = None
+        response: Optional[Response] = None
+        if route.cacheable and self.cache is not None and tenant is not None:
+            cache_key = ResponseCache.key(
+                tenant.name, request.method, request.path, request.params
+            )
+            response = self.cache.lookup(cache_key)
+            cache_state = "HIT" if response is not None else "MISS"
+            self._m_cache["hit" if response is not None else "miss"].inc()
+        if response is None:
+            try:
+                response = route.handler(request, params, tenant)
+            except (ReproError, OAuthError) as exc:
+                response = error_response(exc)
+            if cache_key is not None and response.ok:
+                entity_id = params.get("entity_id")
+                if entity_id is not None:
+                    self.cache.store(cache_key, response, entity_deps=(entity_id,))
+                else:
+                    scopes = tuple(
+                        dict.fromkeys(tenant.read_prefixes + tenant.write_prefixes)
+                    )
+                    self.cache.store(cache_key, response, scope_deps=scopes)
+        self.wall_time_s += time.perf_counter() - started
+        return self._record(request, tenant, at_s, response, cache_state)
+
+    def _record(
+        self,
+        request: Request,
+        tenant: Optional[Tenant],
+        at_s: float,
+        response: Response,
+        cache_state: str,
+    ) -> Response:
+        if tenant is not None and response.ok:
+            tenant.completed += 1
+        self._seq += 1
+        self.records.append({
+            "seq": self._seq,
+            "tenant": tenant.name if tenant is not None else "-",
+            "method": request.method,
+            "path": request.path,
+            "params": dict(sorted(request.params.items())),
+            "at_s": at_s,
+            "done_s": self.sim.now,
+            "status": response.status,
+            "cache": cache_state,
+            "body": response.body,
+        })
+        if len(self.records) > self.config.max_records:
+            del self.records[: len(self.records) - self.config.max_records]
+        return response
+
+    # -- handlers -----------------------------------------------------------
+
+    def _h_version(self, request: Request, params, tenant) -> Response:
+        return Response(200, {"orion": {"version": "repro-ngsi/2.0"},
+                              "sth": {"version": "repro-sth/1.0"}})
+
+    def _h_list_entities(self, request: Request, params, tenant: Tenant) -> Response:
+        limit = _int_param(request, "limit", self.config.default_page_limit, minimum=1)
+        limit = min(limit, self.config.max_page_limit)
+        offset = _int_param(request, "offset", 0)
+        filters = None
+        q = request.param("q")
+        if q:
+            filters = [parse_filter_expression(part) for part in q.split(";") if part]
+        entities = self.broker.query(
+            entity_type=request.param("type"),
+            id_pattern=request.param("idPattern"),
+            filters=filters,
+        )
+        scoped = tenant.scope_entities(entities)
+        key_values = request.param("options") == "keyValues"
+        page = scoped[offset:offset + limit]
+        return Response(
+            200,
+            [_render_entity(e, key_values) for e in page],
+            headers={"Fiware-Total-Count": str(len(scoped))},
+        )
+
+    def _h_create_entity(self, request: Request, params, tenant: Tenant) -> Response:
+        body = request.body or {}
+        entity_id = body.get("id")
+        entity_type = body.get("type")
+        if not entity_id or not entity_type:
+            raise QueryError("entity payload must carry 'id' and 'type'")
+        self.broker.create_entity(entity_id, entity_type, _body_attrs(body) or None)
+        if self.cache is not None:
+            self.cache.note_write(entity_id)
+        return Response(201, None, headers={"Location": f"/v2/entities/{entity_id}"})
+
+    def _h_get_entity(self, request: Request, params, tenant: Tenant) -> Response:
+        entity = self.broker.get_entity(params["entity_id"])
+        key_values = request.param("options") == "keyValues"
+        return Response(200, _render_entity(entity, key_values))
+
+    def _h_delete_entity(self, request: Request, params, tenant: Tenant) -> Response:
+        entity_id = params["entity_id"]
+        self.broker.delete_entity(entity_id)
+        if self.cache is not None:
+            self.cache.note_write(entity_id)
+        return Response(204)
+
+    def _h_update_attrs(self, request: Request, params, tenant: Tenant) -> Response:
+        entity_id = params["entity_id"]
+        attrs = _body_attrs(request.body or {})
+        if not attrs:
+            raise QueryError("attribute payload must not be empty")
+        self.broker.get_entity(entity_id)  # 404 before write, Orion-style
+        self.broker.update_attributes(entity_id, attrs)
+        if self.cache is not None:
+            self.cache.note_write(entity_id)
+        return Response(204)
+
+    def _h_get_attr(self, request: Request, params, tenant: Tenant) -> Response:
+        entity = self.broker.get_entity(params["entity_id"])
+        attr = entity.attribute(params["attr"])
+        if attr is None:
+            raise NotFoundError(
+                f"entity {params['entity_id']!r} has no attribute {params['attr']!r}"
+            )
+        return Response(200, _render_attribute(attr))
+
+    def _h_sth(self, request: Request, params, tenant: Tenant) -> Response:
+        entity_id, attr = params["entity_id"], params["attr"]
+        since = _float_param(request, "dateFrom", float("-inf"))
+        until = _float_param(request, "dateTo", float("inf"))
+        method = request.param("aggrMethod")
+        if method is not None:
+            period_name = request.param("aggrPeriod", "minute")
+            period = _AGGR_PERIODS.get(period_name)
+            if period is None:
+                raise QueryError(
+                    f"unknown aggrPeriod {period_name!r}; expected one of "
+                    f"{sorted(_AGGR_PERIODS)}"
+                )
+            rows = self.history.rollup(entity_id, attr, period, since, until, method)
+            values = [{"origin": start, method: value} for start, value in rows]
+        else:
+            last_n = request.param("lastN")
+            if last_n is not None:
+                samples = self.history.last_n(
+                    entity_id, attr, _int_param(request, "lastN", 0, minimum=1)
+                )
+            else:
+                samples = self.history.range(entity_id, attr, since, until)
+                h_offset = _int_param(request, "hOffset", 0)
+                h_limit = _int_param(
+                    request, "hLimit", self.config.max_page_limit, minimum=1
+                )
+                samples = samples[h_offset:h_offset + h_limit]
+            values = [{"recvTime": t, "attrValue": v} for t, v in samples]
+        body = {
+            "contextResponses": [{
+                "contextElement": {
+                    "id": entity_id,
+                    "type": params["entity_type"],
+                    "isPattern": False,
+                    "attributes": [{"name": attr, "values": values}],
+                },
+                "statusCode": {"code": 200, "reasonPhrase": "OK"},
+            }]
+        }
+        return Response(200, body)
+
+    # -- reporting -----------------------------------------------------------
+
+    def response_log(self) -> str:
+        """Canonical JSON-lines log of every record (the bit-identity artifact)."""
+        return "\n".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":"))
+            for record in self.records
+        )
+
+    def response_log_digest(self) -> str:
+        return hashlib.sha256(self.response_log().encode("utf-8")).hexdigest()
+
+    def report(self) -> Dict[str, Any]:
+        by_status: Dict[int, int] = {}
+        latencies: List[float] = []
+        for record in self.records:
+            by_status[record["status"]] = by_status.get(record["status"], 0) + 1
+            # Latency is a served-request metric: admission rejections
+            # (429/503) bounce at submit time with zero queueing and
+            # would drag the percentiles toward the rejection rate
+            # instead of the pump cadence.
+            if record["status"] not in (429, 503):
+                latencies.append(record["done_s"] - record["at_s"])
+        tenants = {
+            name: {
+                "submitted": t.submitted,
+                "completed": t.completed,
+                "rejected_auth": t.rejected_auth,
+                "rejected_quota": t.rejected_quota,
+                "rejected_backlog": t.rejected_backlog,
+            }
+            for name, t in sorted(self._tenants.items())
+        }
+        cache = None
+        if self.cache is not None:
+            cache = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "invalidated": self.cache.invalidated,
+                "evicted": self.cache.evicted,
+                "hit_rate": self.cache.hit_rate,
+                "entries": len(self.cache),
+            }
+        return {
+            "requests": len(self.records),
+            "by_status": {str(k): v for k, v in sorted(by_status.items())},
+            "tenants": tenants,
+            "cache": cache,
+            "latency_s": {
+                "p50": percentile(latencies, 50.0),
+                "p95": percentile(latencies, 95.0),
+                "p99": percentile(latencies, 99.0),
+                "max": max(latencies) if latencies else 0.0,
+            },
+            "wall_time_s": self.wall_time_s,
+            "digest": self.response_log_digest(),
+        }
+
+
+def attach_service(
+    runner,
+    config: Optional[ServiceConfig] = None,
+    tenants: Tuple[TenantSpec, ...] = (),
+) -> NgsiService:
+    """Stand an :class:`NgsiService` up over a pilot runner's broker.
+
+    Strictly additive: nothing about the pilot's own event schedule
+    changes until requests are submitted (rollup folding and cache
+    version bumps are pure accounting on existing hooks).
+    """
+    service = NgsiService(
+        runner.sim, runner.context, runner.history, runner.security, config
+    )
+    for spec in tenants:
+        service.register_tenant(spec)
+    service.start()
+    return service

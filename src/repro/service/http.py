@@ -1,0 +1,127 @@
+"""HTTP-shaped request/response objects and the method+path router.
+
+The north-facing service layer is *in-process*: no sockets, no threads,
+no wire format.  A :class:`Request` is what an HTTP frontend would have
+parsed already (method, path, query params, JSON body, bearer token) and
+a :class:`Response` is what it would serialize back.  Keeping the shapes
+HTTP-faithful means the NGSIv2 paths, status codes and error bodies match
+what a real Orion/STH-Comet deployment would return, while the whole
+request path stays deterministic and runs inside the simulation kernel.
+
+Routing is a flat method+path table: patterns like
+``/v2/entities/{entity_id}/attrs/{attr}`` compile to anchored regexes
+with named groups.  :meth:`Router.match` distinguishes "no such path"
+(404) from "path exists, wrong method" (405) the way an HTTP framework
+would.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Request", "Response", "Route", "Router"]
+
+#: Path-template parameter segment: ``{name}`` → named regex group
+#: matching one path segment (no slashes).
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile_template(template: str) -> re.Pattern:
+    pattern = "".join(
+        f"(?P<{part[1:-1]}>[^/]+)" if _PARAM_RE.fullmatch(part) else re.escape(part)
+        for part in re.split(r"(\{[a-zA-Z_][a-zA-Z0-9_]*\})", template)
+    )
+    return re.compile(f"^{pattern}$")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One north-facing API request, as an HTTP frontend would parse it."""
+
+    method: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    body: Optional[Dict[str, Any]] = None
+    #: OAuth2 bearer token (the ``Authorization: Bearer …`` header).
+    token: Optional[str] = None
+
+    def param(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.params.get(name, default)
+
+
+@dataclass
+class Response:
+    """Status + JSON body + headers, as the frontend would serialize it."""
+
+    status: int
+    body: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing-table row: method + path template + handler + action.
+
+    ``action`` is the PDP action string the PEP checks for this endpoint
+    (``"ngsi.read"``, ``"ngsi.write"``, ``"sth.read"``); ``None`` marks a
+    public endpoint (``/version``).  ``writes`` marks mutating routes so
+    the dispatcher applies write-side namespace checks and cache
+    invalidation; ``cacheable`` marks idempotent reads the response cache
+    may serve.
+    """
+
+    method: str
+    template: str
+    handler: Callable
+    action: Optional[str]
+    writes: bool = False
+    cacheable: bool = False
+    regex: re.Pattern = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "regex", _compile_template(self.template))
+
+
+class Router:
+    """Ordered method+path dispatch table."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(
+        self,
+        method: str,
+        template: str,
+        handler: Callable,
+        action: Optional[str],
+        writes: bool = False,
+        cacheable: bool = False,
+    ) -> Route:
+        route = Route(method.upper(), template, handler, action, writes, cacheable)
+        self._routes.append(route)
+        return route
+
+    def match(self, method: str, path: str) -> Tuple[Optional[Route], Dict[str, str], bool]:
+        """Resolve ``(route, path_params, path_exists)``.
+
+        ``route`` is None on a miss; ``path_exists`` then tells a 405
+        (some other method serves this path) apart from a 404.
+        """
+        method = method.upper()
+        path_exists = False
+        for route in self._routes:
+            found = route.regex.match(path)
+            if found is None:
+                continue
+            if route.method != method:
+                path_exists = True
+                continue
+            return route, found.groupdict(), True
+        return None, {}, path_exists
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)

@@ -1,8 +1,5 @@
 """The ``repro.api`` façade: stable names, docs lockstep, deprecations."""
 
-import dataclasses
-import warnings
-
 import pytest
 
 import repro.api as api
@@ -47,7 +44,7 @@ class TestFacadeSurface:
             "ResilienceConfig", "BreakerState", "ServiceHealth",
             "BoundedQueue", "RateLimiter", "DropPolicy", "BackpressureError",
             "ChaosPlanGenerator", "ChaosTargets", "ChaosRunResult",
-            "run_chaos", "check_invariants",
+            "check_invariants",
         ):
             assert name in api.__all__, name
         plan = api.ChaosPlanGenerator(seed=0).generate()
@@ -69,27 +66,53 @@ class TestFacadeSurface:
         assert result.chaos is None
 
 
-class TestDeprecatedShims:
-    def test_run_pilot_warns_exactly_once_and_matches_run(self):
-        api._DEPRECATION_WARNED.discard("run_pilot")
-        with pytest.warns(DeprecationWarning, match="run_pilot is deprecated"):
-            legacy = api.run_pilot(_smoke_config())
-        # Second call: the warning must not repeat.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            repeat = api.run_pilot(_smoke_config())
-        modern = run(RunOptions(config=_smoke_config())).report
-        assert dataclasses.asdict(legacy) == dataclasses.asdict(modern)
-        assert dataclasses.asdict(repeat) == dataclasses.asdict(modern)
+class TestCompletedDeprecations:
+    """The run_pilot/run_chaos shims and string filters finished their cycle."""
 
-    def test_run_chaos_warns_exactly_once(self):
-        api._DEPRECATION_WARNED.discard("run_chaos")
-        with pytest.warns(DeprecationWarning, match="run_chaos is deprecated"):
-            first = api.run_chaos(7, season_days=4, min_events=1, max_events=2)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            second = api.run_chaos(7, season_days=4, min_events=1, max_events=2)
-        assert first.fingerprint == second.fingerprint
+    def test_legacy_run_entrypoints_are_gone(self):
+        for name in ("run_pilot", "run_chaos"):
+            assert name not in api.__all__, name
+            assert name not in api.DOCS, name
+            assert not hasattr(api, name), name
+
+    def test_chaos_engine_still_reachable_for_internal_callers(self):
+        # The *internal* chaos engine keeps its home; only the façade
+        # shim completed the deprecation cycle.
+        from repro.faults.chaos import run_chaos
+
+        assert callable(run_chaos)
+
+    def test_string_filters_raise_query_error(self):
+        from repro.api import ContextBroker, QueryError, Simulator
+
+        broker = ContextBroker(Simulator(seed=0))
+        with pytest.raises(QueryError, match="no longer accepted"):
+            broker.query(filters=["soilMoisture<0.2"])
+
+    def test_wire_strings_parse_at_the_boundary(self):
+        from repro.context.query import parse_filter_expression
+
+        parsed = parse_filter_expression("soilMoisture<0.2")
+        assert (parsed.attr, parsed.op, parsed.value) == ("soilMoisture", "<", 0.2)
+
+
+class TestServiceFacade:
+    """The service layer's exported surface rides the same contract."""
+
+    def test_service_exports_are_on_the_facade(self):
+        import repro.service as service
+
+        assert list(service.__all__) == sorted(set(service.__all__))
+        missing = [n for n in service.__all__ if n not in api.__all__]
+        assert missing == []
+
+    def test_service_exports_are_documented(self):
+        import repro.service as service
+
+        undocumented = [n for n in service.__all__ if not api.DOCS.get(n, "").strip()]
+        assert undocumented == []
+        resolve = [n for n in service.__all__ if getattr(api, n) is not getattr(service, n)]
+        assert resolve == []
 
 
 class TestUnifiedErrorHierarchy:

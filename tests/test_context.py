@@ -5,13 +5,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.context import (
+    AttrFilter,
     ContextBroker,
     ContextEntity,
     NotFoundError,
+    QueryError,
     ShortTermHistory,
     Subscription,
 )
 from repro.context.broker import AlreadyExistsError, ContextError, _apply_op, _parse_filter
+from repro.context.query import parse_filter_expression
 from repro.simkernel import Simulator
 
 
@@ -150,25 +153,25 @@ class TestQueries:
     def test_query_numeric_filter(self):
         broker = make_broker()
         self.setup_entities(broker)
-        # String filter expressions are the deprecated legacy form.
-        with pytest.warns(DeprecationWarning):
-            dry = broker.query(entity_type="SoilProbe", filters=["soilMoisture<0.25"])
+        dry = broker.query(
+            entity_type="SoilProbe", filters=[AttrFilter("soilMoisture", "<", 0.25)]
+        )
         assert {e.entity_id for e in dry} == {"soil-2", "soil-3"}
 
-    def test_query_string_filter(self):
+    def test_query_parsed_wire_filter(self):
+        # NGSIv2 ``q`` wire strings parse at the boundary, not in the broker.
         broker = make_broker()
         self.setup_entities(broker)
-        with pytest.warns(DeprecationWarning):
-            farm_a = broker.query(filters=["farm==A"])
+        farm_a = broker.query(filters=[parse_filter_expression("farm==A")])
         assert len(farm_a) == 3
 
     def test_query_combined_filters(self):
         broker = make_broker()
         self.setup_entities(broker)
-        with pytest.warns(DeprecationWarning):
-            result = broker.query(
-                entity_type="SoilProbe", filters=["farm==A", "soilMoisture>=0.2"]
-            )
+        result = broker.query(
+            entity_type="SoilProbe",
+            filters=[AttrFilter("farm", "==", "A"), AttrFilter("soilMoisture", ">=", 0.2)],
+        )
         assert [e.entity_id for e in result] == ["soil-1"]
 
     def test_query_limit(self):
@@ -466,11 +469,11 @@ class TestTypedQuery:
             warnings.simplefilter("error", DeprecationWarning)
             broker.query(Query(type="SoilProbe").where("soilMoisture", "<", 0.2))
 
-    def test_string_filters_emit_deprecation_warning(self):
+    def test_string_filters_are_rejected(self):
+        # Deprecation cycle complete: strings now fail loudly at the broker.
         broker = self.setup_broker()
-        with pytest.warns(DeprecationWarning):
-            result = broker.query(filters=["soilMoisture<0.2"])
-        assert [e.entity_id for e in result] == ["soil-1"]
+        with pytest.raises(QueryError, match="no longer accepted"):
+            broker.query(filters=["soilMoisture<0.2"])
 
     def test_query_with_int_value_matches_numbers(self):
         from repro.context import Query
