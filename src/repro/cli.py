@@ -89,6 +89,8 @@ def _options_from_args(
         checkpoint=getattr(args, "checkpoint", None),
         checkpoint_every_s=getattr(args, "checkpoint_every", None),
         restore=getattr(args, "restore", None),
+        store_dir=getattr(args, "store", None),
+        store_flush_s=getattr(args, "store_flush", None) or 60.0,
     )
 
 
@@ -199,6 +201,16 @@ def cmd_run(args, out) -> int:
             f"faults: plan {fault_plan.name!r}, "
             f"{injector.injected} injected, {injector.recovered} recovered, "
             f"{injector.active_count} still active",
+            file=out,
+        )
+    durability = getattr(runner, "durability", None)
+    if durability is not None:
+        store_report = durability.report()
+        print(
+            f"store: {store_report['appended']} records appended, "
+            f"{store_report['committed']} committed across "
+            f"{store_report['segments']} segments "
+            f"({store_report['recoveries']} recoveries)",
             file=out,
         )
     _write_run_artifacts(args, runner, out)
@@ -393,6 +405,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--restore", default=None, metavar="PATH",
                             help="resume the run checkpointed at PATH "
                                  "(ignores the pilot/build flags)")
+    run_parser.add_argument("--store", default=None, metavar="DIR",
+                            help="write history through a durable segment store "
+                                 "under DIR (crash-recoverable)")
+    run_parser.add_argument("--store-flush", dest="store_flush", type=float,
+                            default=60.0, metavar="SECS",
+                            help="fsync-barrier interval of the durable store "
+                                 "in sim-seconds (default 60)")
 
     compare_parser = sub.add_parser("compare", parents=[common],
                                     help="smart vs fixed-calendar business case")
@@ -414,6 +433,13 @@ def build_parser() -> argparse.ArgumentParser:
                               type=float, default=600.0, metavar="SECS",
                               help="synthesized trace length in sim-seconds "
                                    "(default 600)")
+    serve_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="write history through a durable segment store "
+                                   "under DIR (crash-recoverable)")
+    serve_parser.add_argument("--store-flush", dest="store_flush", type=float,
+                              default=60.0, metavar="SECS",
+                              help="fsync-barrier interval of the durable store "
+                                   "in sim-seconds (default 60)")
 
     fleet_parser = sub.add_parser("fleet", help="run a sharded multi-farm fleet")
     fleet_parser.add_argument("--farms", default="matopiba:2", metavar="SPEC",

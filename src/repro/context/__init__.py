@@ -16,6 +16,13 @@ replicates between them.
 """
 
 from repro.context.broker import ContextBroker
+from repro.context.delivery import (
+    DeliveryConfig,
+    DeliveryError,
+    DeliveryItem,
+    DeliveryManager,
+    SimulatedEndpoint,
+)
 from repro.context.entities import Attribute, ContextEntity
 from repro.context.errors import AlreadyExistsError, ContextError, NotFoundError, QueryError
 from repro.context.history import ShortTermHistory
@@ -29,11 +36,16 @@ __all__ = [
     "ContextBroker",
     "ContextEntity",
     "ContextError",
+    "DeliveryConfig",
+    "DeliveryError",
+    "DeliveryItem",
+    "DeliveryManager",
     "NotFoundError",
     "Notification",
     "Query",
     "QueryError",
     "ShortTermHistory",
+    "SimulatedEndpoint",
     "Subscription",
     "SubscriptionIndex",
 ]

@@ -54,6 +54,8 @@ class ShortTermHistory:
         self._series: Dict[Tuple[str, str], Deque[Sample]] = {}
         # period_s -> series key -> bucket index -> [count, min, max, sum].
         self._rollups: Dict[float, Dict[Tuple[str, str], Dict[int, List[float]]]] = {}
+        # Durable write-through sink (a DurabilityService), None by default.
+        self._store = None
         if rollup_periods:
             self.enable_rollups(rollup_periods)
         broker.update_hooks.append(self._on_update)
@@ -71,6 +73,38 @@ class ShortTermHistory:
                 series = deque(maxlen=self.max_samples_per_series)
                 self._series[key] = series
             t, v = attribute.timestamp, float(attribute.value)
+            series.append((t, v))
+            if self._rollups:
+                self._fold(key, t, v)
+            if self._store is not None:
+                self._store.on_sample(entity.entity_id, name, t, v)
+
+    # -- durability --------------------------------------------------------
+
+    def attach_store(self, store) -> None:
+        """Write every accepted sample through ``store`` (anything with an
+        ``on_sample(entity_id, attr, t, v)`` method — in practice a
+        :class:`~repro.store.durable.DurabilityService`)."""
+        self._store = store
+
+    def rebuild_from_samples(self, samples) -> None:
+        """Crash recovery: drop all in-memory state and re-fold ``samples``.
+
+        ``samples`` is an iterable of ``(entity_id, attr, t, v)`` in the
+        original append order.  Re-folding in that order reproduces ring
+        eviction *and* rollup-bucket eviction decision-for-decision, so
+        reads after a rebuild are bit-identical to an uninterrupted run
+        that only ever saw this prefix.
+        """
+        periods = tuple(self._rollups)
+        self._series = {}
+        self._rollups = {period: {} for period in periods}
+        for entity_id, attr, t, v in samples:
+            key = (entity_id, attr)
+            series = self._series.get(key)
+            if series is None:
+                series = deque(maxlen=self.max_samples_per_series)
+                self._series[key] = series
             series.append((t, v))
             if self._rollups:
                 self._fold(key, t, v)

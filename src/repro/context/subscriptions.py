@@ -47,11 +47,15 @@ class Subscription:
         notify_attrs: Optional[List[str]] = None,
         throttling_s: float = 0.0,
         description: str = "",
+        owner: Optional[str] = None,
     ) -> None:
         if entity_id is None and id_pattern is None and entity_type is None:
             raise ValueError("subscription must constrain id, idPattern or type")
         self.subscription_id = f"sub-{next(_sub_ids)}"
         self.callback = callback
+        #: Owning tenant for service-created subscriptions (None for
+        #: library use); the service layer filters listings by it.
+        self.owner = owner
         self.entity_id = entity_id
         self.id_regex = re.compile(id_pattern) if id_pattern else None
         self.entity_type = entity_type

@@ -28,7 +28,6 @@ uninterrupted run.
 """
 
 import dataclasses
-import os
 import pickle
 from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Dict, Optional
@@ -36,6 +35,7 @@ from typing import Any, Dict, Optional
 from repro.core.pilot import PilotConfig, PilotRunner
 from repro.simkernel.errors import ReproError
 from repro.simkernel.snapshot import KernelSnapshot, compare_fingerprints
+from repro.store.segment import SEALED_MAGIC, CorruptBlobError, read_sealed, write_sealed
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -135,7 +135,14 @@ def snapshot(
 
 
 def save_checkpoint(checkpoint: RunCheckpoint, path: str) -> None:
-    """Pickle ``checkpoint`` to ``path`` atomically (tmp file + rename)."""
+    """Write ``checkpoint`` to ``path`` as a sealed, checksummed blob.
+
+    The full crash-safe barrier (temp file, flush, fsync, atomic rename,
+    directory fsync — :func:`repro.store.segment.write_sealed`): a crash
+    at any point leaves the previous checkpoint intact, and a torn write
+    is *detected* at load by the blob's CRC instead of surfacing as a
+    pickle of garbage.
+    """
     try:
         payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
@@ -143,16 +150,30 @@ def save_checkpoint(checkpoint: RunCheckpoint, path: str) -> None:
             f"checkpoint does not pickle ({exc!r}); pilots whose config "
             "carries closures (supply_gate) need a named-pilot RunRecipe"
         ) from exc
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "wb") as fh:
-        fh.write(payload)
-    os.replace(tmp_path, path)
+    write_sealed(path, payload)
 
 
 def load_checkpoint(path: str) -> RunCheckpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Sealed blobs are checksum-verified: a file torn mid-write is rejected
+    loudly (:class:`CheckpointError`), never unpickled.  Pre-seal files
+    (raw pickle, no :data:`SEALED_MAGIC`) still load for back-compat.
+    """
     with open(path, "rb") as fh:
-        checkpoint = pickle.load(fh)
+        head = fh.read(len(SEALED_MAGIC))
+    if head == SEALED_MAGIC:
+        try:
+            payload = read_sealed(path)
+        except CorruptBlobError as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is torn or corrupt; refusing to "
+                f"restore from it ({exc})"
+            ) from exc
+        checkpoint = pickle.loads(payload)
+    else:
+        with open(path, "rb") as fh:
+            checkpoint = pickle.load(fh)
     if not isinstance(checkpoint, RunCheckpoint):
         raise CheckpointError(f"{path!r} does not contain a RunCheckpoint")
     if checkpoint.version != CHECKPOINT_VERSION:

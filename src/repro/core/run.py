@@ -116,6 +116,11 @@ class RunOptions:
     # optional path for the canonical response log.
     serve_trace: Any = None
     serve_responses: Optional[str] = None
+    # Durable history (see repro.store): a directory for the append-only
+    # segment store behind ShortTermHistory.  None (default) constructs
+    # nothing, keeping pinned fixtures byte-identical.
+    store_dir: Optional[str] = None
+    store_flush_s: float = 60.0
 
     def trace_config(self) -> Optional[TraceConfig]:
         if not (self.trace or self.trace_path):
@@ -177,6 +182,13 @@ def run(options: RunOptions) -> RunResult:
         raise ValueError(
             "serve_trace is not supported with chaos, checkpoint or restore "
             "(the service pump is not part of the rebuild recipe)"
+        )
+    if options.store_dir is not None and (
+        options.chaos or options.checkpoint is not None or options.restore is not None
+    ):
+        raise ValueError(
+            "store_dir is not supported with chaos, checkpoint or restore "
+            "(the store's flush pump is not part of the rebuild recipe)"
         )
 
     if options.restore is not None:
@@ -250,6 +262,13 @@ def run(options: RunOptions) -> RunResult:
             # strings), all picklable — the recipe rebuilds through the
             # same builder with the same inputs.
             recipe = RunRecipe(pilot=options.pilot, builder_kwargs=kwargs)
+
+    if options.store_dir is not None:
+        from repro.store.durable import attach_durable_history
+
+        attach_durable_history(
+            runner, options.store_dir, flush_interval_s=options.store_flush_s
+        )
 
     service = None
     if serve_trace is not None:

@@ -12,6 +12,7 @@ from repro.faults.chaos import (
     ChaosTargets,
     InvariantResult,
     check_invariants,
+    check_storage_invariants,
     run_chaos,
 )
 from repro.faults.injector import FaultInjector
@@ -28,5 +29,6 @@ __all__ = [
     "FaultPlanError",
     "InvariantResult",
     "check_invariants",
+    "check_storage_invariants",
     "run_chaos",
 ]

@@ -54,6 +54,7 @@ __all__ = [
     "InvariantResult",
     "build_chaos_runner",
     "check_invariants",
+    "check_storage_invariants",
     "degraded_mode_scenario_plan",
     "run_chaos",
     "standard_targets",
@@ -77,6 +78,11 @@ class ChaosTargets:
     brokers: Tuple[str, ...] = ("broker",)
     devices: Tuple[str, ...] = ()
     protected_devices: Tuple[str, ...] = ()
+    # Storage/delivery targets default to empty: with no store or endpoint
+    # registered the generator's candidate pool — and therefore the RNG
+    # draw sequence of every pinned seed — is unchanged.
+    stores: Tuple[str, ...] = ()
+    endpoints: Tuple[str, ...] = ()
 
     @property
     def faultable_devices(self) -> Tuple[str, ...]:
@@ -110,6 +116,11 @@ class ChaosPlanGenerator:
         ("sensor_dropout", 3),
         ("sensor_stuck", 2),
         ("battery_brownout", 2),
+        ("disk_torn_write", 2),
+        ("disk_stall", 2),
+        ("fsync_lost", 2),
+        ("process_kill", 1),
+        ("endpoint_outage", 2),
     )
 
     def __init__(
@@ -183,6 +194,11 @@ class ChaosPlanGenerator:
                 continue
             if kind.startswith(("sensor_", "battery_")) and not self.targets.faultable_devices:
                 continue
+            if kind in ("disk_torn_write", "disk_stall", "fsync_lost", "process_kill") \
+                    and not self.targets.stores:
+                continue
+            if kind == "endpoint_outage" and not self.targets.endpoints:
+                continue
             pool.extend([kind] * weight)
         if not pool:
             return None
@@ -204,6 +220,22 @@ class ChaosPlanGenerator:
             at = rng.uniform(600.0, self.latest_end_s)
             plan.add(kind, target, at, fraction=round(rng.uniform(0.2, 0.6), 3))
             return True
+        elif kind == "disk_torn_write":
+            target = rng.choice(self.targets.stores)
+            at = rng.uniform(600.0, self.latest_end_s)
+            plan.add(kind, target, at, fraction=round(rng.uniform(0.1, 0.9), 3))
+            return True
+        elif kind == "process_kill":
+            target = rng.choice(self.targets.stores)
+            at = rng.uniform(600.0, self.latest_end_s)
+            plan.add(kind, target, at, surviving_tail_bytes=rng.randint(0, 64))
+            return True
+        elif kind in ("disk_stall", "fsync_lost"):
+            target = rng.choice(self.targets.stores)
+            duration = rng.uniform(1.0, 6.0) * HOUR
+        elif kind == "endpoint_outage":
+            target = rng.choice(self.targets.endpoints)
+            duration = rng.uniform(1.0, 6.0) * HOUR
         else:  # sensor_dropout / sensor_stuck
             target = rng.choice(self.targets.faultable_devices)
             duration = rng.uniform(2.0, 12.0) * HOUR
@@ -363,6 +395,45 @@ def check_invariants(runner, plan: FaultPlan, supervised: bool = True) -> List[I
             inside = [t for t in decided_at if start <= t <= end]
             check("irrigation continues through outage", bool(inside),
                   f"window=({start:.0f},{end:.0f}) decisions={len(inside)}")
+
+    results.extend(check_storage_invariants(runner))
+    return results
+
+
+def check_storage_invariants(runner) -> List[InvariantResult]:
+    """Durability and delivery audits, for runners that opted in.
+
+    A runner without ``durability``/``delivery`` attached passes
+    trivially (no results) — these are the invariants the storage fault
+    kinds attack, so they are only decidable when the subsystems exist.
+
+    * **zero committed-record loss**: no recovery ever surfaced fewer
+      records than the store had committed (`lost_committed == 0`), and
+      every recovery produced a strict prefix of the accepted sample
+      sequence;
+    * **notification conservation**: every accepted notification is
+      delivered, dead-lettered or still visibly pending — never silently
+      dropped — regardless of outages, breaker state and replays.
+    """
+    results: List[InvariantResult] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        results.append(InvariantResult(name, bool(ok), detail))
+
+    durability = getattr(runner, "durability", None)
+    if durability is not None:
+        check("no committed record lost", durability.lost_committed == 0,
+              f"lost={durability.lost_committed} "
+              f"recoveries={durability.recoveries}")
+        check("recovery prefix-consistent", durability.prefix_consistent,
+              f"recoveries={durability.recoveries}")
+
+    delivery = getattr(runner, "delivery", None)
+    if delivery is not None:
+        audit = delivery.audit()
+        check("accepted notifications conserved", audit["conserved"],
+              f"accepted={audit['accepted']} delivered={audit['delivered']} "
+              f"dead={audit['dead']} pending={audit['pending']}")
 
     return results
 

@@ -45,6 +45,8 @@ class FaultInjector:
         self._replicators: Dict[str, object] = {}
         self._devices: Dict[str, object] = {}
         self._fogs: Dict[str, _FogTarget] = {}
+        self._stores: Dict[str, object] = {}
+        self._endpoints: Dict[str, object] = {}
         self.injected = 0
         self.recovered = 0
         self.plans_applied: List[str] = []
@@ -76,6 +78,15 @@ class FaultInjector:
 
     def register_fog(self, alias: str, broker, replicator, addresses: List[str]) -> None:
         self._fogs[alias] = _FogTarget(broker, replicator, addresses)
+
+    def register_store(self, alias: str, durability) -> None:
+        """Name a :class:`~repro.store.durable.DurabilityService` for
+        ``disk_*`` / ``fsync_lost`` / ``process_kill`` faults."""
+        self._stores[alias] = durability
+
+    def register_endpoint(self, alias: str, endpoint) -> None:
+        """Name a delivery :class:`SimulatedEndpoint` for ``endpoint_outage``."""
+        self._endpoints[alias] = endpoint
 
     # -- plan execution -----------------------------------------------------------
 
@@ -116,6 +127,16 @@ class FaultInjector:
             if event.target not in self._fogs:
                 raise FaultPlanError(
                     f"unknown fog target {event.target!r}; registered: {sorted(self._fogs)}"
+                )
+        elif kind in ("disk_torn_write", "disk_stall", "fsync_lost", "process_kill"):
+            if event.target not in self._stores:
+                raise FaultPlanError(
+                    f"unknown store {event.target!r}; registered: {sorted(self._stores)}"
+                )
+        elif kind == "endpoint_outage":
+            if event.target not in self._endpoints:
+                raise FaultPlanError(
+                    f"unknown endpoint {event.target!r}; registered: {sorted(self._endpoints)}"
                 )
         else:  # device faults
             if event.target not in self._devices:
@@ -282,6 +303,40 @@ class FaultInjector:
         fraction = float(event.params.get("fraction", 0.5))
         fraction = min(max(fraction, 0.0), 1.0)
         device.battery.draw(fraction * device.battery.remaining_j, "brownout")
+
+    # storage faults --------------------------------------------------------------
+
+    def _inject_disk_torn_write(self, event: FaultEvent) -> None:
+        durability = self._stores[event.target]
+        durability.store.faults.arm_torn_write(
+            float(event.params.get("fraction", 0.5))
+        )
+
+    def _inject_disk_stall(self, event: FaultEvent) -> None:
+        self._stores[event.target].store.faults.stalled = True
+
+    def _recover_disk_stall(self, event: FaultEvent) -> None:
+        self._stores[event.target].store.faults.stalled = False
+
+    def _inject_fsync_lost(self, event: FaultEvent) -> None:
+        self._stores[event.target].store.faults.fsync_lost = True
+
+    def _recover_fsync_lost(self, event: FaultEvent) -> None:
+        self._stores[event.target].store.faults.fsync_lost = False
+
+    def _inject_process_kill(self, event: FaultEvent) -> None:
+        durability = self._stores[event.target]
+        durability.crash_and_recover(
+            int(event.params.get("surviving_tail_bytes", 0))
+        )
+
+    # endpoint outage --------------------------------------------------------------
+
+    def _inject_endpoint_outage(self, event: FaultEvent) -> None:
+        self._endpoints[event.target].down = True
+
+    def _recover_endpoint_outage(self, event: FaultEvent) -> None:
+        self._endpoints[event.target].down = False
 
     # -- inspection -----------------------------------------------------------
 

@@ -32,6 +32,21 @@ kind               target                        semantics
                                                  their first post-fault value
 ``battery_brownout`` device id                   one-shot: drains ``fraction``
                                                  of the remaining charge
+``disk_torn_write`` store alias (``"store"``)    one-shot: the next store
+                                                 append lands partially
+                                                 (``fraction`` of its bytes)
+``disk_stall``     store alias                   fsync barriers defer (no
+                                                 data durable) until recovery
+``fsync_lost``     store alias                   fsync barriers *fail*; the
+                                                 durable watermark must not
+                                                 advance (fsyncgate rule)
+``process_kill``   store alias                   one-shot: history+store die
+                                                 mid-flush keeping
+                                                 ``surviving_tail_bytes`` of
+                                                 the volatile tail, then
+                                                 recover from disk
+``endpoint_outage`` endpoint alias               delivery endpoint times out
+                                                 every attempt, then heals
 ================== ============================= ==========================
 
 ``duration_s`` of ``None`` means the fault never recovers inside the run
@@ -52,10 +67,15 @@ FAULT_KINDS = (
     "sensor_dropout",
     "sensor_stuck",
     "battery_brownout",
+    "disk_torn_write",
+    "disk_stall",
+    "fsync_lost",
+    "process_kill",
+    "endpoint_outage",
 )
 
 # Kinds whose injection is instantaneous and has no paired recovery action.
-ONE_SHOT_KINDS = ("battery_brownout",)
+ONE_SHOT_KINDS = ("battery_brownout", "disk_torn_write", "process_kill")
 
 
 class FaultPlanError(ReproError, ValueError):

@@ -71,6 +71,7 @@ class CircuitBreaker:
         registry = metrics if metrics is not None else NULL_REGISTRY
         labels = {"breaker": name}
         self._m_opens = registry.counter("resilience.breaker_opens", labels)
+        self._m_transitions = registry.counter("resilience.breaker_transitions", labels)
         registry.register_callback(
             "resilience.breaker_state",
             lambda: BREAKER_STATE_VALUES[self._state],
@@ -91,8 +92,12 @@ class CircuitBreaker:
             return True
         if self._state is BreakerState.OPEN:
             if now - self._opened_at >= self.open_timeout_s:
-                self._transition(BreakerState.HALF_OPEN, now)
+                # Claim the trial slot *before* announcing the transition:
+                # a listener that reentrantly calls ``allow`` (degraded-mode
+                # hooks do) must see the probe already outstanding, or two
+                # probes hit the half-open window.
                 self._trial_outstanding = True
+                self._transition(BreakerState.HALF_OPEN, now)
                 return True
             return False
         # HALF_OPEN: one probe in flight at a time.
@@ -130,6 +135,7 @@ class CircuitBreaker:
 
     def _transition(self, new_state: BreakerState, now: float) -> None:
         old_state, self._state = self._state, new_state
+        self._m_transitions.inc()
         for listener in self.on_state_change:
             listener(old_state, new_state, now)
 

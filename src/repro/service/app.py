@@ -35,10 +35,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.context.broker import ContextBroker
+from repro.context.delivery import DeliveryConfig, DeliveryManager, SimulatedEndpoint
 from repro.context.entities import ContextEntity
 from repro.context.errors import NotFoundError, QueryError
 from repro.context.history import HOUR_S, MINUTE_S, ShortTermHistory
 from repro.context.query import parse_filter_expression
+from repro.context.subscriptions import Subscription
 from repro.security.auth.oauth import OAuthError
 from repro.security.auth.pdp import Policy
 from repro.service.cache import ResponseCache
@@ -160,6 +162,9 @@ class NgsiService:
         if self.cache is not None:
             broker.update_hooks.append(self._on_broker_write)
         self._tenants: Dict[str, Tenant] = {}
+        #: At-least-once notification fan-out; None until
+        #: :meth:`enable_delivery` opts in (keeps default runs untouched).
+        self.delivery: Optional[DeliveryManager] = None
         self.records: List[Dict[str, Any]] = []
         self._seq = 0
         self._pump = None
@@ -194,6 +199,11 @@ class NgsiService:
         add("GET",
             "/STH/v1/contextEntities/type/{entity_type}/id/{entity_id}/attributes/{attr}",
             self._h_sth, "sth.read", cacheable=True)
+        add("POST", "/v2/subscriptions", self._h_create_sub, "ngsi.sub")
+        add("GET", "/v2/subscriptions", self._h_list_subs, "ngsi.sub")
+        add("GET", "/v2/subscriptions/{sub_id}", self._h_get_sub, "ngsi.sub")
+        add("DELETE", "/v2/subscriptions/{sub_id}", self._h_delete_sub, "ngsi.sub")
+        add("POST", "/v2/subscriptions/{sub_id}/replay", self._h_replay_sub, "ngsi.sub")
 
     def _on_broker_write(self, entity: ContextEntity, changed: List[str]) -> None:
         self.cache.note_write(entity.entity_id)
@@ -227,6 +237,13 @@ class NgsiService:
             f"svc:{spec.name}:paths", "permit", {"ngsi.read", "sth.read"},
             r"^/(?:v2|STH)/", roles={tenant.role},
         ))
+        # Subscription management: path-scoped like the collection routes;
+        # ownership (a tenant sees only its own subscriptions) is enforced
+        # in the handlers.
+        auth.pdp.add_policy(Policy(
+            f"svc:{spec.name}:subs", "permit", {"ngsi.sub"},
+            r"^/v2/subscriptions", roles={tenant.role},
+        ))
         tenant.token = auth.oauth.client_credentials_grant(
             spec.name, spec.secret, scope="ngsi"
         ).access_token
@@ -251,6 +268,32 @@ class NgsiService:
                 tenant.principal_id, tenant.spec.secret, scope="ngsi"
             ).access_token
         return tenant.token
+
+    def enable_delivery(
+        self,
+        config: Optional[DeliveryConfig] = None,
+        endpoints: Tuple[SimulatedEndpoint, ...] = (),
+    ) -> DeliveryManager:
+        """Stand up the at-least-once notification fan-out (idempotent).
+
+        Until this is called the subscription routes refuse with 400 and
+        nothing delivery-related is constructed — no pump process, no RNG
+        streams — so runs that never opt in stay bit-identical.
+        """
+        if self.delivery is None:
+            self.delivery = DeliveryManager(self.sim, config)
+            self.delivery.start()
+        for endpoint in endpoints:
+            self.delivery.register_endpoint(endpoint)
+        return self.delivery
+
+    def _require_delivery(self) -> DeliveryManager:
+        if self.delivery is None:
+            raise QueryError(
+                "notification delivery is not enabled on this service "
+                "(call enable_delivery first)"
+            )
+        return self.delivery
 
     def start(self) -> None:
         """Spawn the pump process (queued mode; idempotent)."""
@@ -553,6 +596,101 @@ class NgsiService:
         }
         return Response(200, body)
 
+    # -- subscription handlers ----------------------------------------------
+
+    def _render_subscription(self, sub: Subscription) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "id": sub.subscription_id,
+            "description": sub.description,
+            "status": "active" if sub.active else "inactive",
+            "subject": {
+                "entities": [{
+                    k: v for k, v in (
+                        ("id", sub.entity_id),
+                        ("idPattern", sub.id_regex.pattern if sub.id_regex else None),
+                        ("type", sub.entity_type),
+                    ) if v is not None
+                }],
+                "condition": {"attrs": sorted(sub.condition_attrs)},
+            },
+            "notification": {
+                "attrs": sub.notify_attrs or [],
+                "timesSent": sub.notifications_sent,
+            },
+            "throttling": sub.throttling_s,
+        }
+        if self.delivery is not None:
+            body["delivery"] = self.delivery.subscription_status(sub.subscription_id)
+        return body
+
+    def _owned_subscription(self, tenant: Tenant, sub_id: str) -> Subscription:
+        sub = self.broker.subscriptions.get(sub_id)
+        if sub is None or sub.owner != tenant.name:
+            # A foreign subscription reads as absent, not forbidden —
+            # existence is itself tenant-private.
+            raise NotFoundError(f"subscription {sub_id!r} not found")
+        return sub
+
+    def _h_create_sub(self, request: Request, params, tenant: Tenant) -> Response:
+        delivery = self._require_delivery()
+        body = request.body or {}
+        subject = body.get("subject") or {}
+        entities = (subject.get("entities") or [{}])[0]
+        entity_id = entities.get("id")
+        id_pattern = entities.get("idPattern")
+        entity_type = entities.get("type")
+        if entity_id is not None and not tenant.may_read(entity_id):
+            raise AuthorizationError(
+                f"entity {entity_id!r} outside tenant {tenant.name!r} namespace"
+            )
+        notification = body.get("notification") or {}
+        endpoint_name = notification.get("endpoint")
+        if not endpoint_name:
+            raise QueryError("subscription payload must carry notification.endpoint")
+        condition = (subject.get("condition") or {}).get("attrs")
+        sub = Subscription(
+            callback=lambda _n: None,
+            entity_id=entity_id,
+            id_pattern=id_pattern,
+            entity_type=entity_type,
+            condition_attrs=condition,
+            notify_attrs=notification.get("attrs"),
+            throttling_s=float(body.get("throttling", 0.0)),
+            description=str(body.get("description", "")),
+            owner=tenant.name,
+        )
+        delivery.bind_subscription(sub, tenant.name, endpoint_name)
+        self.broker.subscribe(sub)
+        tenant.subscription_ids.append(sub.subscription_id)
+        return Response(
+            201, None, headers={"Location": f"/v2/subscriptions/{sub.subscription_id}"}
+        )
+
+    def _h_list_subs(self, request: Request, params, tenant: Tenant) -> Response:
+        subs = [
+            self._render_subscription(sub)
+            for sub_id, sub in sorted(self.broker.subscriptions.items())
+            if sub.owner == tenant.name
+        ]
+        return Response(200, subs)
+
+    def _h_get_sub(self, request: Request, params, tenant: Tenant) -> Response:
+        sub = self._owned_subscription(tenant, params["sub_id"])
+        return Response(200, self._render_subscription(sub))
+
+    def _h_delete_sub(self, request: Request, params, tenant: Tenant) -> Response:
+        sub = self._owned_subscription(tenant, params["sub_id"])
+        self.broker.unsubscribe(sub.subscription_id)
+        if sub.subscription_id in tenant.subscription_ids:
+            tenant.subscription_ids.remove(sub.subscription_id)
+        return Response(204)
+
+    def _h_replay_sub(self, request: Request, params, tenant: Tenant) -> Response:
+        delivery = self._require_delivery()
+        sub = self._owned_subscription(tenant, params["sub_id"])
+        replayed = delivery.replay(tenant.name, sub.subscription_id)
+        return Response(200, {"replayed": replayed})
+
     # -- reporting -----------------------------------------------------------
 
     def response_log(self) -> str:
@@ -601,6 +739,7 @@ class NgsiService:
             "by_status": {str(k): v for k, v in sorted(by_status.items())},
             "tenants": tenants,
             "cache": cache,
+            "delivery": self.delivery.report() if self.delivery is not None else None,
             "latency_s": {
                 "p50": percentile(latencies, 50.0),
                 "p95": percentile(latencies, 95.0),

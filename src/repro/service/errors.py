@@ -29,6 +29,7 @@ from repro.resilience.backpressure import BackpressureError
 from repro.security.auth.oauth import OAuthError
 from repro.service.http import Response
 from repro.simkernel.errors import ReproError, SimulationError, SnapshotError
+from repro.store.segment import StoreError
 
 __all__ = [
     "AuthenticationError",
@@ -93,6 +94,7 @@ _TABLE: Dict[Type[BaseException], Tuple[int, str]] = {
     # Backpressure outside the tenant quota path (broker shedding load).
     BackpressureError: (503, "ServiceUnavailable"),
     # Platform-side failures: nothing the caller can fix.
+    StoreError: (500, "InternalServerError"),
     RoutingMismatchError: (500, "InternalServerError"),
     SnapshotError: (500, "InternalServerError"),
     SimulationError: (500, "InternalServerError"),

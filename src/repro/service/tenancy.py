@@ -112,6 +112,10 @@ class Tenant:
         self.rejected_quota = 0
         self.rejected_backlog = 0
         self.rejected_auth = 0
+        #: Subscription ids this tenant created through the service (the
+        #: delivery manager keys queues by tenant name; this is the
+        #: reverse index for per-tenant teardown and status pages).
+        self.subscription_ids: List[str] = []
 
     @property
     def role(self) -> str:

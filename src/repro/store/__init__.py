@@ -1,0 +1,53 @@
+"""Crash-safe append-only segment store (durable history archive).
+
+See :mod:`repro.store.segment` for the on-disk frame format,
+:mod:`repro.store.backend` for the fault-injectable file layer, and
+:mod:`repro.store.durable` for the store itself plus the glue that puts
+it behind :class:`~repro.context.history.ShortTermHistory`.
+"""
+
+from repro.store.backend import (
+    AppendFile,
+    FsyncFailedError,
+    StorageFaults,
+    TornWriteError,
+)
+from repro.store.durable import (
+    DurabilityService,
+    SegmentStore,
+    attach_durable_history,
+    decode_sample,
+    encode_sample,
+)
+from repro.store.segment import (
+    CorruptBlobError,
+    SEALED_MAGIC,
+    SEGMENT_MAGIC,
+    ScanResult,
+    StoreError,
+    encode_record,
+    read_sealed,
+    scan_records,
+    write_sealed,
+)
+
+__all__ = [
+    "AppendFile",
+    "CorruptBlobError",
+    "DurabilityService",
+    "FsyncFailedError",
+    "SEALED_MAGIC",
+    "SEGMENT_MAGIC",
+    "ScanResult",
+    "SegmentStore",
+    "StorageFaults",
+    "StoreError",
+    "TornWriteError",
+    "attach_durable_history",
+    "decode_sample",
+    "encode_record",
+    "encode_sample",
+    "read_sealed",
+    "scan_records",
+    "write_sealed",
+]

@@ -1,0 +1,430 @@
+"""The append-only segment store and the history durability service.
+
+:class:`SegmentStore` is the WAL-shaped archive: records append to the
+active segment (checksummed frames, see :mod:`repro.store.segment`),
+an explicit :meth:`~SegmentStore.commit` runs the fsync barrier that
+makes them durable, and segments rotate at a size threshold — rotation
+itself is a barrier (the finished segment is fsynced before the next
+one opens), so only the *last* segment can ever hold a torn tail.
+:meth:`~SegmentStore.recover` is the crash path: scan every segment in
+order, verify every checksum, truncate the first bad frame and
+everything after it, and hand back the surviving record prefix.
+
+:class:`DurabilityService` wires the store behind
+:class:`~repro.context.history.ShortTermHistory`: every sample the
+history accepts is framed and appended write-through, and a sim-time
+flush process runs the commit barrier every ``flush_interval_s`` — the
+"fsync barriers modeled as sim-time events" half of the design, which
+keeps durability costs on the simulation clock and runs bit-identical.
+On a simulated ``process_kill`` the service drops the in-memory rings
+and rollups, recovers the store, and rebuilds the history from the
+recovered prefix — after which reads are exactly what an uninterrupted
+run truncated at the commit point would serve (the E20 property).
+
+Everything here is **off by default**: no pilot constructs a store
+unless ``RunOptions.store_dir`` (CLI ``--store``) or an explicit
+:func:`attach_durable_history` call asks for one, so pinned fixtures
+and the E18/E19 benchmarks are untouched.
+"""
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.store.backend import (
+    AppendFile,
+    FsyncFailedError,
+    StorageFaults,
+    TornWriteError,
+)
+from repro.store.segment import (
+    StoreError,
+    encode_record,
+    fsync_dir,
+    scan_records,
+    segment_path,
+    segments_in,
+)
+
+__all__ = [
+    "DurabilityService",
+    "SegmentStore",
+    "attach_durable_history",
+    "decode_sample",
+    "encode_sample",
+]
+
+SampleRecord = Tuple[str, str, float, float]
+
+
+def encode_sample(entity_id: str, attr: str, t: float, v: float) -> bytes:
+    """Canonical sample payload: compact JSON array, byte-stable."""
+    return json.dumps([entity_id, attr, t, v], separators=(",", ":")).encode("utf-8")
+
+
+def decode_sample(payload: bytes) -> SampleRecord:
+    entity_id, attr, t, v = json.loads(payload.decode("utf-8"))
+    return (entity_id, attr, float(t), float(v))
+
+
+class SegmentStore:
+    """Append-only, checksummed, crash-recoverable record log."""
+
+    def __init__(
+        self,
+        root: str,
+        max_segment_bytes: int = 4 * 1024 * 1024,
+        faults: Optional[StorageFaults] = None,
+    ) -> None:
+        if max_segment_bytes <= 0:
+            raise StoreError(f"max_segment_bytes must be positive, got {max_segment_bytes}")
+        self.root = root
+        self.max_segment_bytes = max_segment_bytes
+        self.faults = faults if faults is not None else StorageFaults()
+        os.makedirs(root, exist_ok=True)
+        #: Records handed to :meth:`append` over this store's lifetime
+        #: (recovered records count once recovery has run).
+        self.appended = 0
+        #: Records covered by a successful barrier.
+        self.committed = 0
+        self.commits = 0
+        self.deferred_commits = 0
+        self.failed_commits = 0
+        self.rotations = 0
+        self.recoveries = 0
+        self.torn_tails_truncated = 0
+        #: Byte length of each record in the active segment past the
+        #: durable watermark is implied by the frames themselves; what we
+        #: track is per-segment record counts for recovery accounting.
+        self._active: Optional[AppendFile] = None
+        self._active_index = 0
+        self._records_in_active = 0
+        self._open_tail()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _open_tail(self) -> None:
+        """Open (creating if needed) the highest-numbered segment."""
+        existing = segments_in(self.root)
+        if existing:
+            self._active_index = existing[-1][0]
+            self._active = AppendFile(existing[-1][1], self.faults)
+        else:
+            self._active_index = 0
+            self._active = AppendFile(
+                segment_path(self.root, 0), self.faults, fresh=True
+            )
+            fsync_dir(self._active.path)
+
+    def close(self) -> None:
+        if self._active is not None:
+            self._active.close()
+            self.committed = self.appended
+            self._active = None
+
+    # -- append / commit ---------------------------------------------------
+
+    def append(self, payload: bytes) -> int:
+        """Frame and append one record; returns its sequence number.
+
+        A torn write (armed transient device error) is repaired in
+        place: the partial frame is truncated away and the record is
+        re-appended — the error never surfaces to the caller and no
+        record is lost or reordered.
+        """
+        if self._active is None:
+            raise StoreError("store is closed")
+        frame = encode_record(payload)
+        before = self._active.written_bytes
+        try:
+            self._active.append(frame)
+        except TornWriteError:
+            # Repair: roll back the partial frame, write it again whole.
+            self._active.truncate_to(before)
+            self._active.append(frame)
+        seq = self.appended
+        self.appended += 1
+        self._records_in_active += 1
+        if self._active.written_bytes >= self.max_segment_bytes:
+            self._rotate()
+        return seq
+
+    def commit(self) -> bool:
+        """Run the fsync barrier; True when every appended record is now
+        durable.  Deferred (stalled device) and failed (lost fsync)
+        barriers leave ``committed`` untouched — a later barrier picks
+        the volatile tail up."""
+        if self._active is None:
+            raise StoreError("store is closed")
+        try:
+            if not self._active.flush():
+                self.deferred_commits += 1
+                return False
+        except FsyncFailedError:
+            self.failed_commits += 1
+            return False
+        self.committed = self.appended
+        self.commits += 1
+        return True
+
+    def _rotate(self) -> None:
+        """Seal the active segment and open the next one.
+
+        Rotation is a durability barrier: the finished segment is
+        closed (flush + fsync) before the new one exists, so recovery
+        can trust every non-final segment end-to-end.  If the barrier
+        cannot complete (stall / lost fsync), rotation is deferred —
+        the segment simply grows past the threshold until a barrier
+        lands.
+        """
+        try:
+            if not self._active.flush():
+                return
+        except FsyncFailedError:
+            return
+        self._active.close()
+        self.committed = self.appended
+        self.commits += 1
+        self._active_index += 1
+        self._active = AppendFile(
+            segment_path(self.root, self._active_index), self.faults, fresh=True
+        )
+        fsync_dir(self._active.path)
+        self._records_in_active = 0
+        self.rotations += 1
+
+    # -- crash / recovery --------------------------------------------------
+
+    def crash(self, surviving_tail_bytes: int = 0) -> None:
+        """Simulate the owning process dying mid-flush.
+
+        The durable prefix survives; of the volatile tail, an arbitrary
+        ``surviving_tail_bytes`` prefix survives (possibly ending inside
+        a record).  The store is left closed; :meth:`recover` reopens it.
+        """
+        if self._active is None:
+            raise StoreError("store is closed")
+        self._active.crash(surviving_tail_bytes)
+        self._active = None
+
+    def recover(self) -> List[bytes]:
+        """Scan all segments, truncate the torn tail, reopen for append.
+
+        Returns every surviving record payload in append order and
+        resets the sequence accounting to the recovered prefix.  Raises
+        :class:`StoreError` on mid-log corruption (a bad frame in a
+        non-final segment): that is silent-data-loss territory, not a
+        crash artifact, and must fail loudly.
+        """
+        ordered = segments_in(self.root)
+        payloads: List[bytes] = []
+        for position, (index, path) in enumerate(ordered):
+            with open(path, "rb") as fh:
+                data = fh.read()
+            result = scan_records(data)
+            is_last = position == len(ordered) - 1
+            if result.torn:
+                if not is_last:
+                    raise StoreError(
+                        f"segment {path!r} is corrupt mid-log (not the tail "
+                        "segment); refusing to recover past silent damage"
+                    )
+                with open(path, "r+b") as fh:
+                    fh.truncate(result.clean_end)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                self.torn_tails_truncated += 1
+            payloads.extend(result.payloads)
+        self.appended = len(payloads)
+        self.committed = len(payloads)
+        self.recoveries += 1
+        self._open_tail()
+        self._records_in_active = 0
+        return payloads
+
+    def read_all(self) -> List[bytes]:
+        """Every record currently on disk (no truncation, no reopen)."""
+        payloads: List[bytes] = []
+        if self._active is not None:
+            self._active._fh.flush()
+        for _index, path in segments_in(self.root):
+            with open(path, "rb") as fh:
+                result = scan_records(fh.read())
+            payloads.extend(result.payloads)
+        return payloads
+
+    @property
+    def volatile_records(self) -> int:
+        return self.appended - self.committed
+
+    @property
+    def segment_count(self) -> int:
+        return len(segments_in(self.root))
+
+    def report(self) -> dict:
+        return {
+            "appended": self.appended,
+            "committed": self.committed,
+            "commits": self.commits,
+            "deferred_commits": self.deferred_commits,
+            "failed_commits": self.failed_commits,
+            "segments": self.segment_count,
+            "rotations": self.rotations,
+            "recoveries": self.recoveries,
+            "torn_tails_truncated": self.torn_tails_truncated,
+            "torn_writes_repaired": self.faults.torn_writes,
+        }
+
+
+class DurabilityService:
+    """Write-through durability behind one :class:`ShortTermHistory`.
+
+    The service is the unit the fault injector targets (alias →
+    ``register_store``): ``disk_*`` faults arm the shared
+    :class:`StorageFaults` block, ``process_kill`` calls
+    :meth:`crash_and_recover`.  A shadow copy of every accepted payload
+    is kept so the chaos audit can verify — not assume — that each
+    recovery produced a strict prefix of what was accepted.
+    """
+
+    def __init__(
+        self,
+        sim,
+        history,
+        store: SegmentStore,
+        flush_interval_s: float = 60.0,
+        shadow_cap: int = 1_000_000,
+    ) -> None:
+        if flush_interval_s <= 0:
+            raise StoreError(
+                f"flush_interval_s must be positive, got {flush_interval_s}"
+            )
+        self.sim = sim
+        self.history = history
+        self.store = store
+        self.flush_interval_s = flush_interval_s
+        #: Records present on disk before this run attached (a reused
+        #: directory archives across runs; rebuilds exclude them).
+        self.base_records = store.appended
+        # Shadow of this run's accepted payloads, for the prefix audit.
+        self.shadow_cap = shadow_cap
+        self._shadow: List[bytes] = []
+        self._shadow_overflow = False
+        self.prefix_consistent = True
+        self.lost_committed = 0
+        self.recoveries = 0
+        self.recovery_wall_s = 0.0
+        self._pump = None
+        history.attach_store(self)
+        metrics = sim.metrics
+        self._m_appended = metrics.counter("store.appended")
+        self._m_committed = metrics.counter("store.committed")
+        self._m_recoveries = metrics.counter("store.recoveries")
+        metrics.register_callback(
+            "store.volatile_records", lambda: float(self.store.volatile_records)
+        )
+        metrics.register_callback(
+            "store.segments", lambda: float(self.store.segment_count)
+        )
+
+    # -- write-through ------------------------------------------------------
+
+    def on_sample(self, entity_id: str, attr: str, t: float, v: float) -> None:
+        payload = encode_sample(entity_id, attr, t, v)
+        self.store.append(payload)
+        self._m_appended.inc()
+        if len(self._shadow) < self.shadow_cap:
+            self._shadow.append(payload)
+        else:
+            self._shadow_overflow = True
+
+    # -- the sim-time fsync barrier ----------------------------------------
+
+    def start(self) -> None:
+        """Spawn the flush pump (idempotent)."""
+        if self._pump is None:
+            self._pump = self.sim.spawn(self._flush_loop(), name="store-flush")
+
+    def _flush_loop(self):
+        while True:
+            yield self.flush_interval_s
+            self.flush_now()
+
+    def flush_now(self) -> bool:
+        before = self.store.committed
+        ok = self.store.commit()
+        if ok:
+            self._m_committed.inc(self.store.committed - before)
+        return ok
+
+    # -- crash path ---------------------------------------------------------
+
+    def crash_and_recover(self, surviving_tail_bytes: int = 0) -> int:
+        """Kill the history+store "process" and bring it back from disk.
+
+        Everything volatile dies: unflushed store bytes (minus the
+        surviving tail the crash left), the history's rings and rollup
+        buckets.  Recovery truncates the torn tail, then rebuilds the
+        history from this run's recovered records — the state any
+        fresh process replaying the durable log would reach.  Returns
+        the number of records recovered (including prior-run base).
+        """
+        committed_before = self.store.committed
+        started = time.perf_counter()
+        self.store.crash(surviving_tail_bytes)
+        payloads = self.store.recover()
+        self.recovery_wall_s += time.perf_counter() - started
+        self.recoveries += 1
+        self._m_recoveries.inc()
+        if len(payloads) < committed_before:
+            # A committed record failed to survive — the invariant the
+            # whole store exists to uphold.  Recorded, audited, fatal
+            # to the chaos run's invariant check.
+            self.lost_committed += committed_before - len(payloads)
+        run_payloads = payloads[self.base_records:]
+        if not self._shadow_overflow:
+            if run_payloads != self._shadow[: len(run_payloads)]:
+                self.prefix_consistent = False
+        # The accepted-but-lost tail is gone with the process; the shadow
+        # restarts from the recovered prefix (post-crash appends must
+        # extend it exactly).
+        self._shadow = list(run_payloads)
+        self.history.rebuild_from_samples(
+            decode_sample(p) for p in run_payloads
+        )
+        return len(payloads)
+
+    def report(self) -> dict:
+        data = self.store.report()
+        data.update({
+            "run_records": self.store.appended - self.base_records,
+            "recoveries": self.recoveries,
+            "recovery_wall_s": self.recovery_wall_s,
+            "lost_committed": self.lost_committed,
+            "prefix_consistent": self.prefix_consistent,
+        })
+        return data
+
+
+def attach_durable_history(
+    runner,
+    root: str,
+    flush_interval_s: float = 60.0,
+    max_segment_bytes: int = 4 * 1024 * 1024,
+) -> DurabilityService:
+    """Put a durable segment store behind ``runner``'s history.
+
+    Strictly additive until the flush pump's first barrier event; with
+    the option unset nothing here is constructed, so pinned fixtures are
+    byte-identical.  The returned service is also assigned to
+    ``runner.durability`` for the chaos audit and CLI summary.
+    """
+    store = SegmentStore(root, max_segment_bytes=max_segment_bytes)
+    service = DurabilityService(
+        runner.sim, runner.history, store, flush_interval_s=flush_interval_s
+    )
+    service.start()
+    runner.durability = service
+    return service

@@ -136,6 +136,49 @@ class TestSnapshotRestore:
         with pytest.raises(cp.CheckpointError, match="RunCheckpoint"):
             cp.load_checkpoint(str(path))
 
+    def test_saved_checkpoints_are_sealed_blobs(self, tmp_path):
+        from repro.store.segment import SEALED_MAGIC, read_sealed
+
+        runner = self._paused_runner()
+        path = tmp_path / "sealed.ck"
+        cp.save_checkpoint(cp.snapshot(
+            runner,
+            recipe=cp.RunRecipe(pilot="matopiba", builder_kwargs=TINY_MATOPIBA),
+        ), str(path))
+        assert path.read_bytes()[: len(SEALED_MAGIC)] == SEALED_MAGIC
+        read_sealed(str(path))  # frame verifies end-to-end
+        assert cp.load_checkpoint(str(path)).kernel is not None
+
+    @pytest.mark.parametrize("cut_back", [1, 17, 4096])
+    def test_torn_checkpoint_is_rejected_loudly(self, tmp_path, cut_back):
+        """A crash mid-checkpoint-write must never restore garbage: any
+        truncation of the sealed file fails the CRC gate with a typed
+        error instead of unpickling a partial stream."""
+        runner = self._paused_runner()
+        path = tmp_path / "torn.ck"
+        cp.save_checkpoint(cp.snapshot(
+            runner,
+            recipe=cp.RunRecipe(pilot="matopiba", builder_kwargs=TINY_MATOPIBA),
+        ), str(path))
+        blob = path.read_bytes()
+        assert len(blob) > cut_back
+        path.write_bytes(blob[:-cut_back])
+        with pytest.raises(cp.CheckpointError, match="torn or corrupt"):
+            cp.load_checkpoint(str(path))
+
+    def test_corrupted_checkpoint_byte_is_rejected_loudly(self, tmp_path):
+        runner = self._paused_runner()
+        path = tmp_path / "flipped.ck"
+        cp.save_checkpoint(cp.snapshot(
+            runner,
+            recipe=cp.RunRecipe(pilot="matopiba", builder_kwargs=TINY_MATOPIBA),
+        ), str(path))
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(cp.CheckpointError, match="torn or corrupt"):
+            cp.load_checkpoint(str(path))
+
 
 class TestRunOptionsIntegration:
     def test_checkpointed_run_report_matches_plain_run(self, tmp_path):

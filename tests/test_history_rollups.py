@@ -155,6 +155,43 @@ class TestBackfillDeterminism:
         assert history.rollup_periods == (MINUTE_S,)
 
 
+class TestRebuildFromSamples:
+    def test_rebuild_mid_eviction_reads_identically(self):
+        """Replaying the durable log into a fresh history mid-eviction
+        (rings and buckets both over capacity) must serve exactly the
+        reads the live history serves — the store's recovery contract."""
+        samples = [(EID, ATTR, 30.0 * i, 0.1 * (i % 11)) for i in range(40)]
+        kwargs = dict(rollup_periods=(MINUTE_S,),
+                      max_samples_per_series=12, max_buckets_per_series=4)
+        sim, broker, live = make_history(**kwargs)
+        for _eid, _attr, t, v in samples:
+            record(sim, broker, t, v)
+        _sim2, _broker2, replica = make_history(**kwargs)
+        replica.rebuild_from_samples(samples)
+        assert live.series(EID, ATTR) == replica.series(EID, ATTR)
+        assert len(replica.series(EID, ATTR)) == 12  # ring evicted
+        for method in ROLLUP_METHODS:
+            assert live.rollup(EID, ATTR, MINUTE_S, method=method) == \
+                replica.rollup(EID, ATTR, MINUTE_S, method=method)
+        rows = replica.rollup(EID, ATTR, MINUTE_S, method="count")
+        assert len(rows) == 4  # buckets evicted down to capacity
+
+    def test_rebuild_replaces_prior_state_and_does_not_write_through(self):
+        _sim, _broker, history = make_history(rollup_periods=(MINUTE_S,))
+
+        class ExplodingStore:
+            def on_sample(self, *a):
+                raise AssertionError("rebuild must not write back to the store")
+
+        history.attach_store(ExplodingStore())
+        history.rebuild_from_samples([(EID, ATTR, 10.0, 1.0)])
+        assert history.series(EID, ATTR) == [(10.0, 1.0)]
+        # A second rebuild replaces, not appends.
+        history.rebuild_from_samples([(EID, ATTR, 20.0, 2.0)])
+        assert history.series(EID, ATTR) == [(20.0, 2.0)]
+        assert history.rollup(EID, ATTR, MINUTE_S, method="count") == [(0.0, 1.0)]
+
+
 class TestSnapshotRestoreDeterminism:
     def test_rollups_survive_checkpoint_restore(self):
         # Uninterrupted run with live rollups...

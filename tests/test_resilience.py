@@ -136,6 +136,35 @@ class TestCircuitBreaker:
             ("half_open", "closed", 12.0),
         ]
 
+    def test_reentrant_listener_cannot_steal_a_second_probe(self):
+        """The half-open trial slot is claimed before listeners run: a
+        listener reacting to open->half_open by probing again (the
+        delivery pump's shape) must be told no."""
+        b = CircuitBreaker("b", failure_threshold=1, open_timeout_s=10.0)
+        reentrant = []
+
+        def listener(old, new, now):
+            if new is BreakerState.HALF_OPEN:
+                reentrant.append(b.allow(now))
+
+        b.on_state_change.append(listener)
+        b.record_failure(0.0)
+        assert b.allow(10.0)  # the one legitimate trial
+        assert reentrant == [False]
+
+    def test_transitions_counter_tracks_every_edge(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        b = CircuitBreaker("edge", failure_threshold=1, open_timeout_s=10.0,
+                           metrics=registry)
+        b.record_failure(1.0)   # closed -> open
+        b.allow(11.0)           # open -> half_open
+        b.record_success(12.0)  # half_open -> closed
+        labels = {"breaker": "edge"}
+        assert registry.value("resilience.breaker_transitions", labels) == 3.0
+        assert registry.value("resilience.breaker_state", labels) == 0.0
+
 
 class FlakyService:
     """A probe-able service the supervisor can restart."""
