@@ -15,7 +15,7 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
-from repro.context.history import ShortTermHistory
+from repro.context.history import HistoryQuery, ShortTermHistory
 
 DAY_S = 86400.0
 
@@ -50,7 +50,8 @@ class SeasonProfileBuilder:
 
     def ingest(self, entity_id: str, attribute: str) -> int:
         """Fold one entity's series into the profile; returns samples used."""
-        samples = self.history.series(entity_id, attribute)
+        samples = self.history.read(
+            HistoryQuery(entity_id, attribute), source="memory").rows
         for t, value in samples:
             day = int((t - self.season_start_s) // DAY_S)
             if day < 0:

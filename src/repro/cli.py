@@ -91,6 +91,11 @@ def _options_from_args(
         restore=getattr(args, "restore", None),
         store_dir=getattr(args, "store", None),
         store_flush_s=getattr(args, "store_flush", None) or 60.0,
+        store_segment_bytes=(getattr(args, "store_segment_bytes", None)
+                             or 4 * 1024 * 1024),
+        store_compact_s=getattr(args, "store_compact", None),
+        store_retention_age_s=getattr(args, "store_retention_age", None),
+        store_retention_bytes=getattr(args, "store_retention_bytes", None),
     )
 
 
@@ -213,6 +218,15 @@ def cmd_run(args, out) -> int:
             f"({store_report['recoveries']} recoveries)",
             file=out,
         )
+        compaction = store_report.get("compaction")
+        if compaction is not None:
+            print(
+                f"columnar: {compaction['chunk_records']} records across "
+                f"{compaction['chunks']} chunks "
+                f"({compaction['compacted_segments']} segments compacted, "
+                f"{compaction['dropped_chunks']} chunks dropped by retention)",
+                file=out,
+            )
     _write_run_artifacts(args, runner, out)
     return 0
 
@@ -383,6 +397,33 @@ def _options_parent() -> argparse.ArgumentParser:
     return common
 
 
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Durable-store flags shared by ``run`` and ``serve``."""
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="write history through a durable segment store "
+                             "under DIR (crash-recoverable)")
+    parser.add_argument("--store-flush", dest="store_flush", type=float,
+                        default=60.0, metavar="SECS",
+                        help="fsync-barrier interval of the durable store "
+                             "in sim-seconds (default 60)")
+    parser.add_argument("--store-segment-bytes", dest="store_segment_bytes",
+                        type=int, default=None, metavar="N",
+                        help="WAL segment rotation threshold in bytes "
+                             "(default 4 MiB)")
+    parser.add_argument("--store-compact", dest="store_compact", type=float,
+                        default=None, metavar="SECS",
+                        help="compact sealed WAL segments into columnar "
+                             "chunks every SECS sim-seconds (default: off)")
+    parser.add_argument("--store-retention-age", dest="store_retention_age",
+                        type=float, default=None, metavar="SECS",
+                        help="drop columnar chunks whose newest sample is "
+                             "older than SECS sim-seconds (implies compaction)")
+    parser.add_argument("--store-retention-bytes", dest="store_retention_bytes",
+                        type=int, default=None, metavar="N",
+                        help="cap retained columnar bytes per tenant at N "
+                             "(oldest chunks dropped first; implies compaction)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="SWAMP platform pilot runner"
@@ -405,13 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--restore", default=None, metavar="PATH",
                             help="resume the run checkpointed at PATH "
                                  "(ignores the pilot/build flags)")
-    run_parser.add_argument("--store", default=None, metavar="DIR",
-                            help="write history through a durable segment store "
-                                 "under DIR (crash-recoverable)")
-    run_parser.add_argument("--store-flush", dest="store_flush", type=float,
-                            default=60.0, metavar="SECS",
-                            help="fsync-barrier interval of the durable store "
-                                 "in sim-seconds (default 60)")
+    _add_store_flags(run_parser)
 
     compare_parser = sub.add_parser("compare", parents=[common],
                                     help="smart vs fixed-calendar business case")
@@ -433,13 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                               type=float, default=600.0, metavar="SECS",
                               help="synthesized trace length in sim-seconds "
                                    "(default 600)")
-    serve_parser.add_argument("--store", default=None, metavar="DIR",
-                              help="write history through a durable segment store "
-                                   "under DIR (crash-recoverable)")
-    serve_parser.add_argument("--store-flush", dest="store_flush", type=float,
-                              default=60.0, metavar="SECS",
-                              help="fsync-barrier interval of the durable store "
-                                   "in sim-seconds (default 60)")
+    _add_store_flags(serve_parser)
 
     fleet_parser = sub.add_parser("fleet", help="run a sharded multi-farm fleet")
     fleet_parser.add_argument("--farms", default="matopiba:2", metavar="SPEC",

@@ -25,7 +25,7 @@ from repro.context.delivery import (
 )
 from repro.context.entities import Attribute, ContextEntity
 from repro.context.errors import AlreadyExistsError, ContextError, NotFoundError, QueryError
-from repro.context.history import ShortTermHistory
+from repro.context.history import HistoryQuery, HistoryResult, ShortTermHistory
 from repro.context.query import AttrFilter, Query
 from repro.context.subscriptions import Notification, Subscription, SubscriptionIndex
 
@@ -40,6 +40,8 @@ __all__ = [
     "DeliveryError",
     "DeliveryItem",
     "DeliveryManager",
+    "HistoryQuery",
+    "HistoryResult",
     "NotFoundError",
     "Notification",
     "Query",

@@ -2,8 +2,12 @@
 
 Attaches to a :class:`~repro.context.broker.ContextBroker` via an update
 hook and records every numeric attribute change as a (time, value) sample.
-Offers the raw and aggregated query shapes STH exposes: last-N, time-range,
-and min/max/mean/sum/count over a range.
+All query shapes STH exposes — raw range, last-N, bucketed rollups and
+min/max/mean/sum/count aggregates — are served through **one typed read
+API**: build a :class:`HistoryQuery`, call :meth:`ShortTermHistory.read`,
+get a :class:`HistoryResult` back.  The legacy per-shape methods
+(``series``/``last_n``/``range``/``aggregate``/``rollup``/``downsample``)
+remain as warn-once deprecation shims for one cycle.
 
 Series are bounded per (entity, attribute) to keep multi-season runs in
 memory; eviction drops the oldest samples.
@@ -21,9 +25,19 @@ samples (late, out-of-order samples fold into the bucket their own
 timestamp selects, not the newest one).  Rollups are off by default to
 keep the telemetry hot path bare; the north-facing service layer enables
 them when it attaches.
+
+**Read sources.**  ``read(query)`` defaults to ``source="auto"``: the
+bounded in-memory rings/buckets answer unless a columnar backend has
+been bound (:meth:`ShortTermHistory.bind_columnar`, done by the store's
+compaction service), in which case queries stream from sealed chunk
+files plus the WAL tail with zone-map pruning — same rows, bounded
+memory, and reach beyond the ring eviction horizon.  ``source="memory"``
+or ``"columnar"`` forces a path.
 """
 
+import warnings
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.context.broker import ContextBroker
@@ -38,6 +52,104 @@ HOUR_S = 3600.0
 
 #: count/min/max/sum live in one 4-slot bucket list; mean = sum/count.
 ROLLUP_METHODS = ("count", "min", "max", "sum", "mean")
+
+#: Query kinds a :class:`HistoryQuery` can resolve to.
+QUERY_KINDS = ("raw", "lastn", "rollup", "aggregate")
+
+# Names that already emitted their deprecation warning this process.
+_DEPRECATION_WARNED = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class HistoryQuery:
+    """One typed history read: which series, which shape, which window.
+
+    Exactly one of four shapes, inferred from the fields
+    (:attr:`kind`):
+
+    * **raw** — every sample with ``since <= t <= until`` (the default);
+    * **lastn** — the newest ``last_n`` samples (window ignored by the
+      in-memory ring, matching STH's ``lastN``);
+    * **rollup** — ``period_s`` bucketed aggregates; ``method`` is one of
+      :data:`ROLLUP_METHODS` (default ``mean``), a bucket is listed when
+      its *start* falls in ``[since, until]``;
+    * **aggregate** — one count/min/max/sum/mean summary over the window
+      (``aggregate=True``).
+    """
+
+    entity_id: str
+    attr: str
+    since: float = float("-inf")
+    until: float = float("inf")
+    last_n: Optional[int] = None
+    period_s: Optional[float] = None
+    method: Optional[str] = None
+    aggregate: bool = False
+
+    @property
+    def kind(self) -> str:
+        if self.period_s is not None:
+            return "rollup"
+        if self.aggregate:
+            return "aggregate"
+        if self.last_n is not None:
+            return "lastn"
+        return "raw"
+
+    @property
+    def effective_method(self) -> str:
+        return self.method if self.method is not None else "mean"
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.context.errors.QueryError` on shape
+        conflicts (lastN+rollup, method without a period, ...)."""
+        if self.last_n is not None and (self.period_s is not None or self.aggregate):
+            raise QueryError("last_n cannot combine with period_s/aggregate")
+        if self.aggregate and self.period_s is not None:
+            raise QueryError("aggregate=True cannot combine with period_s")
+        if self.last_n is not None and self.last_n < 1:
+            raise QueryError(f"last_n must be >= 1, got {self.last_n}")
+        if self.period_s is not None and self.period_s <= 0:
+            raise QueryError(f"period_s must be positive, got {self.period_s!r}")
+        if self.method is not None and self.period_s is None:
+            raise QueryError("method only applies to rollup queries (set period_s)")
+        if self.period_s is not None and self.effective_method not in ROLLUP_METHODS:
+            raise QueryError(
+                f"unknown rollup method {self.effective_method!r}; "
+                f"expected one of {ROLLUP_METHODS}"
+            )
+
+
+@dataclass
+class HistoryResult:
+    """What a :meth:`ShortTermHistory.read` returned, plus how.
+
+    ``rows`` is the ``[(t, value), ...]`` answer for raw/lastn/rollup
+    queries (empty for aggregates); ``stats`` is the aggregate summary
+    dict (``None`` when the window held no samples).  The scan counters
+    expose the columnar path's zone-map pruning — ``pruned_blocks`` is
+    how many on-disk blocks the zone maps skipped without reading.
+    """
+
+    query: HistoryQuery
+    kind: str
+    source: str
+    rows: List[Sample] = field(default_factory=list)
+    stats: Optional[Dict[str, float]] = None
+    scanned_samples: int = 0
+    scanned_blocks: int = 0
+    pruned_blocks: int = 0
 
 
 class ShortTermHistory:
@@ -55,7 +167,9 @@ class ShortTermHistory:
         # period_s -> series key -> bucket index -> [count, min, max, sum].
         self._rollups: Dict[float, Dict[Tuple[str, str], Dict[int, List[float]]]] = {}
         # Durable write-through sink (a DurabilityService), None by default.
-        self._store = None
+        self._sink = None
+        # Columnar read backend (a ColumnarReader), None by default.
+        self._columnar = None
         if rollup_periods:
             self.enable_rollups(rollup_periods)
         broker.update_hooks.append(self._on_update)
@@ -76,16 +190,31 @@ class ShortTermHistory:
             series.append((t, v))
             if self._rollups:
                 self._fold(key, t, v)
-            if self._store is not None:
-                self._store.on_sample(entity.entity_id, name, t, v)
+            if self._sink is not None:
+                self._sink.on_sample(entity.entity_id, name, t, v)
 
-    # -- durability --------------------------------------------------------
+    # -- durability ----------------------------------------------------------
 
-    def attach_store(self, store) -> None:
-        """Write every accepted sample through ``store`` (anything with an
+    def set_sink(self, sink) -> None:
+        """Write every accepted sample through ``sink`` (anything with an
         ``on_sample(entity_id, attr, t, v)`` method — in practice a
         :class:`~repro.store.durable.DurabilityService`)."""
-        self._store = store
+        self._sink = sink
+
+    def attach_store(self, store) -> None:
+        """Deprecated alias of :meth:`set_sink`."""
+        _warn_deprecated("ShortTermHistory.attach_store", "set_sink")
+        self.set_sink(store)
+
+    def bind_columnar(self, reader) -> None:
+        """Route ``source="auto"`` reads through ``reader`` (anything
+        with a ``read(HistoryQuery) -> HistoryResult`` method — in
+        practice a :class:`~repro.store.columnar.ColumnarReader`)."""
+        self._columnar = reader
+
+    @property
+    def columnar(self):
+        return self._columnar
 
     def rebuild_from_samples(self, samples) -> None:
         """Crash recovery: drop all in-memory state and re-fold ``samples``.
@@ -109,7 +238,7 @@ class ShortTermHistory:
             if self._rollups:
                 self._fold(key, t, v)
 
-    # -- rollups -----------------------------------------------------------
+    # -- rollups -------------------------------------------------------------
 
     @property
     def rollup_periods(self) -> Tuple[float, ...]:
@@ -161,39 +290,81 @@ class ShortTermHistory:
             bucket[2] = v
         bucket[3] += v
 
-    def rollup(
-        self,
-        entity_id: str,
-        attr: str,
-        period_s: float,
-        since: float = float("-inf"),
-        until: float = float("inf"),
-        method: str = "mean",
-    ) -> List[Tuple[float, float]]:
-        """Bucketed aggregate series: ``[(bucket_start_s, value), ...]``.
+    # -- the unified read API ------------------------------------------------
 
-        ``method`` is one of :data:`ROLLUP_METHODS`.  A bucket is listed
-        when its *start* falls in ``[since, until]``; buckets with no
-        samples are skipped (STH's sparse ``occur`` semantics).  Raises
-        :class:`~repro.context.errors.QueryError` for unknown methods or
-        periods that were never enabled.
+    def read(self, query: HistoryQuery, source: str = "auto") -> HistoryResult:
+        """Answer ``query`` from ``source``.
+
+        ``"auto"`` streams from the bound columnar backend when one is
+        attached (:meth:`bind_columnar`) and falls back to the in-memory
+        rings/buckets otherwise; ``"memory"`` / ``"columnar"`` force a
+        path (the latter raises :class:`QueryError` when no backend is
+        bound).  Where both paths retain the data, they answer
+        bit-identically — the columnar path additionally reaches past
+        ring/bucket eviction, since disk keeps what memory dropped.
         """
-        if method not in ROLLUP_METHODS:
+        query.validate()
+        if source == "auto":
+            source = "columnar" if self._columnar is not None else "memory"
+        if source == "columnar":
+            if self._columnar is None:
+                raise QueryError(
+                    "no columnar backend bound; enable store compaction or "
+                    "query with source='memory'"
+                )
+            return self._columnar.read(query)
+        if source != "memory":
             raise QueryError(
-                f"unknown rollup method {method!r}; expected one of {ROLLUP_METHODS}"
+                f"unknown history source {source!r}; "
+                "expected 'auto', 'memory' or 'columnar'"
             )
+        return self._read_memory(query)
+
+    def _read_memory(self, query: HistoryQuery) -> HistoryResult:
+        kind = query.kind
+        if kind == "rollup":
+            return self._memory_rollup(query)
+        key = (query.entity_id, query.attr)
+        series = self._series.get(key, ())
+        scanned = len(series)
+        if kind == "lastn":
+            rows = list(series)[-query.last_n:] if series else []
+            return HistoryResult(query, kind, "memory", rows=rows,
+                                 scanned_samples=scanned)
+        rows = [s for s in series if query.since <= s[0] <= query.until]
+        if kind == "raw":
+            return HistoryResult(query, kind, "memory", rows=rows,
+                                 scanned_samples=scanned)
+        stats = None
+        if rows:
+            values = [v for _t, v in rows]
+            stats = {
+                "count": float(len(values)),
+                "min": min(values),
+                "max": max(values),
+                "sum": sum(values),
+                "mean": sum(values) / len(values),
+            }
+        return HistoryResult(query, kind, "memory", stats=stats,
+                             scanned_samples=scanned)
+
+    def _memory_rollup(self, query: HistoryQuery) -> HistoryResult:
+        period_s = query.period_s
         by_series = self._rollups.get(period_s)
         if by_series is None:
             raise QueryError(
-                f"rollup period {period_s!r} not enabled; enabled: {sorted(self._rollups)}"
+                f"rollup period {period_s!r} not enabled; "
+                f"enabled: {sorted(self._rollups)}"
             )
-        buckets = by_series.get((entity_id, attr))
+        buckets = by_series.get((query.entity_id, query.attr))
+        result = HistoryResult(query, "rollup", "memory")
         if not buckets:
-            return []
-        rows: List[Tuple[float, float]] = []
+            return result
+        method = query.effective_method
+        result.scanned_blocks = len(buckets)
         for index in sorted(buckets):
             start = index * period_s
-            if start < since or start > until:
+            if start < query.since or start > query.until:
                 continue
             count, vmin, vmax, vsum = buckets[index]
             if method == "count":
@@ -206,8 +377,25 @@ class ShortTermHistory:
                 value = vsum
             else:
                 value = vsum / count
-            rows.append((start, value))
-        return rows
+            result.rows.append((start, value))
+        return result
+
+    # -- deprecated per-shape read methods -----------------------------------
+
+    def rollup(
+        self,
+        entity_id: str,
+        attr: str,
+        period_s: float,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+        method: str = "mean",
+    ) -> List[Tuple[float, float]]:
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated("ShortTermHistory.rollup", "read(HistoryQuery(period_s=...))")
+        query = HistoryQuery(entity_id, attr, since=since, until=until,
+                             period_s=period_s, method=method)
+        return self.read(query, source="memory").rows
 
     def downsample(
         self,
@@ -217,24 +405,33 @@ class ShortTermHistory:
         since: float = float("-inf"),
         until: float = float("inf"),
     ) -> List[Tuple[float, float]]:
-        """The mean-per-bucket series (the dashboard downsampling shape)."""
-        return self.rollup(entity_id, attr, period_s, since, until, method="mean")
-
-    # -- queries -----------------------------------------------------------
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated(
+            "ShortTermHistory.downsample",
+            "read(HistoryQuery(period_s=..., method='mean'))",
+        )
+        query = HistoryQuery(entity_id, attr, since=since, until=until,
+                             period_s=period_s, method="mean")
+        return self.read(query, source="memory").rows
 
     def series(self, entity_id: str, attr: str) -> List[Sample]:
-        return list(self._series.get((entity_id, attr), ()))
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated("ShortTermHistory.series", "read(HistoryQuery(...))")
+        return self.read(HistoryQuery(entity_id, attr), source="memory").rows
 
     def last_n(self, entity_id: str, attr: str, n: int) -> List[Sample]:
-        series = self._series.get((entity_id, attr))
-        if not series:
-            return []
-        return list(series)[-n:]
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated("ShortTermHistory.last_n", "read(HistoryQuery(last_n=...))")
+        query = HistoryQuery(entity_id, attr, last_n=n)
+        return self.read(query, source="memory").rows
 
     def range(
         self, entity_id: str, attr: str, since: float = float("-inf"), until: float = float("inf")
     ) -> List[Sample]:
-        return [s for s in self._series.get((entity_id, attr), ()) if since <= s[0] <= until]
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated("ShortTermHistory.range", "read(HistoryQuery(since=..., until=...))")
+        query = HistoryQuery(entity_id, attr, since=since, until=until)
+        return self.read(query, source="memory").rows
 
     def aggregate(
         self,
@@ -243,17 +440,12 @@ class ShortTermHistory:
         since: float = float("-inf"),
         until: float = float("inf"),
     ) -> Optional[Dict[str, float]]:
-        samples = self.range(entity_id, attr, since, until)
-        if not samples:
-            return None
-        values = [v for _t, v in samples]
-        return {
-            "count": float(len(values)),
-            "min": min(values),
-            "max": max(values),
-            "sum": sum(values),
-            "mean": sum(values) / len(values),
-        }
+        """Deprecated: build a :class:`HistoryQuery` and call :meth:`read`."""
+        _warn_deprecated(
+            "ShortTermHistory.aggregate", "read(HistoryQuery(aggregate=True))"
+        )
+        query = HistoryQuery(entity_id, attr, since=since, until=until, aggregate=True)
+        return self.read(query, source="memory").stats
 
     def tracked_series(self) -> List[Tuple[str, str]]:
         return sorted(self._series)

@@ -121,6 +121,14 @@ class RunOptions:
     # nothing, keeping pinned fixtures byte-identical.
     store_dir: Optional[str] = None
     store_flush_s: float = 60.0
+    store_segment_bytes: int = 4 * 1024 * 1024
+    # Columnar compaction (see repro.store.columnar): drain sealed WAL
+    # segments into zone-mapped chunk files every this many sim-seconds
+    # (None = no compaction), optionally applying retention caps —
+    # drops are deterministic whole-chunk evictions at compaction time.
+    store_compact_s: Optional[float] = None
+    store_retention_age_s: Optional[float] = None
+    store_retention_bytes: Optional[int] = None
 
     def trace_config(self) -> Optional[TraceConfig]:
         if not (self.trace or self.trace_path):
@@ -266,8 +274,21 @@ def run(options: RunOptions) -> RunResult:
     if options.store_dir is not None:
         from repro.store.durable import attach_durable_history
 
+        retention = None
+        if (options.store_retention_age_s is not None
+                or options.store_retention_bytes is not None):
+            from repro.store.columnar import RetentionConfig, RetentionPolicy
+
+            retention = RetentionConfig(default=RetentionPolicy(
+                max_age_s=options.store_retention_age_s,
+                max_bytes=options.store_retention_bytes,
+            ))
         attach_durable_history(
-            runner, options.store_dir, flush_interval_s=options.store_flush_s
+            runner, options.store_dir,
+            flush_interval_s=options.store_flush_s,
+            max_segment_bytes=options.store_segment_bytes,
+            compact_interval_s=options.store_compact_s,
+            retention=retention,
         )
 
     service = None

@@ -413,7 +413,12 @@ def check_storage_invariants(runner) -> List[InvariantResult]:
       sequence;
     * **notification conservation**: every accepted notification is
       delivered, dead-lettered or still visibly pending — never silently
-      dropped — regardless of outages, breaker state and replays.
+      dropped — regardless of outages, breaker state and replays;
+    * **compaction boundary** (when columnar compaction is attached):
+      every record ever drained from the WAL is in exactly one retained
+      chunk or accounted as a retention drop (none lost), and no record
+      is reachable from both a chunk and a WAL segment (none served
+      twice).
     """
     results: List[InvariantResult] = []
 
@@ -427,6 +432,19 @@ def check_storage_invariants(runner) -> List[InvariantResult]:
               f"recoveries={durability.recoveries}")
         check("recovery prefix-consistent", durability.prefix_consistent,
               f"recoveries={durability.recoveries}")
+        compaction = getattr(durability, "compaction", None)
+        if compaction is not None:
+            audit = compaction.audit()
+            check("no record lost across WAL→chunk boundary",
+                  audit["boundary_consistent"],
+                  f"retained={audit['retained_records']} "
+                  f"dropped={audit['dropped_records']} "
+                  f"wal_base_seq={audit['wal_base_seq']}")
+            check("no record served twice across WAL→chunk boundary",
+                  audit["overlap_chunks"] == 0
+                  and audit["overlap_segments"] == 0,
+                  f"overlap_chunks={audit['overlap_chunks']} "
+                  f"overlap_segments={audit['overlap_segments']}")
 
     delivery = getattr(runner, "delivery", None)
     if delivery is not None:

@@ -38,7 +38,7 @@ from repro.context.broker import ContextBroker
 from repro.context.delivery import DeliveryConfig, DeliveryManager, SimulatedEndpoint
 from repro.context.entities import ContextEntity
 from repro.context.errors import NotFoundError, QueryError
-from repro.context.history import HOUR_S, MINUTE_S, ShortTermHistory
+from repro.context.history import HOUR_S, MINUTE_S, HistoryQuery, ShortTermHistory
 from repro.context.query import parse_filter_expression
 from repro.context.subscriptions import Subscription
 from repro.security.auth.oauth import OAuthError
@@ -79,6 +79,9 @@ class ServiceConfig:
     max_page_limit: int = 1000
     #: Cap on retained request records (oldest dropped beyond this).
     max_records: int = 200_000
+    #: Where STH reads come from: "auto" streams from the columnar store
+    #: when the history has one bound, "memory"/"columnar" force a path.
+    history_source: str = "auto"
 
 
 def percentile(values: List[float], p: float) -> float:
@@ -567,21 +570,32 @@ class NgsiService:
                     f"unknown aggrPeriod {period_name!r}; expected one of "
                     f"{sorted(_AGGR_PERIODS)}"
                 )
-            rows = self.history.rollup(entity_id, attr, period, since, until, method)
-            values = [{"origin": start, method: value} for start, value in rows]
+            result = self.history.read(
+                HistoryQuery(entity_id, attr, since=since, until=until,
+                             period_s=period, method=method),
+                source=self.config.history_source,
+            )
+            values = [{"origin": start, method: value}
+                      for start, value in result.rows]
         else:
             last_n = request.param("lastN")
             if last_n is not None:
-                samples = self.history.last_n(
-                    entity_id, attr, _int_param(request, "lastN", 0, minimum=1)
+                result = self.history.read(
+                    HistoryQuery(entity_id, attr,
+                                 last_n=_int_param(request, "lastN", 0, minimum=1)),
+                    source=self.config.history_source,
                 )
+                samples = result.rows
             else:
-                samples = self.history.range(entity_id, attr, since, until)
+                result = self.history.read(
+                    HistoryQuery(entity_id, attr, since=since, until=until),
+                    source=self.config.history_source,
+                )
                 h_offset = _int_param(request, "hOffset", 0)
                 h_limit = _int_param(
                     request, "hLimit", self.config.max_page_limit, minimum=1
                 )
-                samples = samples[h_offset:h_offset + h_limit]
+                samples = result.rows[h_offset:h_offset + h_limit]
             values = [{"recvTime": t, "attrValue": v} for t, v in samples]
         body = {
             "contextResponses": [{

@@ -1,9 +1,11 @@
 """Crash-safe append-only segment store (durable history archive).
 
 See :mod:`repro.store.segment` for the on-disk frame format,
-:mod:`repro.store.backend` for the fault-injectable file layer, and
+:mod:`repro.store.backend` for the fault-injectable file layer,
 :mod:`repro.store.durable` for the store itself plus the glue that puts
-it behind :class:`~repro.context.history.ShortTermHistory`.
+it behind :class:`~repro.context.history.ShortTermHistory`, and
+:mod:`repro.store.columnar` for the compacted columnar read path
+(chunk files with zone maps, sim-time compaction, per-tenant retention).
 """
 
 from repro.store.backend import (
@@ -11,6 +13,17 @@ from repro.store.backend import (
     FsyncFailedError,
     StorageFaults,
     TornWriteError,
+)
+from repro.store.columnar import (
+    ColumnarReader,
+    ColumnarStore,
+    CompactionKilled,
+    CompactionService,
+    RetentionConfig,
+    RetentionPolicy,
+    decode_chunk,
+    encode_chunk,
+    open_columnar_reader,
 )
 from repro.store.durable import (
     DurabilityService,
@@ -33,9 +46,15 @@ from repro.store.segment import (
 
 __all__ = [
     "AppendFile",
+    "ColumnarReader",
+    "ColumnarStore",
+    "CompactionKilled",
+    "CompactionService",
     "CorruptBlobError",
     "DurabilityService",
     "FsyncFailedError",
+    "RetentionConfig",
+    "RetentionPolicy",
     "SEALED_MAGIC",
     "SEGMENT_MAGIC",
     "ScanResult",
@@ -44,9 +63,12 @@ __all__ = [
     "StoreError",
     "TornWriteError",
     "attach_durable_history",
+    "decode_chunk",
     "decode_sample",
+    "encode_chunk",
     "encode_record",
     "encode_sample",
+    "open_columnar_reader",
     "read_sealed",
     "scan_records",
     "write_sealed",

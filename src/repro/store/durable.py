@@ -84,17 +84,13 @@ class SegmentStore:
         self.max_segment_bytes = max_segment_bytes
         self.faults = faults if faults is not None else StorageFaults()
         os.makedirs(root, exist_ok=True)
-        #: Records handed to :meth:`append` over this store's lifetime
-        #: (recovered records count once recovery has run).
-        self.appended = 0
-        #: Records covered by a successful barrier.
-        self.committed = 0
         self.commits = 0
         self.deferred_commits = 0
         self.failed_commits = 0
         self.rotations = 0
         self.recoveries = 0
         self.torn_tails_truncated = 0
+        self.dropped_segments = 0
         #: Byte length of each record in the active segment past the
         #: durable watermark is implied by the frames themselves; what we
         #: track is per-segment record counts for recovery accounting.
@@ -102,6 +98,13 @@ class SegmentStore:
         self._active_index = 0
         self._records_in_active = 0
         self._open_tail()
+        #: Records resident in the WAL (a reused directory archives
+        #: across runs, so opening scans what is already there; records
+        #: a compaction drains away are subtracted by ``drop_segment``).
+        self.appended = 0
+        #: Resident records covered by a successful barrier.
+        self.committed = 0
+        self._adopt_resident()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -117,6 +120,21 @@ class SegmentStore:
                 segment_path(self.root, 0), self.faults, fresh=True
             )
             fsync_dir(self._active.path)
+
+    def _adopt_resident(self) -> None:
+        """Count the records already on disk (reused directory).
+
+        Everything that survived to this open is treated as committed —
+        the same stance :meth:`recover` takes — so sequence accounting
+        is correct from the first append even without a recovery pass.
+        """
+        for index, path in segments_in(self.root):
+            with open(path, "rb") as fh:
+                count = len(scan_records(fh.read()).payloads)
+            self.appended += count
+            self.committed += count
+            if index == self._active_index:
+                self._records_in_active = count
 
     def close(self) -> None:
         if self._active is not None:
@@ -255,6 +273,39 @@ class SegmentStore:
             payloads.extend(result.payloads)
         return payloads
 
+    # -- compaction handoff --------------------------------------------------
+
+    def sealed_segments(self) -> List[Tuple[int, str]]:
+        """Every segment but the active one, ordered.
+
+        Rotation is a durability barrier, so a sealed segment is intact
+        and fully committed — the unit compaction drains.
+        """
+        return [
+            (index, path)
+            for index, path in segments_in(self.root)
+            if index != self._active_index
+        ]
+
+    def drop_segment(self, index: int, records: int) -> None:
+        """Remove a sealed segment whose ``records`` now live elsewhere.
+
+        The compaction side of the handoff: called only after the chunk
+        is sealed and the meta blob records the advance.  Resident
+        counters shrink by ``records``; global sequence numbers are the
+        columnar meta's ``wal_base_seq`` plus these resident counters.
+        Usable while crashed (recovery reconciles before reopening).
+        """
+        if self._active is not None and index == self._active_index:
+            raise StoreError(f"refusing to drop the active segment {index}")
+        path = segment_path(self.root, index)
+        if os.path.exists(path):
+            os.unlink(path)
+            fsync_dir(path)
+        self.appended = max(0, self.appended - records)
+        self.committed = max(0, self.committed - records)
+        self.dropped_segments += 1
+
     @property
     def volatile_records(self) -> int:
         return self.appended - self.committed
@@ -273,6 +324,7 @@ class SegmentStore:
             "segments": self.segment_count,
             "rotations": self.rotations,
             "recoveries": self.recoveries,
+            "dropped_segments": self.dropped_segments,
             "torn_tails_truncated": self.torn_tails_truncated,
             "torn_writes_repaired": self.faults.torn_writes,
         }
@@ -308,6 +360,14 @@ class DurabilityService:
         #: Records present on disk before this run attached (a reused
         #: directory archives across runs; rebuilds exclude them).
         self.base_records = store.appended
+        #: Global sequence number of this run's first sample — the shadow
+        #: audit anchor.  Without compaction this equals ``base_records``;
+        #: :meth:`enable_compaction` rebases it onto the columnar meta's
+        #: ``wal_base_seq``.
+        self._run_first_seq = store.appended
+        self.run_appended = 0
+        #: Optional :class:`~repro.store.columnar.CompactionService`.
+        self.compaction = None
         # Shadow of this run's accepted payloads, for the prefix audit.
         self.shadow_cap = shadow_cap
         self._shadow: List[bytes] = []
@@ -316,8 +376,10 @@ class DurabilityService:
         self.lost_committed = 0
         self.recoveries = 0
         self.recovery_wall_s = 0.0
+        self.coalesced_flushes = 0
+        self._last_flush_t = None
         self._pump = None
-        history.attach_store(self)
+        history.set_sink(self)
         metrics = sim.metrics
         self._m_appended = metrics.counter("store.appended")
         self._m_committed = metrics.counter("store.committed")
@@ -335,6 +397,7 @@ class DurabilityService:
         payload = encode_sample(entity_id, attr, t, v)
         self.store.append(payload)
         self._m_appended.inc()
+        self.run_appended += 1
         if len(self._shadow) < self.shadow_cap:
             self._shadow.append(payload)
         else:
@@ -353,11 +416,52 @@ class DurabilityService:
             self.flush_now()
 
     def flush_now(self) -> bool:
+        now = self.sim.now
+        if (self._last_flush_t == now
+                and self.store.volatile_records == 0
+                and self.store._active is not None):
+            # A barrier already landed at this sim timestamp and nothing
+            # volatile arrived since — running the fsync again would be
+            # a redundant event (back-to-back barriers from the pump plus
+            # an explicit flush, or compaction, at the same instant).
+            self.coalesced_flushes += 1
+            return True
         before = self.store.committed
         ok = self.store.commit()
         if ok:
+            self._last_flush_t = now
             self._m_committed.inc(self.store.committed - before)
         return ok
+
+    # -- compaction ---------------------------------------------------------
+
+    def enable_compaction(
+        self,
+        interval_s: float = 3600.0,
+        block_size: int = 512,
+        retention=None,
+    ):
+        """Attach (idempotently) the columnar compaction service.
+
+        Spawns its sim-time pump, binds the columnar reader behind the
+        history's ``source="auto"`` reads, and rebases the shadow-audit
+        anchor onto the global (WAL + chunks) sequence space.  Returns
+        the :class:`~repro.store.columnar.CompactionService`.
+        """
+        if self.compaction is None:
+            from repro.store.columnar import CompactionService
+
+            self.compaction = CompactionService(
+                self.sim, self, interval_s=interval_s,
+                block_size=block_size, retention=retention,
+            )
+            self.compaction.start()
+            self._run_first_seq = (
+                self.compaction.columnar.wal_base_seq
+                + self.store.appended - self.run_appended
+            )
+            self.history.bind_columnar(self.compaction.reader)
+        return self.compaction
 
     # -- crash path ---------------------------------------------------------
 
@@ -366,45 +470,95 @@ class DurabilityService:
 
         Everything volatile dies: unflushed store bytes (minus the
         surviving tail the crash left), the history's rings and rollup
-        buckets.  Recovery truncates the torn tail, then rebuilds the
-        history from this run's recovered records — the state any
-        fresh process replaying the durable log would reach.  Returns
-        the number of records recovered (including prior-run base).
+        buckets.  Recovery reconciles the WAL↔chunk handoff (when
+        compaction is attached), truncates the WAL's torn tail, then
+        rebuilds the history from every durable record — retained
+        chunks first, WAL tail after, in global append order — the
+        state any fresh process replaying the durable data would
+        reach.  Returns the number of records recovered (including
+        prior-run base and compacted chunks).
         """
-        committed_before = self.store.committed
+        base_seq = (0 if self.compaction is None
+                    else self.compaction.columnar.wal_base_seq)
+        committed_before = base_seq + self.store.committed
+        if self.compaction is not None:
+            # A kill between the compaction meta advance and the segment
+            # delete leaves records counted on both sides of the handoff
+            # (in wal_base_seq *and* still WAL-resident); subtract the
+            # stale overlap so the loss oracle is exact.
+            next_segment = self.compaction.columnar.next_segment
+            for index, path in self.store.sealed_segments():
+                if index < next_segment:
+                    with open(path, "rb") as fh:
+                        committed_before -= len(
+                            scan_records(fh.read()).payloads)
         started = time.perf_counter()
         self.store.crash(surviving_tail_bytes)
-        payloads = self.store.recover()
+        if self.compaction is not None:
+            self.compaction.recover()
+        wal_payloads = self.store.recover()
         self.recovery_wall_s += time.perf_counter() - started
         self.recoveries += 1
         self._m_recoveries.inc()
-        if len(payloads) < committed_before:
+        # Reassemble the durable sequence: retained chunks (ascending,
+        # gaps only where retention dropped whole chunks) then the WAL.
+        recovered: List[Tuple[int, bytes]] = []
+        if self.compaction is not None:
+            columnar = self.compaction.columnar
+            for index in columnar.chunk_indexes():
+                chunk = columnar.read_chunk(index)
+                seq = chunk.header["first_seq"]
+                for entity_id, attr, t, v in chunk.iter_records():
+                    recovered.append((seq, encode_sample(entity_id, attr, t, v)))
+                    seq += 1
+            base_seq = columnar.wal_base_seq
+        for offset, payload in enumerate(wal_payloads):
+            recovered.append((base_seq + offset, payload))
+        recovered_end = base_seq + len(wal_payloads)
+        if recovered_end < committed_before:
             # A committed record failed to survive — the invariant the
             # whole store exists to uphold.  Recorded, audited, fatal
             # to the chaos run's invariant check.
-            self.lost_committed += committed_before - len(payloads)
-        run_payloads = payloads[self.base_records:]
+            self.lost_committed += committed_before - recovered_end
         if not self._shadow_overflow:
-            if run_payloads != self._shadow[: len(run_payloads)]:
-                self.prefix_consistent = False
+            for seq, payload in recovered:
+                if seq < self._run_first_seq:
+                    continue
+                pos = seq - self._run_first_seq
+                if pos >= len(self._shadow) or self._shadow[pos] != payload:
+                    self.prefix_consistent = False
+                    break
         # The accepted-but-lost tail is gone with the process; the shadow
-        # restarts from the recovered prefix (post-crash appends must
-        # extend it exactly).
-        self._shadow = list(run_payloads)
+        # restarts from the longest contiguous recovered suffix of this
+        # run's records (post-crash appends must extend it exactly).
+        suffix: List[bytes] = []
+        next_expected = recovered_end
+        for seq, payload in reversed(recovered):
+            if seq != next_expected - 1 or seq < self._run_first_seq:
+                break
+            suffix.append(payload)
+            next_expected = seq
+        suffix.reverse()
+        self._shadow = suffix
+        self._run_first_seq = recovered_end - len(suffix)
+        self.run_appended = len(suffix)
         self.history.rebuild_from_samples(
-            decode_sample(p) for p in run_payloads
+            decode_sample(payload) for _seq, payload in recovered
         )
-        return len(payloads)
+        return len(recovered)
 
     def report(self) -> dict:
         data = self.store.report()
         data.update({
-            "run_records": self.store.appended - self.base_records,
+            "run_records": self.run_appended,
             "recoveries": self.recoveries,
             "recovery_wall_s": self.recovery_wall_s,
             "lost_committed": self.lost_committed,
             "prefix_consistent": self.prefix_consistent,
+            "coalesced_flushes": self.coalesced_flushes,
         })
+        if self.compaction is not None:
+            data["compaction"] = self.compaction.report()
         return data
 
 
@@ -413,18 +567,31 @@ def attach_durable_history(
     root: str,
     flush_interval_s: float = 60.0,
     max_segment_bytes: int = 4 * 1024 * 1024,
+    compact_interval_s: Optional[float] = None,
+    compact_block_size: int = 512,
+    retention=None,
 ) -> DurabilityService:
     """Put a durable segment store behind ``runner``'s history.
 
     Strictly additive until the flush pump's first barrier event; with
     the option unset nothing here is constructed, so pinned fixtures are
-    byte-identical.  The returned service is also assigned to
-    ``runner.durability`` for the chaos audit and CLI summary.
+    byte-identical.  ``compact_interval_s`` (or a ``retention`` config)
+    additionally enables the columnar compaction service, which binds
+    streaming chunk reads behind the history's ``source="auto"`` path.
+    The returned service is also assigned to ``runner.durability`` for
+    the chaos audit and CLI summary.
     """
     store = SegmentStore(root, max_segment_bytes=max_segment_bytes)
     service = DurabilityService(
         runner.sim, runner.history, store, flush_interval_s=flush_interval_s
     )
     service.start()
+    if compact_interval_s is not None or retention is not None:
+        service.enable_compaction(
+            interval_s=(compact_interval_s
+                        if compact_interval_s is not None else 3600.0),
+            block_size=compact_block_size,
+            retention=retention,
+        )
     runner.durability = service
     return service

@@ -8,6 +8,7 @@ from repro.context import (
     AttrFilter,
     ContextBroker,
     ContextEntity,
+    HistoryQuery,
     NotFoundError,
     QueryError,
     ShortTermHistory,
@@ -277,15 +278,16 @@ class TestHistory:
         for t, v in [(10.0, 0.1), (20.0, 0.2), (30.0, 0.3)]:
             sim.schedule_at(t, lambda v=v: broker.update_attributes("e1", {"m": v}))
         sim.run()
-        assert history.series("e1", "m") == [(10.0, 0.1), (20.0, 0.2), (30.0, 0.3)]
+        rows = history.read(HistoryQuery("e1", "m")).rows
+        assert rows == [(10.0, 0.1), (20.0, 0.2), (30.0, 0.3)]
 
     def test_ignores_non_numeric(self):
         broker = make_broker()
         history = ShortTermHistory(broker)
         broker.create_entity("e1", "T")
         broker.update_attributes("e1", {"state": "open", "flag": True})
-        assert history.series("e1", "state") == []
-        assert history.series("e1", "flag") == []
+        assert history.read(HistoryQuery("e1", "state")).rows == []
+        assert history.read(HistoryQuery("e1", "flag")).rows == []
 
     def test_last_n(self):
         broker = make_broker()
@@ -293,7 +295,8 @@ class TestHistory:
         broker.create_entity("e1", "T")
         for v in range(10):
             broker.update_attributes("e1", {"m": v})
-        assert [v for _t, v in history.last_n("e1", "m", 3)] == [7.0, 8.0, 9.0]
+        result = history.read(HistoryQuery("e1", "m", last_n=3))
+        assert [v for _t, v in result.rows] == [7.0, 8.0, 9.0]
 
     def test_range_query(self):
         sim = Simulator()
@@ -303,7 +306,8 @@ class TestHistory:
         for t in (5.0, 15.0, 25.0):
             sim.schedule_at(t, lambda: broker.update_attributes("e1", {"m": 1.0}))
         sim.run()
-        assert len(history.range("e1", "m", since=10.0, until=20.0)) == 1
+        result = history.read(HistoryQuery("e1", "m", since=10.0, until=20.0))
+        assert len(result.rows) == 1
 
     def test_aggregate(self):
         broker = make_broker()
@@ -311,7 +315,7 @@ class TestHistory:
         broker.create_entity("e1", "T")
         for v in (1.0, 2.0, 3.0):
             broker.update_attributes("e1", {"m": v})
-        agg = history.aggregate("e1", "m")
+        agg = history.read(HistoryQuery("e1", "m", aggregate=True)).stats
         assert agg["count"] == 3
         assert agg["min"] == 1.0
         assert agg["max"] == 3.0
@@ -320,7 +324,7 @@ class TestHistory:
     def test_aggregate_empty_returns_none(self):
         broker = make_broker()
         history = ShortTermHistory(broker)
-        assert history.aggregate("ghost", "m") is None
+        assert history.read(HistoryQuery("ghost", "m", aggregate=True)).stats is None
 
     def test_bounded_series(self):
         broker = make_broker()
@@ -328,7 +332,7 @@ class TestHistory:
         broker.create_entity("e1", "T")
         for v in range(10):
             broker.update_attributes("e1", {"m": v})
-        samples = history.series("e1", "m")
+        samples = history.read(HistoryQuery("e1", "m")).rows
         assert len(samples) == 5
         assert samples[0][1] == 5.0
 
@@ -340,7 +344,7 @@ class TestHistory:
         broker.create_entity("e1", "T")
         for v in values:
             broker.update_attributes("e1", {"m": v})
-        agg = history.aggregate("e1", "m")
+        agg = history.read(HistoryQuery("e1", "m", aggregate=True)).stats
         tolerance = 1e-9 * max(1.0, abs(agg["mean"]))
         assert agg["min"] - tolerance <= agg["mean"] <= agg["max"] + tolerance
         assert agg["count"] == len(values)

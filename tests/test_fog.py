@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.context import ContextBroker
+from repro.context import ContextBroker, HistoryQuery
 from repro.fog import CloudNode, FogNode, Replicator
 from repro.fog.replication import CloudSyncTarget
 from repro.network import Network, RadioModel, WAN_BACKHAUL
@@ -298,4 +298,5 @@ class TestNodes:
         assert fog.context.get_entity("urn:soil:p1").get("soilMoisture") is not None
         assert cloud.context.get_entity("urn:soil:p1").get("soilMoisture") is not None
         # History captured on the fog tier.
-        assert len(fog.history.series("urn:soil:p1", "soilMoisture")) >= 3
+        assert len(fog.history.read(
+            HistoryQuery("urn:soil:p1", "soilMoisture")).rows) >= 3

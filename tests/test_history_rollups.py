@@ -4,7 +4,13 @@ import pytest
 
 from repro.context.broker import ContextBroker
 from repro.context.errors import QueryError
-from repro.context.history import HOUR_S, MINUTE_S, ROLLUP_METHODS, ShortTermHistory
+from repro.context.history import (
+    HOUR_S,
+    MINUTE_S,
+    ROLLUP_METHODS,
+    HistoryQuery,
+    ShortTermHistory,
+)
 from repro.core.checkpoint import RunRecipe, restore, snapshot
 from repro.core.pilots import PILOT_BUILDERS
 from repro.simkernel.simulator import Simulator
@@ -27,36 +33,49 @@ def record(sim, broker, t, v):
     broker.update_attributes(EID, {ATTR: v})
 
 
+def rollup_rows(history, entity_id, attr, period, method="mean",
+                since=float("-inf"), until=float("inf")):
+    query = HistoryQuery(entity_id, attr, since=since, until=until,
+                         period_s=period, method=method)
+    return history.read(query, source="memory").rows
+
+
+def series_rows(history, entity_id, attr):
+    return history.read(HistoryQuery(entity_id, attr), source="memory").rows
+
+
 class TestBucketing:
     def test_empty_buckets_are_never_materialized(self):
         sim, broker, history = make_history(rollup_periods=(MINUTE_S,))
         record(sim, broker, 10.0, 1.0)       # bucket 0
         record(sim, broker, 305.0, 3.0)      # bucket 5 — 1..4 stay empty
-        rows = history.rollup(EID, ATTR, MINUTE_S, method="count")
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, method="count")
         assert rows == [(0.0, 1.0), (300.0, 1.0)]
 
     def test_all_methods_agree_with_raw_aggregate(self):
         sim, broker, history = make_history(rollup_periods=(HOUR_S,))
         for i, v in enumerate([0.4, 0.1, 0.7, 0.2]):
             record(sim, broker, 100.0 * (i + 1), v)
-        agg = history.aggregate(EID, ATTR)
+        agg = history.read(
+            HistoryQuery(EID, ATTR, aggregate=True), source="memory").stats
         for method in ROLLUP_METHODS:
-            rows = history.rollup(EID, ATTR, HOUR_S, method=method)
+            rows = rollup_rows(history, EID, ATTR, HOUR_S, method=method)
             assert rows == [(0.0, pytest.approx(agg[method]))]
 
     def test_range_filter_is_on_bucket_start(self):
         sim, broker, history = make_history(rollup_periods=(MINUTE_S,))
         for t in (30.0, 90.0, 150.0):
             record(sim, broker, t, 1.0)
-        rows = history.rollup(EID, ATTR, MINUTE_S, since=60.0, until=60.0)
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, since=60.0, until=60.0)
         assert rows == [(60.0, 1.0)]
 
     def test_unknown_method_and_period_raise(self):
         _sim, _broker, history = make_history(rollup_periods=(MINUTE_S,))
         with pytest.raises(QueryError, match="unknown rollup method"):
-            history.rollup(EID, ATTR, MINUTE_S, method="median")
+            history.read(HistoryQuery(EID, ATTR, period_s=MINUTE_S,
+                                      method="median"), source="memory")
         with pytest.raises(QueryError, match="not enabled"):
-            history.rollup(EID, ATTR, 7.0)
+            history.read(HistoryQuery(EID, ATTR, period_s=7.0), source="memory")
         with pytest.raises(QueryError, match="must be positive"):
             history.enable_rollups((0.0,))
 
@@ -64,7 +83,7 @@ class TestBucketing:
         sim, broker, history = make_history(rollup_periods=(MINUTE_S,))
         record(sim, broker, 1.0, 0.2)
         record(sim, broker, 2.0, 0.4)
-        assert history.downsample(EID, ATTR, MINUTE_S) == [
+        assert rollup_rows(history, EID, ATTR, MINUTE_S) == [
             (0.0, pytest.approx(0.3))]
 
 
@@ -78,14 +97,14 @@ class TestOutOfOrderSamples:
         key = (EID, ATTR)
         history._fold(key, 60.0, 2.0)
         history._fold(key, 59.999, 1.0)
-        rows = history.rollup(EID, ATTR, MINUTE_S, method="count")
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, method="count")
         assert rows == [(0.0, 1.0), (60.0, 1.0)]
 
     def test_exact_boundary_sample_opens_the_next_bucket(self):
         _sim, _broker, history = make_history(rollup_periods=(MINUTE_S,))
         key = (EID, ATTR)
         history._fold(key, 60.0, 5.0)
-        rows = history.rollup(EID, ATTR, MINUTE_S)
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S)
         assert rows == [(60.0, 5.0)]
 
     def test_fold_order_does_not_change_totals(self):
@@ -95,7 +114,7 @@ class TestOutOfOrderSamples:
             _sim, _broker, history = make_history(rollup_periods=(MINUTE_S,))
             for t, v in ordering:
                 history._fold((EID, ATTR), t, v)
-            results.append(history.rollup(EID, ATTR, MINUTE_S, method="sum"))
+            results.append(rollup_rows(history, EID, ATTR, MINUTE_S, method="sum"))
         assert results[0] == results[1] == results[2]
 
 
@@ -106,7 +125,7 @@ class TestBucketEviction:
         key = (EID, ATTR)
         for minute in range(5):
             history._fold(key, minute * 60.0, 1.0)
-        rows = history.rollup(EID, ATTR, MINUTE_S, method="count")
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, method="count")
         assert [start for start, _ in rows] == [120.0, 180.0, 240.0]
 
     def test_late_straggler_behind_horizon_is_dropped(self):
@@ -118,7 +137,7 @@ class TestBucketEviction:
         # Bucket 0 would be evicted the moment it is created: drop it so
         # eviction order stays independent of straggler arrival.
         history._fold(key, 5.0, 9.0)
-        rows = history.rollup(EID, ATTR, MINUTE_S, method="max")
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, method="max")
         assert rows == [(120.0, 1.0), (180.0, 1.0)]
 
     def test_straggler_into_retained_bucket_still_folds(self):
@@ -128,7 +147,7 @@ class TestBucketEviction:
         history._fold(key, 120.0, 1.0)
         history._fold(key, 180.0, 1.0)
         history._fold(key, 125.0, 7.0)  # retained bucket → folds normally
-        rows = history.rollup(EID, ATTR, MINUTE_S, method="max")
+        rows = rollup_rows(history, EID, ATTR, MINUTE_S, method="max")
         assert rows == [(120.0, 7.0), (180.0, 1.0)]
 
 
@@ -143,15 +162,15 @@ class TestBackfillDeterminism:
         late.enable_rollups((MINUTE_S, HOUR_S))
         for period in (MINUTE_S, HOUR_S):
             for method in ROLLUP_METHODS:
-                assert live.rollup(EID, ATTR, period, method=method) == \
-                    late.rollup(EID, ATTR, period, method=method)
+                assert rollup_rows(live, EID, ATTR, period, method=method) == \
+                    rollup_rows(late, EID, ATTR, period, method=method)
 
     def test_enable_is_idempotent(self):
         sim, broker, history = make_history(rollup_periods=(MINUTE_S,))
         record(sim, broker, 10.0, 1.0)
-        before = history.rollup(EID, ATTR, MINUTE_S, method="count")
+        before = rollup_rows(history, EID, ATTR, MINUTE_S, method="count")
         history.enable_rollups((MINUTE_S,))  # must not double-fold
-        assert history.rollup(EID, ATTR, MINUTE_S, method="count") == before
+        assert rollup_rows(history, EID, ATTR, MINUTE_S, method="count") == before
         assert history.rollup_periods == (MINUTE_S,)
 
 
@@ -168,28 +187,29 @@ class TestRebuildFromSamples:
             record(sim, broker, t, v)
         _sim2, _broker2, replica = make_history(**kwargs)
         replica.rebuild_from_samples(samples)
-        assert live.series(EID, ATTR) == replica.series(EID, ATTR)
-        assert len(replica.series(EID, ATTR)) == 12  # ring evicted
+        assert series_rows(live, EID, ATTR) == series_rows(replica, EID, ATTR)
+        assert len(series_rows(replica, EID, ATTR)) == 12  # ring evicted
         for method in ROLLUP_METHODS:
-            assert live.rollup(EID, ATTR, MINUTE_S, method=method) == \
-                replica.rollup(EID, ATTR, MINUTE_S, method=method)
-        rows = replica.rollup(EID, ATTR, MINUTE_S, method="count")
+            assert rollup_rows(live, EID, ATTR, MINUTE_S, method=method) == \
+                rollup_rows(replica, EID, ATTR, MINUTE_S, method=method)
+        rows = rollup_rows(replica, EID, ATTR, MINUTE_S, method="count")
         assert len(rows) == 4  # buckets evicted down to capacity
 
     def test_rebuild_replaces_prior_state_and_does_not_write_through(self):
         _sim, _broker, history = make_history(rollup_periods=(MINUTE_S,))
 
-        class ExplodingStore:
+        class ExplodingSink:
             def on_sample(self, *a):
                 raise AssertionError("rebuild must not write back to the store")
 
-        history.attach_store(ExplodingStore())
+        history.set_sink(ExplodingSink())
         history.rebuild_from_samples([(EID, ATTR, 10.0, 1.0)])
-        assert history.series(EID, ATTR) == [(10.0, 1.0)]
+        assert series_rows(history, EID, ATTR) == [(10.0, 1.0)]
         # A second rebuild replaces, not appends.
         history.rebuild_from_samples([(EID, ATTR, 20.0, 2.0)])
-        assert history.series(EID, ATTR) == [(20.0, 2.0)]
-        assert history.rollup(EID, ATTR, MINUTE_S, method="count") == [(0.0, 1.0)]
+        assert series_rows(history, EID, ATTR) == [(20.0, 2.0)]
+        assert rollup_rows(history, EID, ATTR, MINUTE_S, method="count") == \
+            [(0.0, 1.0)]
 
 
 class TestSnapshotRestoreDeterminism:
@@ -215,8 +235,8 @@ class TestSnapshotRestoreDeterminism:
         for entity_id, attr in keys:
             for period in (MINUTE_S, HOUR_S):
                 for method in ("count", "mean"):
-                    assert straight.history.rollup(
-                        entity_id, attr, period, method=method
-                    ) == restored.history.rollup(
-                        entity_id, attr, period, method=method
+                    assert rollup_rows(
+                        straight.history, entity_id, attr, period, method=method
+                    ) == rollup_rows(
+                        restored.history, entity_id, attr, period, method=method
                     ), (entity_id, attr, period, method)

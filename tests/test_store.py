@@ -12,7 +12,7 @@ import os
 import pytest
 
 from repro.context.broker import ContextBroker
-from repro.context.history import MINUTE_S, ShortTermHistory
+from repro.context.history import MINUTE_S, HistoryQuery, ShortTermHistory
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultPlan, FaultPlanError
 from repro.simkernel.simulator import Simulator
@@ -209,9 +209,12 @@ class TestCrashRecoveryProperty:
             replica = ShortTermHistory(
                 ContextBroker(Simulator(seed=1)), rollup_periods=(MINUTE_S,))
             replica.rebuild_from_samples(decode_sample(p) for p in recovered)
-            assert history.series(EID, ATTR) == replica.series(EID, ATTR)
-            assert history.rollup(EID, ATTR, MINUTE_S, method="sum") == \
-                replica.rollup(EID, ATTR, MINUTE_S, method="sum")
+            raw = HistoryQuery(EID, ATTR)
+            sums = HistoryQuery(EID, ATTR, period_s=MINUTE_S, method="sum")
+            assert history.read(raw, source="memory").rows == \
+                replica.read(raw, source="memory").rows
+            assert history.read(sums, source="memory").rows == \
+                replica.read(sums, source="memory").rows
 
     def test_writes_after_recovery_extend_the_prefix(self, tmp_path):
         sim, broker, history, service = durable_fixture(tmp_path)
@@ -225,7 +228,7 @@ class TestCrashRecoveryProperty:
         # The history and the log agree end-to-end after the second leg.
         log_samples = [decode_sample(p) for p in service.store.read_all()]
         assert [(t, v) for _e, _a, t, v in log_samples] == \
-            history.series(EID, ATTR)
+            history.read(HistoryQuery(EID, ATTR), source="memory").rows
 
 
 class TestFaultPlanIntegration:
